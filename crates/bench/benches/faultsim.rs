@@ -1,0 +1,117 @@
+//! Fault-simulation substrates: serial vs bit-parallel flat simulation,
+//! detection-table construction, and the full virtual fault simulation of
+//! the Figure 4 circuit.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vcad_bench::workload::random_patterns;
+use vcad_faults::{
+    BitParallelSim, DetectionTable, FaultUniverse, NetlistDetectionSource, SerialFaultSim,
+};
+use vcad_logic::LogicVec;
+use vcad_netlist::generators::{self, RandomCircuitSpec};
+
+fn bench_flat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faultsim_flat");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for gates in [100usize, 300] {
+        let nl = generators::random_circuit(RandomCircuitSpec {
+            inputs: 24,
+            gates,
+            outputs: 12,
+            seed: 31 + gates as u64,
+        });
+        let targets = FaultUniverse::collapsed(&nl).representatives();
+        let patterns = random_patterns(24, 32, 4);
+        group.bench_with_input(BenchmarkId::new("serial", gates), &gates, |b, _| {
+            let sim = SerialFaultSim::new(&nl, targets.clone());
+            b.iter(|| black_box(sim.run(&patterns)));
+        });
+        group.bench_with_input(BenchmarkId::new("bit_parallel", gates), &gates, |b, _| {
+            let sim = BitParallelSim::new(&nl, targets.clone());
+            b.iter(|| black_box(sim.run(&patterns)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection_tables");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for width in [4usize, 6] {
+        let nl = Arc::new(generators::wallace_multiplier(width));
+        let universe = FaultUniverse::collapsed(&nl);
+        let inputs = LogicVec::from_u64(2 * width, 0xA5A5 & ((1 << (2 * width)) - 1));
+        group.bench_with_input(BenchmarkId::new("build", width), &width, |b, _| {
+            b.iter(|| black_box(DetectionTable::build(&nl, &universe, &inputs)));
+        });
+        let table = DetectionTable::build(&nl, &universe, &inputs);
+        group.bench_with_input(BenchmarkId::new("marshal", width), &width, |b, _| {
+            b.iter(|| black_box(table.to_value().encode()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_virtual(c: &mut Criterion) {
+    use vcad_core::stdlib::{NetlistBlock, PrimaryOutput, VectorInput};
+    use vcad_core::DesignBuilder;
+    use vcad_faults::{IpBlockBinding, VirtualFaultSim};
+
+    // A small design: random patterns driving an IP half adder whose
+    // outputs are observed directly.
+    let ip1 = Arc::new(generators::half_adder_nand());
+    let patterns: Vec<u64> = (0..16).collect();
+    let mut b = DesignBuilder::new("vfs");
+    let ia = b.add_module(Arc::new(VectorInput::new(
+        "A",
+        patterns
+            .iter()
+            .map(|p| LogicVec::from_u64(1, p & 1))
+            .collect(),
+    )));
+    let ib = b.add_module(Arc::new(VectorInput::new(
+        "B",
+        patterns
+            .iter()
+            .map(|p| LogicVec::from_u64(1, p >> 1 & 1))
+            .collect(),
+    )));
+    let ip = b.add_module(Arc::new(NetlistBlock::new("IP1", Arc::clone(&ip1))));
+    let o1 = b.add_module(Arc::new(PrimaryOutput::new("O1", 1)));
+    let o2 = b.add_module(Arc::new(PrimaryOutput::new("O2", 1)));
+    b.connect(ia, "out", ip, "a").unwrap();
+    b.connect(ib, "out", ip, "b").unwrap();
+    b.connect(ip, "sum", o1, "in").unwrap();
+    b.connect(ip, "carry", o2, "in").unwrap();
+    let design = Arc::new(b.build().unwrap());
+
+    let mut group = c.benchmark_group("virtual_fault_sim");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("half_adder_16_patterns", |b| {
+        b.iter(|| {
+            let sim = VirtualFaultSim::new(
+                Arc::clone(&design),
+                vec![IpBlockBinding {
+                    module: ip,
+                    source: Arc::new(NetlistDetectionSource::new(Arc::clone(&ip1))),
+                }],
+                vec![o1, o2],
+            );
+            black_box(sim.run().expect("virtual fault simulation"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat, bench_detection_tables, bench_virtual);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 2 as a criterion benchmark: end-to-end simulation of the
+//! Figure 2 circuit in the three deployment scenarios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vcad_bench::scenarios::{build, Scenario};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenarios");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for scenario in Scenario::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario.label()),
+            &scenario,
+            |b, &scenario| {
+                // Build outside the timing loop: Table 2 measures the
+                // simulation, not the provider handshake.
+                let rig = build(scenario, 16, 50, 5);
+                b.iter(|| black_box(rig.controller().run().expect("simulation")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

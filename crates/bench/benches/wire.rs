@@ -1,0 +1,58 @@
+//! Marshalling micro-costs: the per-value and per-frame encode/decode
+//! times that underlie every RMI call (the Table 2 overhead at its
+//! smallest scale).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use vcad_logic::{LogicVec, Word};
+use vcad_rmi::{CallFrame, Frame, ObjectId, Value};
+
+fn pattern_list(n: usize, width: usize) -> Value {
+    Value::List(
+        (0..n)
+            .map(|i| Value::Vec(LogicVec::from_u64(width, i as u64 * 0x9E37)))
+            .collect(),
+    )
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+
+    let scalar = Value::Word(Word::new(16, 0xBEEF));
+    group.bench_function("encode_word", |b| {
+        b.iter(|| black_box(&scalar).encode());
+    });
+
+    let buffer5 = pattern_list(5, 32);
+    let buffer50 = pattern_list(50, 32);
+    group.bench_function("encode_pattern_buffer_5", |b| {
+        b.iter(|| black_box(&buffer5).encode());
+    });
+    group.bench_function("encode_pattern_buffer_50", |b| {
+        b.iter(|| black_box(&buffer50).encode());
+    });
+
+    let frame = Frame::Call(CallFrame {
+        call_id: 42,
+        object: ObjectId(7),
+        method: "power_toggle".into(),
+        args: vec![buffer50.clone()],
+    });
+    let bytes = frame.encode();
+    group.bench_function("encode_call_frame", |b| {
+        b.iter(|| black_box(&frame).encode());
+    });
+    group.bench_function("decode_call_frame", |b| {
+        b.iter_batched(
+            || bytes.clone(),
+            |bytes| Frame::decode(black_box(&bytes)).expect("valid frame"),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

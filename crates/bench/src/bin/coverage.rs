@@ -1,0 +1,58 @@
+//! Coverage-growth harness: the incremental fault coverage the paper's
+//! simulation history annotates, shown for flat and virtual fault
+//! simulation side by side.
+//!
+//! Run with `cargo run -p vcad-bench --bin coverage --release`.
+
+use vcad_bench::report::print_table;
+use vcad_faults::{grow_random_patterns, FaultUniverse};
+use vcad_netlist::generators;
+
+fn main() {
+    // Flat coverage growth for three representative circuits.
+    let circuits: Vec<(&str, vcad_netlist::Netlist)> = vec![
+        ("c17", generators::c17()),
+        ("alu_4", generators::alu(4)),
+        ("wallace_6", generators::wallace_multiplier(6)),
+    ];
+    let mut rows = Vec::new();
+    for (name, nl) in &circuits {
+        let targets = FaultUniverse::collapsed(nl).representatives();
+        let growth = grow_random_patterns(nl, &targets, 1.0, 20_000, 0xC0FE);
+        let hist = &growth.coverage_history;
+        let at = |frac: f64| -> String {
+            let want = frac * growth.coverage;
+            hist.iter()
+                .position(|&c| c >= want)
+                .map(|i| (i + 1).to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        rows.push(vec![
+            (*name).to_owned(),
+            targets.len().to_string(),
+            format!("{:.1}%", growth.coverage * 100.0),
+            at(0.5),
+            at(0.9),
+            growth.patterns.len().to_string(),
+            growth.patterns_tried.to_string(),
+        ]);
+    }
+    print_table(
+        "Random-pattern coverage growth (compacted test sets)",
+        &[
+            "Circuit",
+            "Fault classes",
+            "Final coverage",
+            "Patterns to 50%",
+            "Patterns to 90%",
+            "Kept patterns",
+            "Patterns tried",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe knee of each curve is the paper's \"incremental fault coverage \
+         obtained with the actual test sequence\": most faults fall to the \
+         first few random patterns, the tail costs the budget."
+    );
+}

@@ -1,0 +1,71 @@
+//! Ablation: fault-simulation substrate scaling — serial vs 64-way
+//! bit-parallel flat simulation on generated circuits, plus the collapse
+//! ratio of the fault universe.
+//!
+//! Run with `cargo run -p vcad-bench --bin faultscale --release`.
+
+use std::time::Instant;
+
+use vcad_bench::report::print_table;
+use vcad_bench::workload::random_patterns;
+use vcad_faults::{BitParallelSim, FaultUniverse, SerialFaultSim};
+use vcad_netlist::generators::{self, RandomCircuitSpec};
+
+fn main() {
+    let sizes = [100usize, 300, 1000, 3000];
+    let mut rows = Vec::new();
+    for &gates in &sizes {
+        let nl = generators::random_circuit(RandomCircuitSpec {
+            inputs: 32,
+            gates,
+            outputs: 16,
+            seed: 0xFA_u64 + gates as u64,
+        });
+        let universe = FaultUniverse::collapsed(&nl);
+        let targets = universe.representatives();
+        let patterns = random_patterns(32, 256, 9);
+
+        let serial = SerialFaultSim::new(&nl, targets.clone());
+        let t0 = Instant::now();
+        let detected_serial = serial.run(&patterns);
+        let t_serial = t0.elapsed();
+
+        let parallel = BitParallelSim::new(&nl, targets.clone());
+        let t0 = Instant::now();
+        let detected_parallel = parallel.run(&patterns);
+        let t_parallel = t0.elapsed();
+
+        assert_eq!(detected_serial, detected_parallel, "sims must agree");
+        let speedup = t_serial.as_secs_f64() / t_parallel.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            gates.to_string(),
+            universe.total_faults().to_string(),
+            targets.len().to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * detected_serial.len() as f64 / targets.len() as f64
+            ),
+            format!("{:.1} ms", t_serial.as_secs_f64() * 1e3),
+            format!("{:.1} ms", t_parallel.as_secs_f64() * 1e3),
+            format!("{speedup:.1}×"),
+        ]);
+    }
+    print_table(
+        "Fault-simulation substrate scaling (256 random patterns, 32 PIs)",
+        &[
+            "Gates",
+            "Faults",
+            "Collapsed",
+            "Coverage",
+            "Serial",
+            "Bit-parallel",
+            "Speed-up",
+        ],
+        &rows,
+    );
+    println!(
+        "\nBoth simulators agree exactly on every circuit; the bit-parallel \
+         variant demonstrates the substrate headroom available to the \
+         provider-side detection-table computation."
+    );
+}

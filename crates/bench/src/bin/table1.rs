@@ -1,0 +1,101 @@
+//! Regenerates **Table 1**: three estimators for the power consumption of
+//! the multiplier `MULT` — average error, RMS error, cost per pattern and
+//! CPU time per pattern.
+//!
+//! Run with `cargo run -p vcad-bench --bin table1 --release`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use vcad_bench::report::print_table;
+use vcad_bench::workload::{correlated_patterns, random_patterns};
+use vcad_netlist::generators;
+use vcad_power::{
+    ConstantPowerEstimator, ErrorStats, LinearRegressionPowerEstimator, PowerModel,
+    SiliconReference, TogglePowerEstimator,
+};
+
+fn main() {
+    let width = 16;
+    let netlist = Arc::new(generators::wallace_multiplier(width));
+    let model = PowerModel::default();
+    // 20% residual: the gate-level view misses glitch/wire effects whose
+    // mean magnitude is ~10% — the paper's toggle-tier accuracy.
+    let reference = SiliconReference::new(model, 0.20, 0x7A61);
+
+    // Training mixes activity levels, as a provider's characterisation
+    // suite would; evaluation sweeps from near-idle to thrashing inputs so
+    // per-pattern power varies the way real workloads do.
+    let mut training = random_patterns(2 * width, 128, 1);
+    training.extend(correlated_patterns(2 * width, 128, 0.15, 11));
+    let mut evaluation = Vec::new();
+    for (i, rate) in [0.05, 0.2, 0.5, 0.8, 0.95].iter().enumerate() {
+        evaluation.extend(correlated_patterns(2 * width, 128, *rate, 100 + i as u64));
+    }
+    let truth = reference.per_pattern_power(&netlist, &evaluation);
+
+    let constant = ConstantPowerEstimator::characterize(&reference, &netlist, &training);
+    let regression = LinearRegressionPowerEstimator::fit(&reference, &netlist, &training, vec![0]);
+    let toggle = TogglePowerEstimator::new(Arc::clone(&netlist), model, vec![0], true);
+
+    let mut rows = Vec::new();
+    let mut measure =
+        |name: &str,
+         cost_cents: f64,
+         remote: bool,
+         predict: &dyn Fn(&vcad_logic::LogicVec, &vcad_logic::LogicVec) -> f64| {
+            let start = Instant::now();
+            let preds: Vec<f64> = evaluation
+                .windows(2)
+                .map(|w| predict(&w[0], &w[1]))
+                .collect();
+            let elapsed = start.elapsed();
+            let stats = ErrorStats::compare(&preds, &truth);
+            let per_pattern_us = elapsed.as_secs_f64() * 1e6 / preds.len() as f64;
+            rows.push(vec![
+                name.to_owned(),
+                format!("{:.1}", stats.avg_pct),
+                format!("{:.1}", stats.rms_pct),
+                format!("{cost_cents}"),
+                format!(
+                    "{per_pattern_us:.2} µs{}",
+                    if remote { " (+ network*)" } else { "" }
+                ),
+            ]);
+            stats
+        };
+
+    let e_const = measure("Constant", 0.0, false, &|_, _| {
+        constant.predict_transition()
+    });
+    let e_reg = measure("Linear regression", 0.0, false, &|a, b| {
+        regression.predict_transition(a, b)
+    });
+    let e_tog = measure("Gate-level toggle count", 0.1, true, &|a, b| {
+        toggle.predict_transition(a, b)
+    });
+
+    print_table(
+        "Table 1 — power estimators for MULT (16×16 Wallace multiplier, 512 random patterns)",
+        &[
+            "Estimator type",
+            "Avg error (%)",
+            "RMS error (%)",
+            "Cost/pattern (¢)",
+            "CPU time/pattern",
+        ],
+        &rows,
+    );
+    println!(
+        "\n* the remote flag marks the estimator that must run on the provider's \
+         server; network time is unpredictable (paper's footnote).\n"
+    );
+    println!(
+        "Paper's published values (avg / rms / cost / cpu): constant 25/90/0/0, \
+         linear regression 20/50/0/1, gate-level toggle count 10/20/0.1/100."
+    );
+
+    // Shape assertions so CI catches regressions.
+    assert!(e_tog.avg_pct < e_reg.avg_pct && e_reg.avg_pct < e_const.avg_pct);
+    assert!(e_tog.rms_pct < e_reg.rms_pct && e_reg.rms_pct < e_const.rms_pct);
+}

@@ -1,0 +1,122 @@
+//! Regenerates **Table 2**: CPU and real time for 100 random patterns
+//! (buffer of 5) in the AL / ER / MR scenarios across the three network
+//! environments.
+//!
+//! CPU time is measured (this machine); network time is modeled by
+//! `vcad-netsim` from the measured RMI traffic (see DESIGN.md's
+//! substitution table). Compare *shape*, not absolute seconds.
+//!
+//! Run with `cargo run -p vcad-bench --bin table2 --release`.
+
+use vcad_bench::report::{modeled_real_time, print_table, secs};
+use vcad_bench::scenarios::{self, Scenario};
+use vcad_netsim::NetworkModel;
+
+fn main() {
+    let width = 16;
+    let patterns = 100;
+    let buffer = 5;
+
+    let environments = [
+        ("NA (no network)", None),
+        ("Local", Some(NetworkModel::local_host())),
+        ("LAN", Some(NetworkModel::lan_1999())),
+        ("WAN", Some(NetworkModel::wan_1999())),
+    ];
+
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    for scenario in Scenario::ALL {
+        let run = scenarios::run(scenario, width, patterns, buffer);
+        runs.push(run.clone());
+        for (env_name, model) in &environments {
+            // AL has no network leg; remote scenarios skip the NA row.
+            match (scenario, model) {
+                (Scenario::AllLocal, None) => {}
+                (Scenario::AllLocal, Some(_)) | (_, None) => continue,
+                _ => {}
+            }
+            let real = match model {
+                Some(m) => modeled_real_time(run.cpu, &run.stats, m),
+                None => run.cpu,
+            };
+            rows.push(vec![
+                scenario.label().to_owned(),
+                (*env_name).to_owned(),
+                secs(run.cpu),
+                secs(real),
+                run.stats.calls.to_string(),
+                (run.stats.bytes_sent + run.stats.bytes_received).to_string(),
+            ]);
+        }
+    }
+
+    print_table(
+        "Table 2 — Figure 2 circuit, 100 random patterns, buffer 5",
+        &[
+            "Design",
+            "Host",
+            "CPU time (s)",
+            "Real time (s)",
+            "RMI calls",
+            "RMI bytes",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper's values (CPU / real, seconds): AL 13/15; ER local 14/21, \
+         LAN 14/32, WAN 14/168; MR local 38/87, LAN 38/65, WAN 38/407."
+    );
+
+    // Shape assertions mirroring the paper's observations.
+    let al = &runs[0];
+    let er = &runs[1];
+    let mr = &runs[2];
+    // "The impact of using RMI to access a module having only one remote
+    //  method is almost negligible" — ER CPU close to AL's.
+    assert!(
+        er.cpu.as_secs_f64() < al.cpu.as_secs_f64() * 3.0 + 0.05,
+        "ER cpu {:?} should be near AL cpu {:?}",
+        er.cpu,
+        al.cpu
+    );
+    // "Using RMI to access an entirely remote module adds a relevant
+    //  overhead to the CPU time" — MR well above ER.
+    assert!(
+        mr.cpu > er.cpu,
+        "MR cpu {:?} must exceed ER cpu {:?}",
+        mr.cpu,
+        er.cpu
+    );
+    // Real time ordering per environment: WAN > LAN > local for both
+    // remote scenarios; MR > ER on every network.
+    for scenario_run in [er, mr] {
+        let local = modeled_real_time(
+            scenario_run.cpu,
+            &scenario_run.stats,
+            &NetworkModel::local_host(),
+        );
+        let lan = modeled_real_time(
+            scenario_run.cpu,
+            &scenario_run.stats,
+            &NetworkModel::lan_1999(),
+        );
+        let wan = modeled_real_time(
+            scenario_run.cpu,
+            &scenario_run.stats,
+            &NetworkModel::wan_1999(),
+        );
+        assert!(local < lan && lan < wan);
+    }
+    for model in [
+        NetworkModel::local_host(),
+        NetworkModel::lan_1999(),
+        NetworkModel::wan_1999(),
+    ] {
+        assert!(
+            modeled_real_time(mr.cpu, &mr.stats, &model)
+                > modeled_real_time(er.cpu, &er.stats, &model)
+        );
+    }
+    println!("\nAll shape assertions passed.");
+}

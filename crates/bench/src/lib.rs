@@ -1,0 +1,18 @@
+//! Benchmark harnesses regenerating the paper's tables and figures.
+//!
+//! Each table/figure has a binary that prints the reproduced rows next to
+//! the paper's published values (shape comparison — see `EXPERIMENTS.md`):
+//!
+//! * `table1` — the three power-estimator tiers (accuracy / cost / CPU);
+//! * `table2` — AL / ER / MR scenarios × {local host, LAN, WAN};
+//! * `figure3` — real & CPU time vs pattern buffer size (ER on WAN);
+//! * `figure4` — the half-adder detection-table walk-through;
+//! * `faultscale` — virtual vs flat fault simulation scaling (ablation).
+//!
+//! The library half hosts the shared machinery: the Figure 2 circuit in
+//! its three deployment flavours ([`scenarios`]), network-time accounting
+//! ([`report`]) and workload generation ([`workload`]).
+
+pub mod report;
+pub mod scenarios;
+pub mod workload;

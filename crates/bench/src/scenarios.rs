@@ -1,0 +1,272 @@
+//! The paper's performance case study: the Figure 2 circuit in three
+//! deployment scenarios.
+//!
+//! * **AL** (all local): the user owns everything — local functional
+//!   model, local gate-level power estimator, no RMI anywhere.
+//! * **ER** (estimator remote): the functional model (public part) runs
+//!   locally; only the accurate power-estimation method is invoked on the
+//!   provider's server, with pattern buffering.
+//! * **MR** (multiplier remote): the entire multiplier is remote — every
+//!   simulation event crosses the RMI boundary ("not realistic, but
+//!   useful for comparison").
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vcad_core::stdlib::{PrimaryOutput, RandomInput, Register, WordMultiplier};
+use vcad_core::{
+    Design, DesignBuilder, Estimator, Module, ModuleId, Parameter, SetupController, SetupCriterion,
+    SimulationController,
+};
+use vcad_ip::{ClientSession, ComponentOffering, IpComponentModule, ProviderServer};
+use vcad_netlist::generators;
+use vcad_power::{PowerModel, TogglePowerEstimator};
+use vcad_rmi::{InProcTransport, Transport, TransportStats};
+
+/// The three deployment scenarios of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// All design components local (classical, no IP protection).
+    AllLocal,
+    /// Only the accurate estimator method is remote.
+    EstimatorRemote,
+    /// The entire multiplier is remote.
+    MultiplierRemote,
+}
+
+impl Scenario {
+    /// All scenarios, in the paper's order.
+    pub const ALL: [Scenario; 3] = [
+        Scenario::AllLocal,
+        Scenario::EstimatorRemote,
+        Scenario::MultiplierRemote,
+    ];
+
+    /// The paper's label for the scenario.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::AllLocal => "All local",
+            Scenario::EstimatorRemote => "Estimator remote",
+            Scenario::MultiplierRemote => "Multiplier remote",
+        }
+    }
+}
+
+/// A ready-to-run instantiation of the Figure 2 circuit.
+pub struct ScenarioRig {
+    design: Arc<Design>,
+    controller: SimulationController,
+    output: ModuleId,
+    transport: Option<Arc<InProcTransport>>,
+    // Kept alive for the duration of the rig: the provider process.
+    _server: Option<ProviderServer>,
+}
+
+/// The measured outcome of one scenario run.
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// Which scenario ran.
+    pub scenario: Scenario,
+    /// Client CPU time (measured wall time of the in-process run).
+    pub cpu: Duration,
+    /// RMI traffic incurred (zeros for AL).
+    pub stats: TransportStats,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Captured output patterns (sanity check).
+    pub outputs: usize,
+}
+
+/// Builds the Figure 2 circuit for one scenario.
+///
+/// `width` is the operand width (16 in the paper), `patterns` the random
+/// pattern count (100), `buffer` the estimation pattern buffer (5).
+///
+/// # Panics
+///
+/// Panics when provider communication fails during setup (this is a
+/// benchmarking rig; failures here are bugs, not recoverable states).
+#[must_use]
+pub fn build(scenario: Scenario, width: usize, patterns: u64, buffer: usize) -> ScenarioRig {
+    let (mult_module, transport, server): (
+        Arc<dyn Module>,
+        Option<Arc<InProcTransport>>,
+        Option<ProviderServer>,
+    ) = match scenario {
+        Scenario::AllLocal => {
+            // Full disclosure: the user owns the netlist and runs the
+            // gate-level power estimator locally.
+            let netlist = Arc::new(generators::wallace_multiplier(width));
+            let toggle: Arc<dyn Estimator> = Arc::new(TogglePowerEstimator::new(
+                Arc::clone(&netlist),
+                PowerModel::default(),
+                vec![0, 1],
+                false,
+            ));
+            let module: Arc<dyn Module> = Arc::new(IpComponentModule::new(
+                Arc::new(WordMultiplier::new("MULT", width)),
+                vec![toggle],
+            ));
+            (module, None, None)
+        }
+        Scenario::EstimatorRemote | Scenario::MultiplierRemote => {
+            let server = ProviderServer::new("provider.example.com");
+            server.offer(ComponentOffering::fast_low_power_multiplier());
+            let transport = Arc::new(InProcTransport::new(server.dispatcher()));
+            let session =
+                ClientSession::connect(Arc::clone(&transport) as Arc<dyn Transport>, server.host());
+            let component = session
+                .instantiate("MultFastLowPower", width)
+                .expect("instantiate remote multiplier");
+            let module = if scenario == Scenario::EstimatorRemote {
+                component
+                    .functional_module("MULT")
+                    .expect("download public part")
+            } else {
+                component
+                    .fully_remote_module("MULT")
+                    .expect("build remote module")
+            };
+            (module, Some(transport), Some(server))
+        }
+    };
+
+    let mut b = DesignBuilder::new(format!("fig2-{}", scenario.label()));
+    let ina = b.add_module(Arc::new(RandomInput::new("INA", width, 0xA, patterns)));
+    let inb = b.add_module(Arc::new(RandomInput::new("INB", width, 0xB, patterns)));
+    let rega = b.add_module(Arc::new(Register::new("REGA", width)));
+    let regb = b.add_module(Arc::new(Register::new("REGB", width)));
+    let mult = b.add_module(mult_module);
+    let out = b.add_module(Arc::new(PrimaryOutput::new("OUT", 2 * width)));
+    b.connect(ina, "out", rega, "d").expect("wire INA");
+    b.connect(inb, "out", regb, "d").expect("wire INB");
+    b.connect(rega, "q", mult, "a").expect("wire REGA");
+    b.connect(regb, "q", mult, "b").expect("wire REGB");
+    b.connect(mult, "p", out, "in").expect("wire OUT");
+    let design = Arc::new(b.build().expect("figure 2 design is valid"));
+
+    // The paper's setup: accurate (gate-level) power on the multiplier,
+    // with the given pattern buffer.
+    let mut setup = SetupController::new();
+    setup.set(
+        Parameter::AvgPower,
+        SetupCriterion::Named("power/gate-level-toggle".into()),
+    );
+    setup.set_buffer_size(buffer);
+    let binding = setup.apply_to(&design, "MULT");
+
+    let controller = SimulationController::new(Arc::clone(&design)).with_setup(binding);
+    ScenarioRig {
+        design,
+        controller,
+        output: out,
+        transport,
+        _server: server,
+    }
+}
+
+impl ScenarioRig {
+    /// The elaborated design.
+    #[must_use]
+    pub fn design(&self) -> &Arc<Design> {
+        &self.design
+    }
+
+    /// The controller (for custom runs).
+    #[must_use]
+    pub fn controller(&self) -> &SimulationController {
+        &self.controller
+    }
+
+    /// Runs the simulation once, measuring client time and RMI traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation itself fails.
+    #[must_use]
+    pub fn run(&self, scenario: Scenario) -> ScenarioRun {
+        let before = self
+            .transport
+            .as_ref()
+            .map(|t| t.stats())
+            .unwrap_or_default();
+        let start = Instant::now();
+        let run = self.controller.run().expect("scenario simulation");
+        let cpu = start.elapsed();
+        let after = self
+            .transport
+            .as_ref()
+            .map(|t| t.stats())
+            .unwrap_or_default();
+        let outputs = run
+            .module_state::<vcad_core::stdlib::CaptureState>(self.output)
+            .map(|c| c.history().len())
+            .unwrap_or(0);
+        ScenarioRun {
+            scenario,
+            cpu,
+            stats: TransportStats {
+                calls: after.calls - before.calls,
+                bytes_sent: after.bytes_sent - before.bytes_sent,
+                bytes_received: after.bytes_received - before.bytes_received,
+            },
+            events: run.events_processed(),
+            outputs,
+        }
+    }
+}
+
+/// Builds and runs one scenario in one call.
+#[must_use]
+pub fn run(scenario: Scenario, width: usize, patterns: u64, buffer: usize) -> ScenarioRun {
+    build(scenario, width, patterns, buffer).run(scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_produce_identical_functional_results() {
+        // The deployment flavour must not change functional behaviour.
+        let mut reference: Option<Vec<u128>> = None;
+        for scenario in Scenario::ALL {
+            let rig = build(scenario, 8, 10, 5);
+            let run = rig.controller.run().unwrap();
+            let words = run
+                .module_state::<vcad_core::stdlib::CaptureState>(rig.output)
+                .unwrap()
+                .words();
+            assert!(!words.is_empty(), "{scenario:?}");
+            match &reference {
+                None => reference = Some(words),
+                Some(r) => assert_eq!(&words, r, "{scenario:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_ordering_matches_the_paper() {
+        let al = run(Scenario::AllLocal, 8, 20, 5);
+        let er = run(Scenario::EstimatorRemote, 8, 20, 5);
+        let mr = run(Scenario::MultiplierRemote, 8, 20, 5);
+        assert_eq!(al.stats.calls, 0);
+        assert!(er.stats.calls > 0);
+        // MR marshals per event: strictly more round trips than ER.
+        assert!(
+            mr.stats.calls > er.stats.calls,
+            "mr {} vs er {}",
+            mr.stats.calls,
+            er.stats.calls
+        );
+        assert!(mr.stats.bytes_sent > er.stats.bytes_sent);
+    }
+
+    #[test]
+    fn larger_buffers_reduce_round_trips() {
+        let small = run(Scenario::EstimatorRemote, 8, 40, 1);
+        let large = run(Scenario::EstimatorRemote, 8, 40, 20);
+        assert!(small.stats.calls > large.stats.calls);
+    }
+}

@@ -1,0 +1,84 @@
+//! Workload generation shared by harness binaries and criterion benches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vcad_logic::{Logic, LogicVec};
+
+/// `count` uniformly random binary patterns of `width` bits, reproducible
+/// by seed.
+#[must_use]
+pub fn random_patterns(width: usize, count: usize, seed: u64) -> Vec<LogicVec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut v = LogicVec::zeros(width);
+            for i in 0..width {
+                v.set(i, Logic::from(rng.gen_bool(0.5)));
+            }
+            v
+        })
+        .collect()
+}
+
+/// Patterns with a controlled toggle rate between consecutive vectors
+/// (for activity-sensitive power studies): each pattern flips each bit of
+/// its predecessor with probability `toggle_rate`.
+///
+/// # Panics
+///
+/// Panics if `toggle_rate` is outside `[0, 1]`.
+#[must_use]
+pub fn correlated_patterns(
+    width: usize,
+    count: usize,
+    toggle_rate: f64,
+    seed: u64,
+) -> Vec<LogicVec> {
+    assert!((0.0..=1.0).contains(&toggle_rate), "rate must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut patterns = Vec::with_capacity(count);
+    let mut current = LogicVec::zeros(width);
+    for i in 0..width {
+        current.set(i, Logic::from(rng.gen_bool(0.5)));
+    }
+    patterns.push(current.clone());
+    for _ in 1..count {
+        let mut next = current.clone();
+        for i in 0..width {
+            if rng.gen_bool(toggle_rate) {
+                next.set(i, !next.get(i));
+            }
+        }
+        patterns.push(next.clone());
+        current = next;
+    }
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_patterns_are_reproducible() {
+        assert_eq!(random_patterns(16, 10, 7), random_patterns(16, 10, 7));
+        assert_ne!(random_patterns(16, 10, 7), random_patterns(16, 10, 8));
+    }
+
+    #[test]
+    fn correlated_patterns_respect_rate() {
+        let quiet = correlated_patterns(64, 200, 0.05, 3);
+        let busy = correlated_patterns(64, 200, 0.9, 3);
+        let activity =
+            |p: &[LogicVec]| -> usize { p.windows(2).map(|w| w[0].distance(&w[1])).sum() };
+        assert!(activity(&busy) > activity(&quiet) * 5);
+    }
+
+    #[test]
+    fn all_patterns_are_binary() {
+        for p in random_patterns(32, 20, 1) {
+            assert!(p.is_binary());
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! The simulation controller: drives schedulers and dynamic estimation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::design::{Design, ModuleId};
+use crate::estimate::{EstimationInput, Parameter, PortSnapshot};
+use crate::scheduler::{Scheduler, SimulationError, StateStore};
+use crate::setup::{EstimateLog, EstimateRecord, SetupBinding};
+use crate::time::SimTime;
+
+/// Launches and coordinates schedulers over a design — JavaCAD's
+/// `SimulationController`.
+///
+/// A controller owns the run policy (time limit, event limit, setup for
+/// dynamic estimation); each [`SimulationController::run`] creates a fresh
+/// [`Scheduler`] with its own isolated state, so the same controller — or
+/// several controllers over the same shared design — can run any number of
+/// times, serially or concurrently.
+///
+/// See the [crate example](crate#examples).
+#[derive(Clone)]
+pub struct SimulationController {
+    design: Arc<Design>,
+    setup: Option<SetupBinding>,
+    until: Option<SimTime>,
+    event_limit: Option<u64>,
+}
+
+impl SimulationController {
+    /// Creates a controller over `design` with no setup and no time limit.
+    #[must_use]
+    pub fn new(design: Arc<Design>) -> SimulationController {
+        SimulationController {
+            design,
+            setup: None,
+            until: None,
+            event_limit: None,
+        }
+    }
+
+    /// Attaches a setup: dynamic estimation runs at the end of every
+    /// simulated instant, with the binding's pattern buffering.
+    #[must_use]
+    pub fn with_setup(mut self, setup: SetupBinding) -> SimulationController {
+        self.setup = Some(setup);
+        self
+    }
+
+    /// Stops the run after the given instant.
+    #[must_use]
+    pub fn until(mut self, time: SimTime) -> SimulationController {
+        self.until = Some(time);
+        self
+    }
+
+    /// Overrides the scheduler's runaway-event limit.
+    #[must_use]
+    pub fn event_limit(mut self, limit: u64) -> SimulationController {
+        self.event_limit = Some(limit);
+        self
+    }
+
+    /// The design under control.
+    #[must_use]
+    pub fn design(&self) -> &Arc<Design> {
+        &self.design
+    }
+
+    /// Runs one simulation to completion (queue drained or time limit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError`] if the event limit is exceeded.
+    pub fn run(&self) -> Result<SimRun, SimulationError> {
+        let mut scheduler = Scheduler::new(Arc::clone(&self.design));
+        if let Some(limit) = self.event_limit {
+            scheduler.set_event_limit(limit);
+        }
+        scheduler.init();
+        let mut log = EstimateLog::default();
+        let mut buffers: HashMap<usize, Vec<PortSnapshot>> = HashMap::new();
+        // The last snapshot of the previous flush seeds the next one, so
+        // the transition across a buffer boundary is never lost and a
+        // buffer size of 1 still yields one transition per pattern.
+        let mut seeds: HashMap<usize, PortSnapshot> = HashMap::new();
+        let bound_modules: Vec<ModuleId> = self
+            .setup
+            .as_ref()
+            .map(|s| s.bound_modules())
+            .unwrap_or_default();
+
+        loop {
+            if let (Some(limit), Some(next)) = (self.until, scheduler.next_time()) {
+                if next > limit {
+                    break;
+                }
+            }
+            let Some(_instant) = scheduler.step_instant()? else {
+                break;
+            };
+            if let Some(setup) = &self.setup {
+                for &module in &bound_modules {
+                    let buffer = buffers.entry(module.index()).or_default();
+                    buffer.push(scheduler.snapshot(module));
+                    if buffer.len() >= setup.buffer_size() {
+                        Self::flush(setup, module, buffer, &mut seeds, &scheduler, &mut log);
+                    }
+                }
+            }
+        }
+        if let Some(setup) = &self.setup {
+            for &module in &bound_modules {
+                if let Some(buffer) = buffers.get_mut(&module.index()) {
+                    if !buffer.is_empty() {
+                        Self::flush(setup, module, buffer, &mut seeds, &scheduler, &mut log);
+                    }
+                }
+            }
+        }
+
+        Ok(SimRun {
+            end_time: scheduler.time(),
+            events_processed: scheduler.events_processed(),
+            state: scheduler.into_state_store(),
+            estimates: log,
+        })
+    }
+
+    /// Runs `n` independent simulations concurrently over the shared
+    /// design, one scheduler per thread — the paper's concurrent
+    /// simulation feature. Results come back in thread order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimulationError`] any run produced.
+    pub fn run_concurrent(&self, n: usize) -> Result<Vec<SimRun>, SimulationError> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let ctrl = self.clone();
+                    scope.spawn(move || ctrl.run())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation thread panicked"))
+                .collect()
+        })
+    }
+
+    fn flush(
+        setup: &SetupBinding,
+        module: ModuleId,
+        buffer: &mut Vec<PortSnapshot>,
+        seeds: &mut HashMap<usize, PortSnapshot>,
+        scheduler: &Scheduler,
+        log: &mut EstimateLog,
+    ) {
+        // Fees accrue per *new* pattern; the carried-over seed snapshot
+        // was already paid for in the previous flush.
+        let patterns = buffer.len();
+        let fresh = std::mem::take(buffer);
+        let next_seed = fresh.last().cloned();
+        let mut snapshots = Vec::with_capacity(fresh.len() + 1);
+        if let Some(seed) = seeds.get(&module.index()) {
+            snapshots.push(seed.clone());
+        }
+        snapshots.extend(fresh);
+        if let Some(seed) = next_seed {
+            seeds.insert(module.index(), seed);
+        }
+        let input = EstimationInput::new(snapshots);
+        let parameters: Vec<Parameter> = setup
+            .iter()
+            .filter(|(m, _, _)| *m == module)
+            .map(|(_, p, _)| p.clone())
+            .collect();
+        for parameter in parameters {
+            let Some(estimator) = setup.estimator_for(module, &parameter) else {
+                continue;
+            };
+            let info = estimator.info();
+            let value = estimator.estimate(&input).unwrap_or(crate::Value::Null);
+            // Fees are per evaluated transition (consecutive snapshot
+            // pair), matching the provider-side accounting.
+            let transitions = input.pattern_count().saturating_sub(1);
+            log.push(EstimateRecord {
+                time: scheduler.time(),
+                module,
+                parameter,
+                estimator: info.name,
+                value,
+                patterns,
+                fee_cents: info.cost_per_pattern_cents * transitions as f64,
+                remote: info.remote,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for SimulationController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationController")
+            .field("design", &self.design.name())
+            .field("has_setup", &self.setup.is_some())
+            .field("until", &self.until)
+            .finish()
+    }
+}
+
+/// The outcome of one simulation run.
+pub struct SimRun {
+    end_time: SimTime,
+    events_processed: u64,
+    state: StateStore,
+    estimates: EstimateLog,
+}
+
+impl SimRun {
+    /// The last simulated instant.
+    #[must_use]
+    pub fn end_time(&self) -> SimTime {
+        self.end_time
+    }
+
+    /// Total events processed.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// A module's final state, if it created one of type `T`
+    /// (e.g. [`CaptureState`](crate::stdlib::CaptureState) for primary
+    /// outputs).
+    #[must_use]
+    pub fn module_state<T: 'static>(&self, module: ModuleId) -> Option<&T> {
+        self.state.get(module)
+    }
+
+    /// The dynamic-estimation log.
+    #[must_use]
+    pub fn estimates(&self) -> &EstimateLog {
+        &self.estimates
+    }
+}
+
+impl std::fmt::Debug for SimRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRun")
+            .field("end_time", &self.end_time)
+            .field("events_processed", &self.events_processed)
+            .field("estimates", &self.estimates.records().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignBuilder;
+    use crate::estimate::{EstimateError, Estimator, EstimatorInfo};
+    use crate::setup::{SetupController, SetupCriterion};
+    use crate::stdlib::{CaptureState, PrimaryOutput, RandomInput, Register};
+    use crate::Value;
+    use std::time::Duration;
+
+    fn design() -> (Arc<Design>, ModuleId, ModuleId) {
+        let mut b = DesignBuilder::new("d");
+        let s = b.add_module(Arc::new(RandomInput::new("IN", 8, 3, 10)));
+        let r = b.add_module(Arc::new(Register::new("REG", 8)));
+        let o = b.add_module(Arc::new(PrimaryOutput::new("OUT", 8)));
+        b.connect(s, "out", r, "d").unwrap();
+        b.connect(r, "q", o, "in").unwrap();
+        (Arc::new(b.build().unwrap()), r, o)
+    }
+
+    #[test]
+    fn plain_run_completes() {
+        let (d, _, o) = design();
+        let run = SimulationController::new(d).run().unwrap();
+        assert_eq!(
+            run.module_state::<CaptureState>(o).unwrap().history().len(),
+            10
+        );
+        assert!(run.events_processed() > 0);
+        assert!(run.end_time() >= SimTime::new(10));
+    }
+
+    #[test]
+    fn until_truncates() {
+        let (d, _, o) = design();
+        let run = SimulationController::new(d)
+            .until(SimTime::new(3))
+            .run()
+            .unwrap();
+        let captured = run.module_state::<CaptureState>(o).unwrap().history().len();
+        assert!(captured <= 4, "{captured}");
+    }
+
+    #[test]
+    fn concurrent_runs_agree() {
+        let (d, _, o) = design();
+        let ctrl = SimulationController::new(d);
+        let runs = ctrl.run_concurrent(4).unwrap();
+        let reference: Vec<_> = runs[0]
+            .module_state::<CaptureState>(o)
+            .unwrap()
+            .history()
+            .to_vec();
+        for run in &runs[1..] {
+            assert_eq!(
+                run.module_state::<CaptureState>(o).unwrap().history(),
+                &reference[..]
+            );
+        }
+    }
+
+    /// A dynamic estimator that records how many patterns each flush saw.
+    struct PatternCounter;
+    impl Estimator for PatternCounter {
+        fn info(&self) -> EstimatorInfo {
+            EstimatorInfo {
+                name: "test/pattern-counter".into(),
+                parameter: Parameter::IoActivity,
+                expected_error_pct: 0.0,
+                cost_per_pattern_cents: 2.0,
+                cpu_time_per_pattern: Duration::ZERO,
+                remote: false,
+            }
+        }
+        fn estimate(&self, input: &crate::EstimationInput) -> Result<Value, EstimateError> {
+            Ok(Value::I64(input.pattern_count() as i64))
+        }
+    }
+
+    struct CountingReg {
+        inner: Register,
+    }
+    impl crate::Module for CountingReg {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn ports(&self) -> &[crate::PortSpec] {
+            self.inner.ports()
+        }
+        fn on_signal(
+            &self,
+            ctx: &mut crate::ModuleCtx<'_>,
+            port: usize,
+            value: &vcad_logic::LogicVec,
+        ) {
+            self.inner.on_signal(ctx, port, value);
+        }
+        fn estimators(&self) -> Vec<Arc<dyn Estimator>> {
+            vec![Arc::new(PatternCounter)]
+        }
+    }
+
+    #[test]
+    fn buffered_estimation_flushes_and_charges() {
+        let mut b = DesignBuilder::new("d");
+        let s = b.add_module(Arc::new(RandomInput::new("IN", 8, 3, 10)));
+        let r = b.add_module(Arc::new(CountingReg {
+            inner: Register::new("REG", 8),
+        }));
+        let o = b.add_module(Arc::new(PrimaryOutput::new("OUT", 8)));
+        b.connect(s, "out", r, "d").unwrap();
+        b.connect(r, "q", o, "in").unwrap();
+        let d = Arc::new(b.build().unwrap());
+
+        let mut setup = SetupController::new();
+        setup.set(Parameter::IoActivity, SetupCriterion::MostAccurate);
+        setup.set_buffer_size(4);
+        let binding = setup.apply(&d);
+        assert!(binding.warnings().iter().all(|w| !w.contains("REG")));
+
+        let run = SimulationController::new(Arc::clone(&d))
+            .with_setup(binding)
+            .run()
+            .unwrap();
+        let records: Vec<_> = run
+            .estimates()
+            .records_for(r, &Parameter::IoActivity)
+            .collect();
+        // 10 input instants + 1 register-delay instant = 11 snapshots:
+        // 4 + 4 + 3.
+        let patterns: Vec<usize> = records.iter().map(|rec| rec.patterns).collect();
+        assert_eq!(patterns.iter().sum::<usize>(), 11, "{patterns:?}");
+        assert!(patterns.iter().all(|&p| p <= 4));
+        // 11 snapshots in flushes of 4 / 4(+seed) / 3(+seed) evaluate
+        // 3 + 4 + 3 = 10 transitions at 2 cents each.
+        let fee = run.estimates().total_fees_cents();
+        assert!((fee - 20.0).abs() < 1e-9, "{fee}");
+    }
+
+    #[test]
+    fn null_estimator_bound_with_warning() {
+        let (d, r, _) = design();
+        let mut setup = SetupController::new();
+        setup.set(Parameter::Area, SetupCriterion::MostAccurate);
+        let binding = setup.apply(&d);
+        assert!(!binding.warnings().is_empty());
+        let run = SimulationController::new(d)
+            .with_setup(binding)
+            .run()
+            .unwrap();
+        // Null estimates are recorded as Null values with zero fee.
+        let latest = run.estimates().latest(r, &Parameter::Area).unwrap();
+        assert_eq!(latest.value, Value::Null);
+        assert_eq!(run.estimates().total_fees_cents(), 0.0);
+    }
+}

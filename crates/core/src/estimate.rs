@@ -1,0 +1,383 @@
+//! The estimation framework: parameters, estimators and their metadata.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use vcad_logic::LogicVec;
+use vcad_rmi::Value;
+
+use crate::time::SimTime;
+
+/// A cost or quality metric of a design component — JavaCAD's
+/// "parameters".
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Parameter {
+    /// Silicon area.
+    Area,
+    /// Propagation delay.
+    Delay,
+    /// Average power consumption.
+    AvgPower,
+    /// Peak power consumption.
+    PeakPower,
+    /// Input/output switching activity.
+    IoActivity,
+    /// The component's symbolic fault list (virtual fault simulation).
+    FaultList,
+    /// A per-pattern detection table (virtual fault simulation).
+    DetectionTable,
+    /// A provider- or user-defined metric.
+    Custom(String),
+}
+
+impl fmt::Display for Parameter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parameter::Area => f.write_str("area"),
+            Parameter::Delay => f.write_str("delay"),
+            Parameter::AvgPower => f.write_str("avg-power"),
+            Parameter::PeakPower => f.write_str("peak-power"),
+            Parameter::IoActivity => f.write_str("io-activity"),
+            Parameter::FaultList => f.write_str("fault-list"),
+            Parameter::DetectionTable => f.write_str("detection-table"),
+            Parameter::Custom(name) => write!(f, "custom:{name}"),
+        }
+    }
+}
+
+/// Static metadata describing one estimator, the basis on which setup
+/// controllers choose among candidates (the paper's Table 1 columns).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimatorInfo {
+    /// Unique name, e.g. `"power/gate-level-toggle"`.
+    pub name: String,
+    /// The parameter this estimator evaluates.
+    pub parameter: Parameter,
+    /// Expected average error, in percent (lower is more accurate).
+    pub expected_error_pct: f64,
+    /// Monetary cost per evaluated pattern, in cents.
+    pub cost_per_pattern_cents: f64,
+    /// Expected CPU time per evaluated pattern.
+    pub cpu_time_per_pattern: Duration,
+    /// Whether the estimator runs on the provider's server (and therefore
+    /// incurs unpredictable network time — the paper's footnote flag).
+    pub remote: bool,
+}
+
+/// The values of a module's ports at one simulation instant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortSnapshot {
+    /// The instant at which the snapshot was taken.
+    pub time: SimTime,
+    /// Per-port values, indexed like the module's port list.
+    pub ports: Vec<LogicVec>,
+}
+
+/// What an estimator sees: the buffered port snapshots of the module it is
+/// attached to. IP protection is enforced structurally — an estimator
+/// *cannot* see anything beyond its own module's ports.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct EstimationInput {
+    /// Snapshots in increasing time order (one per simulated pattern when
+    /// the buffer size is 1).
+    pub snapshots: Vec<PortSnapshot>,
+}
+
+impl EstimationInput {
+    /// Creates an input from buffered snapshots.
+    #[must_use]
+    pub fn new(snapshots: Vec<PortSnapshot>) -> EstimationInput {
+        EstimationInput { snapshots }
+    }
+
+    /// Number of buffered patterns.
+    #[must_use]
+    pub fn pattern_count(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Total Hamming distance between consecutive snapshots of one port —
+    /// the standard switching-activity measure.
+    #[must_use]
+    pub fn port_activity(&self, port: usize) -> u64 {
+        self.snapshots
+            .windows(2)
+            .map(|w| w[0].ports[port].distance(&w[1].ports[port]) as u64)
+            .sum()
+    }
+}
+
+/// Errors returned by estimator evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EstimateError {
+    /// The input lacks data the estimator requires.
+    InsufficientInput(String),
+    /// A remote estimator's call failed.
+    Remote(String),
+    /// The estimator is not applicable to this module.
+    NotApplicable(String),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::InsufficientInput(m) => write!(f, "insufficient input: {m}"),
+            EstimateError::Remote(m) => write!(f, "remote estimation failed: {m}"),
+            EstimateError::NotApplicable(m) => write!(f, "estimator not applicable: {m}"),
+        }
+    }
+}
+
+impl Error for EstimateError {}
+
+/// Evaluates one [`Parameter`] of one module — JavaCAD's
+/// `EstimatorSkeleton` subclasses.
+///
+/// Estimators may be *static* (ignore the input snapshots: area, datasheet
+/// power) or *dynamic* (consume the buffered patterns: toggle-count power),
+/// and *local* or *remote* ([`EstimatorInfo::remote`]). Remote estimators
+/// are stubs whose [`Estimator::estimate`] performs an RMI call.
+pub trait Estimator: Send + Sync {
+    /// The estimator's metadata.
+    fn info(&self) -> EstimatorInfo;
+
+    /// Evaluates the parameter over the buffered input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EstimateError`] when the input is unusable or a remote
+    /// call fails.
+    fn estimate(&self, input: &EstimationInput) -> Result<Value, EstimateError>;
+}
+
+/// The default estimator bound when setup requirements cannot be met: it
+/// always returns [`Value::Null`] at zero cost, which lets partial setups
+/// and estimator-less modules simulate cleanly (the paper's two stated
+/// benefits).
+#[derive(Clone, Debug)]
+pub struct NullEstimator {
+    parameter: Parameter,
+}
+
+impl NullEstimator {
+    /// Creates a null estimator for `parameter`.
+    #[must_use]
+    pub fn new(parameter: Parameter) -> NullEstimator {
+        NullEstimator { parameter }
+    }
+}
+
+impl Estimator for NullEstimator {
+    fn info(&self) -> EstimatorInfo {
+        EstimatorInfo {
+            name: format!("null/{}", self.parameter),
+            parameter: self.parameter.clone(),
+            expected_error_pct: 100.0,
+            cost_per_pattern_cents: 0.0,
+            cpu_time_per_pattern: Duration::ZERO,
+            remote: false,
+        }
+    }
+
+    fn estimate(&self, _input: &EstimationInput) -> Result<Value, EstimateError> {
+        Ok(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_display() {
+        assert_eq!(Parameter::AvgPower.to_string(), "avg-power");
+        assert_eq!(Parameter::Custom("emi".into()).to_string(), "custom:emi");
+    }
+
+    #[test]
+    fn null_estimator_returns_null() {
+        let e = NullEstimator::new(Parameter::Area);
+        assert_eq!(e.estimate(&EstimationInput::default()), Ok(Value::Null));
+        let info = e.info();
+        assert_eq!(info.parameter, Parameter::Area);
+        assert_eq!(info.cost_per_pattern_cents, 0.0);
+        assert!(!info.remote);
+    }
+
+    #[test]
+    fn activity_counts_toggles() {
+        let snap = |t: u64, v: u64| PortSnapshot {
+            time: SimTime::new(t),
+            ports: vec![LogicVec::from_u64(4, v)],
+        };
+        let input = EstimationInput::new(vec![snap(0, 0b0000), snap(1, 0b1111), snap(2, 0b1010)]);
+        assert_eq!(input.pattern_count(), 3);
+        // 0000->1111 toggles 4 bits; 1111->1010 toggles 2 bits.
+        assert_eq!(input.port_activity(0), 6);
+    }
+
+    #[test]
+    fn empty_input_has_zero_activity() {
+        let input = EstimationInput::default();
+        assert_eq!(input.port_activity(0), 0);
+    }
+}
+
+/// A free, local estimator for [`Parameter::IoActivity`]: the average
+/// number of port bits toggling per pattern, computed from the module's
+/// own snapshots. Works for any module because it needs nothing beyond
+/// port values — the textbook case of an estimator that carries no IP.
+#[derive(Clone, Debug, Default)]
+pub struct ActivityEstimator {
+    ports: Option<Vec<usize>>,
+}
+
+impl ActivityEstimator {
+    /// Creates an estimator over all module ports.
+    #[must_use]
+    pub fn new() -> ActivityEstimator {
+        ActivityEstimator::default()
+    }
+
+    /// Restricts the activity count to specific ports.
+    #[must_use]
+    pub fn for_ports(ports: Vec<usize>) -> ActivityEstimator {
+        ActivityEstimator { ports: Some(ports) }
+    }
+}
+
+impl Estimator for ActivityEstimator {
+    fn info(&self) -> EstimatorInfo {
+        EstimatorInfo {
+            name: "io-activity/toggle-count".into(),
+            parameter: Parameter::IoActivity,
+            expected_error_pct: 0.0,
+            cost_per_pattern_cents: 0.0,
+            cpu_time_per_pattern: Duration::from_nanos(100),
+            remote: false,
+        }
+    }
+
+    fn estimate(&self, input: &EstimationInput) -> Result<Value, EstimateError> {
+        if input.pattern_count() < 2 {
+            return Err(EstimateError::InsufficientInput(
+                "activity needs at least two buffered patterns".into(),
+            ));
+        }
+        let port_count = input.snapshots[0].ports.len();
+        let ports: Vec<usize> = match &self.ports {
+            Some(p) => p.clone(),
+            None => (0..port_count).collect(),
+        };
+        let total: u64 = ports.iter().map(|&p| input.port_activity(p)).sum();
+        Ok(Value::F64(
+            total as f64 / (input.pattern_count() - 1) as f64,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod activity_tests {
+    use super::*;
+
+    fn snap(t: u64, bits: &[u64]) -> PortSnapshot {
+        PortSnapshot {
+            time: SimTime::new(t),
+            ports: bits.iter().map(|&b| LogicVec::from_u64(4, b)).collect(),
+        }
+    }
+
+    #[test]
+    fn counts_average_toggles() {
+        let est = ActivityEstimator::new();
+        // Port 0 toggles 4 then 0 bits; port 1 toggles 1 then 1.
+        let input = EstimationInput::new(vec![
+            snap(0, &[0b0000, 0b0000]),
+            snap(1, &[0b1111, 0b0001]),
+            snap(2, &[0b1111, 0b0000]),
+        ]);
+        let v = est.estimate(&input).unwrap().as_f64().unwrap();
+        assert!((v - 3.0).abs() < 1e-12, "{v}"); // (4+1 + 0+1) / 2
+    }
+
+    #[test]
+    fn port_restriction() {
+        let est = ActivityEstimator::for_ports(vec![1]);
+        let input =
+            EstimationInput::new(vec![snap(0, &[0b0000, 0b0000]), snap(1, &[0b1111, 0b0001])]);
+        assert_eq!(est.estimate(&input).unwrap(), Value::F64(1.0));
+    }
+
+    #[test]
+    fn short_buffers_rejected() {
+        let est = ActivityEstimator::new();
+        assert!(matches!(
+            est.estimate(&EstimationInput::new(vec![snap(0, &[0])])),
+            Err(EstimateError::InsufficientInput(_))
+        ));
+    }
+}
+
+/// Error returned when parsing a [`Parameter`] from its display form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseParameterError {
+    found: String,
+}
+
+impl fmt::Display for ParseParameterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown parameter `{}`", self.found)
+    }
+}
+
+impl Error for ParseParameterError {}
+
+impl std::str::FromStr for Parameter {
+    type Err = ParseParameterError;
+
+    /// Parses the display form (`area`, `avg-power`, `custom:<name>`, …) —
+    /// the representation used on the negotiation wire.
+    fn from_str(s: &str) -> Result<Parameter, ParseParameterError> {
+        Ok(match s {
+            "area" => Parameter::Area,
+            "delay" => Parameter::Delay,
+            "avg-power" => Parameter::AvgPower,
+            "peak-power" => Parameter::PeakPower,
+            "io-activity" => Parameter::IoActivity,
+            "fault-list" => Parameter::FaultList,
+            "detection-table" => Parameter::DetectionTable,
+            other => match other.strip_prefix("custom:") {
+                Some(name) => Parameter::Custom(name.to_owned()),
+                None => {
+                    return Err(ParseParameterError {
+                        found: other.to_owned(),
+                    })
+                }
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod parse_tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let params = [
+            Parameter::Area,
+            Parameter::Delay,
+            Parameter::AvgPower,
+            Parameter::PeakPower,
+            Parameter::IoActivity,
+            Parameter::FaultList,
+            Parameter::DetectionTable,
+            Parameter::Custom("emi".into()),
+        ];
+        for p in params {
+            assert_eq!(p.to_string().parse::<Parameter>().unwrap(), p);
+        }
+        assert!("bogus".parse::<Parameter>().is_err());
+    }
+}

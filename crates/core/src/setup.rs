@@ -1,0 +1,428 @@
+//! Setup controllers: choosing estimators before a run.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use vcad_rmi::Value;
+
+use crate::design::{Design, ModuleId};
+use crate::estimate::{Estimator, NullEstimator, Parameter};
+use crate::time::SimTime;
+
+/// How to choose among a module's candidate estimators for one parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SetupCriterion {
+    /// Lowest expected error.
+    MostAccurate,
+    /// Lowest monetary cost per pattern (ties broken by accuracy).
+    Cheapest,
+    /// Lowest expected CPU time per pattern (ties broken by accuracy).
+    Fastest,
+    /// Lowest expected error among estimators within a cost budget.
+    MostAccurateWithin {
+        /// Maximum acceptable cost per pattern, in cents.
+        max_cost_per_pattern_cents: f64,
+    },
+    /// Lowest expected error among local (non-remote) estimators.
+    LocalOnly,
+    /// An estimator selected by exact name.
+    Named(String),
+}
+
+impl fmt::Display for SetupCriterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetupCriterion::MostAccurate => f.write_str("most accurate"),
+            SetupCriterion::Cheapest => f.write_str("cheapest"),
+            SetupCriterion::Fastest => f.write_str("fastest"),
+            SetupCriterion::MostAccurateWithin {
+                max_cost_per_pattern_cents,
+            } => write!(
+                f,
+                "most accurate within {max_cost_per_pattern_cents}¢/pattern"
+            ),
+            SetupCriterion::LocalOnly => f.write_str("most accurate local"),
+            SetupCriterion::Named(n) => write!(f, "named `{n}`"),
+        }
+    }
+}
+
+impl SetupCriterion {
+    fn choose(&self, candidates: &[Arc<dyn Estimator>]) -> Option<Arc<dyn Estimator>> {
+        let by_error = |e: &Arc<dyn Estimator>| e.info().expected_error_pct;
+        match self {
+            SetupCriterion::MostAccurate => candidates
+                .iter()
+                .min_by(|a, b| by_error(a).total_cmp(&by_error(b)))
+                .cloned(),
+            SetupCriterion::Cheapest => candidates
+                .iter()
+                .min_by(|a, b| {
+                    (a.info().cost_per_pattern_cents, by_error(a))
+                        .partial_cmp(&(b.info().cost_per_pattern_cents, by_error(b)))
+                        .expect("finite metadata")
+                })
+                .cloned(),
+            SetupCriterion::Fastest => candidates
+                .iter()
+                .min_by(|a, b| {
+                    (a.info().cpu_time_per_pattern, by_error(a))
+                        .partial_cmp(&(b.info().cpu_time_per_pattern, by_error(b)))
+                        .expect("finite metadata")
+                })
+                .cloned(),
+            SetupCriterion::MostAccurateWithin {
+                max_cost_per_pattern_cents,
+            } => candidates
+                .iter()
+                .filter(|e| e.info().cost_per_pattern_cents <= *max_cost_per_pattern_cents)
+                .min_by(|a, b| by_error(a).total_cmp(&by_error(b)))
+                .cloned(),
+            SetupCriterion::LocalOnly => candidates
+                .iter()
+                .filter(|e| !e.info().remote)
+                .min_by(|a, b| by_error(a).total_cmp(&by_error(b)))
+                .cloned(),
+            SetupCriterion::Named(name) => {
+                candidates.iter().find(|e| e.info().name == *name).cloned()
+            }
+        }
+    }
+}
+
+/// The outcome of applying a [`SetupController`]: one estimator per
+/// (module, parameter), warnings for unsatisfied requests, and the pattern
+/// buffer size for dynamic estimation.
+#[derive(Clone)]
+pub struct SetupBinding {
+    chosen: HashMap<(usize, Parameter), Arc<dyn Estimator>>,
+    warnings: Vec<String>,
+    buffer_size: usize,
+}
+
+impl SetupBinding {
+    /// The estimator bound to `(module, parameter)`, if any rule targeted
+    /// that parameter.
+    #[must_use]
+    pub fn estimator_for(
+        &self,
+        module: ModuleId,
+        parameter: &Parameter,
+    ) -> Option<&Arc<dyn Estimator>> {
+        self.chosen.get(&(module.index(), parameter.clone()))
+    }
+
+    /// Warnings produced while binding (null-estimator substitutions).
+    #[must_use]
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// How many patterns the dynamic estimation pass buffers between
+    /// estimator invocations.
+    #[must_use]
+    pub fn buffer_size(&self) -> usize {
+        self.buffer_size
+    }
+
+    /// Iterates over all bindings as `(module, parameter, estimator)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ModuleId, &Parameter, &Arc<dyn Estimator>)> {
+        self.chosen
+            .iter()
+            .map(|((m, p), e)| (ModuleId::from_index(*m), p, e))
+    }
+
+    /// The modules that have at least one binding, deduplicated.
+    #[must_use]
+    pub fn bound_modules(&self) -> Vec<ModuleId> {
+        let mut ids: Vec<usize> = self.chosen.keys().map(|(m, _)| *m).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(ModuleId::from_index).collect()
+    }
+}
+
+impl fmt::Debug for SetupBinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SetupBinding")
+            .field("bindings", &self.chosen.len())
+            .field("warnings", &self.warnings.len())
+            .field("buffer_size", &self.buffer_size)
+            .finish()
+    }
+}
+
+/// Chooses estimators for the parameters of interest — JavaCAD's setup
+/// controller with its `set(<parameter>, <criteria>)` / `apply(<module>)`
+/// API.
+///
+/// # Examples
+///
+/// ```
+/// use vcad_core::{Parameter, SetupController, SetupCriterion};
+///
+/// let mut setup = SetupController::new();
+/// setup.set(Parameter::AvgPower, SetupCriterion::MostAccurate);
+/// setup.set(Parameter::Area, SetupCriterion::Cheapest);
+/// setup.set_buffer_size(5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SetupController {
+    rules: Vec<(Parameter, SetupCriterion)>,
+    buffer_size: usize,
+}
+
+impl SetupController {
+    /// Creates an empty setup (buffer size 1: estimate every pattern).
+    #[must_use]
+    pub fn new() -> SetupController {
+        SetupController {
+            rules: Vec::new(),
+            buffer_size: 1,
+        }
+    }
+
+    /// Adds or replaces the criterion for one parameter.
+    pub fn set(&mut self, parameter: Parameter, criterion: SetupCriterion) {
+        self.rules.retain(|(p, _)| *p != parameter);
+        self.rules.push((parameter, criterion));
+    }
+
+    /// Sets the dynamic-estimation pattern buffer size (the Figure 3
+    /// sweep variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn set_buffer_size(&mut self, size: usize) {
+        assert!(size > 0, "buffer size must be at least 1");
+        self.buffer_size = size;
+    }
+
+    /// Applies the setup hierarchically to every module of the design.
+    #[must_use]
+    pub fn apply(&self, design: &Design) -> SetupBinding {
+        self.apply_where(design, |_| true)
+    }
+
+    /// Applies the setup to the module named `scope` and everything below
+    /// it in the hierarchy (instance names `scope` or `scope/...`).
+    #[must_use]
+    pub fn apply_to(&self, design: &Design, scope: &str) -> SetupBinding {
+        let prefix = format!("{scope}/");
+        self.apply_where(design, |name| name == scope || name.starts_with(&prefix))
+    }
+
+    fn apply_where(&self, design: &Design, include: impl Fn(&str) -> bool) -> SetupBinding {
+        let mut chosen = HashMap::new();
+        let mut warnings = Vec::new();
+        for (id, module) in design.modules() {
+            if !include(design.instance_name(id)) {
+                continue;
+            }
+            let candidates = module.estimators();
+            for (parameter, criterion) in &self.rules {
+                let matching: Vec<Arc<dyn Estimator>> = candidates
+                    .iter()
+                    .filter(|e| e.info().parameter == *parameter)
+                    .cloned()
+                    .collect();
+                let estimator = criterion.choose(&matching).unwrap_or_else(|| {
+                    warnings.push(format!(
+                        "no {parameter} estimator matching `{criterion}` on `{}`; \
+                         bound the null estimator",
+                        design.instance_name(id)
+                    ));
+                    Arc::new(NullEstimator::new(parameter.clone()))
+                });
+                chosen.insert((id.index(), parameter.clone()), estimator);
+            }
+        }
+        SetupBinding {
+            chosen,
+            warnings,
+            buffer_size: self.buffer_size,
+        }
+    }
+}
+
+/// One dynamic-estimation result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimateRecord {
+    /// When the buffer was flushed.
+    pub time: SimTime,
+    /// The estimated module.
+    pub module: ModuleId,
+    /// The estimated parameter.
+    pub parameter: Parameter,
+    /// The estimator that produced the value.
+    pub estimator: String,
+    /// The estimate itself ([`Value::Null`] from the null estimator).
+    pub value: Value,
+    /// How many buffered patterns this estimate covered.
+    pub patterns: usize,
+    /// The fee charged (`cost_per_pattern × patterns`), in cents.
+    pub fee_cents: f64,
+    /// Whether the estimator ran remotely.
+    pub remote: bool,
+}
+
+/// The chronological log of all dynamic estimates of one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EstimateLog {
+    records: Vec<EstimateRecord>,
+}
+
+impl EstimateLog {
+    pub(crate) fn push(&mut self, record: EstimateRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in flush order.
+    #[must_use]
+    pub fn records(&self) -> &[EstimateRecord] {
+        &self.records
+    }
+
+    /// Records for one module/parameter pair.
+    pub fn records_for<'a>(
+        &'a self,
+        module: ModuleId,
+        parameter: &'a Parameter,
+    ) -> impl Iterator<Item = &'a EstimateRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.module == module && r.parameter == *parameter)
+    }
+
+    /// The most recent estimate for a module/parameter pair.
+    #[must_use]
+    pub fn latest(&self, module: ModuleId, parameter: &Parameter) -> Option<&EstimateRecord> {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.module == module && r.parameter == *parameter)
+    }
+
+    /// Total fees charged across the run, in cents.
+    #[must_use]
+    pub fn total_fees_cents(&self) -> f64 {
+        self.records.iter().map(|r| r.fee_cents).sum()
+    }
+
+    /// Number of remote estimator invocations.
+    #[must_use]
+    pub fn remote_invocations(&self) -> usize {
+        self.records.iter().filter(|r| r.remote).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{EstimateError, EstimationInput, EstimatorInfo};
+    use std::time::Duration;
+
+    struct Fixed {
+        name: &'static str,
+        err: f64,
+        cost: f64,
+        cpu: u64,
+        remote: bool,
+    }
+
+    impl Estimator for Fixed {
+        fn info(&self) -> EstimatorInfo {
+            EstimatorInfo {
+                name: self.name.into(),
+                parameter: Parameter::AvgPower,
+                expected_error_pct: self.err,
+                cost_per_pattern_cents: self.cost,
+                cpu_time_per_pattern: Duration::from_millis(self.cpu),
+                remote: self.remote,
+            }
+        }
+        fn estimate(&self, _: &EstimationInput) -> Result<Value, EstimateError> {
+            Ok(Value::F64(self.err))
+        }
+    }
+
+    fn candidates() -> Vec<Arc<dyn Estimator>> {
+        vec![
+            Arc::new(Fixed {
+                name: "constant",
+                err: 25.0,
+                cost: 0.0,
+                cpu: 0,
+                remote: false,
+            }),
+            Arc::new(Fixed {
+                name: "regression",
+                err: 20.0,
+                cost: 0.0,
+                cpu: 1,
+                remote: false,
+            }),
+            Arc::new(Fixed {
+                name: "toggle",
+                err: 10.0,
+                cost: 0.1,
+                cpu: 100,
+                remote: true,
+            }),
+        ]
+    }
+
+    #[test]
+    fn criteria_pick_expected_estimators() {
+        let c = candidates();
+        let name = |e: Option<Arc<dyn Estimator>>| e.unwrap().info().name;
+        assert_eq!(name(SetupCriterion::MostAccurate.choose(&c)), "toggle");
+        // constant and regression are both free; the cost tie breaks
+        // toward the more accurate regression.
+        assert_eq!(name(SetupCriterion::Cheapest.choose(&c)), "regression");
+        assert_eq!(name(SetupCriterion::Fastest.choose(&c)), "constant");
+        assert_eq!(name(SetupCriterion::LocalOnly.choose(&c)), "regression");
+        assert_eq!(
+            name(
+                SetupCriterion::MostAccurateWithin {
+                    max_cost_per_pattern_cents: 0.05
+                }
+                .choose(&c)
+            ),
+            "regression"
+        );
+        assert_eq!(
+            name(SetupCriterion::Named("constant".into()).choose(&c)),
+            "constant"
+        );
+        assert!(SetupCriterion::Named("missing".into()).choose(&c).is_none());
+    }
+
+    #[test]
+    fn log_accumulates_fees() {
+        let mut log = EstimateLog::default();
+        for i in 0..3 {
+            log.push(EstimateRecord {
+                time: SimTime::new(i),
+                module: ModuleId::from_index(0),
+                parameter: Parameter::AvgPower,
+                estimator: "toggle".into(),
+                value: Value::F64(1.0),
+                patterns: 5,
+                fee_cents: 0.5,
+                remote: true,
+            });
+        }
+        assert_eq!(log.records().len(), 3);
+        assert!((log.total_fees_cents() - 1.5).abs() < 1e-12);
+        assert_eq!(log.remote_invocations(), 3);
+        assert_eq!(
+            log.latest(ModuleId::from_index(0), &Parameter::AvgPower)
+                .unwrap()
+                .time,
+            SimTime::new(2)
+        );
+    }
+}

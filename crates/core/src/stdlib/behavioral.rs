@@ -1,0 +1,249 @@
+//! Behavioural-level modules.
+//!
+//! The paper supports gate and register-transfer levels and notes that a
+//! behavioural-level implementation "has been devised"; this module
+//! supplies it. A [`BehavioralBlock`] wraps an arbitrary combinational
+//! function over port values — the highest-abstraction model a provider
+//! can ship, and the natural home for algorithmic models (DSP kernels,
+//! saturating arithmetic, protocol engines) that have no netlist yet.
+
+use std::sync::Arc;
+
+use vcad_logic::LogicVec;
+
+use crate::module::{Module, ModuleCtx, PortSpec};
+
+/// The function type a [`BehavioralBlock`] evaluates: latched input-port
+/// values (in input-port order) to output values (in output-port order).
+pub type BehaviorFn = dyn Fn(&[LogicVec]) -> Vec<LogicVec> + Send + Sync;
+
+/// A combinational behavioural module defined by a closure.
+///
+/// Whenever any input changes, the behaviour runs over the latched input
+/// values; outputs that changed are emitted in the same instant. The
+/// closure must be pure — all state belongs in the scheduler, and a pure
+/// function needs none — which is what keeps behavioural blocks safe
+/// under concurrent simulation.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use vcad_core::stdlib::BehavioralBlock;
+/// use vcad_core::{Module, PortSpec};
+/// use vcad_logic::{LogicVec, Word};
+///
+/// // A saturating 8-bit adder as a behavioural model.
+/// let sat_add = BehavioralBlock::new(
+///     "SATADD",
+///     vec![
+///         PortSpec::input("a", 8),
+///         PortSpec::input("b", 8),
+///         PortSpec::output("s", 8),
+///     ],
+///     Arc::new(|inputs: &[LogicVec]| {
+///         let out = match (inputs[0].to_word(), inputs[1].to_word()) {
+///             (Some(a), Some(b)) => {
+///                 let sum = a.value() + b.value();
+///                 LogicVec::from(Word::new(8, sum.min(255)))
+///             }
+///             _ => LogicVec::unknown(8),
+///         };
+///         vec![out]
+///     }),
+/// );
+/// assert_eq!(sat_add.ports().len(), 3);
+/// ```
+pub struct BehavioralBlock {
+    name: String,
+    ports: Vec<PortSpec>,
+    input_ports: Vec<usize>,
+    output_ports: Vec<usize>,
+    behavior: Arc<BehaviorFn>,
+}
+
+impl BehavioralBlock {
+    /// Creates a behavioural block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interface has no input or no output port.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        ports: Vec<PortSpec>,
+        behavior: Arc<BehaviorFn>,
+    ) -> BehavioralBlock {
+        let input_ports: Vec<usize> = ports
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.direction().accepts_input())
+            .map(|(i, _)| i)
+            .collect();
+        let output_ports: Vec<usize> = ports
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.direction().produces_output())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !input_ports.is_empty() && !output_ports.is_empty(),
+            "behavioural block needs at least one input and one output port"
+        );
+        BehavioralBlock {
+            name: name.into(),
+            ports,
+            input_ports,
+            output_ports,
+            behavior,
+        }
+    }
+}
+
+impl Module for BehavioralBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn on_signal(&self, ctx: &mut ModuleCtx<'_>, _port: usize, _value: &LogicVec) {
+        let inputs: Vec<LogicVec> = self
+            .input_ports
+            .iter()
+            .map(|&i| ctx.port_value(i).clone())
+            .collect();
+        let outputs = (self.behavior)(&inputs);
+        assert_eq!(
+            outputs.len(),
+            self.output_ports.len(),
+            "behaviour of `{}` must produce one value per output port",
+            self.name
+        );
+        for (&port, value) in self.output_ports.iter().zip(outputs) {
+            assert_eq!(
+                value.width(),
+                self.ports[port].width(),
+                "behaviour of `{}` produced a wrong-width value for `{}`",
+                self.name,
+                self.ports[port].name()
+            );
+            if *ctx.port_value(port) != value {
+                ctx.emit(port, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignBuilder;
+    use crate::stdlib::{CaptureState, VectorInput};
+    use crate::SimulationController;
+    use vcad_logic::Word;
+
+    fn mac_block() -> BehavioralBlock {
+        // out = a * b + c, saturating at 16 bits — a DSP-flavoured kernel
+        // with no gate-level counterpart in this repo.
+        BehavioralBlock::new(
+            "MAC",
+            vec![
+                PortSpec::input("a", 8),
+                PortSpec::input("b", 8),
+                PortSpec::input("c", 16),
+                PortSpec::output("y", 16),
+            ],
+            Arc::new(|inputs: &[LogicVec]| {
+                let out = match (
+                    inputs[0].to_word(),
+                    inputs[1].to_word(),
+                    inputs[2].to_word(),
+                ) {
+                    (Some(a), Some(b), Some(c)) => {
+                        let v = a.value() * b.value() + c.value();
+                        LogicVec::from(Word::new(16, v.min(0xFFFF)))
+                    }
+                    _ => LogicVec::unknown(16),
+                };
+                vec![out]
+            }),
+        )
+    }
+
+    #[test]
+    fn behavioural_mac_computes() {
+        let mut b = DesignBuilder::new("t");
+        let ia = b.add_module(Arc::new(VectorInput::new(
+            "A",
+            vec![LogicVec::from_u64(8, 10), LogicVec::from_u64(8, 255)],
+        )));
+        let ib = b.add_module(Arc::new(VectorInput::new(
+            "B",
+            vec![LogicVec::from_u64(8, 20), LogicVec::from_u64(8, 255)],
+        )));
+        let ic = b.add_module(Arc::new(VectorInput::new(
+            "C",
+            vec![LogicVec::from_u64(16, 7), LogicVec::from_u64(16, 60000)],
+        )));
+        let mac = b.add_module(Arc::new(mac_block()));
+        let out = b.add_module(Arc::new(crate::stdlib::PrimaryOutput::new("OUT", 16)));
+        b.connect(ia, "out", mac, "a").unwrap();
+        b.connect(ib, "out", mac, "b").unwrap();
+        b.connect(ic, "out", mac, "c").unwrap();
+        b.connect(mac, "y", out, "in").unwrap();
+        let run = SimulationController::new(Arc::new(b.build().unwrap()))
+            .run()
+            .unwrap();
+        let words = run.module_state::<CaptureState>(out).unwrap().words();
+        // Settled values: 10*20+7 = 207; 255*255+60000 saturates to 0xFFFF.
+        assert_eq!(*words.last().unwrap(), 0xFFFF);
+        assert!(words.contains(&207));
+    }
+
+    #[test]
+    fn unknown_inputs_propagate_x() {
+        // Only two of the three inputs are driven; the output stays X and
+        // is never emitted (it equals the initial latch).
+        let mut b = DesignBuilder::new("t");
+        let ia = b.add_module(Arc::new(VectorInput::new(
+            "A",
+            vec![LogicVec::from_u64(8, 1)],
+        )));
+        let ib = b.add_module(Arc::new(VectorInput::new(
+            "B",
+            vec![LogicVec::from_u64(8, 2)],
+        )));
+        let mac = b.add_module(Arc::new(mac_block()));
+        let out = b.add_module(Arc::new(crate::stdlib::PrimaryOutput::new("OUT", 16)));
+        b.connect(ia, "out", mac, "a").unwrap();
+        b.connect(ib, "out", mac, "b").unwrap();
+        b.connect(mac, "y", out, "in").unwrap();
+        let run = SimulationController::new(Arc::new(b.build().unwrap()))
+            .run()
+            .unwrap();
+        assert!(run
+            .module_state::<CaptureState>(out)
+            .is_none_or(|c| c.history().is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per output port")]
+    fn behaviour_arity_is_checked() {
+        let bad = BehavioralBlock::new(
+            "BAD",
+            vec![PortSpec::input("a", 1), PortSpec::output("y", 1)],
+            Arc::new(|_: &[LogicVec]| vec![]),
+        );
+        let mut b = DesignBuilder::new("t");
+        let ia = b.add_module(Arc::new(VectorInput::new(
+            "A",
+            vec![LogicVec::from_u64(1, 1)],
+        )));
+        let m = b.add_module(Arc::new(bad));
+        b.connect(ia, "out", m, "a").unwrap();
+        let _ = SimulationController::new(Arc::new(b.build().unwrap())).run();
+    }
+}

@@ -1,0 +1,115 @@
+//! Autonomous clock generation via self-triggering.
+
+use vcad_logic::{Logic, LogicVec};
+
+use crate::module::{Module, ModuleCtx, PortSpec};
+
+/// A free-running clock generator built on token self-triggering — the
+/// paper's example of an autonomous component.
+///
+/// Emits `0` at time 0 and toggles every `half_period` ticks, for
+/// `edges` transitions in total.
+#[derive(Debug)]
+pub struct ClockGen {
+    name: String,
+    ports: Vec<PortSpec>,
+    half_period: u64,
+    edges: u64,
+}
+
+#[derive(Default)]
+struct ClockState {
+    level: bool,
+    emitted: u64,
+}
+
+impl ClockGen {
+    /// Creates a clock on output port `clk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_period` is zero (a zero-period clock would loop
+    /// forever within one instant).
+    #[must_use]
+    pub fn new(name: impl Into<String>, half_period: u64, edges: u64) -> ClockGen {
+        assert!(half_period > 0, "clock half-period must be at least 1 tick");
+        ClockGen {
+            name: name.into(),
+            ports: vec![PortSpec::output("clk", 1)],
+            half_period,
+            edges,
+        }
+    }
+}
+
+impl Module for ClockGen {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn init(&self, ctx: &mut ModuleCtx<'_>) {
+        if self.edges > 0 {
+            ctx.schedule_self(0, 0);
+        }
+    }
+
+    fn on_signal(&self, _ctx: &mut ModuleCtx<'_>, _port: usize, _value: &LogicVec) {}
+
+    fn on_self_trigger(&self, ctx: &mut ModuleCtx<'_>, _tag: u64) {
+        let (level, more) = {
+            let state = ctx.state::<ClockState>();
+            let level = state.level;
+            state.level = !state.level;
+            state.emitted += 1;
+            (level, state.emitted < self.edges)
+        };
+        ctx.emit(0, LogicVec::from_bits([Logic::from(level)]));
+        if more {
+            ctx.schedule_self(self.half_period, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignBuilder;
+    use crate::stdlib::{CaptureState, PrimaryOutput};
+    use crate::{SimTime, SimulationController};
+    use std::sync::Arc;
+
+    #[test]
+    fn clock_toggles_on_schedule() {
+        let mut b = DesignBuilder::new("t");
+        let clk = b.add_module(Arc::new(ClockGen::new("CLK", 5, 4)));
+        let o = b.add_module(Arc::new(PrimaryOutput::new("O", 1)));
+        b.connect(clk, "clk", o, "in").unwrap();
+        let run = SimulationController::new(Arc::new(b.build().unwrap()))
+            .run()
+            .unwrap();
+        let h = run
+            .module_state::<CaptureState>(o)
+            .unwrap()
+            .history()
+            .to_vec();
+        assert_eq!(h.len(), 4);
+        let times: Vec<u64> = h.iter().map(|(t, _)| t.ticks()).collect();
+        assert_eq!(times, vec![0, 5, 10, 15]);
+        let levels: Vec<u128> = h
+            .iter()
+            .map(|(_, v)| v.to_word().unwrap().value())
+            .collect();
+        assert_eq!(levels, vec![0, 1, 0, 1]);
+        assert_eq!(run.end_time(), SimTime::new(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "half-period")]
+    fn zero_period_rejected() {
+        let _ = ClockGen::new("CLK", 0, 1);
+    }
+}

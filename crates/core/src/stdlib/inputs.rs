@@ -1,0 +1,193 @@
+//! Primary input modules.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vcad_logic::LogicVec;
+
+use crate::module::{Module, ModuleCtx, PortSpec};
+
+/// Emits a fresh uniformly random binary word on every simulation instant
+/// — the paper's `RandomPrimaryInput`.
+///
+/// The stream is reproducible per seed, and because the RNG lives in the
+/// scheduler's state store, concurrent simulations of the same design each
+/// get the same stream without interfering.
+#[derive(Debug)]
+pub struct RandomInput {
+    name: String,
+    ports: Vec<PortSpec>,
+    width: usize,
+    seed: u64,
+    count: u64,
+}
+
+#[derive(Default)]
+struct RandomState {
+    rng: Option<StdRng>,
+    emitted: u64,
+}
+
+impl RandomInput {
+    /// Creates a source emitting `count` random `width`-bit patterns, one
+    /// per tick starting at tick 0, on output port `out`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: usize, seed: u64, count: u64) -> RandomInput {
+        RandomInput {
+            name: name.into(),
+            ports: vec![PortSpec::output("out", width)],
+            width,
+            seed,
+            count,
+        }
+    }
+
+    /// The number of patterns this source will emit.
+    #[must_use]
+    pub fn pattern_count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Module for RandomInput {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn init(&self, ctx: &mut ModuleCtx<'_>) {
+        if self.count > 0 {
+            ctx.schedule_self(0, 0);
+        }
+    }
+
+    fn on_signal(&self, _ctx: &mut ModuleCtx<'_>, _port: usize, _value: &LogicVec) {}
+
+    fn on_self_trigger(&self, ctx: &mut ModuleCtx<'_>, _tag: u64) {
+        let width = self.width;
+        let seed = self.seed;
+        let count = self.count;
+        let state = ctx.state::<RandomState>();
+        let rng = state.rng.get_or_insert_with(|| StdRng::seed_from_u64(seed));
+        let mut v = LogicVec::zeros(width);
+        for i in 0..width {
+            v.set(i, rng.gen_bool(0.5).into());
+        }
+        state.emitted += 1;
+        let more = state.emitted < count;
+        ctx.emit(0, v);
+        if more {
+            ctx.schedule_self(1, 0);
+        }
+    }
+}
+
+/// Replays a fixed pattern sequence, one pattern per tick starting at
+/// tick 0, on output port `out`.
+#[derive(Debug)]
+pub struct VectorInput {
+    name: String,
+    ports: Vec<PortSpec>,
+    patterns: Vec<LogicVec>,
+}
+
+#[derive(Default)]
+struct VectorState {
+    next: usize,
+}
+
+impl VectorInput {
+    /// Creates a source replaying `patterns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty or the patterns have differing widths.
+    #[must_use]
+    pub fn new(name: impl Into<String>, patterns: Vec<LogicVec>) -> VectorInput {
+        assert!(!patterns.is_empty(), "vector input needs patterns");
+        let width = patterns[0].width();
+        assert!(
+            patterns.iter().all(|p| p.width() == width),
+            "all patterns must share one width"
+        );
+        VectorInput {
+            name: name.into(),
+            ports: vec![PortSpec::output("out", width)],
+            patterns,
+        }
+    }
+}
+
+impl Module for VectorInput {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn init(&self, ctx: &mut ModuleCtx<'_>) {
+        ctx.schedule_self(0, 0);
+    }
+
+    fn on_signal(&self, _ctx: &mut ModuleCtx<'_>, _port: usize, _value: &LogicVec) {}
+
+    fn on_self_trigger(&self, ctx: &mut ModuleCtx<'_>, _tag: u64) {
+        let idx = {
+            let state = ctx.state::<VectorState>();
+            let idx = state.next;
+            state.next += 1;
+            idx
+        };
+        if let Some(p) = self.patterns.get(idx) {
+            ctx.emit(0, p.clone());
+            if idx + 1 < self.patterns.len() {
+                ctx.schedule_self(1, 0);
+            }
+        }
+    }
+}
+
+/// Drives a constant value once at time zero on output port `out`.
+#[derive(Debug)]
+pub struct ConstInput {
+    name: String,
+    ports: Vec<PortSpec>,
+    value: LogicVec,
+}
+
+impl ConstInput {
+    /// Creates a constant driver.
+    #[must_use]
+    pub fn new(name: impl Into<String>, value: LogicVec) -> ConstInput {
+        ConstInput {
+            name: name.into(),
+            ports: vec![PortSpec::output("out", value.width())],
+            value,
+        }
+    }
+}
+
+impl Module for ConstInput {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn init(&self, ctx: &mut ModuleCtx<'_>) {
+        ctx.schedule_self(0, 0);
+    }
+
+    fn on_signal(&self, _ctx: &mut ModuleCtx<'_>, _port: usize, _value: &LogicVec) {}
+
+    fn on_self_trigger(&self, ctx: &mut ModuleCtx<'_>, _tag: u64) {
+        ctx.emit(0, self.value.clone());
+    }
+}

@@ -1,0 +1,199 @@
+//! Linear-feedback shift-register pattern sources.
+
+use vcad_logic::LogicVec;
+
+use crate::module::{Module, ModuleCtx, PortSpec};
+
+/// A Fibonacci LFSR pattern source — the canonical BIST pattern generator
+/// the paper's testability discussion mentions, as an autonomous
+/// (self-triggering) module.
+///
+/// Emits its `width`-bit state once per tick, then steps: the feedback
+/// bit is the parity of `state & polynomial`, shifted in from the right.
+/// With a maximal polynomial the sequence visits all `2^width − 1`
+/// non-zero states.
+#[derive(Debug)]
+pub struct Lfsr {
+    name: String,
+    ports: Vec<PortSpec>,
+    width: usize,
+    polynomial: u64,
+    seed: u64,
+    count: u64,
+}
+
+#[derive(Default)]
+struct LfsrState {
+    state: u64,
+    emitted: u64,
+}
+
+impl Lfsr {
+    /// Maximal-length feedback polynomials (tap masks) for supported
+    /// widths.
+    fn maximal_polynomial(width: usize) -> Option<u64> {
+        Some(match width {
+            2 => 0b11,
+            3 => 0b110,
+            4 => 0b1100,
+            5 => 0b1_0100,
+            6 => 0b11_0000,
+            7 => 0b110_0000,
+            8 => 0b1011_1000,
+            16 => 0b1101_0000_0000_1000,
+            24 => 0b1110_0001_0000_0000_0000_0000,
+            32 => 0b1000_0000_0010_0000_0000_0000_0000_0011,
+            _ => return None,
+        })
+    }
+
+    /// Creates an LFSR with an explicit feedback polynomial (tap mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64, the polynomial is zero or has
+    /// bits above `width`, or the seed is zero modulo `2^width` (an LFSR
+    /// never leaves the all-zero state).
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        width: usize,
+        polynomial: u64,
+        seed: u64,
+        count: u64,
+    ) -> Lfsr {
+        assert!(width > 0 && width <= 64, "width must be in 1..=64");
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
+        assert!(
+            polynomial != 0 && polynomial & !mask == 0,
+            "polynomial must be non-zero and fit the width"
+        );
+        assert!(seed & mask != 0, "seed must be non-zero within the width");
+        Lfsr {
+            name: name.into(),
+            ports: vec![PortSpec::output("out", width)],
+            width,
+            polynomial,
+            seed: seed & mask,
+            count,
+        }
+    }
+
+    /// Creates a maximal-length LFSR for a supported width
+    /// (2–8, 16, 24, 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported widths (see [`Lfsr::new`] for the other
+    /// preconditions).
+    #[must_use]
+    pub fn maximal(name: impl Into<String>, width: usize, seed: u64, count: u64) -> Lfsr {
+        let polynomial = Self::maximal_polynomial(width)
+            .unwrap_or_else(|| panic!("no maximal polynomial stored for width {width}"));
+        Lfsr::new(name, width, polynomial, seed, count)
+    }
+
+    fn step(&self, state: u64) -> u64 {
+        let feedback = (state & self.polynomial).count_ones() as u64 & 1;
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1 << self.width) - 1
+        };
+        (state << 1 | feedback) & mask
+    }
+}
+
+impl Module for Lfsr {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn init(&self, ctx: &mut ModuleCtx<'_>) {
+        if self.count > 0 {
+            ctx.schedule_self(0, 0);
+        }
+    }
+
+    fn on_signal(&self, _ctx: &mut ModuleCtx<'_>, _port: usize, _value: &LogicVec) {}
+
+    fn on_self_trigger(&self, ctx: &mut ModuleCtx<'_>, _tag: u64) {
+        let (value, more) = {
+            let seed = self.seed;
+            let count = self.count;
+            let state = ctx.state::<LfsrState>();
+            if state.emitted == 0 {
+                state.state = seed;
+            }
+            let value = state.state;
+            state.state = self.step(state.state);
+            state.emitted += 1;
+            (value, state.emitted < count)
+        };
+        ctx.emit(0, LogicVec::from_u64(self.width, value));
+        if more {
+            ctx.schedule_self(1, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignBuilder;
+    use crate::stdlib::{CaptureState, PrimaryOutput};
+    use crate::SimulationController;
+    use std::sync::Arc;
+
+    fn sequence(width: usize, seed: u64, count: u64) -> Vec<u128> {
+        let mut b = DesignBuilder::new("t");
+        let l = b.add_module(Arc::new(Lfsr::maximal("L", width, seed, count)));
+        let o = b.add_module(Arc::new(PrimaryOutput::new("O", width)));
+        b.connect(l, "out", o, "in").unwrap();
+        let run = SimulationController::new(Arc::new(b.build().unwrap()))
+            .run()
+            .unwrap();
+        run.module_state::<CaptureState>(o).unwrap().words()
+    }
+
+    #[test]
+    fn maximal_lfsr_has_full_period() {
+        for width in [3usize, 4, 8] {
+            let period = (1u64 << width) - 1;
+            let seq = sequence(width, 1, period + 3);
+            // All 2^w - 1 non-zero states appear exactly once per period.
+            let unique: std::collections::HashSet<u128> =
+                seq[..period as usize].iter().copied().collect();
+            assert_eq!(unique.len(), period as usize, "width {width}");
+            assert!(!unique.contains(&0));
+            // The sequence repeats with the exact period.
+            assert_eq!(seq[0], seq[period as usize]);
+        }
+    }
+
+    #[test]
+    fn sequence_is_deterministic_per_seed() {
+        assert_eq!(sequence(8, 0xA5, 20), sequence(8, 0xA5, 20));
+        assert_ne!(sequence(8, 0xA5, 20), sequence(8, 0x5A, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "seed must be non-zero")]
+    fn zero_seed_rejected() {
+        let _ = Lfsr::maximal("L", 8, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no maximal polynomial")]
+    fn unsupported_width_rejected() {
+        let _ = Lfsr::maximal("L", 13, 1, 10);
+    }
+}

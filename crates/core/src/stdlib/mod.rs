@@ -1,0 +1,28 @@
+//! The standard module library.
+//!
+//! These are the building blocks the paper's examples use: primary inputs
+//! and outputs (random, vector-replay, constant and LFSR sources),
+//! registers, behavioural word operators and closure-defined behavioural
+//! blocks, gate-level netlist blocks, fan-out/delay wiring helpers,
+//! mixed-level interface converters and a self-triggering clock
+//! generator.
+
+mod behavioral;
+mod clock;
+mod gate_block;
+mod inputs;
+mod lfsr;
+mod output;
+mod register;
+mod wiring;
+mod word_ops;
+
+pub use behavioral::{BehaviorFn, BehavioralBlock};
+pub use clock::ClockGen;
+pub use gate_block::{NetlistBlock, NetlistBusBlock};
+pub use inputs::{ConstInput, RandomInput, VectorInput};
+pub use lfsr::Lfsr;
+pub use output::{CaptureState, PrimaryOutput};
+pub use register::Register;
+pub use wiring::{BitsToWord, Delay, Fanout, WordToBits};
+pub use word_ops::{WordAdder, WordMultiplier};

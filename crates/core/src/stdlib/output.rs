@@ -1,0 +1,73 @@
+//! Primary output modules.
+
+use vcad_logic::LogicVec;
+
+use crate::module::{Module, ModuleCtx, PortSpec};
+use crate::time::SimTime;
+
+/// The capture history a [`PrimaryOutput`] accumulates in its scheduler's
+/// state store; retrieve it after a run with
+/// [`SimRun::module_state`](crate::SimRun::module_state).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct CaptureState {
+    history: Vec<(SimTime, LogicVec)>,
+}
+
+impl CaptureState {
+    /// Every `(time, value)` the output observed, in order.
+    #[must_use]
+    pub fn history(&self) -> &[(SimTime, LogicVec)] {
+        &self.history
+    }
+
+    /// The last observed value, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<&LogicVec> {
+        self.history.last().map(|(_, v)| v)
+    }
+
+    /// The observed values as words, skipping non-binary captures.
+    #[must_use]
+    pub fn words(&self) -> Vec<u128> {
+        self.history
+            .iter()
+            .filter_map(|(_, v)| v.to_word())
+            .map(|w| w.value())
+            .collect()
+    }
+}
+
+/// Captures every value arriving on its `in` port, with timestamps.
+#[derive(Debug)]
+pub struct PrimaryOutput {
+    name: String,
+    ports: Vec<PortSpec>,
+}
+
+impl PrimaryOutput {
+    /// Creates a `width`-bit capture sink with input port `in`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: usize) -> PrimaryOutput {
+        PrimaryOutput {
+            name: name.into(),
+            ports: vec![PortSpec::input("in", width)],
+        }
+    }
+}
+
+impl Module for PrimaryOutput {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn on_signal(&self, ctx: &mut ModuleCtx<'_>, _port: usize, value: &LogicVec) {
+        let time = ctx.time();
+        ctx.state::<CaptureState>()
+            .history
+            .push((time, value.clone()));
+    }
+}

@@ -1,0 +1,42 @@
+//! Register modules.
+
+use vcad_logic::LogicVec;
+
+use crate::module::{Module, ModuleCtx, PortSpec};
+
+/// A word-level register: samples port `d` and presents the value on port
+/// `q` one tick later (one tick ≙ one clock cycle in the paper's RTL
+/// examples).
+#[derive(Debug)]
+pub struct Register {
+    name: String,
+    ports: Vec<PortSpec>,
+}
+
+impl Register {
+    /// Creates a `width`-bit register with ports `d` (input) and `q`
+    /// (output).
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: usize) -> Register {
+        Register {
+            name: name.into(),
+            ports: vec![PortSpec::input("d", width), PortSpec::output("q", width)],
+        }
+    }
+}
+
+impl Module for Register {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn on_signal(&self, ctx: &mut ModuleCtx<'_>, port: usize, value: &LogicVec) {
+        if port == 0 {
+            ctx.emit_after(1, value.clone(), 1);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Wiring helpers: fan-out, delay and mixed-level interface modules.
+//!
+//! Connectors are point-to-point and zero-delay by design, so multi-fanout
+//! nets and net delays are modelled by explicit modules — exactly the
+//! flexibility argument the paper makes (per-branch delays come for free).
+
+use vcad_logic::{Logic, LogicVec};
+
+use crate::module::{Module, ModuleCtx, PortSpec};
+
+/// Replicates its input onto `n` output branches, each with its own
+/// propagation delay.
+#[derive(Debug)]
+pub struct Fanout {
+    name: String,
+    ports: Vec<PortSpec>,
+    delays: Vec<u64>,
+}
+
+impl Fanout {
+    /// Creates a fan-out with input `in` and outputs `out0`…`out{n-1}`,
+    /// one entry in `delays` per branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: usize, delays: Vec<u64>) -> Fanout {
+        assert!(!delays.is_empty(), "fanout needs at least one branch");
+        let mut ports = vec![PortSpec::input("in", width)];
+        for i in 0..delays.len() {
+            ports.push(PortSpec::output(format!("out{i}"), width));
+        }
+        Fanout {
+            name: name.into(),
+            ports,
+            delays,
+        }
+    }
+
+    /// Creates a zero-delay fan-out of `n` branches.
+    #[must_use]
+    pub fn uniform(name: impl Into<String>, width: usize, n: usize) -> Fanout {
+        Fanout::new(name, width, vec![0; n])
+    }
+}
+
+impl Module for Fanout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn on_signal(&self, ctx: &mut ModuleCtx<'_>, port: usize, value: &LogicVec) {
+        if port == 0 {
+            for (i, &delay) in self.delays.iter().enumerate() {
+                ctx.emit_after(1 + i, value.clone(), delay);
+            }
+        }
+    }
+}
+
+/// Forwards its input to its output after a fixed delay (a net-delay
+/// model).
+#[derive(Debug)]
+pub struct Delay {
+    name: String,
+    ports: Vec<PortSpec>,
+    delay: u64,
+}
+
+impl Delay {
+    /// Creates a delay element with ports `in` and `out`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: usize, delay: u64) -> Delay {
+        Delay {
+            name: name.into(),
+            ports: vec![PortSpec::input("in", width), PortSpec::output("out", width)],
+            delay,
+        }
+    }
+}
+
+impl Module for Delay {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn on_signal(&self, ctx: &mut ModuleCtx<'_>, port: usize, value: &LogicVec) {
+        if port == 0 {
+            ctx.emit_after(1, value.clone(), self.delay);
+        }
+    }
+}
+
+/// Splits a word port into single-bit ports — the interface module between
+/// a word-level (RTL) region and a gate-level region.
+#[derive(Debug)]
+pub struct WordToBits {
+    name: String,
+    ports: Vec<PortSpec>,
+    width: usize,
+}
+
+impl WordToBits {
+    /// Creates a splitter with input `in` (width bits) and outputs
+    /// `b0`…`b{width-1}` (1 bit each).
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: usize) -> WordToBits {
+        let mut ports = vec![PortSpec::input("in", width)];
+        for i in 0..width {
+            ports.push(PortSpec::output(format!("b{i}"), 1));
+        }
+        WordToBits {
+            name: name.into(),
+            ports,
+            width,
+        }
+    }
+}
+
+impl Module for WordToBits {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn on_signal(&self, ctx: &mut ModuleCtx<'_>, port: usize, value: &LogicVec) {
+        if port == 0 {
+            for i in 0..self.width {
+                let bit = LogicVec::from_bits([value.get(i)]);
+                if *ctx.port_value(1 + i) != bit {
+                    ctx.emit(1 + i, bit);
+                }
+            }
+        }
+    }
+}
+
+/// Merges single-bit ports into one word port — the inverse interface
+/// module of [`WordToBits`]. Unseen bits read as `X`.
+#[derive(Debug)]
+pub struct BitsToWord {
+    name: String,
+    ports: Vec<PortSpec>,
+    width: usize,
+}
+
+impl BitsToWord {
+    /// Creates a merger with inputs `b0`…`b{width-1}` and output `out`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: usize) -> BitsToWord {
+        let mut ports: Vec<PortSpec> = (0..width)
+            .map(|i| PortSpec::input(format!("b{i}"), 1))
+            .collect();
+        ports.push(PortSpec::output("out", width));
+        BitsToWord {
+            name: name.into(),
+            ports,
+            width,
+        }
+    }
+}
+
+impl Module for BitsToWord {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn on_signal(&self, ctx: &mut ModuleCtx<'_>, _port: usize, _value: &LogicVec) {
+        let word = LogicVec::from_bits((0..self.width).map(|i| {
+            let v = ctx.port_value(i);
+            if v.is_empty() {
+                Logic::X
+            } else {
+                v.get(0)
+            }
+        }));
+        if *ctx.port_value(self.width) != word {
+            ctx.emit(self.width, word);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignBuilder;
+    use crate::stdlib::{CaptureState, PrimaryOutput, VectorInput};
+    use crate::{SimTime, SimulationController};
+    use std::sync::Arc;
+
+    #[test]
+    fn fanout_branch_delays() {
+        let mut b = DesignBuilder::new("t");
+        let src = b.add_module(Arc::new(VectorInput::new(
+            "S",
+            vec![LogicVec::from_u64(4, 9)],
+        )));
+        let f = b.add_module(Arc::new(Fanout::new("F", 4, vec![0, 3])));
+        let o0 = b.add_module(Arc::new(PrimaryOutput::new("O0", 4)));
+        let o1 = b.add_module(Arc::new(PrimaryOutput::new("O1", 4)));
+        b.connect(src, "out", f, "in").unwrap();
+        b.connect(f, "out0", o0, "in").unwrap();
+        b.connect(f, "out1", o1, "in").unwrap();
+        let run = SimulationController::new(Arc::new(b.build().unwrap()))
+            .run()
+            .unwrap();
+        let h0 = run
+            .module_state::<CaptureState>(o0)
+            .unwrap()
+            .history()
+            .to_vec();
+        let h1 = run
+            .module_state::<CaptureState>(o1)
+            .unwrap()
+            .history()
+            .to_vec();
+        assert_eq!(h0[0].0, SimTime::new(0));
+        assert_eq!(h1[0].0, SimTime::new(3));
+        assert_eq!(h0[0].1, h1[0].1);
+    }
+
+    #[test]
+    fn delay_module_shifts_time() {
+        let mut b = DesignBuilder::new("t");
+        let src = b.add_module(Arc::new(VectorInput::new(
+            "S",
+            vec![LogicVec::from_u64(1, 1)],
+        )));
+        let d = b.add_module(Arc::new(Delay::new("D", 1, 7)));
+        let o = b.add_module(Arc::new(PrimaryOutput::new("O", 1)));
+        b.connect(src, "out", d, "in").unwrap();
+        b.connect(d, "out", o, "in").unwrap();
+        let run = SimulationController::new(Arc::new(b.build().unwrap()))
+            .run()
+            .unwrap();
+        let h = run
+            .module_state::<CaptureState>(o)
+            .unwrap()
+            .history()
+            .to_vec();
+        assert_eq!(h[0].0, SimTime::new(7));
+    }
+
+    #[test]
+    fn split_and_merge_round_trip() {
+        let mut b = DesignBuilder::new("t");
+        let src = b.add_module(Arc::new(VectorInput::new(
+            "S",
+            vec![LogicVec::from_u64(3, 0b101), LogicVec::from_u64(3, 0b010)],
+        )));
+        let split = b.add_module(Arc::new(WordToBits::new("SPLIT", 3)));
+        let merge = b.add_module(Arc::new(BitsToWord::new("MERGE", 3)));
+        let o = b.add_module(Arc::new(PrimaryOutput::new("O", 3)));
+        b.connect(src, "out", split, "in").unwrap();
+        for i in 0..3 {
+            b.connect(split, &format!("b{i}"), merge, &format!("b{i}"))
+                .unwrap();
+        }
+        b.connect(merge, "out", o, "in").unwrap();
+        let run = SimulationController::new(Arc::new(b.build().unwrap()))
+            .run()
+            .unwrap();
+        let h = run.module_state::<CaptureState>(o).unwrap();
+        // Bits that never changed are not re-emitted; final word must match
+        // the last pattern, and the first fully-known word the first.
+        assert_eq!(h.last().unwrap().to_word().unwrap().value(), 0b010);
+        assert_eq!(h.words()[0], 0b101);
+    }
+}

@@ -1,0 +1,104 @@
+//! Behavioural (RT-level) word operators.
+
+use vcad_logic::LogicVec;
+
+use crate::module::{Module, ModuleCtx, PortSpec};
+
+/// A behavioural multiplier: whenever both `a` and `b` hold binary values,
+/// emits their full-precision product on `p` (`2 × width` bits).
+///
+/// This is the *functional model* an IP provider would ship as the public
+/// part of a multiplier component: it is accurate functionally while
+/// revealing nothing about the gate-level implementation.
+#[derive(Debug)]
+pub struct WordMultiplier {
+    name: String,
+    ports: Vec<PortSpec>,
+}
+
+impl WordMultiplier {
+    /// Creates a `width × width` multiplier with inputs `a`, `b` and
+    /// output `p`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: usize) -> WordMultiplier {
+        WordMultiplier {
+            name: name.into(),
+            ports: vec![
+                PortSpec::input("a", width),
+                PortSpec::input("b", width),
+                PortSpec::output("p", 2 * width),
+            ],
+        }
+    }
+}
+
+impl Module for WordMultiplier {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn on_signal(&self, ctx: &mut ModuleCtx<'_>, _port: usize, _value: &LogicVec) {
+        let a = ctx.port_value(0).to_word();
+        let b = ctx.port_value(1).to_word();
+        let out_width = self.ports[2].width();
+        let product = match (a, b) {
+            (Some(a), Some(b)) => LogicVec::from(a.widening_mul(b)),
+            _ => LogicVec::unknown(out_width),
+        };
+        if *ctx.port_value(2) != product {
+            ctx.emit(2, product);
+        }
+    }
+}
+
+/// A behavioural adder: whenever both `a` and `b` hold binary values,
+/// emits their exact sum on `s` (`width + 1` bits).
+#[derive(Debug)]
+pub struct WordAdder {
+    name: String,
+    ports: Vec<PortSpec>,
+}
+
+impl WordAdder {
+    /// Creates a `width`-bit adder with inputs `a`, `b` and output `s`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: usize) -> WordAdder {
+        WordAdder {
+            name: name.into(),
+            ports: vec![
+                PortSpec::input("a", width),
+                PortSpec::input("b", width),
+                PortSpec::output("s", width + 1),
+            ],
+        }
+    }
+}
+
+impl Module for WordAdder {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn on_signal(&self, ctx: &mut ModuleCtx<'_>, _port: usize, _value: &LogicVec) {
+        let a = ctx.port_value(0).to_word();
+        let b = ctx.port_value(1).to_word();
+        let out_width = self.ports[2].width();
+        let sum = match (a, b) {
+            (Some(a), Some(b)) => {
+                LogicVec::from(a.resize(out_width).wrapping_add(b.resize(out_width)))
+            }
+            _ => LogicVec::unknown(out_width),
+        };
+        if *ctx.port_value(2) != sum {
+            ctx.emit(2, sum);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Discrete simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A discrete simulation time instant.
+///
+/// The event-driven engine is unit-agnostic: one tick is whatever the
+/// design's modules agree it is (the paper's register models use one tick
+/// per pattern).
+///
+/// # Examples
+///
+/// ```
+/// use vcad_core::SimTime;
+///
+/// let t = SimTime::ZERO + 5;
+/// assert_eq!(t.ticks(), 5);
+/// assert!(t < t + 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation start instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from a tick count.
+    #[must_use]
+    pub fn new(ticks: u64) -> SimTime {
+        SimTime(ticks)
+    }
+
+    /// The tick count.
+    #[must_use]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in ticks.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::new(3);
+        assert_eq!(a + 2, SimTime::new(5));
+        assert_eq!(SimTime::new(5) - a, 2);
+        assert_eq!(a.since(SimTime::new(10)), 0);
+        assert!(SimTime::ZERO < a);
+        let mut b = a;
+        b += 1;
+        assert_eq!(b.ticks(), 4);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::new(7).to_string(), "t=7");
+    }
+}

@@ -1,0 +1,57 @@
+//! Tokens: the universal simulation message.
+
+use vcad_logic::LogicVec;
+use vcad_rmi::Value;
+
+/// The payload of a scheduled token.
+///
+/// Tokens are JavaCAD's general message-passing mechanism: they carry
+/// functional events (signal changes), module self-triggers, and arbitrary
+/// control traffic used to traverse the design, collect information and set
+/// runtime parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenPayload {
+    /// A signal value arriving at one of the target module's input ports.
+    Signal {
+        /// Index into the target module's [`ports`](crate::Module::ports).
+        port: usize,
+        /// The arriving value.
+        value: LogicVec,
+    },
+    /// A self-scheduled wake-up (clock generators, autonomous sources).
+    SelfTrigger {
+        /// Module-chosen discriminator.
+        tag: u64,
+    },
+    /// General-purpose control traffic.
+    Control(Value),
+}
+
+impl TokenPayload {
+    /// Returns the signal value if this is a [`TokenPayload::Signal`].
+    #[must_use]
+    pub fn signal_value(&self) -> Option<&LogicVec> {
+        match self {
+            TokenPayload::Signal { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_accessor() {
+        let p = TokenPayload::Signal {
+            port: 1,
+            value: LogicVec::from_u64(4, 0b1010),
+        };
+        assert_eq!(p.signal_value().unwrap().to_string(), "1010");
+        assert!(TokenPayload::SelfTrigger { tag: 0 }
+            .signal_value()
+            .is_none());
+        assert!(TokenPayload::Control(Value::Null).signal_value().is_none());
+    }
+}

@@ -1,0 +1,393 @@
+//! Fault-list extraction, equivalence collapsing and dominance reduction.
+
+use std::collections::HashMap;
+
+use vcad_netlist::{GateId, GateKind, Netlist};
+
+use crate::fault::{Fault, FaultSite, StuckAt};
+
+/// One equivalence class of faults: any test detecting one member detects
+/// them all, so only the representative needs simulating.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultClass {
+    /// The canonical member (the smallest fault in the class ordering).
+    pub representative: Fault,
+    /// All members, including the representative.
+    pub members: Vec<Fault>,
+}
+
+/// The stuck-at fault universe of a netlist, with equivalence collapsing.
+///
+/// The uncollapsed universe contains both polarities on every net stem and
+/// on every fan-out branch (gate input pins of nets with fan-out > 1 —
+/// on fan-out-free nets the branch is identical to the stem). Faults that
+/// cannot change behaviour (a constant generator stuck at its own value)
+/// are excluded.
+///
+/// Collapsing merges the classic per-gate equivalences (for example every
+/// input `sa0` of an AND gate with its output `sa0`) with a union-find.
+///
+/// # Examples
+///
+/// ```
+/// use vcad_faults::FaultUniverse;
+/// use vcad_netlist::generators;
+///
+/// let universe = FaultUniverse::collapsed(&generators::half_adder_nand());
+/// assert!(universe.class_count() < universe.total_faults());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultUniverse {
+    classes: Vec<FaultClass>,
+    total: usize,
+}
+
+impl FaultUniverse {
+    /// The gate's view of input pin `pin`: the pin site when the net has
+    /// other observers (fan-out to other gates, or a direct primary-output
+    /// tap), the stem only when this gate is the net's sole observer.
+    ///
+    /// The primary-output check matters for soundness: a stem fault on a
+    /// directly observable net is *not* equivalent to the consuming gate's
+    /// output fault, because the erroneous value is visible at the output
+    /// tap even when the gate masks it.
+    #[must_use]
+    pub fn input_site(netlist: &Netlist, gate: GateId, pin: usize) -> FaultSite {
+        let net = netlist.gate(gate).inputs()[pin];
+        if netlist.net(net).fanout() > 1 || netlist.is_primary_output(net) {
+            FaultSite::Pin { gate, pin }
+        } else {
+            FaultSite::Net(net)
+        }
+    }
+
+    /// The uncollapsed fault universe.
+    #[must_use]
+    pub fn all_faults(netlist: &Netlist) -> Vec<Fault> {
+        let mut faults = Vec::new();
+        for (id, net) in netlist.nets() {
+            // A constant generator stuck at its own value is undetectable
+            // by construction; skip that polarity.
+            let skip = net
+                .driver()
+                .map(|g| netlist.gate(g).kind())
+                .and_then(|k| match k {
+                    GateKind::Const0 => Some(StuckAt::Zero),
+                    GateKind::Const1 => Some(StuckAt::One),
+                    _ => None,
+                });
+            for s in StuckAt::BOTH {
+                if Some(s) != skip {
+                    faults.push(Fault::new(FaultSite::Net(id), s));
+                }
+            }
+        }
+        for (gid, gate) in netlist.gates() {
+            for (pin, &net) in gate.inputs().iter().enumerate() {
+                // A branch is a distinct fault site whenever the stem has
+                // another observer — more gate pins, or a direct
+                // primary-output tap.
+                if netlist.net(net).fanout() > 1 || netlist.is_primary_output(net) {
+                    for s in StuckAt::BOTH {
+                        faults.push(Fault::new(FaultSite::Pin { gate: gid, pin }, s));
+                    }
+                }
+            }
+        }
+        faults
+    }
+
+    /// Builds the equivalence-collapsed universe.
+    #[must_use]
+    pub fn collapsed(netlist: &Netlist) -> FaultUniverse {
+        let faults = Self::all_faults(netlist);
+        let index: HashMap<Fault, usize> =
+            faults.iter().enumerate().map(|(i, f)| (*f, i)).collect();
+        let mut parent: Vec<usize> = (0..faults.len()).collect();
+
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let union = |parent: &mut Vec<usize>, a: Fault, b: Fault| {
+            if let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) {
+                let ra = find(parent, ia);
+                let rb = find(parent, ib);
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        };
+
+        for (gid, gate) in netlist.gates() {
+            let out = FaultSite::Net(gate.output());
+            // (input polarity, equivalent output polarity)
+            let rule: Option<(StuckAt, StuckAt)> = match gate.kind() {
+                GateKind::And => Some((StuckAt::Zero, StuckAt::Zero)),
+                GateKind::Nand => Some((StuckAt::Zero, StuckAt::One)),
+                GateKind::Or => Some((StuckAt::One, StuckAt::One)),
+                GateKind::Nor => Some((StuckAt::One, StuckAt::Zero)),
+                _ => None,
+            };
+            match gate.kind() {
+                GateKind::Buf => {
+                    for s in StuckAt::BOTH {
+                        let site = Self::input_site(netlist, gid, 0);
+                        union(&mut parent, Fault::new(site, s), Fault::new(out, s));
+                    }
+                }
+                GateKind::Not => {
+                    for s in StuckAt::BOTH {
+                        let inv = match s {
+                            StuckAt::Zero => StuckAt::One,
+                            StuckAt::One => StuckAt::Zero,
+                        };
+                        let site = Self::input_site(netlist, gid, 0);
+                        union(&mut parent, Fault::new(site, s), Fault::new(out, inv));
+                    }
+                }
+                _ => {
+                    if let Some((in_pol, out_pol)) = rule {
+                        for pin in 0..gate.inputs().len() {
+                            let site = Self::input_site(netlist, gid, pin);
+                            union(
+                                &mut parent,
+                                Fault::new(site, in_pol),
+                                Fault::new(out, out_pol),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Gather classes.
+        let mut groups: HashMap<usize, Vec<Fault>> = HashMap::new();
+        for (i, f) in faults.iter().enumerate() {
+            groups.entry(find(&mut parent, i)).or_default().push(*f);
+        }
+        let mut classes: Vec<FaultClass> = groups
+            .into_values()
+            .map(|mut members| {
+                members.sort();
+                FaultClass {
+                    representative: members[0],
+                    members,
+                }
+            })
+            .collect();
+        classes.sort_by_key(|c| c.representative);
+        FaultUniverse {
+            classes,
+            total: faults.len(),
+        }
+    }
+
+    /// The equivalence classes, ordered by representative.
+    #[must_use]
+    pub fn classes(&self) -> &[FaultClass] {
+        &self.classes
+    }
+
+    /// Number of collapsed classes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of faults before collapsing.
+    #[must_use]
+    pub fn total_faults(&self) -> usize {
+        self.total
+    }
+
+    /// The representatives, the set a fault simulator actually targets.
+    #[must_use]
+    pub fn representatives(&self) -> Vec<Fault> {
+        self.classes.iter().map(|c| c.representative).collect()
+    }
+}
+
+/// Drops gate-output fault classes that dominate a remaining input fault
+/// (any test for the input fault also detects the output fault): AND
+/// output `sa1`, NAND output `sa0`, OR output `sa0`, NOR output `sa1`.
+///
+/// The returned subset is what an ATPG-oriented flow would target; exact
+/// coverage comparisons in this crate use the full collapsed set because
+/// dominated faults are *not* behaviourally identical to their dominators.
+#[must_use]
+pub fn dominance_reduce(netlist: &Netlist, classes: &[FaultClass]) -> Vec<FaultClass> {
+    use std::collections::HashSet;
+    let mut droppable: HashSet<Fault> = HashSet::new();
+    for (_gid, gate) in netlist.gates() {
+        let drop_pol = match gate.kind() {
+            GateKind::And => Some(StuckAt::One),
+            GateKind::Nand => Some(StuckAt::Zero),
+            GateKind::Or => Some(StuckAt::Zero),
+            GateKind::Nor => Some(StuckAt::One),
+            _ => None,
+        };
+        if let Some(pol) = drop_pol {
+            droppable.insert(Fault::new(FaultSite::Net(gate.output()), pol));
+        }
+    }
+    classes
+        .iter()
+        .filter(|c| !c.members.iter().all(|m| droppable.contains(m)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcad_netlist::generators;
+    use vcad_netlist::NetlistBuilder;
+
+    #[test]
+    fn half_adder_nand_collapses_like_the_paper() {
+        // The paper's Figure 4 quotes a collapsed list of 9 faults for the
+        // 6-gate IP1 block (plus the I/O faults the user handles).
+        let nl = generators::half_adder_nand();
+        let u = FaultUniverse::collapsed(&nl);
+        assert!(u.class_count() < u.total_faults());
+        // Internal nets only (exclude primary inputs) for the comparison.
+        let internal: Vec<_> = u
+            .classes()
+            .iter()
+            .filter(|c| {
+                c.members.iter().all(|m| match m.site {
+                    FaultSite::Net(n) => !nl.net(n).is_input(),
+                    FaultSite::Pin { .. } => true,
+                })
+            })
+            .collect();
+        // The paper's list of 9 names gate-output (stem) faults only; our
+        // universe additionally carries fan-out branch (pin) faults, so
+        // the internal class count is somewhat larger. Sanity-check both
+        // views: the classes covering internal stems land right next to
+        // the paper's 9.
+        let stem_classes = internal
+            .iter()
+            .filter(|c| {
+                c.members
+                    .iter()
+                    .any(|m| matches!(m.site, FaultSite::Net(_)))
+            })
+            .count();
+        assert!(
+            (7..=10).contains(&stem_classes),
+            "internal stem classes: {stem_classes}"
+        );
+        assert!(
+            (12..=18).contains(&internal.len()),
+            "internal classes: {}",
+            internal.len()
+        );
+    }
+
+    #[test]
+    fn and_gate_equivalences() {
+        let mut b = NetlistBuilder::new("and");
+        let x = b.input("x");
+        let y = b.input("y");
+        let o = b.named_gate("o", GateKind::And, &[x, y]);
+        b.output("o", o);
+        let nl = b.build().unwrap();
+        let u = FaultUniverse::collapsed(&nl);
+        // x/sa0, y/sa0, o/sa0 form one class.
+        let class = u
+            .classes()
+            .iter()
+            .find(|c| c.members.len() == 3)
+            .expect("sa0 class");
+        assert!(class.members.iter().all(|m| m.stuck == StuckAt::Zero));
+        // Universe: 6 faults, collapse to 4 classes (sa0 trio + 3 sa1).
+        assert_eq!(u.total_faults(), 6);
+        assert_eq!(u.class_count(), 4);
+    }
+
+    #[test]
+    fn inverter_chain_collapses_fully() {
+        let mut b = NetlistBuilder::new("chain");
+        let x = b.input("x");
+        let n1 = b.gate(GateKind::Not, &[x]);
+        let n2 = b.gate(GateKind::Not, &[n1]);
+        b.output("y", n2);
+        let nl = b.build().unwrap();
+        let u = FaultUniverse::collapsed(&nl);
+        // 6 faults on 3 fanout-free nets collapse to 2 classes.
+        assert_eq!(u.total_faults(), 6);
+        assert_eq!(u.class_count(), 2);
+    }
+
+    #[test]
+    fn fanout_branches_get_their_own_faults() {
+        let mut b = NetlistBuilder::new("fan");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.gate(GateKind::And, &[x, y]);
+        let o1 = b.gate(GateKind::Buf, &[a]);
+        let o2 = b.gate(GateKind::Not, &[a]);
+        b.output("o1", o1);
+        b.output("o2", o2);
+        let nl = b.build().unwrap();
+        let faults = FaultUniverse::all_faults(&nl);
+        let pin_faults = faults
+            .iter()
+            .filter(|f| matches!(f.site, FaultSite::Pin { .. }))
+            .count();
+        // Net `a` has fanout 2: two pins × two polarities.
+        assert_eq!(pin_faults, 4);
+    }
+
+    #[test]
+    fn constant_generators_skip_redundant_polarity() {
+        let mut b = NetlistBuilder::new("const");
+        let x = b.input("x");
+        let zero = b.constant(vcad_logic::Logic::Zero);
+        let o = b.gate(GateKind::Or, &[x, zero]);
+        b.output("o", o);
+        let nl = b.build().unwrap();
+        let faults = FaultUniverse::all_faults(&nl);
+        let const_net_faults: Vec<_> = faults
+            .iter()
+            .filter(|f| match f.site {
+                FaultSite::Net(n) => {
+                    nl.net(n).driver().map(|g| nl.gate(g).kind()) == Some(GateKind::Const0)
+                }
+                FaultSite::Pin { .. } => false,
+            })
+            .collect();
+        assert_eq!(const_net_faults.len(), 1);
+        assert_eq!(const_net_faults[0].stuck, StuckAt::One);
+    }
+
+    #[test]
+    fn dominance_reduction_shrinks_c17() {
+        let nl = generators::c17();
+        let u = FaultUniverse::collapsed(&nl);
+        let reduced = dominance_reduce(&nl, u.classes());
+        assert!(reduced.len() < u.class_count());
+        assert!(!reduced.is_empty());
+    }
+
+    #[test]
+    fn classes_partition_the_universe() {
+        let nl = generators::wallace_multiplier(3);
+        let u = FaultUniverse::collapsed(&nl);
+        let mut seen = std::collections::HashSet::new();
+        let mut counted = 0;
+        for c in u.classes() {
+            assert_eq!(c.representative, c.members[0]);
+            for m in &c.members {
+                assert!(seen.insert(*m), "fault in two classes: {m:?}");
+                counted += 1;
+            }
+        }
+        assert_eq!(counted, u.total_faults());
+    }
+}

@@ -1,0 +1,251 @@
+//! Faulty-netlist evaluation and the serial flat fault simulator.
+
+use std::collections::HashSet;
+
+use vcad_logic::{Logic, LogicVec};
+use vcad_netlist::Netlist;
+
+use crate::fault::{Fault, FaultSite};
+
+/// Evaluates a netlist with one stuck-at fault injected.
+///
+/// Stem faults override the net's value for all consumers; pin faults
+/// override only the faulty gate's view of that input.
+///
+/// # Examples
+///
+/// ```
+/// use vcad_faults::{Fault, FaultSite, FaultyEvaluator, StuckAt};
+/// use vcad_logic::LogicVec;
+/// use vcad_netlist::generators;
+///
+/// let nl = generators::half_adder();
+/// let sum_net = nl.find_net("sum").unwrap();
+/// let f = Fault::new(FaultSite::Net(sum_net), StuckAt::One);
+/// let eval = FaultyEvaluator::new(&nl);
+/// // a=0, b=0 -> good sum=0, faulty sum forced to 1.
+/// let out = eval.outputs(&f, &LogicVec::zeros(2));
+/// assert_eq!(out.to_string(), "01");
+/// ```
+#[derive(Debug)]
+pub struct FaultyEvaluator<'a> {
+    netlist: &'a Netlist,
+}
+
+impl<'a> FaultyEvaluator<'a> {
+    /// Creates an evaluator over `netlist`.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> FaultyEvaluator<'a> {
+        FaultyEvaluator { netlist }
+    }
+
+    /// Evaluates the primary outputs under `fault` for one input pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width does not match the input count.
+    #[must_use]
+    pub fn outputs(&self, fault: &Fault, inputs: &LogicVec) -> LogicVec {
+        assert_eq!(
+            inputs.width(),
+            self.netlist.input_count(),
+            "pattern width must match the netlist's input count"
+        );
+        let nl = self.netlist;
+        let mut values = vec![Logic::X; nl.net_count()];
+        for (i, &net) in nl.inputs().iter().enumerate() {
+            values[net.index()] = inputs.get(i);
+        }
+        // Apply a stem fault on a primary input immediately.
+        if let FaultSite::Net(n) = fault.site {
+            if nl.net(n).is_input() {
+                values[n.index()] = fault.stuck.value();
+            }
+        }
+        let mut scratch = Vec::new();
+        for &gid in nl.topo_order() {
+            let gate = nl.gate(gid);
+            scratch.clear();
+            for (pin, &net) in gate.inputs().iter().enumerate() {
+                let mut v = values[net.index()];
+                if fault.site == (FaultSite::Pin { gate: gid, pin }) {
+                    v = fault.stuck.value();
+                }
+                scratch.push(v);
+            }
+            let mut out = gate.kind().eval(&scratch);
+            if fault.site == FaultSite::Net(gate.output()) {
+                out = fault.stuck.value();
+            }
+            values[gate.output().index()] = out;
+        }
+        LogicVec::from_bits(nl.outputs().iter().map(|(_, n)| values[n.index()]))
+    }
+}
+
+/// The full-disclosure baseline: serial single-fault simulation of a flat
+/// netlist over a pattern sequence.
+///
+/// This is what a user could run if the provider disclosed everything; the
+/// virtual fault simulator must reach exactly the same coverage without
+/// the disclosure.
+#[derive(Debug)]
+pub struct SerialFaultSim<'a> {
+    netlist: &'a Netlist,
+    targets: Vec<Fault>,
+}
+
+impl<'a> SerialFaultSim<'a> {
+    /// Creates a simulator targeting `targets` (typically the collapsed
+    /// representatives).
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, targets: Vec<Fault>) -> SerialFaultSim<'a> {
+        SerialFaultSim { netlist, targets }
+    }
+
+    /// The fault targets.
+    #[must_use]
+    pub fn targets(&self) -> &[Fault] {
+        &self.targets
+    }
+
+    /// Runs all patterns with fault dropping and returns the detected
+    /// subset, in target order.
+    #[must_use]
+    pub fn run(&self, patterns: &[LogicVec]) -> Vec<Fault> {
+        let good = vcad_netlist::Evaluator::new(self.netlist);
+        let faulty = FaultyEvaluator::new(self.netlist);
+        let mut remaining: Vec<Fault> = self.targets.clone();
+        let mut detected: HashSet<Fault> = HashSet::new();
+        for pattern in patterns {
+            if remaining.is_empty() {
+                break;
+            }
+            let good_out = good.outputs(pattern);
+            remaining.retain(|f| {
+                if faulty.outputs(f, pattern) != good_out {
+                    detected.insert(*f);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.targets
+            .iter()
+            .filter(|f| detected.contains(f))
+            .copied()
+            .collect()
+    }
+
+    /// Fault coverage of a pattern set: `detected / targets`.
+    #[must_use]
+    pub fn coverage(&self, patterns: &[LogicVec]) -> f64 {
+        if self.targets.is_empty() {
+            return 1.0;
+        }
+        self.run(patterns).len() as f64 / self.targets.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collapse::FaultUniverse;
+    use crate::fault::StuckAt;
+    use vcad_netlist::generators;
+
+    #[test]
+    fn stem_fault_on_primary_input() {
+        let nl = generators::half_adder();
+        let a = nl.inputs()[0];
+        let f = Fault::new(FaultSite::Net(a), StuckAt::One);
+        let eval = FaultyEvaluator::new(&nl);
+        // a=0 (stuck to 1), b=1 -> behaves as a=1,b=1: sum=0 carry=1.
+        let out = eval.outputs(&f, &LogicVec::from_u64(2, 0b10));
+        assert_eq!(out.to_word().unwrap().value(), 0b10);
+    }
+
+    #[test]
+    fn pin_fault_affects_only_one_branch() {
+        use vcad_netlist::{GateKind, NetlistBuilder};
+        let mut b = NetlistBuilder::new("fan");
+        let x = b.input("x");
+        let buf = b.gate(GateKind::Buf, &[x]);
+        let o1 = b.gate(GateKind::Buf, &[buf]);
+        let o2 = b.gate(GateKind::Buf, &[buf]);
+        b.output("o1", o1);
+        b.output("o2", o2);
+        let nl = b.build().unwrap();
+        // Pin fault on o2's view of the fanout net.
+        let g2 = nl.net(o2).driver().unwrap();
+        let f = Fault::new(FaultSite::Pin { gate: g2, pin: 0 }, StuckAt::One);
+        let out = FaultyEvaluator::new(&nl).outputs(&f, &LogicVec::from_u64(1, 0));
+        // o1 still sees 0; o2 sees the stuck 1.
+        assert_eq!(out.to_string(), "10");
+        // A stem fault hits both branches.
+        let stem = Fault::new(FaultSite::Net(buf), StuckAt::One);
+        let out = FaultyEvaluator::new(&nl).outputs(&stem, &LogicVec::from_u64(1, 0));
+        assert_eq!(out.to_string(), "11");
+    }
+
+    #[test]
+    fn exhaustive_patterns_reach_full_coverage_on_c17() {
+        let nl = generators::c17();
+        let universe = FaultUniverse::collapsed(&nl);
+        let sim = SerialFaultSim::new(&nl, universe.representatives());
+        let all: Vec<LogicVec> = (0..32u64).map(|p| LogicVec::from_u64(5, p)).collect();
+        let coverage = sim.coverage(&all);
+        assert!(
+            (coverage - 1.0).abs() < 1e-12,
+            "c17 is fully testable, got {coverage}"
+        );
+    }
+
+    #[test]
+    fn no_patterns_no_detection() {
+        let nl = generators::c17();
+        let universe = FaultUniverse::collapsed(&nl);
+        let sim = SerialFaultSim::new(&nl, universe.representatives());
+        assert_eq!(sim.run(&[]).len(), 0);
+        assert_eq!(sim.coverage(&[]), 0.0);
+    }
+
+    #[test]
+    fn detection_is_monotone_in_patterns() {
+        let nl = generators::wallace_multiplier(3);
+        let universe = FaultUniverse::collapsed(&nl);
+        let sim = SerialFaultSim::new(&nl, universe.representatives());
+        let patterns: Vec<LogicVec> = (0..20u64)
+            .map(|i| LogicVec::from_u64(6, i.wrapping_mul(23) % 64))
+            .collect();
+        let few = sim.run(&patterns[..5]).len();
+        let many = sim.run(&patterns).len();
+        assert!(many >= few);
+        assert!(many > 0);
+    }
+
+    #[test]
+    fn equivalent_faults_detected_together() {
+        let nl = generators::half_adder_nand();
+        let universe = FaultUniverse::collapsed(&nl);
+        let patterns: Vec<LogicVec> = (0..4u64).map(|p| LogicVec::from_u64(2, p)).collect();
+        let good = vcad_netlist::Evaluator::new(&nl);
+        let faulty = FaultyEvaluator::new(&nl);
+        for class in universe.classes() {
+            for pattern in &patterns {
+                let good_out = good.outputs(pattern);
+                let detections: Vec<bool> = class
+                    .members
+                    .iter()
+                    .map(|m| faulty.outputs(m, pattern) != good_out)
+                    .collect();
+                assert!(
+                    detections.iter().all(|&d| d == detections[0]),
+                    "class {:?} split on {pattern}",
+                    class.representative
+                );
+            }
+        }
+    }
+}

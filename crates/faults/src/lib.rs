@@ -1,0 +1,47 @@
+//! Stuck-at fault modelling and **virtual fault simulation**.
+//!
+//! This crate implements the paper's second contribution: evaluating the
+//! testability of a design containing IP components *without* the provider
+//! disclosing their structure. The pieces:
+//!
+//! * [`Fault`] / [`FaultSite`] — single stuck-at faults on net stems and
+//!   gate input pins; [`SymbolicFault`] is the opaque name that crosses
+//!   the IP boundary.
+//! * [`FaultUniverse`] — fault-list extraction with equivalence collapsing
+//!   (union-find over the classic per-gate rules) and optional dominance
+//!   reduction.
+//! * [`FaultyEvaluator`] — evaluation of a netlist with one fault injected.
+//! * [`DetectionTable`] — the paper's key data structure: for one input
+//!   pattern, every erroneous output configuration with the symbolic
+//!   faults that cause it. Serialisable to a wire
+//!   [`Value`](vcad_rmi) for remote transmission.
+//! * [`SerialFaultSim`] — the full-disclosure flat baseline, plus a
+//!   64-way bit-parallel variant ([`BitParallelSim`]).
+//! * [`VirtualFaultSim`] — the Figure 5 algorithm over a `vcad-core`
+//!   [`Design`](vcad_core::Design): fault-free simulation, per-pattern
+//!   detection-table queries, output injection through a single-instant
+//!   scheduler with a module override, and fault dropping.
+//!
+//! The load-bearing invariant, exercised by this crate's property tests:
+//! **virtual fault simulation detects exactly the same faults as flat
+//! full-disclosure fault simulation**, while the user never sees more than
+//! symbolic fault names and per-pattern output configurations.
+
+mod collapse;
+mod detect;
+mod eval;
+mod fault;
+mod parallel;
+mod patterns;
+mod virtual_sim;
+
+pub use collapse::{dominance_reduce, FaultClass, FaultUniverse};
+pub use detect::DetectionTable;
+pub use eval::{FaultyEvaluator, SerialFaultSim};
+pub use fault::{Fault, FaultSite, StuckAt, SymbolicFault};
+pub use parallel::BitParallelSim;
+pub use patterns::{grow_random_patterns, PatternGrowth};
+pub use virtual_sim::{
+    BlockCoverage, CoverageReport, DetectionTableSource, IpBlockBinding, NetlistDetectionSource,
+    VirtualFaultSim, VirtualSimError,
+};

@@ -1,0 +1,236 @@
+//! Bit-parallel (64-pattern) fault simulation.
+//!
+//! A substrate-level optimisation of the flat baseline: two-valued
+//! patterns are packed 64 to a machine word, so one pass of bitwise gate
+//! evaluations simulates 64 patterns at once. Used by the `faultsim`
+//! benchmark to quantify the design choice.
+
+use std::collections::HashSet;
+
+use vcad_logic::LogicVec;
+use vcad_netlist::{GateKind, Netlist};
+
+use crate::fault::{Fault, FaultSite};
+
+/// A 64-way bit-parallel good/faulty simulator over binary patterns.
+#[derive(Debug)]
+pub struct BitParallelSim<'a> {
+    netlist: &'a Netlist,
+    targets: Vec<Fault>,
+}
+
+impl<'a> BitParallelSim<'a> {
+    /// Creates a simulator targeting `targets`.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, targets: Vec<Fault>) -> BitParallelSim<'a> {
+        BitParallelSim { netlist, targets }
+    }
+
+    /// The fault targets.
+    #[must_use]
+    pub fn targets(&self) -> &[Fault] {
+        &self.targets
+    }
+
+    /// Packs up to 64 patterns into per-input words (bit `j` of input `i`'s
+    /// word is pattern `j`'s value of input `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on more than 64 patterns, non-binary patterns, or width
+    /// mismatches.
+    #[must_use]
+    pub fn pack(&self, patterns: &[LogicVec]) -> Vec<u64> {
+        assert!(patterns.len() <= 64, "at most 64 patterns per packed word");
+        let n_in = self.netlist.input_count();
+        let mut packed = vec![0u64; n_in];
+        for (j, p) in patterns.iter().enumerate() {
+            assert_eq!(p.width(), n_in, "pattern width mismatch");
+            assert!(
+                p.is_binary(),
+                "bit-parallel simulation needs binary patterns"
+            );
+            for (i, word) in packed.iter_mut().enumerate() {
+                if p.get(i) == vcad_logic::Logic::One {
+                    *word |= 1 << j;
+                }
+            }
+        }
+        packed
+    }
+
+    fn eval(&self, inputs: &[u64], fault: Option<&Fault>, mask: u64) -> Vec<u64> {
+        let nl = self.netlist;
+        let mut values = vec![0u64; nl.net_count()];
+        for (i, &net) in nl.inputs().iter().enumerate() {
+            values[net.index()] = inputs[i];
+        }
+        if let Some(f) = fault {
+            if let FaultSite::Net(n) = f.site {
+                if nl.net(n).is_input() {
+                    values[n.index()] = f.word(mask);
+                }
+            }
+        }
+        let mut operands: Vec<u64> = Vec::new();
+        for &gid in nl.topo_order() {
+            let gate = nl.gate(gid);
+            operands.clear();
+            for (pin, &net) in gate.inputs().iter().enumerate() {
+                let mut v = values[net.index()];
+                if let Some(f) = fault {
+                    if f.site == (FaultSite::Pin { gate: gid, pin }) {
+                        v = f.word(mask);
+                    }
+                }
+                operands.push(v);
+            }
+            let mut out = eval_word(gate.kind(), &operands, mask);
+            if let Some(f) = fault {
+                if f.site == FaultSite::Net(gate.output()) {
+                    out = f.word(mask);
+                }
+            }
+            values[gate.output().index()] = out;
+        }
+        nl.outputs()
+            .iter()
+            .map(|(_, n)| values[n.index()])
+            .collect()
+    }
+
+    /// Runs all patterns with fault dropping, 64 at a time, and returns
+    /// the detected faults in target order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-binary patterns.
+    #[must_use]
+    pub fn run(&self, patterns: &[LogicVec]) -> Vec<Fault> {
+        let mut remaining: Vec<Fault> = self.targets.clone();
+        let mut detected: HashSet<Fault> = HashSet::new();
+        for chunk in patterns.chunks(64) {
+            if remaining.is_empty() {
+                break;
+            }
+            let mask = if chunk.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk.len()) - 1
+            };
+            let packed = self.pack(chunk);
+            let good = self.eval(&packed, None, mask);
+            remaining.retain(|f| {
+                let faulty = self.eval(&packed, Some(f), mask);
+                let diff = good
+                    .iter()
+                    .zip(&faulty)
+                    .fold(0u64, |acc, (g, b)| acc | (g ^ b))
+                    & mask;
+                if diff != 0 {
+                    detected.insert(*f);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.targets
+            .iter()
+            .filter(|f| detected.contains(f))
+            .copied()
+            .collect()
+    }
+}
+
+impl Fault {
+    /// The packed word a stuck value expands to under `mask`.
+    fn word(&self, mask: u64) -> u64 {
+        match self.stuck {
+            crate::fault::StuckAt::Zero => 0,
+            crate::fault::StuckAt::One => mask,
+        }
+    }
+}
+
+fn eval_word(kind: GateKind, operands: &[u64], mask: u64) -> u64 {
+    let out = match kind {
+        GateKind::Buf => operands[0],
+        GateKind::Not => !operands[0],
+        GateKind::And => operands.iter().fold(mask, |a, &b| a & b),
+        GateKind::Nand => !operands.iter().fold(mask, |a, &b| a & b),
+        GateKind::Or => operands.iter().fold(0, |a, &b| a | b),
+        GateKind::Nor => !operands.iter().fold(0, |a, &b| a | b),
+        GateKind::Xor => operands.iter().fold(0, |a, &b| a ^ b),
+        GateKind::Xnor => !operands.iter().fold(0, |a, &b| a ^ b),
+        GateKind::Mux2 => (!operands[0] & operands[1]) | (operands[0] & operands[2]),
+        GateKind::Const0 => 0,
+        GateKind::Const1 => mask,
+    };
+    out & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collapse::FaultUniverse;
+    use crate::eval::SerialFaultSim;
+    use vcad_netlist::generators;
+
+    fn patterns(n: u64, width: usize, seed: u64) -> Vec<LogicVec> {
+        (0..n)
+            .map(|i| {
+                LogicVec::from_u64(
+                    width,
+                    (i.wrapping_mul(0x9E37_79B9).wrapping_add(seed)) & ((1 << width) - 1),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_serial_on_c17() {
+        let nl = generators::c17();
+        let targets = FaultUniverse::collapsed(&nl).representatives();
+        let pats: Vec<LogicVec> = (0..32u64).map(|p| LogicVec::from_u64(5, p)).collect();
+        let serial = SerialFaultSim::new(&nl, targets.clone()).run(&pats);
+        let parallel = BitParallelSim::new(&nl, targets).run(&pats);
+        assert_eq!(serial, parallel);
+        assert!(!parallel.is_empty());
+    }
+
+    #[test]
+    fn agrees_with_serial_on_multiplier() {
+        let nl = generators::array_multiplier(3);
+        let targets = FaultUniverse::collapsed(&nl).representatives();
+        let pats = patterns(150, 6, 5);
+        let serial = SerialFaultSim::new(&nl, targets.clone()).run(&pats);
+        let parallel = BitParallelSim::new(&nl, targets).run(&pats);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn partial_chunks_are_masked() {
+        let nl = generators::half_adder();
+        let targets = FaultUniverse::collapsed(&nl).representatives();
+        // 3 patterns: a partial final word.
+        let pats = vec![
+            LogicVec::from_u64(2, 0b00),
+            LogicVec::from_u64(2, 0b01),
+            LogicVec::from_u64(2, 0b11),
+        ];
+        let serial = SerialFaultSim::new(&nl, targets.clone()).run(&pats);
+        let parallel = BitParallelSim::new(&nl, targets).run(&pats);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn rejects_unknown_inputs() {
+        let nl = generators::half_adder();
+        let sim = BitParallelSim::new(&nl, vec![]);
+        let mut p = LogicVec::zeros(2);
+        p.set(0, vcad_logic::Logic::X);
+        let _ = sim.pack(&[p]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Four-valued logic primitives for the `vcad` simulation stack.
+//!
+//! This crate provides the value domain shared by every other `vcad` crate:
+//!
+//! * [`Logic`] — a single four-valued signal (`0`, `1`, `X` unknown,
+//!   `Z` high impedance) with the usual gate algebra;
+//! * [`LogicVec`] — a width-aware, bit-packed vector of [`Logic`] values used
+//!   on buses and at netlist ports;
+//! * [`Word`] — a two-valued (binary) RT-level word with wrapping arithmetic,
+//!   used by behavioural register-transfer models.
+//!
+//! # Examples
+//!
+//! ```
+//! use vcad_logic::{Logic, LogicVec, Word};
+//!
+//! let a = Logic::One & Logic::X; // AND with an unknown input
+//! assert_eq!(a, Logic::X);
+//! let b = Logic::Zero & Logic::X; // 0 dominates AND
+//! assert_eq!(b, Logic::Zero);
+//!
+//! let v: LogicVec = "1010".parse().unwrap();
+//! assert_eq!(v.to_word(), Some(Word::new(4, 0b1010)));
+//! ```
+
+mod logic;
+mod vec;
+mod word;
+
+pub use logic::{Logic, ParseLogicError};
+pub use vec::{LogicVec, ParseLogicVecError};
+pub use word::Word;

@@ -1,0 +1,337 @@
+//! The scalar four-valued logic type.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+use std::str::FromStr;
+
+/// A single four-valued logic signal.
+///
+/// The four values follow the classical HDL convention:
+///
+/// * [`Logic::Zero`] — driven low;
+/// * [`Logic::One`] — driven high;
+/// * [`Logic::X`] — unknown / conflicting value;
+/// * [`Logic::Z`] — high impedance (undriven).
+///
+/// Gate operators treat `Z` as `X` on their inputs: an undriven input gives
+/// an unknown contribution. Controlling values still dominate, so
+/// `Zero & X == Zero` and `One | X == One`.
+///
+/// # Examples
+///
+/// ```
+/// use vcad_logic::Logic;
+///
+/// assert_eq!(Logic::One & Logic::One, Logic::One);
+/// assert_eq!(Logic::Zero | Logic::X, Logic::X);
+/// assert_eq!(!Logic::Z, Logic::X);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Logic {
+    /// Driven logic low.
+    #[default]
+    Zero,
+    /// Driven logic high.
+    One,
+    /// Unknown value.
+    X,
+    /// High impedance (undriven).
+    Z,
+}
+
+impl Logic {
+    /// All four logic values, in `0, 1, X, Z` order.
+    pub const ALL: [Logic; 4] = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+
+    /// Returns `true` when the value is a defined binary `0` or `1`.
+    ///
+    /// ```
+    /// use vcad_logic::Logic;
+    /// assert!(Logic::One.is_binary());
+    /// assert!(!Logic::X.is_binary());
+    /// ```
+    #[must_use]
+    pub const fn is_binary(self) -> bool {
+        matches!(self, Logic::Zero | Logic::One)
+    }
+
+    /// Converts a defined value to `bool`, or `None` for `X`/`Z`.
+    ///
+    /// ```
+    /// use vcad_logic::Logic;
+    /// assert_eq!(Logic::One.to_bool(), Some(true));
+    /// assert_eq!(Logic::Z.to_bool(), None);
+    /// ```
+    #[must_use]
+    pub const fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// Normalises an input for gate evaluation: `Z` becomes `X`.
+    #[must_use]
+    pub const fn driven(self) -> Logic {
+        match self {
+            Logic::Z => Logic::X,
+            other => other,
+        }
+    }
+
+    /// Resolves two drivers on the same net, as a tristate bus would.
+    ///
+    /// `Z` yields to any other driver; two conflicting strong drivers
+    /// resolve to `X`.
+    ///
+    /// ```
+    /// use vcad_logic::Logic;
+    /// assert_eq!(Logic::Z.resolve(Logic::One), Logic::One);
+    /// assert_eq!(Logic::Zero.resolve(Logic::One), Logic::X);
+    /// assert_eq!(Logic::One.resolve(Logic::One), Logic::One);
+    /// ```
+    #[must_use]
+    pub const fn resolve(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Z, o) => o,
+            (s, Logic::Z) => s,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// The character representation used by [`fmt::Display`] and parsing.
+    #[must_use]
+    pub const fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'X',
+            Logic::Z => 'Z',
+        }
+    }
+
+    /// Parses a single character (`0`, `1`, `x`/`X`, `z`/`Z`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLogicError`] for any other character.
+    pub fn from_char(c: char) -> Result<Logic, ParseLogicError> {
+        match c {
+            '0' => Ok(Logic::Zero),
+            '1' => Ok(Logic::One),
+            'x' | 'X' => Ok(Logic::X),
+            'z' | 'Z' => Ok(Logic::Z),
+            other => Err(ParseLogicError { found: other }),
+        }
+    }
+
+    /// Two-bit encoding used by [`crate::LogicVec`] bit planes:
+    /// `(value_plane, meta_plane)`.
+    ///
+    /// `0 → (0,0)`, `1 → (1,0)`, `X → (0,1)`, `Z → (1,1)`.
+    #[must_use]
+    pub(crate) const fn planes(self) -> (bool, bool) {
+        match self {
+            Logic::Zero => (false, false),
+            Logic::One => (true, false),
+            Logic::X => (false, true),
+            Logic::Z => (true, true),
+        }
+    }
+
+    /// Inverse of [`Logic::planes`].
+    #[must_use]
+    pub(crate) const fn from_planes(value: bool, meta: bool) -> Logic {
+        match (value, meta) {
+            (false, false) => Logic::Zero,
+            (true, false) => Logic::One,
+            (false, true) => Logic::X,
+            (true, true) => Logic::Z,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.to_char().encode_utf8(&mut [0u8; 4]))
+    }
+}
+
+impl FromStr for Logic {
+    type Err = ParseLogicError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Logic::from_char(c),
+            _ => Err(ParseLogicError { found: '?' }),
+        }
+    }
+}
+
+/// Error returned when parsing a [`Logic`] value from text fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseLogicError {
+    found: char,
+}
+
+impl fmt::Display for ParseLogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid logic character `{}`", self.found)
+    }
+}
+
+impl Error for ParseLogicError {}
+
+impl BitAnd for Logic {
+    type Output = Logic;
+
+    fn bitand(self, rhs: Logic) -> Logic {
+        match (self.driven(), rhs.driven()) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitOr for Logic {
+    type Output = Logic;
+
+    fn bitor(self, rhs: Logic) -> Logic {
+        match (self.driven(), rhs.driven()) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitXor for Logic {
+    type Output = Logic;
+
+    fn bitxor(self, rhs: Logic) -> Logic {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Logic::from(a ^ b),
+            _ => Logic::X,
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X | Logic::Z => Logic::X,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Logic::Zero & Logic::Zero, Logic::Zero);
+        assert_eq!(Logic::Zero & Logic::One, Logic::Zero);
+        assert_eq!(Logic::One & Logic::One, Logic::One);
+        assert_eq!(Logic::One & Logic::X, Logic::X);
+        assert_eq!(Logic::Zero & Logic::X, Logic::Zero);
+        assert_eq!(Logic::Zero & Logic::Z, Logic::Zero);
+        assert_eq!(Logic::One & Logic::Z, Logic::X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Logic::Zero | Logic::Zero, Logic::Zero);
+        assert_eq!(Logic::One | Logic::Zero, Logic::One);
+        assert_eq!(Logic::One | Logic::X, Logic::One);
+        assert_eq!(Logic::Zero | Logic::X, Logic::X);
+        assert_eq!(Logic::Zero | Logic::Z, Logic::X);
+        assert_eq!(Logic::One | Logic::Z, Logic::One);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        assert_eq!(Logic::Zero ^ Logic::One, Logic::One);
+        assert_eq!(Logic::One ^ Logic::One, Logic::Zero);
+        assert_eq!(Logic::One ^ Logic::X, Logic::X);
+        assert_eq!(Logic::Zero ^ Logic::Z, Logic::X);
+    }
+
+    #[test]
+    fn not_truth_table() {
+        assert_eq!(!Logic::Zero, Logic::One);
+        assert_eq!(!Logic::One, Logic::Zero);
+        assert_eq!(!Logic::X, Logic::X);
+        assert_eq!(!Logic::Z, Logic::X);
+    }
+
+    #[test]
+    fn resolution_is_commutative() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a.resolve(b), b.resolve(a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn operators_commute() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a & b, b & a);
+                assert_eq!(a | b, b | a);
+                assert_eq!(a ^ b, b ^ a);
+            }
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::from_char(v.to_char()).unwrap(), v);
+        }
+        assert!(Logic::from_char('q').is_err());
+    }
+
+    #[test]
+    fn plane_round_trip() {
+        for v in Logic::ALL {
+            let (a, b) = v.planes();
+            assert_eq!(Logic::from_planes(a, b), v);
+        }
+    }
+
+    #[test]
+    fn parse_from_str() {
+        assert_eq!("1".parse::<Logic>().unwrap(), Logic::One);
+        assert_eq!("z".parse::<Logic>().unwrap(), Logic::Z);
+        assert!("10".parse::<Logic>().is_err());
+        assert!("".parse::<Logic>().is_err());
+    }
+
+    #[test]
+    fn display_error_message() {
+        let err = Logic::from_char('w').unwrap_err();
+        assert_eq!(err.to_string(), "invalid logic character `w`");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the logic value domain.
+
+use proptest::prelude::*;
+use vcad_logic::{Logic, LogicVec, Word};
+
+fn arb_logic() -> impl Strategy<Value = Logic> {
+    prop_oneof![
+        Just(Logic::Zero),
+        Just(Logic::One),
+        Just(Logic::X),
+        Just(Logic::Z),
+    ]
+}
+
+fn arb_logic_vec(max_width: usize) -> impl Strategy<Value = LogicVec> {
+    prop::collection::vec(arb_logic(), 0..=max_width).prop_map(LogicVec::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn scalar_and_identity(a in arb_logic()) {
+        // 1 is the identity of AND for driven values; Z degrades to X.
+        prop_assert_eq!(a & Logic::One, a.driven());
+        prop_assert_eq!(a & Logic::Zero, Logic::Zero);
+    }
+
+    #[test]
+    fn scalar_or_identity(a in arb_logic()) {
+        prop_assert_eq!(a | Logic::Zero, a.driven());
+        prop_assert_eq!(a | Logic::One, Logic::One);
+    }
+
+    #[test]
+    fn de_morgan(a in arb_logic(), b in arb_logic()) {
+        prop_assert_eq!(!(a & b), !a | !b);
+        prop_assert_eq!(!(a | b), !a & !b);
+    }
+
+    #[test]
+    fn xor_as_and_or(a in arb_logic(), b in arb_logic()) {
+        // a ^ b == (a & !b) | (!a & b) holds on binary values; on X/Z both
+        // sides are X because XOR has no controlling value.
+        prop_assert_eq!(a ^ b, (a & !b) | (!a & b));
+    }
+
+    #[test]
+    fn associativity(a in arb_logic(), b in arb_logic(), c in arb_logic()) {
+        prop_assert_eq!((a & b) & c, a & (b & c));
+        prop_assert_eq!((a | b) | c, a | (b | c));
+        prop_assert_eq!((a ^ b) ^ c, a ^ (b ^ c));
+    }
+
+    #[test]
+    fn resolve_associative_commutative(a in arb_logic(), b in arb_logic(), c in arb_logic()) {
+        prop_assert_eq!(a.resolve(b), b.resolve(a));
+        prop_assert_eq!(a.resolve(b).resolve(c), a.resolve(b.resolve(c)));
+    }
+
+    #[test]
+    fn vec_display_parse_round_trip(v in arb_logic_vec(150)) {
+        prop_assume!(!v.is_empty());
+        let s = v.to_string();
+        let back: LogicVec = s.parse().unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn vec_bitwise_matches_scalar(
+        bits in prop::collection::vec((arb_logic(), arb_logic()), 1..100)
+    ) {
+        let a = LogicVec::from_bits(bits.iter().map(|p| p.0));
+        let b = LogicVec::from_bits(bits.iter().map(|p| p.1));
+        let and = &a & &b;
+        let or = &a | &b;
+        let xor = &a ^ &b;
+        for (i, (x, y)) in bits.iter().enumerate() {
+            prop_assert_eq!(and.get(i), *x & *y);
+            prop_assert_eq!(or.get(i), *x | *y);
+            prop_assert_eq!(xor.get(i), *x ^ *y);
+        }
+    }
+
+    #[test]
+    fn vec_concat_slice_inverse(v in arb_logic_vec(100), split in 0usize..100) {
+        prop_assume!(v.width() > 0);
+        let split = split % v.width();
+        let low = v.slice(0, split);
+        let high = v.slice(split, v.width() - split);
+        prop_assert_eq!(low.concat(&high), v);
+    }
+
+    #[test]
+    fn word_vec_round_trip(width in 1usize..=128, value in any::<u128>()) {
+        let w = Word::new(width, value);
+        let v = LogicVec::from(w);
+        prop_assert_eq!(v.to_word(), Some(w));
+    }
+
+    #[test]
+    fn word_hamming_symmetric(w in 1usize..=64, a in any::<u64>(), b in any::<u64>()) {
+        let wa = Word::new(w, u128::from(a));
+        let wb = Word::new(w, u128::from(b));
+        prop_assert_eq!(wa.hamming(wb), wb.hamming(wa));
+        prop_assert_eq!(wa.hamming(wa), 0);
+    }
+
+    #[test]
+    fn word_add_commutes(w in 1usize..=128, a in any::<u128>(), b in any::<u128>()) {
+        let wa = Word::new(w, a);
+        let wb = Word::new(w, b);
+        prop_assert_eq!(wa.wrapping_add(wb), wb.wrapping_add(wa));
+    }
+
+    #[test]
+    fn vec_distance_is_metric(
+        pairs in prop::collection::vec((arb_logic(), arb_logic()), 0..80)
+    ) {
+        let a = LogicVec::from_bits(pairs.iter().map(|p| p.0));
+        let b = LogicVec::from_bits(pairs.iter().map(|p| p.1));
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+        prop_assert_eq!(a.distance(&a), 0);
+        let expected = pairs.iter().filter(|(x, y)| x != y).count();
+        prop_assert_eq!(a.distance(&b), expected);
+    }
+}

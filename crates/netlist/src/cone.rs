@@ -1,0 +1,192 @@
+//! Structural cone analysis.
+//!
+//! Fan-in and fan-out cones are the working set of most incremental
+//! algorithms over a netlist: a provider computing a detection table only
+//! needs the fan-out cone of the fault site plus the fan-in cones of the
+//! affected outputs, and an estimator can bound which outputs an input
+//! toggle can reach.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::{GateId, NetId, Netlist};
+
+/// The transitive fan-in cone of `net`: every gate whose output can
+/// influence it, in topological order, plus the primary inputs it depends
+/// on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaninCone {
+    /// Gates in the cone, in evaluation (topological) order.
+    pub gates: Vec<GateId>,
+    /// Primary inputs the cone depends on.
+    pub inputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Computes the fan-in cone of one net.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vcad_netlist::generators;
+    ///
+    /// let nl = generators::half_adder();
+    /// let sum = nl.find_net("sum").unwrap();
+    /// let cone = nl.fanin_cone(sum);
+    /// assert_eq!(cone.gates.len(), 1); // just the XOR
+    /// assert_eq!(cone.inputs.len(), 2);
+    /// ```
+    #[must_use]
+    pub fn fanin_cone(&self, net: NetId) -> FaninCone {
+        let mut seen_gates: HashSet<GateId> = HashSet::new();
+        let mut inputs: HashSet<NetId> = HashSet::new();
+        let mut queue = VecDeque::from([net]);
+        let mut seen_nets: HashSet<NetId> = HashSet::from([net]);
+        while let Some(n) = queue.pop_front() {
+            match self.net(n).driver() {
+                Some(gid) => {
+                    if seen_gates.insert(gid) {
+                        for &input in self.gate(gid).inputs() {
+                            if seen_nets.insert(input) {
+                                queue.push_back(input);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    if self.net(n).is_input() {
+                        inputs.insert(n);
+                    }
+                }
+            }
+        }
+        // Emit gates in the netlist's global topological order so the cone
+        // is directly evaluable.
+        let gates: Vec<GateId> = self
+            .topo_order()
+            .iter()
+            .copied()
+            .filter(|g| seen_gates.contains(g))
+            .collect();
+        let mut inputs: Vec<NetId> = inputs.into_iter().collect();
+        inputs.sort();
+        FaninCone { gates, inputs }
+    }
+
+    /// Computes the transitive fan-out cone of one net: every gate the
+    /// net's value can influence (topological order) and every primary
+    /// output it can reach.
+    #[must_use]
+    pub fn fanout_cone(&self, net: NetId) -> (Vec<GateId>, Vec<NetId>) {
+        // Consumers per net.
+        let mut consumers: Vec<Vec<GateId>> = vec![Vec::new(); self.net_count()];
+        for (gid, gate) in self.gates() {
+            for &input in gate.inputs() {
+                consumers[input.index()].push(gid);
+            }
+        }
+        let mut seen_gates: HashSet<GateId> = HashSet::new();
+        let mut seen_nets: HashSet<NetId> = HashSet::from([net]);
+        let mut queue = VecDeque::from([net]);
+        while let Some(n) = queue.pop_front() {
+            for &gid in &consumers[n.index()] {
+                if seen_gates.insert(gid) {
+                    let out = self.gate(gid).output();
+                    if seen_nets.insert(out) {
+                        queue.push_back(out);
+                    }
+                }
+            }
+        }
+        let gates: Vec<GateId> = self
+            .topo_order()
+            .iter()
+            .copied()
+            .filter(|g| seen_gates.contains(g))
+            .collect();
+        let mut outputs: Vec<NetId> = self
+            .outputs()
+            .iter()
+            .map(|(_, n)| *n)
+            .filter(|n| seen_nets.contains(n))
+            .collect();
+        outputs.sort();
+        outputs.dedup();
+        (gates, outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn multiplier_output_bit0_has_a_tiny_cone() {
+        // p[0] of any multiplier is just a[0] & b[0].
+        let nl = generators::wallace_multiplier(8);
+        let p0 = nl.outputs()[0].1;
+        let cone = nl.fanin_cone(p0);
+        assert_eq!(cone.inputs.len(), 2);
+        // Partial-product AND, the zero constant and the final XOR.
+        assert!(cone.gates.len() <= 4, "{}", cone.gates.len());
+    }
+
+    #[test]
+    fn carry_out_depends_on_all_inputs() {
+        let nl = generators::ripple_adder(8);
+        let (_, carry_out) = nl.outputs().last().unwrap().clone();
+        let cone = nl.fanin_cone(carry_out);
+        assert_eq!(cone.inputs.len(), 16);
+        // Everything except each bit's final sum XOR is on the carry path.
+        assert_eq!(cone.gates.len(), nl.gate_count() - 8);
+    }
+
+    #[test]
+    fn cone_order_is_topological() {
+        let nl = generators::alu(4);
+        let (name, out) = nl.outputs()[2].clone();
+        let cone = nl.fanin_cone(out);
+        let pos: std::collections::HashMap<GateId, usize> = nl
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i))
+            .collect();
+        for w in cone.gates.windows(2) {
+            assert!(pos[&w[0]] < pos[&w[1]], "cone of {name} out of order");
+        }
+    }
+
+    #[test]
+    fn fanout_cone_reaches_the_right_outputs() {
+        let nl = generators::half_adder();
+        let a = nl.inputs()[0];
+        let (gates, outputs) = nl.fanout_cone(a);
+        // `a` feeds both gates and reaches both outputs.
+        assert_eq!(gates.len(), 2);
+        assert_eq!(outputs.len(), 2);
+        // The sum net reaches only itself (it is a primary output with no
+        // consumers).
+        let sum = nl.find_net("sum").unwrap();
+        let (gates, outputs) = nl.fanout_cone(sum);
+        assert!(gates.is_empty());
+        assert_eq!(outputs, vec![sum]);
+    }
+
+    #[test]
+    fn fanin_and_fanout_are_duals() {
+        // If gate g is in fanin(output), then output is reachable in
+        // fanout(g.output()) for a sample of gates.
+        let nl = generators::c17();
+        for (_, out_net) in nl.outputs() {
+            let cone = nl.fanin_cone(*out_net);
+            for gid in cone.gates.iter().take(3) {
+                let (_, outs) = nl.fanout_cone(nl.gate(*gid).output());
+                assert!(
+                    outs.contains(out_net) || nl.gate(*gid).output() == *out_net,
+                    "duality violated"
+                );
+            }
+        }
+    }
+}

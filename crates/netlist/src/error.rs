@@ -1,0 +1,61 @@
+//! Netlist construction errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`NetlistBuilder::build`](crate::NetlistBuilder::build)
+/// when the described structure is not a valid combinational netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate was given an input count outside its kind's arity range.
+    BadArity {
+        /// The offending gate kind, as text.
+        kind: String,
+        /// The number of inputs supplied.
+        inputs: usize,
+    },
+    /// Two drivers (gates or a gate and a primary input) target one net.
+    MultipleDrivers {
+        /// The doubly driven net's name.
+        net: String,
+    },
+    /// A net has no driver and is not a primary input.
+    Undriven {
+        /// The floating net's name.
+        net: String,
+    },
+    /// The gates form a combinational cycle.
+    CombinationalCycle,
+    /// A name was declared twice.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// The netlist declares no primary outputs.
+    NoOutputs,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::BadArity { kind, inputs } => {
+                write!(f, "{kind} gate cannot take {inputs} inputs")
+            }
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has more than one driver")
+            }
+            NetlistError::Undriven { net } => {
+                write!(f, "net `{net}` has no driver and is not an input")
+            }
+            NetlistError::CombinationalCycle => {
+                f.write_str("netlist contains a combinational cycle")
+            }
+            NetlistError::DuplicateName { name } => {
+                write!(f, "name `{name}` declared more than once")
+            }
+            NetlistError::NoOutputs => f.write_str("netlist declares no primary outputs"),
+        }
+    }
+}
+
+impl Error for NetlistError {}

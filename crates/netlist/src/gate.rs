@@ -1,0 +1,280 @@
+//! Gate types and their evaluation semantics.
+
+use std::fmt;
+
+use vcad_logic::Logic;
+
+/// The kind of a combinational gate.
+///
+/// Multi-input kinds (`And`, `Or`, `Nand`, `Nor`, `Xor`, `Xnor`) accept two
+/// or more inputs; `Xor`/`Xnor` generalise to parity. [`GateKind::Mux2`]
+/// takes exactly three inputs in `(select, a, b)` order and outputs `a` when
+/// `select` is `0`, `b` when it is `1`. The constant kinds take no inputs.
+///
+/// # Examples
+///
+/// ```
+/// use vcad_logic::Logic;
+/// use vcad_netlist::GateKind;
+///
+/// assert_eq!(GateKind::Nand.eval(&[Logic::One, Logic::One]), Logic::Zero);
+/// assert_eq!(
+///     GateKind::Mux2.eval(&[Logic::One, Logic::Zero, Logic::One]),
+///     Logic::One,
+/// );
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Non-inverting buffer (1 input).
+    Buf,
+    /// Inverter (1 input).
+    Not,
+    /// n-input AND.
+    And,
+    /// n-input OR.
+    Or,
+    /// n-input NAND.
+    Nand,
+    /// n-input NOR.
+    Nor,
+    /// n-input XOR (odd parity).
+    Xor,
+    /// n-input XNOR (even parity).
+    Xnor,
+    /// 2-way multiplexer; inputs are `(select, a, b)`.
+    Mux2,
+    /// Constant logic `0` (no inputs).
+    Const0,
+    /// Constant logic `1` (no inputs).
+    Const1,
+}
+
+impl GateKind {
+    /// Every gate kind, useful for exhaustive tests.
+    pub const ALL: [GateKind; 11] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Mux2,
+        GateKind::Const0,
+        GateKind::Const1,
+    ];
+
+    /// The inclusive range of input counts this kind accepts.
+    #[must_use]
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            GateKind::Buf | GateKind::Not => (1, 1),
+            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => (2, usize::MAX),
+            GateKind::Xor | GateKind::Xnor => (2, usize::MAX),
+            GateKind::Mux2 => (3, 3),
+            GateKind::Const0 | GateKind::Const1 => (0, 0),
+        }
+    }
+
+    /// Returns `true` if `n` inputs are legal for this kind.
+    #[must_use]
+    pub fn accepts_inputs(self, n: usize) -> bool {
+        let (lo, hi) = self.arity();
+        n >= lo && n <= hi
+    }
+
+    /// Evaluates the gate over four-valued inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` violates [`GateKind::arity`]; the
+    /// [`NetlistBuilder`](crate::NetlistBuilder) guarantees this never
+    /// happens for gates inside a built netlist.
+    #[must_use]
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        assert!(
+            self.accepts_inputs(inputs.len()),
+            "{self} gate cannot take {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateKind::Buf => inputs[0].driven(),
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().fold(Logic::One, |acc, &i| acc & i),
+            GateKind::Nand => !inputs.iter().fold(Logic::One, |acc, &i| acc & i),
+            GateKind::Or => inputs.iter().fold(Logic::Zero, |acc, &i| acc | i),
+            GateKind::Nor => !inputs.iter().fold(Logic::Zero, |acc, &i| acc | i),
+            GateKind::Xor => inputs.iter().fold(Logic::Zero, |acc, &i| acc ^ i),
+            GateKind::Xnor => !inputs.iter().fold(Logic::Zero, |acc, &i| acc ^ i),
+            GateKind::Mux2 => match inputs[0].to_bool() {
+                Some(false) => inputs[1].driven(),
+                Some(true) => inputs[2].driven(),
+                // Unknown select: output is defined only if both data
+                // inputs agree on a binary value.
+                None => match (inputs[1].to_bool(), inputs[2].to_bool()) {
+                    (Some(a), Some(b)) if a == b => Logic::from(a),
+                    _ => Logic::X,
+                },
+            },
+            GateKind::Const0 => Logic::Zero,
+            GateKind::Const1 => Logic::One,
+        }
+    }
+
+    /// Nominal cell area in equivalent-gate units, used by static area
+    /// estimators. Values follow a typical standard-cell library ranking.
+    #[must_use]
+    pub fn unit_area(self) -> f64 {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => 0.0,
+            GateKind::Buf => 0.75,
+            GateKind::Not => 0.5,
+            GateKind::Nand | GateKind::Nor => 1.0,
+            GateKind::And | GateKind::Or => 1.25,
+            GateKind::Xor | GateKind::Xnor => 2.0,
+            GateKind::Mux2 => 1.75,
+        }
+    }
+
+    /// Nominal input pin capacitance in femtofarads, used by the power
+    /// engine's load model.
+    #[must_use]
+    pub fn input_capacitance(self) -> f64 {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => 0.0,
+            GateKind::Buf | GateKind::Not => 1.0,
+            GateKind::Nand | GateKind::Nor => 1.5,
+            GateKind::And | GateKind::Or => 1.5,
+            GateKind::Xor | GateKind::Xnor => 2.5,
+            GateKind::Mux2 => 2.0,
+        }
+    }
+
+    /// Nominal propagation delay in picoseconds, used by timing estimators.
+    #[must_use]
+    pub fn unit_delay(self) -> f64 {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => 0.0,
+            GateKind::Buf => 40.0,
+            GateKind::Not => 30.0,
+            GateKind::Nand | GateKind::Nor => 50.0,
+            GateKind::And | GateKind::Or => 70.0,
+            GateKind::Xor | GateKind::Xnor => 90.0,
+            GateKind::Mux2 => 80.0,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Mux2 => "MUX2",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_truth_tables() {
+        let cases = [
+            (GateKind::And, [0, 0, 0, 1]),
+            (GateKind::Or, [0, 1, 1, 1]),
+            (GateKind::Nand, [1, 1, 1, 0]),
+            (GateKind::Nor, [1, 0, 0, 0]),
+            (GateKind::Xor, [0, 1, 1, 0]),
+            (GateKind::Xnor, [1, 0, 0, 1]),
+        ];
+        for (kind, expect) in cases {
+            for (i, &e) in expect.iter().enumerate() {
+                let a = Logic::from(i & 1 == 1);
+                let b = Logic::from(i >> 1 & 1 == 1);
+                assert_eq!(kind.eval(&[a, b]), Logic::from(e == 1), "{kind} {a}{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_gates() {
+        let ones = [Logic::One; 5];
+        let mut mixed = ones;
+        mixed[3] = Logic::Zero;
+        assert_eq!(GateKind::And.eval(&ones), Logic::One);
+        assert_eq!(GateKind::And.eval(&mixed), Logic::Zero);
+        assert_eq!(GateKind::Xor.eval(&ones), Logic::One); // odd parity of 5 ones
+        assert_eq!(GateKind::Xor.eval(&mixed), Logic::Zero);
+    }
+
+    #[test]
+    fn mux_semantics() {
+        use Logic::{One, Zero, X};
+        assert_eq!(GateKind::Mux2.eval(&[Zero, One, Zero]), One);
+        assert_eq!(GateKind::Mux2.eval(&[One, One, Zero]), Zero);
+        // Unknown select with agreeing data inputs is still defined.
+        assert_eq!(GateKind::Mux2.eval(&[X, One, One]), One);
+        assert_eq!(GateKind::Mux2.eval(&[X, One, Zero]), X);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(GateKind::Const0.eval(&[]), Logic::Zero);
+        assert_eq!(GateKind::Const1.eval(&[]), Logic::One);
+    }
+
+    #[test]
+    fn inverted_pairs_agree() {
+        for (plain, inverted) in [
+            (GateKind::And, GateKind::Nand),
+            (GateKind::Or, GateKind::Nor),
+            (GateKind::Xor, GateKind::Xnor),
+        ] {
+            for a in Logic::ALL {
+                for b in Logic::ALL {
+                    assert_eq!(!plain.eval(&[a, b]), inverted.eval(&[a, b]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(GateKind::Not.accepts_inputs(1));
+        assert!(!GateKind::Not.accepts_inputs(2));
+        assert!(GateKind::And.accepts_inputs(8));
+        assert!(!GateKind::And.accepts_inputs(1));
+        assert!(GateKind::Mux2.accepts_inputs(3));
+        assert!(!GateKind::Mux2.accepts_inputs(2));
+        assert!(GateKind::Const1.accepts_inputs(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot take")]
+    fn eval_rejects_bad_arity() {
+        let _ = GateKind::Not.eval(&[Logic::One, Logic::One]);
+    }
+
+    #[test]
+    fn cost_models_are_positive() {
+        for kind in GateKind::ALL {
+            if !matches!(kind, GateKind::Const0 | GateKind::Const1) {
+                assert!(kind.unit_area() > 0.0);
+                assert!(kind.input_capacitance() > 0.0);
+                assert!(kind.unit_delay() > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,747 @@
+//! Parametric netlist generators.
+//!
+//! These produce the circuits used across the paper's evaluation: the
+//! half adder of Figure 4, multipliers standing in for the provider's
+//! `MultFastLowPower` component of Figure 2, adders, parity and comparator
+//! blocks, the ISCAS-85 `c17` benchmark, and seeded random circuits for
+//! scaling studies.
+//!
+//! Bus conventions: a generator taking buses `a` and `b` declares all bits
+//! of `a` first (LSB first), then all bits of `b`; its input pattern is
+//! therefore `a_bits.concat(&b_bits)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{GateKind, NetId, Netlist, NetlistBuilder};
+
+/// Two-gate half adder: `sum = a ^ b`, `carry = a & b`.
+///
+/// Outputs are declared `sum` then `carry` (so bit 0 of the output vector
+/// is the sum).
+#[must_use]
+pub fn half_adder() -> Netlist {
+    let mut b = NetlistBuilder::new("half_adder");
+    let a = b.input("a");
+    let c = b.input("b");
+    let sum = b.named_gate("sum", GateKind::Xor, &[a, c]);
+    let carry = b.named_gate("carry", GateKind::And, &[a, c]);
+    b.output("sum", sum);
+    b.output("carry", carry);
+    b.build().expect("half adder is structurally valid")
+}
+
+/// Six-gate NAND-style half adder matching the internal structure of the
+/// paper's Figure 4 IP block `IP1` (gates `I1`…`I6`).
+///
+/// Functionally identical to [`half_adder`], but its gate-level structure —
+/// which the IP provider keeps private — yields the richer collapsed fault
+/// list the figure discusses.
+#[must_use]
+pub fn half_adder_nand() -> Netlist {
+    let mut b = NetlistBuilder::new("half_adder_nand");
+    let a = b.input("a");
+    let c = b.input("b");
+    let i1 = b.named_gate("I1", GateKind::Nand, &[a, c]);
+    let i2 = b.named_gate("I2", GateKind::Nand, &[a, i1]);
+    let i3 = b.named_gate("I3", GateKind::Nand, &[c, i1]);
+    let i4 = b.named_gate("I4", GateKind::Nand, &[i2, i3]);
+    let i5 = b.named_gate("I5", GateKind::Not, &[i1]);
+    let i6 = b.named_gate("I6", GateKind::Buf, &[i4]);
+    b.output("sum", i6);
+    b.output("carry", i5);
+    b.build().expect("nand half adder is structurally valid")
+}
+
+/// Builds one full-adder cell inside an existing builder and returns
+/// `(sum, carry_out)`.
+fn full_adder_cell(b: &mut NetlistBuilder, a: NetId, x: NetId, cin: NetId) -> (NetId, NetId) {
+    let s1 = b.gate(GateKind::Xor, &[a, x]);
+    let c1 = b.gate(GateKind::And, &[a, x]);
+    let sum = b.gate(GateKind::Xor, &[s1, cin]);
+    let c2 = b.gate(GateKind::And, &[s1, cin]);
+    let cout = b.gate(GateKind::Or, &[c1, c2]);
+    (sum, cout)
+}
+
+/// Single-bit full adder with inputs `a`, `b`, `cin` and outputs
+/// `sum`, `cout`.
+#[must_use]
+pub fn full_adder() -> Netlist {
+    let mut b = NetlistBuilder::new("full_adder");
+    let a = b.input("a");
+    let x = b.input("b");
+    let cin = b.input("cin");
+    let (sum, cout) = full_adder_cell(&mut b, a, x, cin);
+    b.output("sum", sum);
+    b.output("cout", cout);
+    b.build().expect("full adder is structurally valid")
+}
+
+/// `width`-bit ripple-carry adder.
+///
+/// Inputs: bus `a` then bus `b` (LSB first each). Outputs: bus `s` of
+/// `width + 1` bits, where bit `width` is the carry out, so the output word
+/// equals `a + b` exactly.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn ripple_adder(width: usize) -> Netlist {
+    assert!(width > 0, "adder width must be positive");
+    let mut b = NetlistBuilder::new(format!("ripple_adder_{width}"));
+    let a = b.input_bus("a", width);
+    let x = b.input_bus("b", width);
+    let mut sums = Vec::with_capacity(width + 1);
+    // Bit 0 is a half adder.
+    let s0 = b.gate(GateKind::Xor, &[a[0], x[0]]);
+    let mut carry = b.gate(GateKind::And, &[a[0], x[0]]);
+    sums.push(s0);
+    for i in 1..width {
+        let (s, c) = full_adder_cell(&mut b, a[i], x[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    sums.push(carry);
+    b.output_bus("s", &sums);
+    b.build().expect("ripple adder is structurally valid")
+}
+
+/// Ripple-sums two equal-width bit vectors inside a builder, returning
+/// `width + 1` sum bits.
+fn ripple_sum(b: &mut NetlistBuilder, a: &[NetId], x: &[NetId]) -> Vec<NetId> {
+    assert_eq!(a.len(), x.len());
+    let mut sums = Vec::with_capacity(a.len() + 1);
+    let s0 = b.gate(GateKind::Xor, &[a[0], x[0]]);
+    let mut carry = b.gate(GateKind::And, &[a[0], x[0]]);
+    sums.push(s0);
+    for i in 1..a.len() {
+        let (s, c) = full_adder_cell(b, a[i], x[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    sums.push(carry);
+    sums
+}
+
+/// `width × width` array (shift-and-add) multiplier producing a
+/// `2 × width`-bit product.
+///
+/// Inputs: bus `a` then bus `b`. Outputs: bus `p` of `2 * width` bits.
+/// This is the straightforward, slower architecture the Wallace tree is
+/// compared against.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn array_multiplier(width: usize) -> Netlist {
+    assert!(width > 0, "multiplier width must be positive");
+    let mut b = NetlistBuilder::new(format!("array_multiplier_{width}"));
+    let a = b.input_bus("a", width);
+    let x = b.input_bus("b", width);
+    let zero = b.constant(vcad_logic::Logic::Zero);
+
+    // Accumulate partial products row by row with ripple adders.
+    // acc holds the running 2*width-bit sum.
+    let mut acc: Vec<NetId> = vec![zero; 2 * width];
+    for (j, &bj) in x.iter().enumerate() {
+        // Partial product row j: a[i] & b[j], aligned at bit j.
+        let mut row: Vec<NetId> = vec![zero; 2 * width];
+        for (i, &ai) in a.iter().enumerate() {
+            row[i + j] = b.gate(GateKind::And, &[ai, bj]);
+        }
+        let summed = ripple_sum(&mut b, &acc, &row);
+        acc = summed[..2 * width].to_vec();
+    }
+    b.output_bus("p", &acc);
+    b.build().expect("array multiplier is structurally valid")
+}
+
+/// `width × width` Wallace-tree multiplier producing a `2 × width`-bit
+/// product.
+///
+/// Column-wise 3:2 / 2:2 compression followed by a final ripple adder.
+/// This plays the role of the provider's high-performance, low-power
+/// `MultFastLowPower` component in the paper's Figure 2.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn wallace_multiplier(width: usize) -> Netlist {
+    assert!(width > 0, "multiplier width must be positive");
+    let mut b = NetlistBuilder::new(format!("wallace_multiplier_{width}"));
+    let a = b.input_bus("a", width);
+    let x = b.input_bus("b", width);
+
+    // columns[c] holds the bits of weight 2^c still to be summed.
+    let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); 2 * width];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in x.iter().enumerate() {
+            let pp = b.gate(GateKind::And, &[ai, bj]);
+            columns[i + j].push(pp);
+        }
+    }
+
+    // Compress until every column has at most two bits. A carry out of the
+    // top column (weight 2^(2*width)) is provably zero — the product always
+    // fits in 2*width bits — so it is dropped rather than propagated.
+    while columns.iter().any(|c| c.len() > 2) {
+        let mut next: Vec<Vec<NetId>> = vec![Vec::new(); columns.len()];
+        for (c, col) in columns.iter().enumerate() {
+            let mut idx = 0;
+            while col.len() - idx >= 3 {
+                let (s, carry) = full_adder_cell(&mut b, col[idx], col[idx + 1], col[idx + 2]);
+                next[c].push(s);
+                if c + 1 < next.len() {
+                    next[c + 1].push(carry);
+                }
+                idx += 3;
+            }
+            if col.len() - idx == 2 {
+                let s = b.gate(GateKind::Xor, &[col[idx], col[idx + 1]]);
+                let carry = b.gate(GateKind::And, &[col[idx], col[idx + 1]]);
+                next[c].push(s);
+                if c + 1 < next.len() {
+                    next[c + 1].push(carry);
+                }
+            } else if col.len() - idx == 1 {
+                next[c].push(col[idx]);
+            }
+        }
+        columns = next;
+    }
+
+    // Final carry-propagate addition over the at-most-two rows.
+    let zero = b.constant(vcad_logic::Logic::Zero);
+    let row0: Vec<NetId> = columns
+        .iter()
+        .map(|c| c.first().copied().unwrap_or(zero))
+        .collect();
+    let row1: Vec<NetId> = columns
+        .iter()
+        .map(|c| c.get(1).copied().unwrap_or(zero))
+        .collect();
+    let summed = ripple_sum(&mut b, &row0, &row1);
+    b.output_bus("p", &summed[..2 * width]);
+    b.build().expect("wallace multiplier is structurally valid")
+}
+
+/// `width`-input XOR (odd-parity) tree, output `p`.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+#[must_use]
+pub fn parity_tree(width: usize) -> Netlist {
+    assert!(width >= 2, "parity tree needs at least two inputs");
+    let mut b = NetlistBuilder::new(format!("parity_{width}"));
+    let mut layer = b.input_bus("a", width);
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            match pair {
+                [x, y] => next.push(b.gate(GateKind::Xor, &[*x, *y])),
+                [x] => next.push(*x),
+                _ => unreachable!(),
+            }
+        }
+        layer = next;
+    }
+    b.output("p", layer[0]);
+    b.build().expect("parity tree is structurally valid")
+}
+
+/// `width`-bit equality comparator: output `eq` is `1` when buses `a` and
+/// `b` are equal.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn equality_comparator(width: usize) -> Netlist {
+    assert!(width > 0, "comparator width must be positive");
+    let mut b = NetlistBuilder::new(format!("eq_{width}"));
+    let a = b.input_bus("a", width);
+    let x = b.input_bus("b", width);
+    let bits: Vec<NetId> = (0..width)
+        .map(|i| b.gate(GateKind::Xnor, &[a[i], x[i]]))
+        .collect();
+    let eq = if bits.len() == 1 {
+        bits[0]
+    } else {
+        b.gate(GateKind::And, &bits)
+    };
+    b.output("eq", eq);
+    b.build().expect("comparator is structurally valid")
+}
+
+/// The ISCAS-85 `c17` benchmark: 5 inputs, 2 outputs, 6 NAND gates.
+#[must_use]
+pub fn c17() -> Netlist {
+    let mut b = NetlistBuilder::new("c17");
+    let n1 = b.input("1");
+    let n2 = b.input("2");
+    let n3 = b.input("3");
+    let n6 = b.input("6");
+    let n7 = b.input("7");
+    let n10 = b.named_gate("10", GateKind::Nand, &[n1, n3]);
+    let n11 = b.named_gate("11", GateKind::Nand, &[n3, n6]);
+    let n16 = b.named_gate("16", GateKind::Nand, &[n2, n11]);
+    let n19 = b.named_gate("19", GateKind::Nand, &[n11, n7]);
+    let n22 = b.named_gate("22", GateKind::Nand, &[n10, n16]);
+    let n23 = b.named_gate("23", GateKind::Nand, &[n16, n19]);
+    b.output("22", n22);
+    b.output("23", n23);
+    b.build().expect("c17 is structurally valid")
+}
+
+/// Parameters for [`random_circuit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RandomCircuitSpec {
+    /// Number of primary inputs (≥ 1).
+    pub inputs: usize,
+    /// Number of gates (≥ 1).
+    pub gates: usize,
+    /// Number of primary outputs (≥ 1, ≤ `gates`).
+    pub outputs: usize,
+    /// RNG seed; the same spec and seed always produce the same netlist.
+    pub seed: u64,
+}
+
+/// Generates a seeded random combinational circuit for scaling studies.
+///
+/// Gates draw their kind from the two-input basics plus inverters, and
+/// their inputs from earlier nets (biased toward recent ones so the circuit
+/// gains depth). Primary outputs are taken from the last gates so most of
+/// the structure is observable.
+///
+/// # Panics
+///
+/// Panics if any spec field is zero or `outputs > gates`.
+#[must_use]
+pub fn random_circuit(spec: RandomCircuitSpec) -> Netlist {
+    assert!(spec.inputs > 0 && spec.gates > 0 && spec.outputs > 0);
+    assert!(spec.outputs <= spec.gates, "more outputs than gates");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = NetlistBuilder::new(format!(
+        "rand_i{}_g{}_s{}",
+        spec.inputs, spec.gates, spec.seed
+    ));
+    let mut nets: Vec<NetId> = b.input_bus("pi", spec.inputs);
+    const KINDS: [GateKind; 7] = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+    ];
+    let mut produced = Vec::with_capacity(spec.gates);
+    for _ in 0..spec.gates {
+        let kind = KINDS[rng.gen_range(0..KINDS.len())];
+        let n_in = if kind == GateKind::Not { 1 } else { 2 };
+        let mut ins = Vec::with_capacity(n_in);
+        for _ in 0..n_in {
+            // Bias toward recent nets: pick from the last half when possible.
+            let lo = nets.len() / 2;
+            let idx = if rng.gen_bool(0.7) && lo < nets.len() {
+                rng.gen_range(lo..nets.len())
+            } else {
+                rng.gen_range(0..nets.len())
+            };
+            ins.push(nets[idx]);
+        }
+        let out = b.gate(kind, &ins);
+        nets.push(out);
+        produced.push(out);
+    }
+    let tail = &produced[produced.len() - spec.outputs..];
+    b.output_bus("po", tail);
+    b.build().expect("random circuit is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+    use vcad_logic::{LogicVec, Word};
+
+    fn drive(nl: &Netlist, value: u64) -> Word {
+        let ev = Evaluator::new(nl);
+        ev.outputs(&LogicVec::from_u64(nl.input_count(), value))
+            .to_word()
+            .expect("binary inputs give binary outputs")
+    }
+
+    #[test]
+    fn half_adders_agree_and_match_arithmetic() {
+        let plain = half_adder();
+        let nand = half_adder_nand();
+        for p in 0..4u64 {
+            let a = p & 1;
+            let b = p >> 1 & 1;
+            let expect = a + b; // sum bit 0, carry bit 1
+            assert_eq!(drive(&plain, p).value(), u128::from(expect));
+            assert_eq!(drive(&nand, p).value(), u128::from(expect));
+        }
+    }
+
+    #[test]
+    fn full_adder_matches_arithmetic() {
+        let fa = full_adder();
+        for p in 0..8u64 {
+            let expect = (p & 1) + (p >> 1 & 1) + (p >> 2 & 1);
+            assert_eq!(drive(&fa, p).value(), u128::from(expect));
+        }
+    }
+
+    #[test]
+    fn ripple_adder_exhaustive_4bit() {
+        let add = ripple_adder(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let got = drive(&add, b << 4 | a).value();
+                assert_eq!(got, u128::from(a + b), "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn array_multiplier_exhaustive_4bit() {
+        let mul = array_multiplier(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let got = drive(&mul, b << 4 | a).value();
+                assert_eq!(got, u128::from(a * b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_multiplier_exhaustive_4bit() {
+        let mul = wallace_multiplier(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let got = drive(&mul, b << 4 | a).value();
+                assert_eq!(got, u128::from(a * b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multipliers_agree_at_width_8_random() {
+        use rand::{Rng, SeedableRng};
+        let arr = array_multiplier(8);
+        let wal = wallace_multiplier(8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let a = rng.gen_range(0..256u64);
+            let b = rng.gen_range(0..256u64);
+            let p = b << 8 | a;
+            assert_eq!(drive(&arr, p), drive(&wal, p));
+            assert_eq!(drive(&wal, p).value(), u128::from(a * b));
+        }
+    }
+
+    #[test]
+    fn wallace_is_shallower_than_array() {
+        let arr = array_multiplier(8);
+        let wal = wallace_multiplier(8);
+        assert!(
+            wal.stats().depth < arr.stats().depth,
+            "wallace {} vs array {}",
+            wal.stats().depth,
+            arr.stats().depth
+        );
+    }
+
+    #[test]
+    fn parity_matches_popcount() {
+        let p = parity_tree(9);
+        for v in [0u64, 1, 0b1011, 0b111111111, 0b101010101] {
+            let expect = u128::from(v.count_ones() as u64 & 1);
+            assert_eq!(drive(&p, v).value(), expect, "{v:b}");
+        }
+    }
+
+    #[test]
+    fn comparator_detects_equality() {
+        let eq = equality_comparator(5);
+        assert_eq!(drive(&eq, 0b10110_10110).value(), 1);
+        assert_eq!(drive(&eq, 0b10111_10110).value(), 0);
+    }
+
+    #[test]
+    fn c17_known_vectors() {
+        let nl = c17();
+        assert_eq!(nl.gate_count(), 6);
+        // All-zero inputs: n10 = n11 = 1, n16 = 1, n19 = 1, out 22 = 0? Work
+        // it out: nand(0,0)=1 for 10 and 11; 16 = nand(0,1)=1; 19 =
+        // nand(1,0)=1; 22 = nand(1,1)=0; 23 = nand(1,1)=0.
+        assert_eq!(drive(&nl, 0).value(), 0b00);
+        // All-one inputs: 10 = 0, 11 = 0, 16 = nand(1,0)=1, 19 = nand(0,1)=1,
+        // 22 = nand(0,1)=1, 23 = nand(1,1)=0.
+        assert_eq!(drive(&nl, 0b11111).value(), 0b01);
+    }
+
+    #[test]
+    fn random_circuit_is_deterministic() {
+        let spec = RandomCircuitSpec {
+            inputs: 8,
+            gates: 100,
+            outputs: 8,
+            seed: 42,
+        };
+        let a = random_circuit(spec);
+        let b = random_circuit(spec);
+        assert_eq!(a.gate_count(), b.gate_count());
+        let pattern = LogicVec::from_u64(8, 0xA5);
+        assert_eq!(
+            Evaluator::new(&a).outputs(&pattern),
+            Evaluator::new(&b).outputs(&pattern)
+        );
+        let c = random_circuit(RandomCircuitSpec { seed: 43, ..spec });
+        // Overwhelmingly likely to differ somewhere.
+        let out_a = Evaluator::new(&a).outputs(&pattern);
+        let out_c = Evaluator::new(&c).outputs(&pattern);
+        assert!(out_a != out_c || a.gate_count() != c.gate_count());
+    }
+}
+
+/// `width`-bit logarithmic barrel shifter (left shift by `shamt`).
+///
+/// Inputs: bus `a` (`width` bits), then bus `shamt`
+/// (`ceil(log2(width))` bits). Outputs: bus `y` (`width` bits) carrying
+/// `a << shamt` (zero fill). Built from MUX2 stages, so it exercises the
+/// multiplexer paths of the fault model.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+#[must_use]
+pub fn barrel_shifter(width: usize) -> Netlist {
+    assert!(width >= 2, "barrel shifter needs at least two bits");
+    let stages = usize::BITS as usize - (width - 1).leading_zeros() as usize;
+    let mut b = NetlistBuilder::new(format!("barrel_shifter_{width}"));
+    let a = b.input_bus("a", width);
+    let shamt = b.input_bus("shamt", stages);
+    let zero = b.constant(vcad_logic::Logic::Zero);
+    let mut layer = a;
+    for (stage, &sel) in shamt.iter().enumerate() {
+        let shift = 1usize << stage;
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let shifted = if i >= shift { layer[i - shift] } else { zero };
+            // MUX2 inputs are (select, when-0, when-1).
+            next.push(b.gate(GateKind::Mux2, &[sel, layer[i], shifted]));
+        }
+        layer = next;
+    }
+    b.output_bus("y", &layer);
+    b.build().expect("barrel shifter is structurally valid")
+}
+
+/// A small `width`-bit ALU with a 2-bit opcode.
+///
+/// Inputs: bus `a`, bus `b`, bus `op` (2 bits). Outputs: bus `y`
+/// (`width + 1` bits; the top bit is the adder carry, zero for the
+/// logical operations).
+///
+/// | `op` | `y` |
+/// |---|---|
+/// | 00 | `a + b` |
+/// | 01 | `a & b` |
+/// | 10 | `a \| b` |
+/// | 11 | `a ^ b` |
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn alu(width: usize) -> Netlist {
+    assert!(width > 0, "alu width must be positive");
+    let mut b = NetlistBuilder::new(format!("alu_{width}"));
+    let a = b.input_bus("a", width);
+    let x = b.input_bus("b", width);
+    let op = b.input_bus("op", 2);
+    let zero = b.constant(vcad_logic::Logic::Zero);
+
+    let sum = ripple_sum(&mut b, &a, &x);
+    let mut outs = Vec::with_capacity(width + 1);
+    for i in 0..width {
+        let and = b.gate(GateKind::And, &[a[i], x[i]]);
+        let or = b.gate(GateKind::Or, &[a[i], x[i]]);
+        let xor = b.gate(GateKind::Xor, &[a[i], x[i]]);
+        // Two-level mux tree on (op[1], op[0]).
+        let low = b.gate(GateKind::Mux2, &[op[0], sum[i], and]);
+        let high = b.gate(GateKind::Mux2, &[op[0], or, xor]);
+        outs.push(b.gate(GateKind::Mux2, &[op[1], low, high]));
+    }
+    // Carry bit: only meaningful for the add op.
+    let op0_inv = b.gate(GateKind::Not, &[op[0]]);
+    let op1_inv = b.gate(GateKind::Not, &[op[1]]);
+    let is_add = b.gate(GateKind::And, &[op0_inv, op1_inv]);
+    let carry = b.gate(GateKind::Mux2, &[is_add, zero, sum[width]]);
+    outs.push(carry);
+    b.output_bus("y", &outs);
+    b.build().expect("alu is structurally valid")
+}
+
+#[cfg(test)]
+mod mux_circuit_tests {
+    use super::*;
+    use crate::Evaluator;
+    use vcad_logic::LogicVec;
+
+    fn drive2(nl: &Netlist, value: u64) -> u128 {
+        Evaluator::new(nl)
+            .outputs(&LogicVec::from_u64(nl.input_count(), value))
+            .to_word()
+            .expect("binary outputs")
+            .value()
+    }
+
+    #[test]
+    fn barrel_shifter_matches_shifts() {
+        let nl = barrel_shifter(8); // 8 data bits + 3 shamt bits
+        for a in [0x01u64, 0xA5, 0xFF, 0x80] {
+            for sh in 0..8u64 {
+                let pattern = sh << 8 | a;
+                let expect = u128::from(a << sh & 0xFF);
+                assert_eq!(drive2(&nl, pattern), expect, "a={a:#x} sh={sh}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_matches_operations_exhaustively_4bit() {
+        let nl = alu(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for op in 0..4u64 {
+                    let pattern = op << 8 | b << 4 | a;
+                    let expect = match op {
+                        0 => a + b,
+                        1 => a & b,
+                        2 => a | b,
+                        _ => a ^ b,
+                    };
+                    assert_eq!(
+                        drive2(&nl, pattern),
+                        u128::from(expect),
+                        "a={a} b={b} op={op}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mux_circuits_have_testable_fault_universes() {
+        // Smoke-check that the fault machinery handles MUX2 structures.
+        let nl = alu(3);
+        let stats = nl.stats();
+        assert!(stats.gates > 20);
+    }
+}
+
+/// `width`-bit carry-select adder with `block` bits per select block.
+///
+/// Each block beyond the first is computed twice (carry-in 0 and 1) and
+/// the real carry selects the result through MUX2 cells — a classic
+/// speed/area trade against [`ripple_adder`]. Interface matches
+/// `ripple_adder`: buses `a`, `b` in; bus `s` (`width + 1` bits) out.
+///
+/// # Panics
+///
+/// Panics if `width` or `block` is zero.
+#[must_use]
+pub fn carry_select_adder(width: usize, block: usize) -> Netlist {
+    assert!(width > 0 && block > 0, "width and block must be positive");
+    let mut b = NetlistBuilder::new(format!("carry_select_adder_{width}_{block}"));
+    let a = b.input_bus("a", width);
+    let x = b.input_bus("b", width);
+
+    // First block: plain ripple with carry-in 0.
+    let first = block.min(width);
+    let mut sums: Vec<NetId> = Vec::with_capacity(width + 1);
+    let s0 = b.gate(GateKind::Xor, &[a[0], x[0]]);
+    let mut carry = b.gate(GateKind::And, &[a[0], x[0]]);
+    sums.push(s0);
+    for i in 1..first {
+        let (s, c) = full_adder_cell(&mut b, a[i], x[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+
+    // Subsequent blocks: compute both polarities, select by carry.
+    let mut lo = first;
+    while lo < width {
+        let hi = (lo + block).min(width);
+        let zero = b.constant(vcad_logic::Logic::Zero);
+        let one = b.constant(vcad_logic::Logic::One);
+        let build_branch = |cin: NetId, b: &mut NetlistBuilder| {
+            let mut branch_sums = Vec::with_capacity(hi - lo);
+            let mut c = cin;
+            for i in lo..hi {
+                let (s, nc) = full_adder_cell(b, a[i], x[i], c);
+                branch_sums.push(s);
+                c = nc;
+            }
+            (branch_sums, c)
+        };
+        let (sums0, cout0) = build_branch(zero, &mut b);
+        let (sums1, cout1) = build_branch(one, &mut b);
+        for i in 0..(hi - lo) {
+            sums.push(b.gate(GateKind::Mux2, &[carry, sums0[i], sums1[i]]));
+        }
+        carry = b.gate(GateKind::Mux2, &[carry, cout0, cout1]);
+        lo = hi;
+    }
+    sums.push(carry);
+    b.output_bus("s", &sums);
+    b.build().expect("carry-select adder is structurally valid")
+}
+
+#[cfg(test)]
+mod carry_select_tests {
+    use super::*;
+    use crate::Evaluator;
+    use vcad_logic::LogicVec;
+
+    #[test]
+    fn matches_ripple_adder_exhaustively() {
+        let csa = carry_select_adder(6, 2);
+        let rca = ripple_adder(6);
+        for a in 0..64u64 {
+            for b in (0..64u64).step_by(7) {
+                let p = LogicVec::from_u64(12, b << 6 | a);
+                let got = Evaluator::new(&csa).outputs(&p);
+                let want = Evaluator::new(&rca).outputs(&p);
+                assert_eq!(got, want, "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_blocks_work() {
+        let csa = carry_select_adder(5, 3);
+        for (a, b) in [(31u64, 31u64), (17, 9), (0, 0), (16, 16)] {
+            let p = LogicVec::from_u64(10, b << 5 | a);
+            let got = Evaluator::new(&csa).outputs(&p).to_word().unwrap().value();
+            assert_eq!(got, u128::from(a + b));
+        }
+    }
+
+    #[test]
+    fn shallower_than_ripple_for_wide_words() {
+        let csa = carry_select_adder(16, 4);
+        let rca = ripple_adder(16);
+        assert!(csa.stats().depth < rca.stats().depth);
+        assert!(csa.stats().area > rca.stats().area);
+    }
+}

@@ -1,0 +1,100 @@
+//! Real-sleep traffic shaping for integration tests.
+
+use std::thread;
+use std::time::Duration;
+
+use crate::NetworkModel;
+
+/// Applies a [`NetworkModel`]'s delays as real (optionally scaled) sleeps.
+///
+/// Used by integration tests that run an actual TCP transport and want the
+/// relative timing of LAN vs. WAN sessions without waiting for 1999-scale
+/// transfers: a `scale` of `0.01` sleeps 1 % of the modeled delay.
+///
+/// # Examples
+///
+/// ```
+/// use vcad_netsim::{NetworkModel, Shaper};
+///
+/// let shaper = Shaper::new(NetworkModel::lan_1999(), 0.001);
+/// let d = shaper.delay_for(1024);
+/// assert!(d < NetworkModel::lan_1999().one_way(1024));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Shaper {
+    model: NetworkModel,
+    scale: f64,
+}
+
+impl Shaper {
+    /// Creates a shaper that sleeps `scale` × the modeled delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is negative or not finite.
+    #[must_use]
+    pub fn new(model: NetworkModel, scale: f64) -> Shaper {
+        assert!(scale.is_finite() && scale >= 0.0, "scale must be >= 0");
+        Shaper { model, scale }
+    }
+
+    /// The underlying network model.
+    #[must_use]
+    pub fn model(&self) -> &NetworkModel {
+        &self.model
+    }
+
+    /// The scaled one-way delay for a message of `bytes` payload bytes.
+    #[must_use]
+    pub fn delay_for(&self, bytes: usize) -> Duration {
+        self.model.one_way(bytes).mul_f64(self.scale)
+    }
+
+    /// Sleeps for the scaled one-way delay of a `bytes`-byte message.
+    pub fn apply(&self, bytes: usize) {
+        let d = self.delay_for(bytes);
+        if !d.is_zero() {
+            thread::sleep(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn zero_scale_never_sleeps() {
+        let s = Shaper::new(NetworkModel::wan_1999(), 0.0);
+        let t = Instant::now();
+        s.apply(1_000_000);
+        assert!(t.elapsed() < Duration::from_millis(20));
+        assert_eq!(s.delay_for(1_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn scaled_delay_is_proportional() {
+        let m = NetworkModel::lan_1999();
+        let full = Shaper::new(m.clone(), 1.0).delay_for(10_000);
+        let tenth = Shaper::new(m, 0.1).delay_for(10_000);
+        let ratio = full.as_secs_f64() / tenth.as_secs_f64();
+        // Duration arithmetic is nanosecond-quantised; allow for rounding.
+        assert!((ratio - 10.0).abs() < 1e-3, "{ratio}");
+    }
+
+    #[test]
+    fn apply_actually_waits() {
+        let s = Shaper::new(NetworkModel::wan_1999(), 0.05);
+        let expected = s.delay_for(0);
+        let t = Instant::now();
+        s.apply(0);
+        assert!(t.elapsed() >= expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn negative_scale_rejected() {
+        let _ = Shaper::new(NetworkModel::local_host(), -1.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Gate-level power estimation — the PPP substitute.
+//!
+//! The paper's accurate power numbers come from PPP, a gate-level power
+//! simulator built on Verilog-XL and reached through JNI; neither is
+//! available to this reproduction, so this crate implements the same core
+//! computation from scratch: **capacitance-weighted toggle counting** over
+//! a [`Netlist`](vcad_netlist::Netlist) ([`PowerModel`],
+//! [`pattern_energy`]), plus the three estimator tiers the paper's Table 1
+//! compares:
+//!
+//! * [`ConstantPowerEstimator`] — a pre-characterised datasheet mean;
+//! * [`LinearRegressionPowerEstimator`] — a linear model over input
+//!   switching activity, fitted on training patterns;
+//! * [`TogglePowerEstimator`] — full gate-level toggle counting, which
+//!   requires the (IP-protected) netlist and therefore runs on the
+//!   provider's server in a distributed setting.
+//!
+//! A deterministic [`SiliconReference`] stands in for measured silicon: it
+//! perturbs the toggle model with pattern-dependent effects (glitching,
+//! wire detail) the gate-level view cannot see, giving each tier its
+//! characteristic error level. [`ErrorStats`] computes the paper's
+//! average/RMS error columns.
+//!
+//! # Examples
+//!
+//! ```
+//! use vcad_logic::LogicVec;
+//! use vcad_netlist::generators;
+//! use vcad_power::{pattern_energy, PowerModel};
+//!
+//! let mult = generators::wallace_multiplier(4);
+//! let model = PowerModel::default();
+//! let quiet = pattern_energy(&mult, &model,
+//!     &LogicVec::zeros(8), &LogicVec::zeros(8));
+//! let busy = pattern_energy(&mult, &model,
+//!     &LogicVec::zeros(8), &LogicVec::from_u64(8, 0xFF));
+//! assert_eq!(quiet, 0.0);
+//! assert!(busy > 0.0);
+//! ```
+
+mod estimators;
+mod model;
+mod stats;
+mod truth;
+
+pub use estimators::{
+    ConstantPowerEstimator, LinearRegressionPowerEstimator, PeakPowerEstimator,
+    TogglePowerEstimator,
+};
+pub use model::{pattern_energy, sequence_average_power, PowerModel};
+pub use stats::ErrorStats;
+pub use truth::SiliconReference;

@@ -1,0 +1,112 @@
+//! Error statistics for estimator comparisons.
+
+use std::fmt;
+
+/// Average and root-mean-square relative error of a prediction series
+/// against a reference series — the two accuracy columns of the paper's
+/// Table 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorStats {
+    /// Mean of `|pred - ref| / ref`, in percent.
+    pub avg_pct: f64,
+    /// Root mean square of the same relative errors, in percent.
+    pub rms_pct: f64,
+    /// Number of compared points (reference zeros are skipped).
+    pub samples: usize,
+}
+
+impl ErrorStats {
+    /// Compares predictions against a reference, point by point.
+    ///
+    /// Points where the reference is zero are skipped (relative error is
+    /// undefined there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[must_use]
+    pub fn compare(predictions: &[f64], reference: &[f64]) -> ErrorStats {
+        assert_eq!(
+            predictions.len(),
+            reference.len(),
+            "series must have equal length"
+        );
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut n = 0usize;
+        for (p, r) in predictions.iter().zip(reference) {
+            if *r == 0.0 {
+                continue;
+            }
+            let rel = (p - r).abs() / r.abs();
+            sum += rel;
+            sum_sq += rel * rel;
+            n += 1;
+        }
+        if n == 0 {
+            return ErrorStats {
+                avg_pct: 0.0,
+                rms_pct: 0.0,
+                samples: 0,
+            };
+        }
+        ErrorStats {
+            avg_pct: sum / n as f64 * 100.0,
+            rms_pct: (sum_sq / n as f64).sqrt() * 100.0,
+            samples: n,
+        }
+    }
+}
+
+impl fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "avg {:.1}% / rms {:.1}% over {} samples",
+            self.avg_pct, self.rms_pct, self.samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_have_zero_error() {
+        let r = [1.0, 2.0, 3.0];
+        let s = ErrorStats::compare(&r, &r);
+        assert_eq!(s.avg_pct, 0.0);
+        assert_eq!(s.rms_pct, 0.0);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn known_errors() {
+        // 10% and 30% off: avg 20%, rms sqrt((0.01+0.09)/2)=~22.36%.
+        let s = ErrorStats::compare(&[1.1, 0.7], &[1.0, 1.0]);
+        assert!((s.avg_pct - 20.0).abs() < 1e-9);
+        assert!((s.rms_pct - 22.360_679).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rms_is_at_least_avg() {
+        let preds = [1.2, 0.5, 2.0, 0.9];
+        let refs = [1.0, 1.0, 1.0, 1.0];
+        let s = ErrorStats::compare(&preds, &refs);
+        assert!(s.rms_pct >= s.avg_pct);
+    }
+
+    #[test]
+    fn zero_references_skipped() {
+        let s = ErrorStats::compare(&[5.0, 1.1], &[0.0, 1.0]);
+        assert_eq!(s.samples, 1);
+        assert!((s.avg_pct - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = ErrorStats::compare(&[1.1], &[1.0]);
+        assert!(s.to_string().contains("avg 10.0%"));
+    }
+}

@@ -1,0 +1,316 @@
+//! The server side: exported objects and call dispatch.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{RemoteErrorKind, RmiError};
+use crate::frame::{CallFrame, Frame, ResponseFrame};
+use crate::security::SecurityManager;
+use crate::value::{ObjectId, Value};
+
+/// An object exported by a server (the "skeleton"/private-part side of the
+/// distributed-object model).
+///
+/// Implementations receive the decoded method selector and arguments and
+/// return a marshallable [`Value`]. A method may export further objects
+/// through [`ServerCtx::export`] and hand back their
+/// [`Value::ObjectRef`] — the factory pattern the IP provider uses to
+/// instantiate parametric components.
+pub trait RemoteObject: Send + Sync {
+    /// Handles one method invocation.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`RmiError`] for unknown methods, bad
+    /// arguments or domain failures; the dispatcher converts the error
+    /// into a response frame.
+    fn invoke(&self, method: &str, args: &[Value], ctx: &ServerCtx) -> Result<Value, RmiError>;
+
+    /// A short human-readable description for diagnostics.
+    fn describe(&self) -> &str {
+        "remote object"
+    }
+}
+
+/// The table of exported objects on one server.
+///
+/// Object id `0` ([`ObjectId::ROOT`]) is the bootstrap object clients reach
+/// first, analogous to an RMI registry entry.
+#[derive(Default)]
+pub struct ObjectRegistry {
+    objects: RwLock<HashMap<u64, Arc<dyn RemoteObject>>>,
+    next: AtomicU64,
+}
+
+impl ObjectRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> ObjectRegistry {
+        ObjectRegistry {
+            objects: RwLock::new(HashMap::new()),
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Installs the root (bootstrap) object, replacing any previous one.
+    pub fn register_root(&self, object: Arc<dyn RemoteObject>) {
+        self.objects.write().insert(ObjectId::ROOT.0, object);
+    }
+
+    /// Exports an object under a fresh id.
+    pub fn register(&self, object: Arc<dyn RemoteObject>) -> ObjectId {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.objects.write().insert(id, object);
+        ObjectId(id)
+    }
+
+    /// Withdraws an exported object. Returns `true` if it existed.
+    pub fn unregister(&self, id: ObjectId) -> bool {
+        self.objects.write().remove(&id.0).is_some()
+    }
+
+    /// Looks up an exported object.
+    #[must_use]
+    pub fn get(&self, id: ObjectId) -> Option<Arc<dyn RemoteObject>> {
+        self.objects.read().get(&id.0).cloned()
+    }
+
+    /// Number of exported objects (including the root, if set).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Returns `true` when nothing is exported.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+}
+
+/// Context handed to [`RemoteObject::invoke`], giving server-side methods
+/// controlled access to their own registry.
+pub struct ServerCtx {
+    registry: Arc<ObjectRegistry>,
+    self_id: ObjectId,
+}
+
+impl ServerCtx {
+    /// Exports a new object and returns its id, for factory methods.
+    #[must_use]
+    pub fn export(&self, object: Arc<dyn RemoteObject>) -> ObjectId {
+        self.registry.register(object)
+    }
+
+    /// Withdraws a previously exported object.
+    pub fn withdraw(&self, id: ObjectId) -> bool {
+        self.registry.unregister(id)
+    }
+
+    /// The id under which the currently invoked object is exported.
+    #[must_use]
+    pub fn self_id(&self) -> ObjectId {
+        self.self_id
+    }
+
+    /// Withdraws the currently invoked object — the standard way for a
+    /// component to honour a release request. The in-flight call still
+    /// completes.
+    pub fn withdraw_self(&self) -> bool {
+        self.registry.unregister(self.self_id)
+    }
+}
+
+/// Decodes call frames, dispatches them to exported objects and encodes
+/// the responses. One dispatcher serves any number of transports.
+pub struct Dispatcher {
+    registry: Arc<ObjectRegistry>,
+    security: SecurityManager,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher with a permissive result policy (servers
+    /// legitimately return detection tables, which are maps).
+    #[must_use]
+    pub fn new(registry: Arc<ObjectRegistry>) -> Dispatcher {
+        Dispatcher {
+            registry,
+            security: SecurityManager::permissive(),
+        }
+    }
+
+    /// Creates a dispatcher that also polices outgoing results.
+    #[must_use]
+    pub fn with_security(registry: Arc<ObjectRegistry>, security: SecurityManager) -> Dispatcher {
+        Dispatcher { registry, security }
+    }
+
+    /// The registry this dispatcher serves.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<ObjectRegistry> {
+        &self.registry
+    }
+
+    /// Handles one decoded call.
+    #[must_use]
+    pub fn handle(&self, call: &CallFrame) -> ResponseFrame {
+        let result = self.dispatch(call);
+        ResponseFrame {
+            call_id: call.call_id,
+            result: result.map_err(|e| match e {
+                RmiError::Remote { kind, message } => (kind, message),
+                RmiError::SecurityViolation(msg) => (RemoteErrorKind::Security, msg),
+                other => (RemoteErrorKind::Internal, other.to_string()),
+            }),
+        }
+    }
+
+    /// Handles one encoded request and returns the encoded response.
+    ///
+    /// Malformed requests that still carry a decodable call id get an error
+    /// response; undecodable garbage gets an error response with call id 0.
+    #[must_use]
+    pub fn handle_bytes(&self, request: &[u8]) -> Vec<u8> {
+        let response = match Frame::decode(request) {
+            Ok(Frame::Call(call)) => self.handle(&call),
+            Ok(Frame::Response(r)) => ResponseFrame {
+                call_id: r.call_id,
+                result: Err((
+                    RemoteErrorKind::Internal,
+                    "server received a response frame".into(),
+                )),
+            },
+            Err(e) => ResponseFrame {
+                call_id: 0,
+                result: Err((RemoteErrorKind::Internal, format!("bad request: {e}"))),
+            },
+        };
+        Frame::Response(response).encode()
+    }
+
+    fn dispatch(&self, call: &CallFrame) -> Result<Value, RmiError> {
+        let object = self
+            .registry
+            .get(call.object)
+            .ok_or_else(|| RmiError::unknown_object(call.object))?;
+        let ctx = ServerCtx {
+            registry: Arc::clone(&self.registry),
+            self_id: call.object,
+        };
+        let result = object.invoke(&call.method, &call.args, &ctx)?;
+        self.security.check_result(&result)?;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::security::MarshalPolicy;
+
+    struct Echo;
+    impl RemoteObject for Echo {
+        fn invoke(&self, method: &str, args: &[Value], ctx: &ServerCtx) -> Result<Value, RmiError> {
+            match method {
+                "echo" => Ok(args.first().cloned().unwrap_or(Value::Null)),
+                "spawn" => Ok(Value::ObjectRef(ctx.export(Arc::new(Echo)))),
+                "leak" => Ok(Value::Bytes(vec![1, 2, 3])),
+                _ => Err(RmiError::unknown_method("Echo", method)),
+            }
+        }
+    }
+
+    fn call(method: &str, args: Vec<Value>) -> CallFrame {
+        CallFrame {
+            call_id: 1,
+            object: ObjectId::ROOT,
+            method: method.into(),
+            args,
+        }
+    }
+
+    #[test]
+    fn dispatch_to_root() {
+        let reg = Arc::new(ObjectRegistry::new());
+        reg.register_root(Arc::new(Echo));
+        let d = Dispatcher::new(Arc::clone(&reg));
+        let resp = d.handle(&call("echo", vec![Value::I64(5)]));
+        assert_eq!(resp.result, Ok(Value::I64(5)));
+    }
+
+    #[test]
+    fn unknown_object_and_method() {
+        let reg = Arc::new(ObjectRegistry::new());
+        reg.register_root(Arc::new(Echo));
+        let d = Dispatcher::new(Arc::clone(&reg));
+        let mut c = call("echo", vec![]);
+        c.object = ObjectId(404);
+        assert!(matches!(
+            d.handle(&c).result,
+            Err((RemoteErrorKind::UnknownObject, _))
+        ));
+        assert!(matches!(
+            d.handle(&call("nope", vec![])).result,
+            Err((RemoteErrorKind::UnknownMethod, _))
+        ));
+    }
+
+    #[test]
+    fn factory_exports_new_objects() {
+        let reg = Arc::new(ObjectRegistry::new());
+        reg.register_root(Arc::new(Echo));
+        let d = Dispatcher::new(Arc::clone(&reg));
+        let resp = d.handle(&call("spawn", vec![]));
+        let id = resp.result.unwrap().as_object().unwrap();
+        assert!(reg.get(id).is_some());
+        // The new object answers too.
+        let mut c = call("echo", vec![Value::Bool(true)]);
+        c.object = id;
+        assert_eq!(d.handle(&c).result, Ok(Value::Bool(true)));
+        assert!(reg.unregister(id));
+        assert!(reg.get(id).is_none());
+    }
+
+    #[test]
+    fn strict_server_blocks_leaky_results() {
+        let reg = Arc::new(ObjectRegistry::new());
+        reg.register_root(Arc::new(Echo));
+        let d = Dispatcher::with_security(
+            Arc::clone(&reg),
+            SecurityManager::new(MarshalPolicy::port_data_only()),
+        );
+        assert!(matches!(
+            d.handle(&call("leak", vec![])).result,
+            Err((RemoteErrorKind::Security, _))
+        ));
+    }
+
+    #[test]
+    fn handle_bytes_round_trip() {
+        let reg = Arc::new(ObjectRegistry::new());
+        reg.register_root(Arc::new(Echo));
+        let d = Dispatcher::new(reg);
+        let req = Frame::Call(call("echo", vec![Value::Str("hi".into())])).encode();
+        let resp_bytes = d.handle_bytes(&req);
+        match Frame::decode(&resp_bytes).unwrap() {
+            Frame::Response(r) => assert_eq!(r.result, Ok(Value::Str("hi".into()))),
+            Frame::Call(_) => panic!("expected response"),
+        }
+    }
+
+    #[test]
+    fn handle_bytes_survives_garbage() {
+        let reg = Arc::new(ObjectRegistry::new());
+        let d = Dispatcher::new(reg);
+        let resp_bytes = d.handle_bytes(&[0xFF, 0x00, 0x13]);
+        match Frame::decode(&resp_bytes).unwrap() {
+            Frame::Response(r) => {
+                assert!(matches!(r.result, Err((RemoteErrorKind::Internal, _))));
+            }
+            Frame::Call(_) => panic!("expected response"),
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Error types for the distributed-object layer.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::value::ObjectId;
+use crate::wire::WireError;
+
+/// The kind of an error raised on the remote side and shipped back in a
+/// response frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RemoteErrorKind {
+    /// The target object id is not exported.
+    UnknownObject,
+    /// The object exists but has no such method.
+    UnknownMethod,
+    /// The method ran and failed (bad arguments, domain error…).
+    Application,
+    /// The call violated the security policy.
+    Security,
+    /// The server failed internally.
+    Internal,
+}
+
+impl fmt::Display for RemoteErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RemoteErrorKind::UnknownObject => "unknown object",
+            RemoteErrorKind::UnknownMethod => "unknown method",
+            RemoteErrorKind::Application => "application error",
+            RemoteErrorKind::Security => "security violation",
+            RemoteErrorKind::Internal => "internal server error",
+        };
+        f.write_str(s)
+    }
+}
+
+impl RemoteErrorKind {
+    /// Wire code of the kind.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            RemoteErrorKind::UnknownObject => 0,
+            RemoteErrorKind::UnknownMethod => 1,
+            RemoteErrorKind::Application => 2,
+            RemoteErrorKind::Security => 3,
+            RemoteErrorKind::Internal => 4,
+        }
+    }
+
+    /// Inverse of [`RemoteErrorKind::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<RemoteErrorKind> {
+        Some(match code {
+            0 => RemoteErrorKind::UnknownObject,
+            1 => RemoteErrorKind::UnknownMethod,
+            2 => RemoteErrorKind::Application,
+            3 => RemoteErrorKind::Security,
+            4 => RemoteErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Any failure of a distributed call: local marshalling, transport,
+/// security, or a remote-side error reported by the peer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RmiError {
+    /// Encoding or decoding failed.
+    Wire(WireError),
+    /// The transport could not deliver the request or response.
+    Transport(String),
+    /// The peer reported an error.
+    Remote {
+        /// The remote error category.
+        kind: RemoteErrorKind,
+        /// Human-readable detail from the peer.
+        message: String,
+    },
+    /// The local security policy refused the operation before any data
+    /// left the process.
+    SecurityViolation(String),
+}
+
+impl RmiError {
+    /// Convenience constructor for an application-level "bad arguments"
+    /// error on the server side.
+    #[must_use]
+    pub fn bad_args(method: &str) -> RmiError {
+        RmiError::Remote {
+            kind: RemoteErrorKind::Application,
+            message: format!("bad arguments for `{method}`"),
+        }
+    }
+
+    /// Convenience constructor for [`RemoteErrorKind::UnknownMethod`].
+    #[must_use]
+    pub fn unknown_method(object: &str, method: &str) -> RmiError {
+        RmiError::Remote {
+            kind: RemoteErrorKind::UnknownMethod,
+            message: format!("`{object}` has no method `{method}`"),
+        }
+    }
+
+    /// Convenience constructor for [`RemoteErrorKind::UnknownObject`].
+    #[must_use]
+    pub fn unknown_object(id: ObjectId) -> RmiError {
+        RmiError::Remote {
+            kind: RemoteErrorKind::UnknownObject,
+            message: format!("{id} is not exported"),
+        }
+    }
+
+    /// Convenience constructor for a remote application error.
+    #[must_use]
+    pub fn application(message: impl Into<String>) -> RmiError {
+        RmiError::Remote {
+            kind: RemoteErrorKind::Application,
+            message: message.into(),
+        }
+    }
+
+    /// The remote error kind, if this error came from the peer.
+    #[must_use]
+    pub fn remote_kind(&self) -> Option<RemoteErrorKind> {
+        match self {
+            RmiError::Remote { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmiError::Wire(e) => write!(f, "wire format error: {e}"),
+            RmiError::Transport(msg) => write!(f, "transport error: {msg}"),
+            RmiError::Remote { kind, message } => write!(f, "remote {kind}: {message}"),
+            RmiError::SecurityViolation(msg) => write!(f, "security violation: {msg}"),
+        }
+    }
+}
+
+impl Error for RmiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RmiError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for RmiError {
+    fn from(e: WireError) -> RmiError {
+        RmiError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in [
+            RemoteErrorKind::UnknownObject,
+            RemoteErrorKind::UnknownMethod,
+            RemoteErrorKind::Application,
+            RemoteErrorKind::Security,
+            RemoteErrorKind::Internal,
+        ] {
+            assert_eq!(RemoteErrorKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(RemoteErrorKind::from_code(200), None);
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = RmiError::unknown_method("Mult", "frobnicate");
+        assert_eq!(
+            e.to_string(),
+            "remote unknown method: `Mult` has no method `frobnicate`"
+        );
+        let e = RmiError::from(WireError::UnexpectedEof);
+        assert!(e.to_string().contains("wire format"));
+    }
+
+    #[test]
+    fn remote_kind_accessor() {
+        assert_eq!(
+            RmiError::bad_args("m").remote_kind(),
+            Some(RemoteErrorKind::Application)
+        );
+        assert_eq!(RmiError::Transport("x".into()).remote_kind(), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! Call and response frames.
+
+use crate::error::{RemoteErrorKind, RmiError};
+use crate::value::{ObjectId, Value};
+use crate::wire::{WireError, WireReader, WireWriter};
+
+const TAG_CALL: u8 = 0;
+const TAG_OK: u8 = 1;
+const TAG_ERR: u8 = 2;
+
+/// A method invocation request.
+///
+/// # Examples
+///
+/// ```
+/// use vcad_rmi::{CallFrame, Frame, ObjectId, Value};
+///
+/// let call = CallFrame {
+///     call_id: 7,
+///     object: ObjectId::ROOT,
+///     method: "estimate".into(),
+///     args: vec![Value::Str("power".into())],
+/// };
+/// let bytes = Frame::Call(call.clone()).encode();
+/// assert_eq!(Frame::decode(&bytes)?, Frame::Call(call));
+/// # Ok::<(), vcad_rmi::WireError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CallFrame {
+    /// Client-chosen id echoed in the response.
+    pub call_id: u64,
+    /// The target exported object.
+    pub object: ObjectId,
+    /// The method selector.
+    pub method: String,
+    /// Marshalled arguments.
+    pub args: Vec<Value>,
+}
+
+/// A method invocation response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResponseFrame {
+    /// The id of the call being answered.
+    pub call_id: u64,
+    /// The method's result, or the error the server reported.
+    pub result: Result<Value, (RemoteErrorKind, String)>,
+}
+
+impl ResponseFrame {
+    /// Converts the response into the client-facing result type.
+    ///
+    /// # Errors
+    ///
+    /// Maps a remote error report onto [`RmiError::Remote`].
+    pub fn into_result(self) -> Result<Value, RmiError> {
+        self.result
+            .map_err(|(kind, message)| RmiError::Remote { kind, message })
+    }
+}
+
+/// A wire frame: either a call or a response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// A request from client to server.
+    Call(CallFrame),
+    /// A reply from server to client.
+    Response(ResponseFrame),
+}
+
+impl Frame {
+    /// Encodes the frame to bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Frame::Call(c) => {
+                w.u8(TAG_CALL);
+                w.u64(c.call_id);
+                w.u64(c.object.0);
+                w.str(&c.method);
+                w.u32(c.args.len() as u32);
+                for a in &c.args {
+                    a.write(&mut w);
+                }
+            }
+            Frame::Response(r) => match &r.result {
+                Ok(v) => {
+                    w.u8(TAG_OK);
+                    w.u64(r.call_id);
+                    v.write(&mut w);
+                }
+                Err((kind, message)) => {
+                    w.u8(TAG_ERR);
+                    w.u64(r.call_id);
+                    w.u8(kind.code());
+                    w.str(message);
+                }
+            },
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a frame, requiring full consumption of the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+        let mut r = WireReader::new(bytes);
+        let frame = match r.u8()? {
+            TAG_CALL => {
+                let call_id = r.u64()?;
+                let object = ObjectId(r.u64()?);
+                let method = r.str()?.to_owned();
+                let argc = r.u32()? as usize;
+                let mut args = Vec::with_capacity(argc.min(4096));
+                for _ in 0..argc {
+                    args.push(Value::read(&mut r)?);
+                }
+                Frame::Call(CallFrame {
+                    call_id,
+                    object,
+                    method,
+                    args,
+                })
+            }
+            TAG_OK => {
+                let call_id = r.u64()?;
+                let value = Value::read(&mut r)?;
+                Frame::Response(ResponseFrame {
+                    call_id,
+                    result: Ok(value),
+                })
+            }
+            TAG_ERR => {
+                let call_id = r.u64()?;
+                let kind = RemoteErrorKind::from_code(r.u8()?)
+                    .ok_or(WireError::BadValue("remote error code"))?;
+                let message = r.str()?.to_owned();
+                Frame::Response(ResponseFrame {
+                    call_id,
+                    result: Err((kind, message)),
+                })
+            }
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcad_logic::Word;
+
+    #[test]
+    fn call_round_trip() {
+        let call = CallFrame {
+            call_id: u64::MAX,
+            object: ObjectId(17),
+            method: "processInputEvent".into(),
+            args: vec![
+                Value::Word(Word::new(16, 0x1234)),
+                Value::List(vec![Value::Null]),
+            ],
+        };
+        let bytes = Frame::Call(call.clone()).encode();
+        assert_eq!(Frame::decode(&bytes).unwrap(), Frame::Call(call));
+    }
+
+    #[test]
+    fn ok_response_round_trip() {
+        let resp = ResponseFrame {
+            call_id: 3,
+            result: Ok(Value::F64(2.5)),
+        };
+        let bytes = Frame::Response(resp.clone()).encode();
+        assert_eq!(Frame::decode(&bytes).unwrap(), Frame::Response(resp));
+    }
+
+    #[test]
+    fn err_response_round_trip() {
+        let resp = ResponseFrame {
+            call_id: 9,
+            result: Err((RemoteErrorKind::Security, "design data blocked".into())),
+        };
+        let bytes = Frame::Response(resp.clone()).encode();
+        match Frame::decode(&bytes).unwrap() {
+            Frame::Response(r) => {
+                let err = r.into_result().unwrap_err();
+                assert_eq!(err.remote_kind(), Some(RemoteErrorKind::Security));
+            }
+            Frame::Call(_) => panic!("decoded as call"),
+        }
+    }
+
+    #[test]
+    fn bad_frame_tag_rejected() {
+        assert_eq!(Frame::decode(&[9]), Err(WireError::BadTag(9)));
+    }
+
+    #[test]
+    fn truncated_call_rejected() {
+        let call = CallFrame {
+            call_id: 1,
+            object: ObjectId::ROOT,
+            method: "m".into(),
+            args: vec![Value::I64(1)],
+        };
+        let mut bytes = Frame::Call(call).encode();
+        bytes.truncate(bytes.len() - 2);
+        assert_eq!(Frame::decode(&bytes), Err(WireError::UnexpectedEof));
+    }
+}

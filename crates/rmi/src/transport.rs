@@ -1,0 +1,503 @@
+//! Request/response transports.
+//!
+//! Four implementations cover the paper's deployment spectrum:
+//!
+//! * [`InProcTransport`] — direct dispatch, no copies beyond marshalling;
+//!   isolates pure RMI overhead (the paper's "local host" control).
+//! * [`ChannelTransport`] — a server thread behind a channel; exercises
+//!   real thread hand-off while staying in-process.
+//! * [`TcpTransport`] / [`TcpServer`] — length-prefixed frames over real
+//!   sockets (loopback in tests).
+//! * [`ShapedTransport`] — wraps any transport with a
+//!   [`NetworkModel`](vcad_netsim::NetworkModel), either accounting delays
+//!   on a [`VirtualTimeline`](vcad_netsim::VirtualTimeline) or sleeping a
+//!   scaled-down real delay.
+//!
+//! All transports count calls and bytes ([`Transport::stats`]); the
+//! Table 2 / Figure 3 harnesses read these counters.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use vcad_netsim::{NetworkModel, Shaper, VirtualTimeline};
+
+use crate::dispatch::Dispatcher;
+use crate::error::RmiError;
+
+/// Byte and call counters kept by every transport.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Completed round trips.
+    pub calls: u64,
+    /// Request bytes sent.
+    pub bytes_sent: u64,
+    /// Response bytes received.
+    pub bytes_received: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsCell {
+    calls: AtomicU64,
+    sent: AtomicU64,
+    received: AtomicU64,
+}
+
+impl StatsCell {
+    fn record(&self, sent: usize, received: usize) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.sent.fetch_add(sent as u64, Ordering::Relaxed);
+        self.received.fetch_add(received as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            bytes_sent: self.sent.load(Ordering::Relaxed),
+            bytes_received: self.received.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A synchronous request/response channel to a peer.
+///
+/// Implementations must be safe to share across threads; concurrent calls
+/// may be serialised internally.
+pub trait Transport: Send + Sync {
+    /// Delivers one encoded request and returns the encoded response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmiError::Transport`] when the peer is unreachable or the
+    /// connection breaks mid-call.
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>, RmiError>;
+
+    /// Cumulative traffic statistics for this transport.
+    fn stats(&self) -> TransportStats;
+}
+
+/// Directly dispatches requests to an in-process [`Dispatcher`].
+pub struct InProcTransport {
+    dispatcher: Arc<Dispatcher>,
+    stats: StatsCell,
+}
+
+impl InProcTransport {
+    /// Creates a transport over the given dispatcher.
+    #[must_use]
+    pub fn new(dispatcher: Arc<Dispatcher>) -> InProcTransport {
+        InProcTransport {
+            dispatcher,
+            stats: StatsCell::default(),
+        }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>, RmiError> {
+        let response = self.dispatcher.handle_bytes(request);
+        self.stats.record(request.len(), response.len());
+        Ok(response)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats.snapshot()
+    }
+}
+
+type ChannelRequest = (Vec<u8>, Sender<Vec<u8>>);
+
+/// A transport backed by a dedicated server thread and a bounded channel.
+pub struct ChannelTransport {
+    requests: Sender<ChannelRequest>,
+    stats: StatsCell,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ChannelTransport {
+    /// Spawns the server thread and returns the connected transport.
+    #[must_use]
+    pub fn spawn(dispatcher: Arc<Dispatcher>) -> ChannelTransport {
+        let (tx, rx) = bounded::<ChannelRequest>(64);
+        let handle = std::thread::Builder::new()
+            .name("vcad-rmi-server".into())
+            .spawn(move || {
+                while let Ok((request, reply)) = rx.recv() {
+                    let response = dispatcher.handle_bytes(&request);
+                    // A dropped reply receiver just means the client gave up.
+                    let _ = reply.send(response);
+                }
+            })
+            .expect("spawn rmi server thread");
+        ChannelTransport {
+            requests: tx,
+            stats: StatsCell::default(),
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>, RmiError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.requests
+            .send((request.to_vec(), reply_tx))
+            .map_err(|_| RmiError::Transport("server thread terminated".into()))?;
+        let response = reply_rx
+            .recv()
+            .map_err(|_| RmiError::Transport("server dropped the reply".into()))?;
+        self.stats.record(request.len(), response.len());
+        Ok(response)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        // Closing the sender ends the server loop; join to avoid leaks.
+        let (closed_tx, _) = bounded(0);
+        let _ = std::mem::replace(&mut self.requests, closed_tx);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    stream.write_all(bytes)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// A TCP server accepting length-prefixed frame connections.
+///
+/// Each connection is served by its own thread; the server stops when
+/// dropped.
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds to `addr` (use port `0` for an ephemeral port) and starts
+    /// accepting connections served by `dispatcher`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmiError::Transport`] when binding fails.
+    pub fn bind(addr: &str, dispatcher: Arc<Dispatcher>) -> Result<TcpServer, RmiError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| RmiError::Transport(format!("bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| RmiError::Transport(format!("local_addr: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handle = std::thread::Builder::new()
+            .name("vcad-rmi-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    let dispatcher = Arc::clone(&dispatcher);
+                    let _ = std::thread::Builder::new()
+                        .name("vcad-rmi-conn".into())
+                        .spawn(move || {
+                            while let Ok(request) = read_frame(&mut stream) {
+                                let response = dispatcher.handle_bytes(&request);
+                                if write_frame(&mut stream, &response).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(TcpServer {
+            addr: local,
+            shutdown,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address, including the actual ephemeral port.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A client transport over one TCP connection.
+pub struct TcpTransport {
+    stream: Mutex<TcpStream>,
+    stats: StatsCell,
+}
+
+impl TcpTransport {
+    /// Connects to a [`TcpServer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmiError::Transport`] when the connection fails.
+    pub fn connect(addr: SocketAddr) -> Result<TcpTransport, RmiError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| RmiError::Transport(format!("connect {addr}: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| RmiError::Transport(format!("nodelay: {e}")))?;
+        Ok(TcpTransport {
+            stream: Mutex::new(stream),
+            stats: StatsCell::default(),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>, RmiError> {
+        let mut stream = self.stream.lock();
+        write_frame(&mut stream, request).map_err(|e| RmiError::Transport(format!("send: {e}")))?;
+        let response =
+            read_frame(&mut stream).map_err(|e| RmiError::Transport(format!("receive: {e}")))?;
+        self.stats.record(request.len(), response.len());
+        Ok(response)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats.snapshot()
+    }
+}
+
+/// How a [`ShapedTransport`] realises modeled network delay.
+pub enum ShapeMode {
+    /// Account delays on a shared virtual timeline without sleeping.
+    Virtual(Arc<Mutex<VirtualTimeline>>),
+    /// Sleep `scale` × the modeled delay (for live integration tests).
+    Sleep(f64),
+}
+
+/// Wraps a transport with a [`NetworkModel`], turning byte counts into
+/// latency — the substitution for the paper's real LAN/WAN environments.
+pub struct ShapedTransport {
+    inner: Arc<dyn Transport>,
+    model: NetworkModel,
+    mode: ShapeMode,
+}
+
+impl ShapedTransport {
+    /// Shapes `inner` with `model`, accounting delays on `timeline`.
+    #[must_use]
+    pub fn virtual_time(
+        inner: Arc<dyn Transport>,
+        model: NetworkModel,
+        timeline: Arc<Mutex<VirtualTimeline>>,
+    ) -> ShapedTransport {
+        ShapedTransport {
+            inner,
+            model,
+            mode: ShapeMode::Virtual(timeline),
+        }
+    }
+
+    /// Shapes `inner` with `model`, sleeping `scale` × the modeled delay.
+    #[must_use]
+    pub fn sleeping(inner: Arc<dyn Transport>, model: NetworkModel, scale: f64) -> ShapedTransport {
+        ShapedTransport {
+            inner,
+            model,
+            mode: ShapeMode::Sleep(scale),
+        }
+    }
+
+    /// The network model applied to each call.
+    #[must_use]
+    pub fn model(&self) -> &NetworkModel {
+        &self.model
+    }
+}
+
+impl Transport for ShapedTransport {
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>, RmiError> {
+        let response = self.inner.call(request)?;
+        let delay = self.model.round_trip(request.len(), response.len());
+        match &self.mode {
+            ShapeMode::Virtual(timeline) => timeline.lock().add_network(delay),
+            ShapeMode::Sleep(scale) => {
+                Shaper::new(self.model.clone(), *scale).apply(request.len() + response.len());
+            }
+        }
+        Ok(response)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{ObjectRegistry, RemoteObject, ServerCtx};
+    use crate::{Client, Value};
+
+    struct Ping;
+    impl RemoteObject for Ping {
+        fn invoke(
+            &self,
+            method: &str,
+            args: &[Value],
+            _ctx: &ServerCtx,
+        ) -> Result<Value, RmiError> {
+            match method {
+                "ping" => Ok(args.first().cloned().unwrap_or(Value::Null)),
+                _ => Err(RmiError::unknown_method("Ping", method)),
+            }
+        }
+    }
+
+    fn dispatcher() -> Arc<Dispatcher> {
+        let reg = Arc::new(ObjectRegistry::new());
+        reg.register_root(Arc::new(Ping));
+        Arc::new(Dispatcher::new(reg))
+    }
+
+    #[test]
+    fn inproc_counts_traffic() {
+        let t = Arc::new(InProcTransport::new(dispatcher()));
+        let c = Client::new(Arc::clone(&t) as Arc<dyn Transport>);
+        c.root().invoke("ping", vec![Value::I64(1)]).unwrap();
+        c.root().invoke("ping", vec![Value::I64(2)]).unwrap();
+        let stats = t.stats();
+        assert_eq!(stats.calls, 2);
+        assert!(stats.bytes_sent > 0);
+        assert!(stats.bytes_received > 0);
+    }
+
+    #[test]
+    fn channel_transport_round_trip() {
+        let t = Arc::new(ChannelTransport::spawn(dispatcher()));
+        let c = Client::new(Arc::clone(&t) as Arc<dyn Transport>);
+        for i in 0..10 {
+            let v = c.root().invoke("ping", vec![Value::I64(i)]).unwrap();
+            assert_eq!(v, Value::I64(i));
+        }
+        assert_eq!(t.stats().calls, 10);
+    }
+
+    #[test]
+    fn channel_transport_parallel_clients() {
+        let t: Arc<dyn Transport> = Arc::new(ChannelTransport::spawn(dispatcher()));
+        let c = Client::new(t);
+        let mut handles = Vec::new();
+        for i in 0..4i64 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for j in 0..25 {
+                    let v = c
+                        .root()
+                        .invoke("ping", vec![Value::I64(i * 100 + j)])
+                        .unwrap();
+                    assert_eq!(v, Value::I64(i * 100 + j));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let server = TcpServer::bind("127.0.0.1:0", dispatcher()).unwrap();
+        let t = Arc::new(TcpTransport::connect(server.addr()).unwrap());
+        let c = Client::new(Arc::clone(&t) as Arc<dyn Transport>);
+        let v = c
+            .root()
+            .invoke("ping", vec![Value::Str("net".into())])
+            .unwrap();
+        assert_eq!(v, Value::Str("net".into()));
+        assert_eq!(t.stats().calls, 1);
+    }
+
+    #[test]
+    fn tcp_two_connections() {
+        let server = TcpServer::bind("127.0.0.1:0", dispatcher()).unwrap();
+        let t1 = Arc::new(TcpTransport::connect(server.addr()).unwrap());
+        let t2 = Arc::new(TcpTransport::connect(server.addr()).unwrap());
+        let c1 = Client::new(t1 as Arc<dyn Transport>);
+        let c2 = Client::new(t2 as Arc<dyn Transport>);
+        assert_eq!(
+            c1.root().invoke("ping", vec![Value::I64(1)]).unwrap(),
+            Value::I64(1)
+        );
+        assert_eq!(
+            c2.root().invoke("ping", vec![Value::I64(2)]).unwrap(),
+            Value::I64(2)
+        );
+    }
+
+    #[test]
+    fn shaped_virtual_time_accumulates() {
+        let timeline = Arc::new(Mutex::new(VirtualTimeline::new()));
+        let t = Arc::new(ShapedTransport::virtual_time(
+            Arc::new(InProcTransport::new(dispatcher())),
+            NetworkModel::wan_1999(),
+            Arc::clone(&timeline),
+        ));
+        let c = Client::new(t as Arc<dyn Transport>);
+        c.root().invoke("ping", vec![Value::I64(0)]).unwrap();
+        let after_one = timeline.lock().network_time();
+        assert!(after_one > std::time::Duration::ZERO);
+        c.root().invoke("ping", vec![Value::I64(0)]).unwrap();
+        assert!(timeline.lock().network_time() > after_one);
+    }
+
+    #[test]
+    fn transport_error_on_dead_server() {
+        let addr = {
+            let server = TcpServer::bind("127.0.0.1:0", dispatcher()).unwrap();
+            server.addr()
+            // server drops here
+        };
+        // Either the connect fails or the first call fails; both are
+        // transport errors.
+        match TcpTransport::connect(addr) {
+            Ok(t) => {
+                let c = Client::new(Arc::new(t) as Arc<dyn Transport>);
+                let err = c.root().invoke("ping", vec![]).unwrap_err();
+                assert!(matches!(err, RmiError::Transport(_)), "{err}");
+            }
+            Err(e) => assert!(matches!(e, RmiError::Transport(_))),
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests: the wire format round-trips arbitrary values.
+
+use proptest::prelude::*;
+use vcad_logic::{Logic, LogicVec, Word};
+use vcad_rmi::{CallFrame, Frame, MarshalPolicy, ObjectId, ResponseFrame, Value};
+
+fn arb_logic() -> impl Strategy<Value = Logic> {
+    prop_oneof![
+        Just(Logic::Zero),
+        Just(Logic::One),
+        Just(Logic::X),
+        Just(Logic::Z),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::I64),
+        // Use finite floats so equality round-trips (NaN != NaN).
+        (-1e12f64..1e12).prop_map(Value::F64),
+        "[a-zA-Z0-9 _.-]{0,40}".prop_map(Value::Str),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+        arb_logic().prop_map(Value::Logic),
+        prop::collection::vec(arb_logic(), 0..80)
+            .prop_map(|bits| Value::Vec(LogicVec::from_bits(bits))),
+        (0usize..=128, any::<u128>()).prop_map(|(w, v)| Value::Word(Word::new(w, v))),
+        any::<u64>().prop_map(|id| Value::ObjectRef(ObjectId(id))),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..8).prop_map(Value::List),
+            prop::collection::vec(("[a-z]{1,8}", inner), 0..8).prop_map(Value::Map),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn value_encoding_round_trips(v in arb_value()) {
+        let bytes = v.encode();
+        prop_assert_eq!(bytes.len(), v.encoded_len());
+        prop_assert_eq!(Value::decode(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn call_frames_round_trip(
+        call_id in any::<u64>(),
+        object in any::<u64>(),
+        method in "[a-zA-Z_][a-zA-Z0-9_]{0,24}",
+        args in prop::collection::vec(arb_value(), 0..6),
+    ) {
+        let frame = Frame::Call(CallFrame {
+            call_id,
+            object: ObjectId(object),
+            method,
+            args,
+        });
+        prop_assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn response_frames_round_trip(call_id in any::<u64>(), v in arb_value()) {
+        let frame = Frame::Response(ResponseFrame { call_id, result: Ok(v) });
+        prop_assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Any result is fine; panics and hangs are not.
+        let _ = Value::decode(&bytes);
+        let _ = Frame::decode(&bytes);
+    }
+
+    #[test]
+    fn truncation_is_always_an_error(v in arb_value(), cut in 1usize..16) {
+        let bytes = v.encode();
+        prop_assume!(bytes.len() > cut);
+        let truncated = &bytes[..bytes.len() - cut];
+        prop_assert!(Value::decode(truncated).is_err());
+    }
+
+    #[test]
+    fn port_data_policy_accepts_port_values(
+        bits in prop::collection::vec(arb_logic(), 0..64),
+        w in 0usize..=128,
+        raw in any::<u128>(),
+    ) {
+        let policy = MarshalPolicy::port_data_only();
+        policy.check(&Value::Vec(LogicVec::from_bits(bits))).unwrap();
+        policy.check(&Value::Word(Word::new(w, raw))).unwrap();
+    }
+
+    #[test]
+    fn port_data_policy_rejects_bytes_anywhere(
+        depth in 0usize..4,
+        payload in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut v = Value::Bytes(payload);
+        for _ in 0..depth {
+            v = Value::List(vec![Value::I64(0), v]);
+        }
+        prop_assert!(MarshalPolicy::port_data_only().check(&v).is_err());
+    }
+}

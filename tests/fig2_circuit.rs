@@ -1,0 +1,134 @@
+//! End-to-end test of the paper's Figure 2 circuit: random inputs,
+//! registers, a remote IP multiplier and dynamic power estimation.
+
+use std::sync::Arc;
+
+use vcad::core::stdlib::{CaptureState, PrimaryOutput, RandomInput, Register};
+use vcad::core::{
+    DesignBuilder, ModuleId, Parameter, SetupController, SetupCriterion, SimulationController,
+};
+use vcad::ip::{ClientSession, ComponentOffering, ProviderServer};
+
+fn build_figure2(
+    mult: Arc<dyn vcad::core::Module>,
+    width: usize,
+    patterns: u64,
+) -> (Arc<vcad::core::Design>, ModuleId, ModuleId) {
+    let mut b = DesignBuilder::new("fig2");
+    let ina = b.add_module(Arc::new(RandomInput::new("INA", width, 1, patterns)));
+    let inb = b.add_module(Arc::new(RandomInput::new("INB", width, 2, patterns)));
+    let rega = b.add_module(Arc::new(Register::new("REGA", width)));
+    let regb = b.add_module(Arc::new(Register::new("REGB", width)));
+    let m = b.add_module(mult);
+    let out = b.add_module(Arc::new(PrimaryOutput::new("OUT", 2 * width)));
+    b.connect(ina, "out", rega, "d").unwrap();
+    b.connect(inb, "out", regb, "d").unwrap();
+    b.connect(rega, "q", m, "a").unwrap();
+    b.connect(regb, "q", m, "b").unwrap();
+    b.connect(m, "p", out, "in").unwrap();
+    (Arc::new(b.build().unwrap()), m, out)
+}
+
+#[test]
+fn remote_multiplier_computes_correct_products() {
+    let width = 16;
+    let provider = ProviderServer::new("p");
+    provider.offer(ComponentOffering::fast_low_power_multiplier());
+    let session = ClientSession::connect_in_process(&provider).unwrap();
+    let component = session.instantiate("MultFastLowPower", width).unwrap();
+
+    let (design, _m, out) = build_figure2(component.functional_module("MULT").unwrap(), width, 30);
+    let run = SimulationController::new(design).run().unwrap();
+    let products = run.module_state::<CaptureState>(out).unwrap().words();
+    // Registered operands arrive as two events per instant, so the
+    // multiplier may emit an intermediate product per pattern; at least
+    // one capture per pattern is guaranteed.
+    assert!(products.len() >= 30);
+    // Rebuild the multiplication from an identical local design to verify
+    // every product (same seeds => same random streams).
+    let (design2, _, out2) = build_figure2(
+        Arc::new(vcad::core::stdlib::WordMultiplier::new("MULT", width)),
+        width,
+        30,
+    );
+    let run2 = SimulationController::new(design2).run().unwrap();
+    assert_eq!(
+        products,
+        run2.module_state::<CaptureState>(out2).unwrap().words()
+    );
+}
+
+#[test]
+fn er_and_mr_modules_agree_functionally() {
+    let width = 8;
+    let provider = ProviderServer::new("p");
+    provider.offer(ComponentOffering::fast_low_power_multiplier());
+    let session = ClientSession::connect_in_process(&provider).unwrap();
+    let component = session.instantiate("MultFastLowPower", width).unwrap();
+
+    let (d_er, _, out_er) = build_figure2(component.functional_module("MULT").unwrap(), width, 15);
+    let (d_mr, _, out_mr) =
+        build_figure2(component.fully_remote_module("MULT").unwrap(), width, 15);
+    let r_er = SimulationController::new(d_er).run().unwrap();
+    let r_mr = SimulationController::new(d_mr).run().unwrap();
+    assert_eq!(
+        r_er.module_state::<CaptureState>(out_er).unwrap().words(),
+        r_mr.module_state::<CaptureState>(out_mr).unwrap().words()
+    );
+}
+
+#[test]
+fn dynamic_power_estimation_charges_and_reports() {
+    let width = 8;
+    let provider = ProviderServer::new("p");
+    provider.offer(ComponentOffering::fast_low_power_multiplier());
+    let session = ClientSession::connect_in_process(&provider).unwrap();
+    let component = session.instantiate("MultFastLowPower", width).unwrap();
+    let (design, m, _out) = build_figure2(component.functional_module("MULT").unwrap(), width, 20);
+
+    let mut setup = SetupController::new();
+    setup.set(Parameter::AvgPower, SetupCriterion::MostAccurate);
+    setup.set_buffer_size(5);
+    let binding = setup.apply_to(&design, "MULT");
+    assert!(binding.warnings().is_empty(), "{:?}", binding.warnings());
+
+    let run = SimulationController::new(Arc::clone(&design))
+        .with_setup(binding)
+        .run()
+        .unwrap();
+    let latest = run.estimates().latest(m, &Parameter::AvgPower).unwrap();
+    assert!(latest.remote);
+    assert!(latest.value.as_f64().unwrap() > 0.0);
+    // Fees accrued locally must equal the provider's ledger.
+    let local_fees = run.estimates().total_fees_cents();
+    assert!(local_fees > 0.0);
+    let provider_fees = session.bill().unwrap();
+    assert!(
+        (local_fees - provider_fees).abs() < 1e-9,
+        "local {local_fees} vs provider {provider_fees}"
+    );
+}
+
+#[test]
+fn cheap_setup_uses_free_local_estimators() {
+    let width = 8;
+    let provider = ProviderServer::new("p");
+    provider.offer(ComponentOffering::fast_low_power_multiplier());
+    let session = ClientSession::connect_in_process(&provider).unwrap();
+    let component = session.instantiate("MultFastLowPower", width).unwrap();
+    let (design, m, _) = build_figure2(component.functional_module("MULT").unwrap(), width, 20);
+    let bill_before = session.bill().unwrap();
+
+    let mut setup = SetupController::new();
+    setup.set(Parameter::AvgPower, SetupCriterion::LocalOnly);
+    setup.set_buffer_size(5);
+    let run = SimulationController::new(Arc::clone(&design))
+        .with_setup(setup.apply_to(&design, "MULT"))
+        .run()
+        .unwrap();
+    let latest = run.estimates().latest(m, &Parameter::AvgPower).unwrap();
+    assert!(!latest.remote);
+    assert_eq!(run.estimates().total_fees_cents(), 0.0);
+    // No remote estimation happened: the bill did not move.
+    assert_eq!(session.bill().unwrap(), bill_before);
+}

@@ -1,0 +1,147 @@
+//! End-to-end IP-protection guarantees, both directions.
+
+use std::sync::Arc;
+
+use vcad::ip::{ClientSession, ComponentOffering, ProviderServer};
+use vcad::rmi::{
+    Capability, Client, InProcTransport, MarshalPolicy, RmiError, Sandbox, SecurityManager,
+    Transport, Value,
+};
+
+fn provider() -> ProviderServer {
+    let server = ProviderServer::new("p.example.com");
+    server.offer(ComponentOffering::fast_low_power_multiplier());
+    server
+}
+
+#[test]
+fn provider_netlist_never_crosses_the_wire() {
+    // Observe every byte of a full evaluation session and check that no
+    // response could encode the multiplier's structure: the largest
+    // response must stay far below the size of the netlist itself.
+    let server = provider();
+    let transport = Arc::new(InProcTransport::new(server.dispatcher()));
+    let session =
+        ClientSession::connect(Arc::clone(&transport) as Arc<dyn Transport>, server.host());
+    let width = 16;
+    let component = session.instantiate("MultFastLowPower", width).unwrap();
+    let _ = component.area().unwrap();
+    let _ = component.delay().unwrap();
+    let _ = component.constant_power().unwrap();
+    let _ = component.regression_coefficients().unwrap();
+    let module = component.functional_module("MULT").unwrap();
+    assert_eq!(module.ports().len(), 3);
+
+    let stats = transport.stats();
+    // A 16×16 Wallace tree has thousands of gates; even a compact
+    // structural encoding needs tens of kilobytes. The entire session's
+    // response traffic is far smaller.
+    assert!(
+        stats.bytes_received < 4096,
+        "suspiciously large responses: {} bytes",
+        stats.bytes_received
+    );
+}
+
+#[test]
+fn user_design_structure_cannot_be_marshalled() {
+    // The strict client policy rejects structure-shaped payloads before
+    // they leave the process, even if some component tried to send them.
+    let server = provider();
+    let client = Client::with_security(
+        Arc::new(InProcTransport::new(server.dispatcher())) as Arc<dyn Transport>,
+        SecurityManager::new(MarshalPolicy::port_data_only()),
+    );
+    // A "netlist dump" disguised as bytes...
+    let err = client
+        .root()
+        .invoke("instantiate", vec![Value::Bytes(vec![0u8; 256])])
+        .unwrap_err();
+    assert!(matches!(err, RmiError::SecurityViolation(_)), "{err}");
+    // ...or as a structured map...
+    let err = client
+        .root()
+        .invoke(
+            "instantiate",
+            vec![Value::Map(vec![("netlist".into(), Value::Null)])],
+        )
+        .unwrap_err();
+    assert!(matches!(err, RmiError::SecurityViolation(_)));
+    // ...or as a long free-form string.
+    let err = client
+        .root()
+        .invoke("instantiate", vec![Value::Str("g1=AND(n1,n2);".repeat(20))])
+        .unwrap_err();
+    assert!(matches!(err, RmiError::SecurityViolation(_)));
+    // Port data still flows.
+    let ok = client.root().invoke(
+        "instantiate",
+        vec![Value::Str("MultFastLowPower".into()), Value::I64(4)],
+    );
+    assert!(ok.is_ok());
+}
+
+#[test]
+fn downloaded_public_parts_run_sandboxed() {
+    let server = provider();
+    let session = ClientSession::connect_in_process(&server).unwrap();
+    let component = session.instantiate("MultFastLowPower", 8).unwrap();
+    let sandbox = component.public_part().sandbox();
+    // The standard RMI-security-manager rule: talk only to your own
+    // provider.
+    assert!(sandbox
+        .require(&Capability::ConnectProvider("p.example.com".into()))
+        .is_ok());
+    for denied in [
+        Capability::ReadFiles,
+        Capability::WriteFiles,
+        Capability::InspectDesign,
+        Capability::ConnectProvider("competitor.example.com".into()),
+    ] {
+        let err = sandbox.require(&denied).unwrap_err();
+        assert!(matches!(err, RmiError::SecurityViolation(_)), "{denied:?}");
+    }
+}
+
+#[test]
+fn user_can_explicitly_relax_the_sandbox() {
+    // "The user can choose to relax security requirements."
+    let mut sandbox = Sandbox::for_provider("p.example.com");
+    assert!(sandbox.require(&Capability::ReadFiles).is_err());
+    sandbox.grant(Capability::ReadFiles);
+    assert!(sandbox.require(&Capability::ReadFiles).is_ok());
+}
+
+#[test]
+fn symbolic_fault_names_reveal_no_structure_size() {
+    // The fault list's total byte size must not scale with the component's
+    // gate count beyond the linear fault-count relationship the paper
+    // accepts; more importantly, no gate types or connections appear.
+    let server = provider();
+    let session = ClientSession::connect_in_process(&server).unwrap();
+    let component = session.instantiate("MultFastLowPower", 4).unwrap();
+    let faults = component.detection_source();
+    use vcad::faults::DetectionTableSource;
+    for name in faults.fault_list() {
+        let text = name.as_str();
+        assert!(
+            !text.contains("NAND") && !text.contains("XOR") && !text.contains("("),
+            "fault name leaks structure: {text}"
+        );
+    }
+}
+
+#[test]
+fn released_components_stop_answering() {
+    use vcad::rmi::RemoteErrorKind;
+    let server = provider();
+    let session = ClientSession::connect_in_process(&server).unwrap();
+    let objects_before = server.registry().len();
+    let component = session.instantiate("MultFastLowPower", 4).unwrap();
+    assert_eq!(server.registry().len(), objects_before + 1);
+    let stub = component.stub().clone();
+    component.release().unwrap();
+    assert_eq!(server.registry().len(), objects_before);
+    let err = stub.invoke("area", vec![]).unwrap_err();
+    assert_eq!(err.remote_kind(), Some(RemoteErrorKind::UnknownObject));
+}

@@ -1,0 +1,122 @@
+//! End-to-end negotiation: constraints → offers → setup → simulation.
+
+use std::sync::Arc;
+
+use vcad::core::stdlib::{PrimaryOutput, RandomInput};
+use vcad::core::{DesignBuilder, Parameter, SetupController, SetupCriterion, SimulationController};
+use vcad::ip::{ClientSession, ComponentOffering, NegotiationRequest, ProviderServer};
+
+#[test]
+fn negotiated_names_drive_the_setup() {
+    let provider = ProviderServer::new("p");
+    provider.offer(ComponentOffering::fast_low_power_multiplier());
+    let session = ClientSession::connect_in_process(&provider).unwrap();
+
+    // The user wants power within 0.2¢/pattern, peak power at any price,
+    // and free area.
+    let outcomes = session
+        .negotiate(
+            "MultFastLowPower",
+            &[
+                NegotiationRequest {
+                    parameter: Parameter::AvgPower,
+                    max_fee_cents_per_pattern: 0.2,
+                    max_error_pct: 100.0,
+                },
+                NegotiationRequest {
+                    parameter: Parameter::PeakPower,
+                    max_fee_cents_per_pattern: 10.0,
+                    max_error_pct: 100.0,
+                },
+                NegotiationRequest {
+                    parameter: Parameter::Area,
+                    max_fee_cents_per_pattern: 0.0,
+                    max_error_pct: 10.0,
+                },
+            ],
+        )
+        .unwrap();
+    assert_eq!(outcomes.len(), 3);
+    let power = outcomes[0].offer.as_ref().unwrap();
+    assert_eq!(power.name, "power/gate-level-toggle");
+    assert!(power.remote);
+    let peak = outcomes[1].offer.as_ref().unwrap();
+    assert_eq!(peak.name, "power/gate-level-peak");
+    let area = outcomes[2].offer.as_ref().unwrap();
+    assert_eq!(area.name, "area/static");
+
+    // Fold the agreed names into a setup and run with them.
+    let width = 8;
+    let component = session.instantiate("MultFastLowPower", width).unwrap();
+    let mut b = DesignBuilder::new("negotiated");
+    let ina = b.add_module(Arc::new(RandomInput::new("INA", width, 3, 12)));
+    let inb = b.add_module(Arc::new(RandomInput::new("INB", width, 4, 12)));
+    let m = b.add_module(component.functional_module("MULT").unwrap());
+    let out = b.add_module(Arc::new(PrimaryOutput::new("OUT", 2 * width)));
+    b.connect(ina, "out", m, "a").unwrap();
+    b.connect(inb, "out", m, "b").unwrap();
+    b.connect(m, "p", out, "in").unwrap();
+    let design = Arc::new(b.build().unwrap());
+
+    let mut setup = SetupController::new();
+    for outcome in &outcomes {
+        if let Some(offer) = &outcome.offer {
+            setup.set(
+                outcome.parameter.clone(),
+                SetupCriterion::Named(offer.name.clone()),
+            );
+        }
+    }
+    setup.set_buffer_size(6);
+    let binding = setup.apply_to(&design, "MULT");
+    assert!(binding.warnings().is_empty(), "{:?}", binding.warnings());
+
+    let run = SimulationController::new(Arc::clone(&design))
+        .with_setup(binding)
+        .run()
+        .unwrap();
+    let avg = run
+        .estimates()
+        .latest(m, &Parameter::AvgPower)
+        .unwrap()
+        .value
+        .as_f64()
+        .unwrap();
+    let peak = run
+        .estimates()
+        .latest(m, &Parameter::PeakPower)
+        .unwrap()
+        .value
+        .as_f64()
+        .unwrap();
+    let area = run
+        .estimates()
+        .latest(m, &Parameter::Area)
+        .unwrap()
+        .value
+        .as_f64()
+        .unwrap();
+    assert!(peak >= avg, "peak {peak} must dominate average {avg}");
+    assert!(area > 0.0);
+}
+
+#[test]
+fn refusals_are_explicit() {
+    let provider = ProviderServer::new("p");
+    provider.offer(ComponentOffering::fast_low_power_multiplier());
+    let session = ClientSession::connect_in_process(&provider).unwrap();
+    // 1%-accurate power for free does not exist.
+    let outcomes = session
+        .negotiate(
+            "MultFastLowPower",
+            &[NegotiationRequest {
+                parameter: Parameter::AvgPower,
+                max_fee_cents_per_pattern: 0.0,
+                max_error_pct: 1.0,
+            }],
+        )
+        .unwrap();
+    assert!(outcomes[0].offer.is_none());
+    // Unknown offering is an application error.
+    assert!(session.negotiate("Ghost", &[]).is_err());
+}

@@ -1,0 +1,83 @@
+//! A full IP user/provider session over real TCP sockets (loopback),
+//! optionally shaped with the network models.
+
+use std::sync::Arc;
+
+use vcad::faults::DetectionTableSource;
+use vcad::ip::{ClientSession, ComponentOffering, ProviderServer};
+use vcad::netsim::NetworkModel;
+use vcad::rmi::{ShapedTransport, TcpServer, TcpTransport, Transport};
+
+fn provider() -> ProviderServer {
+    let server = ProviderServer::new("tcp-provider.example.com");
+    server.offer(ComponentOffering::fast_low_power_multiplier());
+    server
+}
+
+#[test]
+fn catalog_and_component_over_tcp() {
+    let server = provider();
+    let tcp = TcpServer::bind("127.0.0.1:0", server.dispatcher()).unwrap();
+    let transport: Arc<dyn Transport> = Arc::new(TcpTransport::connect(tcp.addr()).unwrap());
+    let session = ClientSession::connect(transport, server.host());
+
+    let catalog = session.catalog().unwrap();
+    assert_eq!(catalog[0].name, "MultFastLowPower");
+
+    let component = session.instantiate("MultFastLowPower", 8).unwrap();
+    assert!(component.area().unwrap() > 0.0);
+    // A remote detection table crosses the real socket and decodes.
+    let table = component
+        .detection_source()
+        .detection_table(&vcad::logic::LogicVec::from_u64(16, 0xF0F0 & 0xFFFF))
+        .unwrap();
+    assert!(!table.rows().is_empty());
+}
+
+#[test]
+fn two_clients_share_one_tcp_server() {
+    let server = provider();
+    let tcp = TcpServer::bind("127.0.0.1:0", server.dispatcher()).unwrap();
+    let mut handles = Vec::new();
+    for i in 0..3usize {
+        let addr = tcp.addr();
+        let host = server.host().to_owned();
+        handles.push(std::thread::spawn(move || {
+            let transport: Arc<dyn Transport> = Arc::new(TcpTransport::connect(addr).unwrap());
+            let session = ClientSession::connect(transport, host);
+            let width = 2 + i;
+            let component = session.instantiate("MultFastLowPower", width).unwrap();
+            assert_eq!(component.width(), width);
+            component.area().unwrap()
+        }));
+    }
+    let areas: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Wider multipliers are strictly larger.
+    assert!(areas[0] < areas[1] && areas[1] < areas[2]);
+}
+
+#[test]
+fn shaped_tcp_session_accumulates_virtual_network_time() {
+    use parking_lot::Mutex;
+    use vcad::netsim::VirtualTimeline;
+
+    let server = provider();
+    let tcp = TcpServer::bind("127.0.0.1:0", server.dispatcher()).unwrap();
+    let raw: Arc<dyn Transport> = Arc::new(TcpTransport::connect(tcp.addr()).unwrap());
+    let timeline = Arc::new(Mutex::new(VirtualTimeline::new()));
+    let shaped: Arc<dyn Transport> = Arc::new(ShapedTransport::virtual_time(
+        raw,
+        NetworkModel::wan_1999(),
+        Arc::clone(&timeline),
+    ));
+    let session = ClientSession::connect(shaped, server.host());
+    let component = session.instantiate("MultFastLowPower", 4).unwrap();
+    let _ = component.constant_power().unwrap();
+
+    let network = timeline.lock().network_time();
+    // Several round trips at ≥ 90 ms modeled RTT each.
+    assert!(
+        network.as_millis() >= 200,
+        "modeled network time too small: {network:?}"
+    );
+}

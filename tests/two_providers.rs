@@ -1,0 +1,181 @@
+//! The Figure 1 topology: one user design mixing components from two
+//! independent providers with different model availability.
+
+use std::sync::Arc;
+
+use vcad::core::stdlib::{CaptureState, PrimaryOutput, RandomInput};
+use vcad::core::{DesignBuilder, Parameter, SetupController, SetupCriterion, SimulationController};
+use vcad::ip::{ClientSession, ComponentOffering, ModelAvailability, PriceList, ProviderServer};
+use vcad::netlist::generators;
+
+#[test]
+fn one_design_two_providers() {
+    let width = 8;
+
+    // Provider 1: full models, Wallace multiplier.
+    let p1 = ProviderServer::new("provider1.example.com");
+    p1.offer(ComponentOffering::fast_low_power_multiplier());
+    // Provider 2: a functional-only adder block (Figure 1's second
+    // provider has "Power model 0").
+    let p2 = ProviderServer::new("provider2.example.com");
+    p2.offer(ComponentOffering::new(
+        "AdderIP",
+        |w| Arc::new(generators::ripple_adder(w)),
+        ModelAvailability::functional_only(),
+        PriceList::default(),
+    ));
+
+    let s1 = ClientSession::connect_in_process(&p1).unwrap();
+    let s2 = ClientSession::connect_in_process(&p2).unwrap();
+    assert_eq!(s1.catalog().unwrap()[0].power, 2);
+    assert_eq!(s2.catalog().unwrap()[0].power, 0);
+
+    let mult = s1.instantiate("MultFastLowPower", width).unwrap();
+    let adder = s2.instantiate("AdderIP", 2 * width).unwrap();
+
+    // Design: (a*b) computed by provider-1 IP, then fed twice into the
+    // provider-2 adder IP (doubling it). The adder is fully remote; the
+    // multiplier runs its downloaded public part.
+    let mut b = DesignBuilder::new("two-providers");
+    let ina = b.add_module(Arc::new(RandomInput::new("INA", width, 5, 10)));
+    let inb = b.add_module(Arc::new(RandomInput::new("INB", width, 6, 10)));
+    let m = b.add_module(mult.functional_module("MULT").unwrap());
+    let fan = b.add_module(Arc::new(vcad::core::stdlib::Fanout::uniform(
+        "FAN",
+        2 * width,
+        3,
+    )));
+    let product_tap = b.add_module(Arc::new(PrimaryOutput::new("PRODUCT", 2 * width)));
+    // The adder has an adder-shaped interface (`s` is 2*width+1 bits), so
+    // use the general remote-module constructor: every event is evaluated
+    // on provider 2's server.
+    let add = b.add_module(Arc::new(vcad::ip::RemoteFunctionalModule::with_ports(
+        "DOUBLER",
+        vec![
+            vcad::core::PortSpec::input("a", 2 * width),
+            vcad::core::PortSpec::input("b", 2 * width),
+            vcad::core::PortSpec::output("s", 2 * width + 1),
+        ],
+        adder.stub().clone(),
+        vec![],
+    )));
+    let out = b.add_module(Arc::new(PrimaryOutput::new("OUT", 2 * width + 1)));
+    b.connect(ina, "out", m, "a").unwrap();
+    b.connect(inb, "out", m, "b").unwrap();
+    b.connect(m, "p", fan, "in").unwrap();
+    b.connect(fan, "out0", add, "a").unwrap();
+    b.connect(fan, "out1", add, "b").unwrap();
+    b.connect(add, "s", out, "in").unwrap();
+    b.connect(fan, "out2", product_tap, "in").unwrap();
+    let design = Arc::new(b.build().unwrap());
+
+    // Estimation setup: power on the multiplier only; the adder provider
+    // offers no power model, so applying power setup to it binds the null
+    // estimator with a warning.
+    let mut setup = SetupController::new();
+    setup.set(Parameter::AvgPower, SetupCriterion::MostAccurate);
+    let binding = setup.apply(&design);
+    assert!(
+        binding
+            .warnings()
+            .iter()
+            .any(|w| w.contains("DOUBLER") || w.contains("null")),
+        "{:?}",
+        binding.warnings()
+    );
+
+    let run = SimulationController::new(Arc::clone(&design))
+        .with_setup(binding)
+        .run()
+        .unwrap();
+    assert!(run.events_processed() > 0);
+    // The doubler output must equal twice the multiplier's product at
+    // every *settled* instant (intra-instant glitches are legitimate
+    // event-driven behaviour; the last capture per instant is the settled
+    // value).
+    let settled = |m: vcad::core::ModuleId| -> std::collections::BTreeMap<u64, u128> {
+        run.module_state::<CaptureState>(m)
+            .unwrap()
+            .history()
+            .iter()
+            .filter_map(|(t, v)| v.to_word().map(|w| (t.ticks(), w.value())))
+            .collect()
+    };
+    let doubled = settled(out);
+    let products = settled(product_tap);
+    assert!(!doubled.is_empty());
+    for (t, d) in &doubled {
+        let p = products.get(t).expect("product settled at same instant");
+        assert_eq!(*d, 2 * p, "at t={t}");
+    }
+    // Both providers were exercised and billed independently.
+    assert!(s1.bill().unwrap() > 0.0);
+    assert!(s2.bill().unwrap() > 0.0);
+}
+
+#[test]
+fn null_estimator_keeps_unmodelled_components_simulable() {
+    // A design whose only component offers no estimators still simulates
+    // cleanly when a power setup is applied (the paper's null-estimator
+    // benefit).
+    let mut b = DesignBuilder::new("null-est");
+    let src = b.add_module(Arc::new(RandomInput::new("SRC", 4, 1, 5)));
+    let out = b.add_module(Arc::new(PrimaryOutput::new("OUT", 4)));
+    b.connect(src, "out", out, "in").unwrap();
+    let design = Arc::new(b.build().unwrap());
+
+    let mut setup = SetupController::new();
+    setup.set(Parameter::AvgPower, SetupCriterion::MostAccurate);
+    let binding = setup.apply(&design);
+    assert!(!binding.warnings().is_empty());
+    let run = SimulationController::new(Arc::clone(&design))
+        .with_setup(binding)
+        .run()
+        .unwrap();
+    assert_eq!(
+        run.module_state::<CaptureState>(out)
+            .unwrap()
+            .history()
+            .len(),
+        5
+    );
+    assert_eq!(run.estimates().total_fees_cents(), 0.0);
+}
+
+#[test]
+fn adder_offering_ships_a_word_adder_public_part() {
+    use vcad::core::SimulationController;
+    let p = ProviderServer::new("adders.example.com");
+    p.offer(
+        ComponentOffering::new(
+            "AdderIP",
+            |w| Arc::new(generators::ripple_adder(w)),
+            ModelAvailability::full(),
+            PriceList::default(),
+        )
+        .with_public_behavior("word-adder"),
+    );
+    let session = ClientSession::connect_in_process(&p).unwrap();
+    let component = session.instantiate("AdderIP", 8).unwrap();
+    assert_eq!(component.public_part().behavior(), "word-adder");
+    let module = component.functional_module("ADD").unwrap();
+    // WordAdder interface: a, b, s.
+    assert_eq!(module.ports()[2].name(), "s");
+    assert_eq!(module.ports()[2].width(), 9);
+
+    // The local public part agrees with the provider's gate-level truth.
+    let mut b = DesignBuilder::new("adder-check");
+    let ia = b.add_module(Arc::new(RandomInput::new("IA", 8, 9, 10)));
+    let ib = b.add_module(Arc::new(RandomInput::new("IB", 8, 10, 10)));
+    let add = b.add_module(module);
+    let out = b.add_module(Arc::new(PrimaryOutput::new("OUT", 9)));
+    b.connect(ia, "out", add, "a").unwrap();
+    b.connect(ib, "out", add, "b").unwrap();
+    b.connect(add, "s", out, "in").unwrap();
+    let run = SimulationController::new(Arc::new(b.build().unwrap()))
+        .run()
+        .unwrap();
+    let sums = run.module_state::<CaptureState>(out).unwrap().words();
+    assert!(!sums.is_empty());
+    assert!(sums.iter().all(|&s| s <= 255 + 255));
+}
