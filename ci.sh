@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, then the tier-1 verify from ROADMAP.md.
+# Run from the repo root. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 verify: cargo build --release"
+cargo build --release
+
+echo "==> tier-1 verify: cargo test -q"
+cargo test -q
+
+echo "CI green."

@@ -1,28 +1,20 @@
-//! Figure 3 as a criterion benchmark: the ER scenario's client cost as a
+//! Figure 3 as a micro-benchmark: the ER scenario's client cost as a
 //! function of the pattern buffer size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
+use vcad_bench::microbench::Group;
 use vcad_bench::scenarios::{build, Scenario};
 
-fn bench_buffering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("buffering");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let mut group = Group::new("buffering")
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     for buffer in [1usize, 5, 10, 25, 50] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(buffer),
-            &buffer,
-            |b, &buffer| {
-                let rig = build(Scenario::EstimatorRemote, 16, 50, buffer);
-                b.iter(|| black_box(rig.controller().run().expect("simulation")));
-            },
-        );
+        let rig = build(Scenario::EstimatorRemote, 16, 50, buffer);
+        group.bench(format!("{buffer}"), || {
+            black_box(rig.controller().run().expect("simulation"));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_buffering);
-criterion_main!(benches);

@@ -1,31 +1,24 @@
 //! The backplane's concurrent-simulation claim: N schedulers over one
 //! shared design, isolated by per-scheduler state stores.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Duration;
 
+use vcad_bench::microbench::Group;
 use vcad_bench::scenarios::{build, Scenario};
 
-fn bench_concurrency(c: &mut Criterion) {
-    let mut group = c.benchmark_group("concurrency");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let mut group = Group::new("concurrency")
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let rig = build(Scenario::AllLocal, 16, 50, 5);
     for n in [1usize, 2, 4, 8] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                black_box(
-                    rig.controller()
-                        .run_concurrent(n)
-                        .expect("concurrent simulations"),
-                )
-            });
+        group.bench(format!("{n}"), || {
+            black_box(
+                rig.controller()
+                    .run_concurrent(n)
+                    .expect("concurrent simulations"),
+            );
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_concurrency);
-criterion_main!(benches);

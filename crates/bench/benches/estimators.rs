@@ -1,11 +1,10 @@
-//! Table 1's CPU-time column as a criterion benchmark: per-transition
-//! cost of the three power-estimator tiers.
+//! Table 1's CPU-time column as a micro-benchmark: per-transition cost
+//! of the three power-estimator tiers.
 
+use std::hint::black_box;
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use vcad_bench::microbench::Group;
 use vcad_bench::workload::random_patterns;
 use vcad_netlist::generators;
 use vcad_power::{
@@ -13,7 +12,7 @@ use vcad_power::{
     TogglePowerEstimator,
 };
 
-fn bench_estimators(c: &mut Criterion) {
+fn main() {
     let width = 16;
     let netlist = Arc::new(generators::wallace_multiplier(width));
     let model = PowerModel::default();
@@ -25,28 +24,20 @@ fn bench_estimators(c: &mut Criterion) {
     let regression = LinearRegressionPowerEstimator::fit(&reference, &netlist, &training, vec![0]);
     let toggle = TogglePowerEstimator::new(Arc::clone(&netlist), model, vec![0], false);
 
-    let mut group = c.benchmark_group("estimators");
-    group.bench_function("constant_per_transition", |b| {
-        b.iter(|| black_box(constant.predict_transition()));
+    let mut group = Group::new("estimators");
+    group.bench("constant_per_transition", || {
+        black_box(constant.predict_transition());
     });
-    group.bench_function("regression_per_transition", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let j = i % (eval.len() - 1);
-            i += 1;
-            black_box(regression.predict_transition(&eval[j], &eval[j + 1]))
-        });
+    let mut i = 0;
+    group.bench("regression_per_transition", || {
+        let j = i % (eval.len() - 1);
+        i += 1;
+        black_box(regression.predict_transition(&eval[j], &eval[j + 1]));
     });
-    group.bench_function("toggle_per_transition", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let j = i % (eval.len() - 1);
-            i += 1;
-            black_box(toggle.predict_transition(&eval[j], &eval[j + 1]))
-        });
+    let mut i = 0;
+    group.bench("toggle_per_transition", || {
+        let j = i % (eval.len() - 1);
+        i += 1;
+        black_box(toggle.predict_transition(&eval[j], &eval[j + 1]));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_estimators);
-criterion_main!(benches);

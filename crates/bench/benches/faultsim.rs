@@ -2,11 +2,11 @@
 //! detection-table construction, and the full virtual fault simulation of
 //! the Figure 4 circuit.
 
-use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
 
+use vcad_bench::microbench::Group;
 use vcad_bench::workload::random_patterns;
 use vcad_faults::{
     BitParallelSim, DetectionTable, FaultUniverse, NetlistDetectionSource, SerialFaultSim,
@@ -14,11 +14,10 @@ use vcad_faults::{
 use vcad_logic::LogicVec;
 use vcad_netlist::generators::{self, RandomCircuitSpec};
 
-fn bench_flat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("faultsim_flat");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_flat() {
+    let mut group = Group::new("faultsim_flat")
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     for gates in [100usize, 300] {
         let nl = generators::random_circuit(RandomCircuitSpec {
             inputs: 24,
@@ -28,39 +27,36 @@ fn bench_flat(c: &mut Criterion) {
         });
         let targets = FaultUniverse::collapsed(&nl).representatives();
         let patterns = random_patterns(24, 32, 4);
-        group.bench_with_input(BenchmarkId::new("serial", gates), &gates, |b, _| {
-            let sim = SerialFaultSim::new(&nl, targets.clone());
-            b.iter(|| black_box(sim.run(&patterns)));
+        let serial = SerialFaultSim::new(&nl, targets.clone());
+        group.bench(format!("serial/{gates}"), || {
+            black_box(serial.run(&patterns));
         });
-        group.bench_with_input(BenchmarkId::new("bit_parallel", gates), &gates, |b, _| {
-            let sim = BitParallelSim::new(&nl, targets.clone());
-            b.iter(|| black_box(sim.run(&patterns)));
+        let parallel = BitParallelSim::new(&nl, targets.clone());
+        group.bench(format!("bit_parallel/{gates}"), || {
+            black_box(parallel.run(&patterns));
         });
     }
-    group.finish();
 }
 
-fn bench_detection_tables(c: &mut Criterion) {
-    let mut group = c.benchmark_group("detection_tables");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_detection_tables() {
+    let mut group = Group::new("detection_tables")
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     for width in [4usize, 6] {
         let nl = Arc::new(generators::wallace_multiplier(width));
         let universe = FaultUniverse::collapsed(&nl);
         let inputs = LogicVec::from_u64(2 * width, 0xA5A5 & ((1 << (2 * width)) - 1));
-        group.bench_with_input(BenchmarkId::new("build", width), &width, |b, _| {
-            b.iter(|| black_box(DetectionTable::build(&nl, &universe, &inputs)));
+        group.bench(format!("build/{width}"), || {
+            black_box(DetectionTable::build(&nl, &universe, &inputs));
         });
         let table = DetectionTable::build(&nl, &universe, &inputs);
-        group.bench_with_input(BenchmarkId::new("marshal", width), &width, |b, _| {
-            b.iter(|| black_box(table.to_value().encode()));
+        group.bench(format!("marshal/{width}"), || {
+            black_box(table.to_value().encode());
         });
     }
-    group.finish();
 }
 
-fn bench_virtual(c: &mut Criterion) {
+fn bench_virtual() {
     use vcad_core::stdlib::{NetlistBlock, PrimaryOutput, VectorInput};
     use vcad_core::DesignBuilder;
     use vcad_faults::{IpBlockBinding, VirtualFaultSim};
@@ -93,25 +89,24 @@ fn bench_virtual(c: &mut Criterion) {
     b.connect(ip, "carry", o2, "in").unwrap();
     let design = Arc::new(b.build().unwrap());
 
-    let mut group = c.benchmark_group("virtual_fault_sim");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.bench_function("half_adder_16_patterns", |b| {
-        b.iter(|| {
-            let sim = VirtualFaultSim::new(
-                Arc::clone(&design),
-                vec![IpBlockBinding {
-                    module: ip,
-                    source: Arc::new(NetlistDetectionSource::new(Arc::clone(&ip1))),
-                }],
-                vec![o1, o2],
-            );
-            black_box(sim.run().expect("virtual fault simulation"))
-        });
+    let mut group = Group::new("virtual_fault_sim")
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    group.bench("half_adder_16_patterns", || {
+        let sim = VirtualFaultSim::new(
+            Arc::clone(&design),
+            vec![IpBlockBinding {
+                module: ip,
+                source: Arc::new(NetlistDetectionSource::new(Arc::clone(&ip1))),
+            }],
+            vec![o1, o2],
+        );
+        black_box(sim.run().expect("virtual fault simulation"));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_flat, bench_detection_tables, bench_virtual);
-criterion_main!(benches);
+fn main() {
+    bench_flat();
+    bench_detection_tables();
+    bench_virtual();
+}

@@ -1,0 +1,90 @@
+//! Observability overhead on the scheduler hot loop.
+//!
+//! Three flavours of the same simulation (a register/multiplier chain
+//! driven by random patterns, no RMI, no estimation — pure event loop):
+//!
+//! * `baseline` — no collector attached at all;
+//! * `disabled` — a disabled collector attached (metrics counters still
+//!   aggregate; span recording short-circuits on one relaxed load);
+//! * `enabled` — full span + metrics recording into the ring.
+//!
+//! The backplane's contract is that the *disabled* flavour stays within
+//! 5% of baseline: attaching telemetry must not tax runs that don't ask
+//! for traces. The run asserts that bound (with headroom for machine
+//! noise) and prints the enabled cost for context.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use vcad_bench::microbench::Group;
+use vcad_core::stdlib::{PrimaryOutput, RandomInput, Register, WordMultiplier};
+use vcad_core::{Design, DesignBuilder, Scheduler};
+use vcad_obs::Collector;
+
+fn chain_design(width: usize, patterns: u64) -> Arc<Design> {
+    let mut b = DesignBuilder::new("obs-overhead");
+    let ina = b.add_module(Arc::new(RandomInput::new("INA", width, 0xA, patterns)));
+    let inb = b.add_module(Arc::new(RandomInput::new("INB", width, 0xB, patterns)));
+    let rega = b.add_module(Arc::new(Register::new("REGA", width)));
+    let regb = b.add_module(Arc::new(Register::new("REGB", width)));
+    let mult = b.add_module(Arc::new(WordMultiplier::new("MULT", width)));
+    let out = b.add_module(Arc::new(PrimaryOutput::new("OUT", 2 * width)));
+    b.connect(ina, "out", rega, "d").expect("wire INA");
+    b.connect(inb, "out", regb, "d").expect("wire INB");
+    b.connect(rega, "q", mult, "a").expect("wire REGA");
+    b.connect(regb, "q", mult, "b").expect("wire REGB");
+    b.connect(mult, "p", out, "in").expect("wire OUT");
+    Arc::new(b.build().expect("valid design"))
+}
+
+fn simulate(design: &Arc<Design>, obs: Option<&Collector>) {
+    let mut sched = Scheduler::new(Arc::clone(design));
+    if let Some(obs) = obs {
+        sched.set_collector(obs);
+    }
+    sched.init();
+    sched.run(None).expect("simulation");
+    black_box(sched.events_processed());
+}
+
+fn main() {
+    let design = chain_design(16, 200);
+    let mut group = Group::new("obs_overhead")
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    let baseline = group.bench("baseline", || simulate(&design, None)).clone();
+
+    let disabled = Collector::disabled();
+    let with_disabled = group
+        .bench("disabled", || simulate(&design, Some(&disabled)))
+        .clone();
+
+    // Drain between samples so the enabled ring never saturates and the
+    // measurement covers recording, not drop-counting.
+    let enabled = Collector::with_capacity(1 << 20);
+    let with_enabled = group
+        .bench("enabled", || {
+            simulate(&design, Some(&enabled));
+            black_box(enabled.trace().events.len());
+        })
+        .clone();
+
+    let disabled_overhead = with_disabled.median_ns() / baseline.median_ns() - 1.0;
+    let enabled_overhead = with_enabled.median_ns() / baseline.median_ns() - 1.0;
+    println!(
+        "\ndisabled-collector overhead: {:+.2}% (bound: <5%)",
+        disabled_overhead * 100.0
+    );
+    println!(
+        "enabled-collector overhead:  {:+.2}% (informational)",
+        enabled_overhead * 100.0
+    );
+    assert!(
+        disabled_overhead < 0.05,
+        "disabled collector costs {:.2}% > 5% on the scheduler hot loop",
+        disabled_overhead * 100.0
+    );
+    println!("\nOverhead bound holds.");
+}

@@ -1,30 +1,22 @@
-//! Table 2 as a criterion benchmark: end-to-end simulation of the
-//! Figure 2 circuit in the three deployment scenarios.
+//! Table 2 as a micro-benchmark: end-to-end simulation of the Figure 2
+//! circuit in the three deployment scenarios.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
+use vcad_bench::microbench::Group;
 use vcad_bench::scenarios::{build, Scenario};
 
-fn bench_scenarios(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scenarios");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let mut group = Group::new("scenarios")
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     for scenario in Scenario::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scenario.label()),
-            &scenario,
-            |b, &scenario| {
-                // Build outside the timing loop: Table 2 measures the
-                // simulation, not the provider handshake.
-                let rig = build(scenario, 16, 50, 5);
-                b.iter(|| black_box(rig.controller().run().expect("simulation")));
-            },
-        );
+        // Build outside the timing loop: Table 2 measures the
+        // simulation, not the provider handshake.
+        let rig = build(scenario, 16, 50, 5);
+        group.bench(scenario.label(), || {
+            black_box(rig.controller().run().expect("simulation"));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scenarios);
-criterion_main!(benches);

@@ -2,9 +2,9 @@
 //! times that underlie every RMI call (the Table 2 overhead at its
 //! smallest scale).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use vcad_bench::microbench::Group;
 use vcad_logic::{LogicVec, Word};
 use vcad_rmi::{CallFrame, Frame, ObjectId, Value};
 
@@ -16,21 +16,21 @@ fn pattern_list(n: usize, width: usize) -> Value {
     )
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire");
+fn main() {
+    let mut group = Group::new("wire");
 
     let scalar = Value::Word(Word::new(16, 0xBEEF));
-    group.bench_function("encode_word", |b| {
-        b.iter(|| black_box(&scalar).encode());
+    group.bench("encode_word", || {
+        black_box(black_box(&scalar).encode());
     });
 
     let buffer5 = pattern_list(5, 32);
     let buffer50 = pattern_list(50, 32);
-    group.bench_function("encode_pattern_buffer_5", |b| {
-        b.iter(|| black_box(&buffer5).encode());
+    group.bench("encode_pattern_buffer_5", || {
+        black_box(black_box(&buffer5).encode());
     });
-    group.bench_function("encode_pattern_buffer_50", |b| {
-        b.iter(|| black_box(&buffer50).encode());
+    group.bench("encode_pattern_buffer_50", || {
+        black_box(black_box(&buffer50).encode());
     });
 
     let frame = Frame::Call(CallFrame {
@@ -40,19 +40,10 @@ fn bench_wire(c: &mut Criterion) {
         args: vec![buffer50.clone()],
     });
     let bytes = frame.encode();
-    group.bench_function("encode_call_frame", |b| {
-        b.iter(|| black_box(&frame).encode());
+    group.bench("encode_call_frame", || {
+        black_box(black_box(&frame).encode());
     });
-    group.bench_function("decode_call_frame", |b| {
-        b.iter_batched(
-            || bytes.clone(),
-            |bytes| Frame::decode(black_box(&bytes)).expect("valid frame"),
-            BatchSize::SmallInput,
-        );
+    group.bench("decode_call_frame", || {
+        black_box(Frame::decode(black_box(&bytes)).expect("valid frame"));
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_wire);
-criterion_main!(benches);

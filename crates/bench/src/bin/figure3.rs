@@ -6,7 +6,10 @@
 //! computation is cheap enough that the same effect dominates.
 //!
 //! Run with `cargo run -p vcad-bench --bin figure3 --release`.
+//! Pass `--trace <path>` to also write a Chrome trace-event JSON file
+//! covering every run, plus a plain-text metrics summary on stdout.
 
+use vcad_bench::cli;
 use vcad_bench::report::{modeled_real_time, print_table, secs};
 use vcad_bench::scenarios::{self, Scenario};
 use vcad_netsim::NetworkModel;
@@ -15,13 +18,22 @@ fn main() {
     let width = 16;
     let patterns = 100u64;
     let wan = NetworkModel::wan_1999();
+    let trace_out = cli::trace_path();
+    let obs = cli::collector_for(trace_out.as_ref());
 
     let buffer_pcts = [1usize, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
     let mut rows = Vec::new();
     let mut reals = Vec::new();
     for &pct in &buffer_pcts {
         let buffer = (patterns as usize * pct / 100).max(1);
-        let run = scenarios::run(Scenario::EstimatorRemote, width, patterns, buffer);
+        let rig = scenarios::build_with_obs(
+            Scenario::EstimatorRemote,
+            width,
+            patterns,
+            buffer,
+            obs.clone(),
+        );
+        let run = rig.run(Scenario::EstimatorRemote);
         let real = modeled_real_time(run.cpu, &run.stats, &wan);
         reals.push(real);
         rows.push(vec![
@@ -64,4 +76,6 @@ fn main() {
          (gain by half {gain_by_half:.3}, total {total_gain:.3})"
     );
     println!("\nAll shape assertions passed.");
+
+    cli::finish_trace(&obs, trace_out);
 }

@@ -7,7 +7,12 @@
 //! substitution table). Compare *shape*, not absolute seconds.
 //!
 //! Run with `cargo run -p vcad-bench --bin table2 --release`.
+//! Pass `--trace <path>` to also write a Chrome trace-event JSON file
+//! (open in `chrome://tracing` or <https://ui.perfetto.dev>) covering
+//! every RMI call, dispatch and scheduler instant of all three runs,
+//! plus a plain-text metrics summary on stdout.
 
+use vcad_bench::cli;
 use vcad_bench::report::{modeled_real_time, print_table, secs};
 use vcad_bench::scenarios::{self, Scenario};
 use vcad_netsim::NetworkModel;
@@ -16,6 +21,8 @@ fn main() {
     let width = 16;
     let patterns = 100;
     let buffer = 5;
+    let trace_out = cli::trace_path();
+    let obs = cli::collector_for(trace_out.as_ref());
 
     let environments = [
         ("NA (no network)", None),
@@ -27,7 +34,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut runs = Vec::new();
     for scenario in Scenario::ALL {
-        let run = scenarios::run(scenario, width, patterns, buffer);
+        let rig = scenarios::build_with_obs(scenario, width, patterns, buffer, obs.clone());
+        let run = rig.run(scenario);
         runs.push(run.clone());
         for (env_name, model) in &environments {
             // AL has no network leg; remote scenarios skip the NA row.
@@ -72,22 +80,27 @@ fn main() {
     let al = &runs[0];
     let er = &runs[1];
     let mr = &runs[2];
-    // "The impact of using RMI to access a module having only one remote
-    //  method is almost negligible" — ER CPU close to AL's.
-    assert!(
-        er.cpu.as_secs_f64() < al.cpu.as_secs_f64() * 3.0 + 0.05,
-        "ER cpu {:?} should be near AL cpu {:?}",
-        er.cpu,
-        al.cpu
-    );
-    // "Using RMI to access an entirely remote module adds a relevant
-    //  overhead to the CPU time" — MR well above ER.
-    assert!(
-        mr.cpu > er.cpu,
-        "MR cpu {:?} must exceed ER cpu {:?}",
-        mr.cpu,
-        er.cpu
-    );
+    // CPU-time comparisons are only meaningful untraced: recording a span
+    // per scheduler instant and RMI call perturbs exactly what these two
+    // assertions measure.
+    if trace_out.is_none() {
+        // "The impact of using RMI to access a module having only one
+        //  remote method is almost negligible" — ER CPU close to AL's.
+        assert!(
+            er.cpu.as_secs_f64() < al.cpu.as_secs_f64() * 3.0 + 0.05,
+            "ER cpu {:?} should be near AL cpu {:?}",
+            er.cpu,
+            al.cpu
+        );
+        // "Using RMI to access an entirely remote module adds a relevant
+        //  overhead to the CPU time" — MR well above ER.
+        assert!(
+            mr.cpu > er.cpu,
+            "MR cpu {:?} must exceed ER cpu {:?}",
+            mr.cpu,
+            er.cpu
+        );
+    }
     // Real time ordering per environment: WAN > LAN > local for both
     // remote scenarios; MR > ER on every network.
     for scenario_run in [er, mr] {
@@ -119,4 +132,6 @@ fn main() {
         );
     }
     println!("\nAll shape assertions passed.");
+
+    cli::finish_trace(&obs, trace_out);
 }

@@ -1,0 +1,49 @@
+//! Tiny shared argument handling for the bench binaries.
+
+use std::path::PathBuf;
+
+use vcad_obs::Collector;
+
+/// Parses `--trace <path>` from the process arguments, if present.
+///
+/// Exits with status 2 when `--trace` is given without a path.
+#[must_use]
+pub fn trace_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("--trace needs a file path");
+                std::process::exit(2);
+            });
+            return Some(path.into());
+        }
+    }
+    None
+}
+
+/// A collector sized for a full bench run when tracing is requested,
+/// or a disabled one (metrics only) otherwise.
+#[must_use]
+pub fn collector_for(trace: Option<&PathBuf>) -> Collector {
+    if trace.is_some() {
+        // A bench run records hundreds of thousands of events (one per
+        // scheduler instant and RMI call); give the ring room.
+        Collector::with_capacity(1 << 20)
+    } else {
+        Collector::disabled()
+    }
+}
+
+/// Writes the Chrome trace and prints the text summary, when requested.
+///
+/// # Panics
+///
+/// Panics when the trace file cannot be written.
+pub fn finish_trace(obs: &Collector, path: Option<PathBuf>) {
+    let Some(path) = path else { return };
+    let trace = obs.trace();
+    println!("\n{}", vcad_obs::summary::render_summary(&trace));
+    vcad_obs::chrome::write_chrome_trace(&trace, &path).expect("write trace file");
+    println!("Chrome trace written to {}", path.display());
+}

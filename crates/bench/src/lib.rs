@@ -13,6 +13,8 @@
 //! its three deployment flavours ([`scenarios`]), network-time accounting
 //! ([`report`]) and workload generation ([`workload`]).
 
+pub mod cli;
+pub mod microbench;
 pub mod report;
 pub mod scenarios;
 pub mod workload;

@@ -20,6 +20,7 @@ use vcad_core::{
 };
 use vcad_ip::{ClientSession, ComponentOffering, IpComponentModule, ProviderServer};
 use vcad_netlist::generators;
+use vcad_obs::{Collector, MetricsSnapshot};
 use vcad_power::{PowerModel, TogglePowerEstimator};
 use vcad_rmi::{InProcTransport, Transport, TransportStats};
 
@@ -54,11 +55,15 @@ impl Scenario {
 }
 
 /// A ready-to-run instantiation of the Figure 2 circuit.
+///
+/// All RMI traffic, provider fees and scheduler activity funnel into one
+/// [`Collector`] — the single source of truth the run report reads its
+/// transport numbers from.
 pub struct ScenarioRig {
     design: Arc<Design>,
     controller: SimulationController,
     output: ModuleId,
-    transport: Option<Arc<InProcTransport>>,
+    obs: Collector,
     // Kept alive for the duration of the rig: the provider process.
     _server: Option<ProviderServer>,
 }
@@ -89,11 +94,22 @@ pub struct ScenarioRun {
 /// benchmarking rig; failures here are bugs, not recoverable states).
 #[must_use]
 pub fn build(scenario: Scenario, width: usize, patterns: u64, buffer: usize) -> ScenarioRig {
-    let (mult_module, transport, server): (
-        Arc<dyn Module>,
-        Option<Arc<InProcTransport>>,
-        Option<ProviderServer>,
-    ) = match scenario {
+    build_with_obs(scenario, width, patterns, buffer, Collector::disabled())
+}
+
+/// Like [`build`], wiring the whole rig — provider server, transport,
+/// dispatcher and simulation controller — to `obs`. Pass an enabled
+/// collector to get a full trace; a disabled one still aggregates the
+/// metrics [`ScenarioRig::run`] reports.
+#[must_use]
+pub fn build_with_obs(
+    scenario: Scenario,
+    width: usize,
+    patterns: u64,
+    buffer: usize,
+    obs: Collector,
+) -> ScenarioRig {
+    let (mult_module, server): (Arc<dyn Module>, Option<ProviderServer>) = match scenario {
         Scenario::AllLocal => {
             // Full disclosure: the user owns the netlist and runs the
             // gate-level power estimator locally.
@@ -108,14 +124,14 @@ pub fn build(scenario: Scenario, width: usize, patterns: u64, buffer: usize) -> 
                 Arc::new(WordMultiplier::new("MULT", width)),
                 vec![toggle],
             ));
-            (module, None, None)
+            (module, None)
         }
         Scenario::EstimatorRemote | Scenario::MultiplierRemote => {
-            let server = ProviderServer::new("provider.example.com");
+            let server = ProviderServer::with_collector("provider.example.com", obs.clone());
             server.offer(ComponentOffering::fast_low_power_multiplier());
-            let transport = Arc::new(InProcTransport::new(server.dispatcher()));
-            let session =
-                ClientSession::connect(Arc::clone(&transport) as Arc<dyn Transport>, server.host());
+            let transport: Arc<dyn Transport> =
+                Arc::new(InProcTransport::with_collector(server.dispatcher(), &obs));
+            let session = ClientSession::connect(transport, server.host());
             let component = session
                 .instantiate("MultFastLowPower", width)
                 .expect("instantiate remote multiplier");
@@ -128,7 +144,7 @@ pub fn build(scenario: Scenario, width: usize, patterns: u64, buffer: usize) -> 
                     .fully_remote_module("MULT")
                     .expect("build remote module")
             };
-            (module, Some(transport), Some(server))
+            (module, Some(server))
         }
     };
 
@@ -156,13 +172,25 @@ pub fn build(scenario: Scenario, width: usize, patterns: u64, buffer: usize) -> 
     setup.set_buffer_size(buffer);
     let binding = setup.apply_to(&design, "MULT");
 
-    let controller = SimulationController::new(Arc::clone(&design)).with_setup(binding);
+    let controller = SimulationController::new(Arc::clone(&design))
+        .with_setup(binding)
+        .with_collector(obs.clone());
     ScenarioRig {
         design,
         controller,
         output: out,
-        transport,
+        obs,
         _server: server,
+    }
+}
+
+/// Transport counters read from a metrics snapshot.
+fn transport_stats(snapshot: &MetricsSnapshot) -> TransportStats {
+    let get = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    TransportStats {
+        calls: get("rmi.transport.calls"),
+        bytes_sent: get("rmi.transport.bytes_sent"),
+        bytes_received: get("rmi.transport.bytes_received"),
     }
 }
 
@@ -179,26 +207,28 @@ impl ScenarioRig {
         &self.controller
     }
 
+    /// The collector observing this rig (trace export, fee totals).
+    #[must_use]
+    pub fn collector(&self) -> &Collector {
+        &self.obs
+    }
+
     /// Runs the simulation once, measuring client time and RMI traffic.
+    ///
+    /// Traffic is the delta of the rig collector's `rmi.transport.*`
+    /// counters over the run — the transports count once, into the
+    /// registry, and everyone reads from there.
     ///
     /// # Panics
     ///
     /// Panics if the simulation itself fails.
     #[must_use]
     pub fn run(&self, scenario: Scenario) -> ScenarioRun {
-        let before = self
-            .transport
-            .as_ref()
-            .map(|t| t.stats())
-            .unwrap_or_default();
+        let before = transport_stats(&self.obs.metrics().snapshot());
         let start = Instant::now();
         let run = self.controller.run().expect("scenario simulation");
         let cpu = start.elapsed();
-        let after = self
-            .transport
-            .as_ref()
-            .map(|t| t.stats())
-            .unwrap_or_default();
+        let after = transport_stats(&self.obs.metrics().snapshot());
         let outputs = run
             .module_state::<vcad_core::stdlib::CaptureState>(self.output)
             .map(|c| c.history().len())

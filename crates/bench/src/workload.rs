@@ -1,7 +1,6 @@
 //! Workload generation shared by harness binaries and criterion benches.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vcad_prng::Rng;
 
 use vcad_logic::{Logic, LogicVec};
 
@@ -9,7 +8,7 @@ use vcad_logic::{Logic, LogicVec};
 /// by seed.
 #[must_use]
 pub fn random_patterns(width: usize, count: usize, seed: u64) -> Vec<LogicVec> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
             let mut v = LogicVec::zeros(width);
@@ -36,7 +35,7 @@ pub fn correlated_patterns(
     seed: u64,
 ) -> Vec<LogicVec> {
     assert!((0.0..=1.0).contains(&toggle_rate), "rate must be in [0,1]");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut patterns = Vec::with_capacity(count);
     let mut current = LogicVec::zeros(width);
     for i in 0..width {

@@ -3,6 +3,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use vcad_obs::Collector;
+
 use crate::design::{Design, ModuleId};
 use crate::estimate::{EstimationInput, Parameter, PortSnapshot};
 use crate::scheduler::{Scheduler, SimulationError, StateStore};
@@ -25,6 +27,7 @@ pub struct SimulationController {
     setup: Option<SetupBinding>,
     until: Option<SimTime>,
     event_limit: Option<u64>,
+    obs: Option<Collector>,
 }
 
 impl SimulationController {
@@ -36,6 +39,7 @@ impl SimulationController {
             setup: None,
             until: None,
             event_limit: None,
+            obs: None,
         }
     }
 
@@ -61,6 +65,19 @@ impl SimulationController {
         self
     }
 
+    /// Instruments every run launched by this controller.
+    ///
+    /// Each [`SimulationController::run`] records into an isolated child of
+    /// `obs` (its own ring and metric namespace) and merges it back when
+    /// the run finishes — so [`SimulationController::run_concurrent`]
+    /// threads never contend on one collector and the merged totals still
+    /// equal the sum of the per-run numbers.
+    #[must_use]
+    pub fn with_collector(mut self, obs: Collector) -> SimulationController {
+        self.obs = Some(obs);
+        self
+    }
+
     /// The design under control.
     #[must_use]
     pub fn design(&self) -> &Arc<Design> {
@@ -73,10 +90,20 @@ impl SimulationController {
     ///
     /// Returns [`SimulationError`] if the event limit is exceeded.
     pub fn run(&self) -> Result<SimRun, SimulationError> {
+        // Isolate-then-merge: the run records into a child collector, so
+        // concurrent runs never share a ring. Merged back at the end.
+        let child = self.obs.as_ref().map(Collector::child);
         let mut scheduler = Scheduler::new(Arc::clone(&self.design));
         if let Some(limit) = self.event_limit {
             scheduler.set_event_limit(limit);
         }
+        if let Some(child) = &child {
+            scheduler.set_collector(child);
+        }
+        let run_span = child.as_ref().and_then(|c| {
+            c.is_enabled()
+                .then(|| c.span("controller", format!("run:{}", self.design.name())))
+        });
         scheduler.init();
         let mut log = EstimateLog::default();
         let mut buffers: HashMap<usize, Vec<PortSnapshot>> = HashMap::new();
@@ -117,6 +144,16 @@ impl SimulationController {
                     }
                 }
             }
+        }
+
+        drop(run_span);
+        if let (Some(parent), Some(child)) = (&self.obs, &child) {
+            let m = child.metrics();
+            m.float_counter("estimate.fees_cents")
+                .add(log.total_fees_cents());
+            m.counter("estimate.records")
+                .add(log.records().len() as u64);
+            parent.absorb(child);
         }
 
         Ok(SimRun {
@@ -314,6 +351,23 @@ mod tests {
                 &reference[..]
             );
         }
+    }
+
+    #[test]
+    fn collector_observes_runs_and_merges_concurrent_children() {
+        let (d, _, _) = design();
+        let obs = Collector::enabled();
+        let ctrl = SimulationController::new(d).with_collector(obs.clone());
+        let runs = ctrl.run_concurrent(3).unwrap();
+        let expected: u64 = runs.iter().map(SimRun::events_processed).sum();
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counters["scheduler.events_dispatched"], expected);
+        assert_eq!(snap.counters["estimate.records"], 0);
+        let trace = obs.trace();
+        // One controller run span per concurrent run, absorbed into the
+        // parent.
+        assert_eq!(trace.events_named("run:").len(), 3);
+        assert!(!trace.events_named("instant").is_empty());
     }
 
     /// A dynamic estimator that records how many patterns each flush saw.

@@ -1,7 +1,6 @@
 //! Primary input modules.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vcad_prng::Rng;
 
 use vcad_logic::LogicVec;
 
@@ -24,7 +23,7 @@ pub struct RandomInput {
 
 #[derive(Default)]
 struct RandomState {
-    rng: Option<StdRng>,
+    rng: Option<Rng>,
     emitted: u64,
 }
 
@@ -71,7 +70,7 @@ impl Module for RandomInput {
         let seed = self.seed;
         let count = self.count;
         let state = ctx.state::<RandomState>();
-        let rng = state.rng.get_or_insert_with(|| StdRng::seed_from_u64(seed));
+        let rng = state.rng.get_or_insert_with(|| Rng::seed_from_u64(seed));
         let mut v = LogicVec::zeros(width);
         for i in 0..width {
             v.set(i, rng.gen_bool(0.5).into());

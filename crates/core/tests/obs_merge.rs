@@ -1,0 +1,111 @@
+//! Observability merge property: N concurrent schedulers, each recording
+//! into an isolated child collector, must merge to exactly the aggregate
+//! a single shared collector would have seen from N serial runs.
+//!
+//! Deterministic seeded sampling over design shapes (offline build — no
+//! external property-testing framework).
+
+use std::sync::Arc;
+
+use vcad_core::stdlib::{PrimaryOutput, RandomInput, Register};
+use vcad_core::{Design, DesignBuilder, SimulationController};
+use vcad_obs::{Collector, MetricsSnapshot};
+use vcad_prng::Rng;
+
+fn chain(width: usize, patterns: u64, seed: u64, regs: usize) -> Arc<Design> {
+    let mut b = DesignBuilder::new("obs-merge");
+    let src = b.add_module(Arc::new(RandomInput::new("SRC", width, seed, patterns)));
+    let mut tail = (src, "out".to_owned());
+    for i in 0..regs {
+        let r = b.add_module(Arc::new(Register::new(format!("R{i}"), width)));
+        b.connect(tail.0, &tail.1, r, "d").unwrap();
+        tail = (r, "q".into());
+    }
+    let out = b.add_module(Arc::new(PrimaryOutput::new("OUT", width)));
+    b.connect(tail.0, &tail.1, out, "in").unwrap();
+    Arc::new(b.build().unwrap())
+}
+
+/// Counter maps must agree exactly; float counters within rounding
+/// (absorption order may reorder the summation); histograms by count.
+fn assert_metrics_equal(a: &MetricsSnapshot, b: &MetricsSnapshot) {
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(
+        a.float_counters.keys().collect::<Vec<_>>(),
+        b.float_counters.keys().collect::<Vec<_>>()
+    );
+    for (name, v) in &a.float_counters {
+        let w = b.float_counters[name];
+        assert!((v - w).abs() < 1e-6, "{name}: {v} vs {w}");
+    }
+    assert_eq!(
+        a.histograms.keys().collect::<Vec<_>>(),
+        b.histograms.keys().collect::<Vec<_>>()
+    );
+    for (name, h) in &a.histograms {
+        assert_eq!(h.count, b.histograms[name].count, "{name}");
+    }
+}
+
+#[test]
+fn concurrent_children_merge_to_serial_aggregate() {
+    let mut rng = Rng::seed_from_u64(0x0b5_4e6e);
+    for _ in 0..12 {
+        let width = 1 + (rng.next_u64() % 16) as usize;
+        let patterns = 2 + rng.next_u64() % 30;
+        let regs = (rng.next_u64() % 4) as usize;
+        let n = 2 + (rng.next_u64() % 4) as usize;
+        let design = chain(width, patterns, rng.next_u64(), regs);
+
+        // Concurrent: the controller hands each run an isolated child and
+        // absorbs it back into `merged`.
+        let merged = Collector::enabled();
+        SimulationController::new(Arc::clone(&design))
+            .with_collector(merged.clone())
+            .run_concurrent(n)
+            .unwrap();
+
+        // Serial reference: n runs recording into one shared collector.
+        let shared = Collector::enabled();
+        let ctrl = SimulationController::new(design).with_collector(shared.clone());
+        for _ in 0..n {
+            ctrl.run().unwrap();
+        }
+
+        let merged_trace = merged.trace();
+        let shared_trace = shared.trace();
+        assert_metrics_equal(&merged_trace.metrics, &shared_trace.metrics);
+        assert_eq!(merged_trace.events.len(), shared_trace.events.len());
+        assert_eq!(merged_trace.dropped, 0);
+        assert_eq!(shared_trace.dropped, 0);
+        // Same span census either way.
+        assert_eq!(
+            merged_trace.events_named("run:").len(),
+            n,
+            "one controller span per run"
+        );
+        assert_eq!(
+            merged_trace.events_named("instant").len(),
+            shared_trace.events_named("instant").len()
+        );
+    }
+}
+
+#[test]
+fn absorb_rebases_child_events_onto_parent_clock() {
+    let design = chain(8, 10, 7, 1);
+    let parent = Collector::enabled();
+    SimulationController::new(design)
+        .with_collector(parent.clone())
+        .run_concurrent(3)
+        .unwrap();
+    let trace = parent.trace();
+    // Events sorted by wall time on one clock; no timestamp may precede
+    // the parent's epoch (absorb clamps, but children are created after
+    // the parent, so rebased stamps are strictly positive).
+    assert!(trace
+        .events
+        .windows(2)
+        .all(|w| w[0].wall_ns <= w[1].wall_ns));
+    assert!(trace.events.iter().all(|e| e.wall_ns > 0));
+}

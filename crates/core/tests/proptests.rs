@@ -1,12 +1,15 @@
-//! Property-based tests of the simulation backplane: determinism,
-//! scheduler isolation, and timing semantics.
+//! Randomized property tests of the simulation backplane: determinism,
+//! scheduler isolation, and timing semantics. Deterministic seeded
+//! sampling replaces the external property-testing framework (offline
+//! build).
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use vcad_core::stdlib::{CaptureState, Delay, Fanout, PrimaryOutput, RandomInput, Register};
 use vcad_core::{Design, DesignBuilder, ModuleId, SimTime, SimulationController};
+use vcad_prng::Rng;
+
+const CASES: usize = 32;
 
 /// A randomized pipeline: source → (0..3 registers) → fanout → delays →
 /// two outputs.
@@ -39,80 +42,86 @@ fn pipeline(
     (Arc::new(b.build().unwrap()), oa, ob)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn simulation_is_deterministic(
-        width in 1usize..32,
-        patterns in 1u64..40,
-        seed in any::<u64>(),
-        regs in 0usize..3,
-        da in 0u64..5,
-        db in 0u64..5,
-    ) {
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0xc0e1);
+    for _ in 0..CASES {
+        let width = rng.gen_range(1usize..32);
+        let patterns = rng.gen_range(1u64..40);
+        let seed = rng.next_u64();
+        let regs = rng.gen_range(0usize..3);
+        let da = rng.gen_range(0u64..5);
+        let db = rng.gen_range(0u64..5);
         let (design, oa, _) = pipeline(width, patterns, seed, regs, da, db);
         let ctrl = SimulationController::new(design);
         let r1 = ctrl.run().unwrap();
         let r2 = ctrl.run().unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             r1.module_state::<CaptureState>(oa).unwrap().history(),
             r2.module_state::<CaptureState>(oa).unwrap().history()
         );
-        prop_assert_eq!(r1.events_processed(), r2.events_processed());
+        assert_eq!(r1.events_processed(), r2.events_processed());
     }
+}
 
-    #[test]
-    fn concurrent_schedulers_never_interfere(
-        width in 1usize..16,
-        patterns in 1u64..25,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn concurrent_schedulers_never_interfere() {
+    let mut rng = Rng::seed_from_u64(0xc0e2);
+    for _ in 0..8 {
+        let width = rng.gen_range(1usize..16);
+        let patterns = rng.gen_range(1u64..25);
+        let seed = rng.next_u64();
         let (design, oa, ob) = pipeline(width, patterns, seed, 1, 0, 2);
         let ctrl = SimulationController::new(design);
         let serial = ctrl.run().unwrap();
         let concurrent = ctrl.run_concurrent(4).unwrap();
         for run in &concurrent {
             for out in [oa, ob] {
-                prop_assert_eq!(
+                assert_eq!(
                     run.module_state::<CaptureState>(out).unwrap().history(),
                     serial.module_state::<CaptureState>(out).unwrap().history()
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn register_and_delay_timing_compose(
-        width in 1usize..16,
-        seed in any::<u64>(),
-        regs in 0usize..3,
-        da in 0u64..6,
-        db in 0u64..6,
-    ) {
+#[test]
+fn register_and_delay_timing_compose() {
+    let mut rng = Rng::seed_from_u64(0xc0e3);
+    for _ in 0..CASES {
+        let width = rng.gen_range(1usize..16);
+        let seed = rng.next_u64();
+        let regs = rng.gen_range(0usize..3);
+        let da = rng.gen_range(0u64..6);
+        let db = rng.gen_range(0u64..6);
         // One pattern through R registers and a D-tick delay arrives at
         // exactly t = regs + delay.
         let (design, oa, ob) = pipeline(width, 1, seed, regs, da, db);
         let run = SimulationController::new(design).run().unwrap();
         let t_a = run.module_state::<CaptureState>(oa).unwrap().history()[0].0;
         let t_b = run.module_state::<CaptureState>(ob).unwrap().history()[0].0;
-        prop_assert_eq!(t_a, SimTime::new(regs as u64 + da));
-        prop_assert_eq!(t_b, SimTime::new(regs as u64 + db));
+        assert_eq!(t_a, SimTime::new(regs as u64 + da));
+        assert_eq!(t_b, SimTime::new(regs as u64 + db));
         // Both branches carry the same value.
         let v_a = &run.module_state::<CaptureState>(oa).unwrap().history()[0].1;
         let v_b = &run.module_state::<CaptureState>(ob).unwrap().history()[0].1;
-        prop_assert_eq!(v_a, v_b);
+        assert_eq!(v_a, v_b);
     }
+}
 
-    #[test]
-    fn until_is_a_prefix_of_the_full_run(
-        width in 1usize..8,
-        patterns in 2u64..30,
-        seed in any::<u64>(),
-        cut in 0u64..15,
-    ) {
+#[test]
+fn until_is_a_prefix_of_the_full_run() {
+    let mut rng = Rng::seed_from_u64(0xc0e4);
+    for _ in 0..CASES {
+        let width = rng.gen_range(1usize..8);
+        let patterns = rng.gen_range(2u64..30);
+        let seed = rng.next_u64();
+        let cut = rng.gen_range(0u64..15);
         let (design, oa, _) = pipeline(width, patterns, seed, 1, 0, 0);
-        let full = SimulationController::new(Arc::clone(&design)).run().unwrap();
+        let full = SimulationController::new(Arc::clone(&design))
+            .run()
+            .unwrap();
         let cut_run = SimulationController::new(design)
             .until(SimTime::new(cut))
             .run()
@@ -122,19 +131,21 @@ proptest! {
             .module_state::<CaptureState>(oa)
             .map(|c| c.history().to_vec())
             .unwrap_or_default();
-        prop_assert!(cut_hist.len() <= full_hist.len());
-        prop_assert_eq!(&cut_hist[..], &full_hist[..cut_hist.len()]);
+        assert!(cut_hist.len() <= full_hist.len());
+        assert_eq!(&cut_hist[..], &full_hist[..cut_hist.len()]);
         for (t, _) in &cut_hist {
-            prop_assert!(*t <= SimTime::new(cut));
+            assert!(*t <= SimTime::new(cut));
         }
     }
+}
 
-    #[test]
-    fn pattern_sources_emit_exactly_count_patterns(
-        width in 1usize..64,
-        patterns in 0u64..50,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn pattern_sources_emit_exactly_count_patterns() {
+    let mut rng = Rng::seed_from_u64(0xc0e5);
+    for _ in 0..CASES {
+        let width = rng.gen_range(1usize..64);
+        let patterns = rng.gen_range(0usize..50) as u64;
+        let seed = rng.next_u64();
         let mut b = DesignBuilder::new("count");
         let src = b.add_module(Arc::new(RandomInput::new("SRC", width, seed, patterns)));
         let out = b.add_module(Arc::new(PrimaryOutput::new("OUT", width)));
@@ -145,6 +156,6 @@ proptest! {
             .module_state::<CaptureState>(out)
             .map(|c| c.history().len())
             .unwrap_or(0);
-        prop_assert_eq!(captured as u64, patterns);
+        assert_eq!(captured as u64, patterns);
     }
 }

@@ -6,8 +6,7 @@
 //! the simplest useful test generator a user can run against either the
 //! flat baseline or, via detection tables, an IP-protected design.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vcad_prng::Rng;
 
 use vcad_logic::{Logic, LogicVec};
 use vcad_netlist::Netlist;
@@ -52,7 +51,7 @@ pub fn grow_random_patterns(
         (0.0..=1.0).contains(&target_coverage),
         "coverage target must be a fraction"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let good = vcad_netlist::Evaluator::new(netlist);
     let faulty = FaultyEvaluator::new(netlist);
     let total = targets.len();

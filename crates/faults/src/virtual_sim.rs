@@ -9,6 +9,7 @@ use std::sync::Arc;
 use vcad_core::{Design, Module, ModuleCtx, ModuleId, PortSpec, Scheduler, SimulationError, Value};
 use vcad_logic::LogicVec;
 use vcad_netlist::Netlist;
+use vcad_obs::Collector;
 
 use crate::collapse::FaultUniverse;
 use crate::detect::DetectionTable;
@@ -221,6 +222,7 @@ pub struct VirtualFaultSim {
     outputs: Vec<ModuleId>,
     parallelism: usize,
     table_cache: bool,
+    obs: Collector,
 }
 
 impl VirtualFaultSim {
@@ -243,7 +245,18 @@ impl VirtualFaultSim {
             outputs,
             parallelism: 1,
             table_cache: true,
+            obs: Collector::disabled(),
         }
+    }
+
+    /// Routes run-level metrics (`faults.*` counters, per-worker injection
+    /// counts) and a per-run span into `obs`. The thousands of
+    /// single-instant injection schedulers stay uninstrumented — their
+    /// creation is the hot path the paper's figure 5 loop turns on.
+    #[must_use]
+    pub fn with_collector(mut self, obs: Collector) -> VirtualFaultSim {
+        self.obs = obs;
+        self
     }
 
     /// Disables the per-input-configuration detection-table cache, so
@@ -279,6 +292,17 @@ impl VirtualFaultSim {
     /// Returns a [`VirtualSimError`] if the simulation or a
     /// detection-table source fails.
     pub fn run(&self) -> Result<CoverageReport, VirtualSimError> {
+        let run_span = self
+            .obs
+            .is_enabled()
+            .then(|| self.obs.span("faults", "run"));
+        let worker_injections: Vec<vcad_obs::Counter> = (0..self.parallelism)
+            .map(|i| {
+                self.obs
+                    .metrics()
+                    .counter(&format!("faults.worker.{i}.injections"))
+            })
+            .collect();
         // Phase 1: the union of symbolic fault lists.
         let mut remaining: Vec<HashSet<SymbolicFault>> = Vec::new();
         let mut block_cov: Vec<BlockCoverage> = Vec::new();
@@ -346,10 +370,13 @@ impl VirtualFaultSim {
                     std::thread::scope(|scope| {
                         let snapshots = &snapshots;
                         let good_outputs = &good_outputs;
+                        let worker_injections = &worker_injections;
                         pending
                             .chunks(pending.len().div_ceil(self.parallelism))
-                            .map(|chunk| {
+                            .enumerate()
+                            .map(|(worker, chunk)| {
                                 scope.spawn(move || {
+                                    worker_injections[worker].add(chunk.len() as u64);
                                     chunk
                                         .iter()
                                         .map(|(out, _)| {
@@ -369,6 +396,7 @@ impl VirtualFaultSim {
                             .collect()
                     })
                 } else {
+                    worker_injections[0].add(pending.len() as u64);
                     pending
                         .iter()
                         .map(|(out, _)| {
@@ -390,6 +418,16 @@ impl VirtualFaultSim {
             }
             pattern_index += 1;
         }
+
+        let m = self.obs.metrics();
+        m.counter("faults.patterns").add(pattern_index as u64);
+        m.counter("faults.tables_requested")
+            .add(tables_requested as u64);
+        m.counter("faults.cache_hits").add(cache_hits as u64);
+        m.counter("faults.injections").add(injections as u64);
+        m.counter("faults.detected")
+            .add(block_cov.iter().map(|b| b.detected.len() as u64).sum());
+        drop(run_span);
 
         Ok(CoverageReport {
             blocks: block_cov,
@@ -737,6 +775,37 @@ mod tests {
         assert_eq!(report.patterns, 3);
         assert!(report.cache_hits >= 2, "{report:?}");
         assert_eq!(report.tables_requested, 1);
+    }
+
+    #[test]
+    fn collector_mirrors_report_counts_across_workers() {
+        let (design, ip, outputs, ip1) = figure4_design(&all_16_patterns());
+        let obs = Collector::enabled();
+        let sim = VirtualFaultSim::new(
+            design,
+            vec![IpBlockBinding {
+                module: ip,
+                source: Arc::new(NetlistDetectionSource::new(ip1)),
+            }],
+            outputs,
+        )
+        .with_parallelism(3)
+        .with_collector(obs.clone());
+        let report = sim.run().unwrap();
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counters["faults.patterns"], report.patterns as u64);
+        assert_eq!(
+            snap.counters["faults.tables_requested"],
+            report.tables_requested as u64
+        );
+        assert_eq!(snap.counters["faults.cache_hits"], report.cache_hits as u64);
+        assert_eq!(snap.counters["faults.injections"], report.injections as u64);
+        // Per-worker counts partition the total.
+        let per_worker: u64 = (0..3)
+            .filter_map(|i| snap.counters.get(&format!("faults.worker.{i}.injections")))
+            .sum();
+        assert_eq!(per_worker, report.injections as u64);
+        assert_eq!(obs.trace().events_named("run").len(), 1);
     }
 
     #[test]

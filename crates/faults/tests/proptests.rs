@@ -1,13 +1,14 @@
-//! Property-based tests of the virtual fault simulator's load-bearing
+//! Randomized tests of the virtual fault simulator's load-bearing
 //! invariant: over randomized IP blocks and randomized user logic,
 //! virtual fault simulation (symbolic lists + detection tables, zero
 //! structural disclosure) detects **exactly** the faults that flat
 //! full-disclosure fault simulation detects.
+//!
+//! Deterministic seeded sampling replaces the external property-testing
+//! framework (offline build).
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-
-use proptest::prelude::*;
 
 use vcad_core::stdlib::{NetlistBlock, PrimaryOutput, VectorInput};
 use vcad_core::{Design, DesignBuilder, ModuleId};
@@ -20,6 +21,7 @@ use vcad_netlist::{
     generators::{self, RandomCircuitSpec},
     GateKind, NetId, Netlist, NetlistBuilder,
 };
+use vcad_prng::Rng;
 
 /// Replicates `ip`'s gates inside `b`, with `inputs` standing in for the
 /// IP's primary inputs, preserving the IP's internal net names. Returns
@@ -68,7 +70,7 @@ fn build_scenario(ip_seed: u64, k1: u8, k2: u8) -> Scenario {
 
     // ── Flat full-disclosure netlist ────────────────────────────────
     // Inputs A,B,C feed the IP; D gates observability:
-    //   O1 = k1(ip0, D); O2 = k2(ip1, ip0_via_wrapper? no — ip1, D).
+    //   O1 = k1(ip0, D); O2 = k2(ip1, D).
     let mut fb = NetlistBuilder::new("flat");
     let a = fb.input("A");
     let b_ = fb.input("B");
@@ -136,7 +138,7 @@ fn build_scenario(ip_seed: u64, k1: u8, k2: u8) -> Scenario {
 
 /// Runs both simulators and checks exact agreement per IP-internal fault
 /// class.
-fn check_equality(s: &Scenario) -> Result<(), TestCaseError> {
+fn check_equality(s: &Scenario) {
     let source = Arc::new(NetlistDetectionSource::new(Arc::clone(&s.ip)));
     let ip_universe = source.universe().clone();
     let report = VirtualFaultSim::new(
@@ -196,37 +198,31 @@ fn check_equality(s: &Scenario) -> Result<(), TestCaseError> {
         };
         let flat_hit = flat_names.contains(flat_rep);
         let virt_hit = virtual_detected.contains(&ip_name);
-        prop_assert_eq!(
-            flat_hit,
-            virt_hit,
-            "fault {} (flat rep {}): flat={} virtual={}",
-            ip_name,
-            flat_rep,
-            flat_hit,
-            virt_hit
+        assert_eq!(
+            flat_hit, virt_hit,
+            "fault {ip_name} (flat rep {flat_rep}): flat={flat_hit} virtual={virt_hit}"
         );
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn virtual_equals_flat_on_random_circuits(
-        ip_seed in 0u64..10_000,
-        k1 in any::<u8>(),
-        k2 in any::<u8>(),
-    ) {
+#[test]
+fn virtual_equals_flat_on_random_circuits() {
+    let mut rng = Rng::seed_from_u64(0xfa01);
+    for _ in 0..24 {
+        let ip_seed = rng.gen_range(0u64..10_000);
+        let k1 = rng.next_u64() as u8;
+        let k2 = rng.next_u64() as u8;
         let scenario = build_scenario(ip_seed, k1, k2);
-        check_equality(&scenario)?;
+        check_equality(&scenario);
     }
+}
 
-    #[test]
-    fn detection_tables_are_sound_on_random_circuits(
-        ip_seed in 0u64..10_000,
-        pattern in 0u64..8,
-    ) {
+#[test]
+fn detection_tables_are_sound_on_random_circuits() {
+    let mut rng = Rng::seed_from_u64(0xfa02);
+    for _ in 0..24 {
+        let ip_seed = rng.gen_range(0u64..10_000);
+        let pattern = rng.gen_range(0u64..8);
         // Every table row must be reproducible by actually simulating the
         // named fault class representative.
         let ip = generators::random_circuit(RandomCircuitSpec {
@@ -243,17 +239,19 @@ proptest! {
             let name = class.representative.name(&ip);
             let simulated = faulty.outputs(&class.representative, &inputs);
             match table.output_for(&name) {
-                Some(out) => prop_assert_eq!(out, &simulated),
-                None => prop_assert_eq!(&simulated, table.fault_free()),
+                Some(out) => assert_eq!(out, &simulated),
+                None => assert_eq!(&simulated, table.fault_free()),
             }
         }
     }
+}
 
-    #[test]
-    fn equivalence_classes_behave_identically_on_random_circuits(
-        ip_seed in 0u64..10_000,
-        pattern in 0u64..16,
-    ) {
+#[test]
+fn equivalence_classes_behave_identically_on_random_circuits() {
+    let mut rng = Rng::seed_from_u64(0xfa03);
+    for _ in 0..24 {
+        let ip_seed = rng.gen_range(0u64..10_000);
+        let pattern = rng.gen_range(0u64..16);
         let ip = generators::random_circuit(RandomCircuitSpec {
             inputs: 4,
             gates: 16,
@@ -266,7 +264,7 @@ proptest! {
         for class in universe.classes() {
             let reference = faulty.outputs(&class.representative, &inputs);
             for member in &class.members {
-                prop_assert_eq!(
+                assert_eq!(
                     faulty.outputs(member, &inputs),
                     reference.clone(),
                     "class {:?} member {:?}",
@@ -276,12 +274,14 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn bit_parallel_equals_serial_on_random_circuits(
-        seed in 0u64..10_000,
-        n_patterns in 1usize..100,
-    ) {
+#[test]
+fn bit_parallel_equals_serial_on_random_circuits() {
+    let mut rng = Rng::seed_from_u64(0xfa04);
+    for _ in 0..24 {
+        let seed = rng.gen_range(0u64..10_000);
+        let n_patterns = rng.gen_range(1usize..100);
         let nl = generators::random_circuit(RandomCircuitSpec {
             inputs: 10,
             gates: 60,
@@ -294,20 +294,18 @@ proptest! {
             .collect();
         let serial = SerialFaultSim::new(&nl, targets.clone()).run(&patterns);
         let parallel = vcad_faults::BitParallelSim::new(&nl, targets).run(&patterns);
-        prop_assert_eq!(serial, parallel);
+        assert_eq!(serial, parallel);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn parallel_injection_equals_serial(
-        ip_seed in 0u64..10_000,
-        k1 in any::<u8>(),
-        k2 in any::<u8>(),
-        threads in 2usize..5,
-    ) {
+#[test]
+fn parallel_injection_equals_serial() {
+    let mut rng = Rng::seed_from_u64(0xfa05);
+    for _ in 0..12 {
+        let ip_seed = rng.gen_range(0u64..10_000);
+        let k1 = rng.next_u64() as u8;
+        let k2 = rng.next_u64() as u8;
+        let threads = rng.gen_range(2usize..5);
         let s = build_scenario(ip_seed, k1, k2);
         let serial = VirtualFaultSim::new(
             Arc::clone(&s.design),
@@ -331,26 +329,26 @@ proptest! {
         .run()
         .expect("parallel virtual fault simulation");
         let as_set = |v: &[vcad_faults::SymbolicFault]| {
-            v.iter().map(|f| f.as_str().to_owned()).collect::<HashSet<_>>()
+            v.iter()
+                .map(|f| f.as_str().to_owned())
+                .collect::<HashSet<_>>()
         };
-        prop_assert_eq!(
+        assert_eq!(
             as_set(&serial.blocks[0].detected),
             as_set(&parallel.blocks[0].detected)
         );
-        prop_assert_eq!(serial.injections, parallel.injections);
-        prop_assert_eq!(serial.patterns, parallel.patterns);
+        assert_eq!(serial.injections, parallel.injections);
+        assert_eq!(serial.patterns, parallel.patterns);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn mux_heavy_circuits_fault_simulate_consistently(
-        width in 2usize..5,
-        n_patterns in 10usize..60,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn mux_heavy_circuits_fault_simulate_consistently() {
+    let mut rng = Rng::seed_from_u64(0xfa06);
+    for _ in 0..16 {
+        let width = rng.gen_range(2usize..5);
+        let n_patterns = rng.gen_range(10usize..60);
+        let seed = rng.next_u64();
         // The ALU is MUX2-dense; serial and bit-parallel simulation must
         // agree on it, and detection tables must stay sound.
         let nl = generators::alu(width);
@@ -367,7 +365,7 @@ proptest! {
             .collect();
         let serial = SerialFaultSim::new(&nl, targets.clone()).run(&patterns);
         let parallel = vcad_faults::BitParallelSim::new(&nl, targets).run(&patterns);
-        prop_assert_eq!(&serial, &parallel);
+        assert_eq!(&serial, &parallel);
 
         let table = vcad_faults::DetectionTable::build(&nl, &universe, &patterns[0]);
         let faulty = vcad_faults::FaultyEvaluator::new(&nl);
@@ -375,22 +373,20 @@ proptest! {
             let name = class.representative.name(&nl);
             let simulated = faulty.outputs(&class.representative, &patterns[0]);
             match table.output_for(&name) {
-                Some(out) => prop_assert_eq!(out, &simulated),
-                None => prop_assert_eq!(&simulated, table.fault_free()),
+                Some(out) => assert_eq!(out, &simulated),
+                None => assert_eq!(&simulated, table.fault_free()),
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn cache_ablation_changes_traffic_not_results(
-        ip_seed in 0u64..10_000,
-        k1 in any::<u8>(),
-        k2 in any::<u8>(),
-    ) {
+#[test]
+fn cache_ablation_changes_traffic_not_results() {
+    let mut rng = Rng::seed_from_u64(0xfa07);
+    for _ in 0..8 {
+        let ip_seed = rng.gen_range(0u64..10_000);
+        let k1 = rng.next_u64() as u8;
+        let k2 = rng.next_u64() as u8;
         let s = build_scenario(ip_seed, k1, k2);
         let cached = VirtualFaultSim::new(
             Arc::clone(&s.design),
@@ -414,13 +410,15 @@ proptest! {
         .run()
         .unwrap();
         let as_set = |v: &[vcad_faults::SymbolicFault]| {
-            v.iter().map(|f| f.as_str().to_owned()).collect::<HashSet<_>>()
+            v.iter()
+                .map(|f| f.as_str().to_owned())
+                .collect::<HashSet<_>>()
         };
-        prop_assert_eq!(
+        assert_eq!(
             as_set(&cached.blocks[0].detected),
             as_set(&uncached.blocks[0].detected)
         );
-        prop_assert!(uncached.tables_requested >= cached.tables_requested);
-        prop_assert_eq!(uncached.cache_hits, 0);
+        assert!(uncached.tables_requested >= cached.tables_requested);
+        assert_eq!(uncached.cache_hits, 0);
     }
 }

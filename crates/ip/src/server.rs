@@ -2,12 +2,13 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use vcad_core::{EstimationInput, Estimator, PortSnapshot, SimTime};
 use vcad_faults::{DetectionTable, DetectionTableSource, NetlistDetectionSource};
 use vcad_logic::LogicVec;
 use vcad_netlist::Netlist;
+use vcad_obs::Collector;
 use vcad_power::{
     ConstantPowerEstimator, LinearRegressionPowerEstimator, PeakPowerEstimator, PowerModel,
     SiliconReference, TogglePowerEstimator,
@@ -21,6 +22,7 @@ use crate::protocol::{catalog, component, decode_patterns};
 #[derive(Debug, Default)]
 pub struct ServerLedger {
     entries: Mutex<Vec<(String, f64)>>,
+    obs: Collector,
 }
 
 impl ServerLedger {
@@ -30,23 +32,44 @@ impl ServerLedger {
         ServerLedger::default()
     }
 
+    /// Creates a ledger that also mirrors every charge into `obs`
+    /// (`ip.fees_cents`, `ip.charges`, plus a trace event per charge).
+    #[must_use]
+    pub fn with_collector(obs: Collector) -> ServerLedger {
+        ServerLedger {
+            entries: Mutex::new(Vec::new()),
+            obs,
+        }
+    }
+
     /// Records a fee, in cents.
     pub fn charge(&self, what: impl Into<String>, cents: f64) {
         if cents > 0.0 {
-            self.entries.lock().push((what.into(), cents));
+            let what = what.into();
+            let m = self.obs.metrics();
+            m.float_counter("ip.fees_cents").add(cents);
+            m.counter("ip.charges").inc();
+            if self.obs.is_enabled() {
+                self.obs.event_with_args(
+                    "ip",
+                    format!("charge:{what}"),
+                    vec![("cents".into(), cents.into())],
+                );
+            }
+            self.entries.lock().unwrap().push((what, cents));
         }
     }
 
     /// Total charged so far, in cents.
     #[must_use]
     pub fn total_cents(&self) -> f64 {
-        self.entries.lock().iter().map(|(_, c)| c).sum()
+        self.entries.lock().unwrap().iter().map(|(_, c)| c).sum()
     }
 
     /// Number of chargeable calls recorded.
     #[must_use]
     pub fn entry_count(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.lock().unwrap().len()
     }
 }
 
@@ -69,14 +92,23 @@ impl ProviderServer {
     /// transports are attached separately).
     #[must_use]
     pub fn new(host: impl Into<String>) -> ProviderServer {
+        ProviderServer::with_collector(host, Collector::disabled())
+    }
+
+    /// Creates a provider whose ledger, dispatcher and catalog all record
+    /// into `obs`: per-method dispatch metrics, `ip.fees_cents`,
+    /// `ip.instantiations` and negotiation outcome counters.
+    #[must_use]
+    pub fn with_collector(host: impl Into<String>, obs: Collector) -> ProviderServer {
         let offerings = Arc::new(Mutex::new(Vec::new()));
-        let ledger = Arc::new(ServerLedger::new());
+        let ledger = Arc::new(ServerLedger::with_collector(obs.clone()));
         let registry = Arc::new(ObjectRegistry::new());
         registry.register_root(Arc::new(CatalogObject {
             offerings: Arc::clone(&offerings),
             ledger: Arc::clone(&ledger),
+            obs: obs.clone(),
         }));
-        let dispatcher = Arc::new(Dispatcher::new(Arc::clone(&registry)));
+        let dispatcher = Arc::new(Dispatcher::new(Arc::clone(&registry)).with_collector(obs));
         ProviderServer {
             host: host.into(),
             offerings,
@@ -94,7 +126,7 @@ impl ProviderServer {
 
     /// Publishes an offering in the catalog.
     pub fn offer(&self, offering: ComponentOffering) {
-        self.offerings.lock().push(offering);
+        self.offerings.lock().unwrap().push(offering);
     }
 
     /// The dispatcher to hang transports off (in-process, channel, TCP).
@@ -120,13 +152,14 @@ impl ProviderServer {
 struct CatalogObject {
     offerings: Arc<Mutex<Vec<ComponentOffering>>>,
     ledger: Arc<ServerLedger>,
+    obs: Collector,
 }
 
 impl RemoteObject for CatalogObject {
     fn invoke(&self, method: &str, args: &[Value], ctx: &ServerCtx) -> Result<Value, RmiError> {
         match method {
             catalog::LIST => {
-                let offerings = self.offerings.lock();
+                let offerings = self.offerings.lock().unwrap();
                 Ok(Value::List(
                     offerings
                         .iter()
@@ -160,7 +193,7 @@ impl RemoteObject for CatalogObject {
                         .filter(|w| (1..=32).contains(w))
                         .ok_or_else(|| RmiError::bad_args(method))? as usize;
                 let offering = {
-                    let offerings = self.offerings.lock();
+                    let offerings = self.offerings.lock().unwrap();
                     offerings
                         .iter()
                         .find(|o| o.name() == name)
@@ -173,6 +206,7 @@ impl RemoteObject for CatalogObject {
                     format!("instantiate {name}"),
                     offering.prices().instantiation,
                 );
+                self.obs.metrics().counter("ip.instantiations").inc();
                 let object = ComponentObject::new(offering, width, Arc::clone(&self.ledger));
                 Ok(Value::ObjectRef(ctx.export(Arc::new(object))))
             }
@@ -187,7 +221,7 @@ impl RemoteObject for CatalogObject {
                     .and_then(Value::as_list)
                     .ok_or_else(|| RmiError::bad_args(method))?;
                 let offering = {
-                    let offerings = self.offerings.lock();
+                    let offerings = self.offerings.lock().unwrap();
                     offerings
                         .iter()
                         .find(|o| o.name() == name)
@@ -197,6 +231,7 @@ impl RemoteObject for CatalogObject {
                         })?
                 };
                 let advertised = crate::negotiate::advertised_estimators(&offering.prices());
+                let metrics = self.obs.metrics();
                 let mut outcomes = Vec::with_capacity(requests.len());
                 for request in requests {
                     let request = crate::negotiate::decode_request(request)?;
@@ -206,6 +241,13 @@ impl RemoteObject for CatalogObject {
                         request.max_fee_cents_per_pattern,
                         request.max_error_pct,
                     );
+                    metrics
+                        .counter(if offer.is_some() {
+                            "ip.negotiations.offered"
+                        } else {
+                            "ip.negotiations.refused"
+                        })
+                        .inc();
                     outcomes.push(crate::negotiate::encode_outcome(
                         &crate::negotiate::NegotiationOutcome {
                             parameter: request.parameter,
@@ -542,6 +584,42 @@ mod tests {
             )
             .unwrap_err();
         assert!(err.to_string().contains("bad arguments"));
+    }
+
+    #[test]
+    fn provider_collector_mirrors_fees_and_instantiations() {
+        let obs = Collector::enabled();
+        let server = ProviderServer::with_collector("p.example.com", obs.clone());
+        server.offer(ComponentOffering::fast_low_power_multiplier());
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new(server.dispatcher()));
+        let client = Client::new(transport);
+        let comp = client
+            .root()
+            .invoke_object(
+                catalog::INSTANTIATE,
+                vec![Value::Str("MultFastLowPower".into()), Value::I64(4)],
+            )
+            .unwrap();
+        let patterns: Vec<LogicVec> = (0..5u64).map(|i| LogicVec::from_u64(8, i * 7)).collect();
+        let _ = comp
+            .invoke(
+                component::POWER_TOGGLE,
+                vec![crate::protocol::encode_patterns(&patterns)],
+            )
+            .unwrap();
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counters["ip.instantiations"], 1);
+        assert!(snap.counters["ip.charges"] >= 1);
+        let fees = snap.float_counters["ip.fees_cents"];
+        assert!(
+            (fees - server.ledger().total_cents()).abs() < 1e-9,
+            "{fees}"
+        );
+        // Dispatch metrics ride along on the same collector.
+        assert!(snap.counters["rmi.dispatch.calls"] >= 2);
+        assert!(snap
+            .counters
+            .contains_key(&format!("rmi.method.{}.calls", component::POWER_TOGGLE)));
     }
 
     #[test]

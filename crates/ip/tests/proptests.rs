@@ -1,57 +1,60 @@
-//! Property-based protocol-integrity tests: everything a provider
-//! computes remotely must agree exactly with the same computation run
-//! locally on the same netlist.
+//! Randomized protocol-integrity tests: everything a provider computes
+//! remotely must agree exactly with the same computation run locally on
+//! the same netlist. Deterministic seeded sampling replaces the external
+//! property-testing framework (offline build).
 
 use std::sync::Arc;
-
-use proptest::prelude::*;
 
 use vcad_core::{EstimationInput, Estimator, PortSnapshot, SimTime};
 use vcad_ip::{ClientSession, ComponentOffering, ProviderServer};
 use vcad_logic::LogicVec;
 use vcad_netlist::{generators, Evaluator};
 use vcad_power::{PowerModel, TogglePowerEstimator};
+use vcad_prng::Rng;
 
-fn rig(width: usize) -> (ProviderServer, ClientSession) {
+const CASES: usize = 16;
+
+fn rig() -> (ProviderServer, ClientSession) {
     let server = ProviderServer::new("prop.example.com");
     server.offer(ComponentOffering::fast_low_power_multiplier());
     let session = ClientSession::connect_in_process(&server).unwrap();
-    let _ = width;
     (server, session)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn remote_functional_eval_equals_local(
-        width in 2usize..8,
-        a in any::<u64>(),
-        b in any::<u64>(),
-    ) {
-        let (_server, session) = rig(width);
+#[test]
+fn remote_functional_eval_equals_local() {
+    let mut rng = Rng::seed_from_u64(0x1b01);
+    for _ in 0..CASES {
+        let width = rng.gen_range(2usize..8);
+        let (_server, session) = rig();
         let component = session.instantiate("MultFastLowPower", width).unwrap();
         let mask = (1u64 << width) - 1;
-        let (a, b) = (a & mask, b & mask);
+        let (a, b) = (rng.next_u64() & mask, rng.next_u64() & mask);
         let inputs = LogicVec::from_u64(2 * width, b << width | a);
         let remote = component
             .stub()
-            .invoke("functional_eval", vec![vcad_rmi::Value::Vec(inputs.clone())])
+            .invoke(
+                "functional_eval",
+                vec![vcad_rmi::Value::Vec(inputs.clone())],
+            )
             .unwrap();
         let local = Evaluator::new(&generators::wallace_multiplier(width)).outputs(&inputs);
-        prop_assert_eq!(remote.as_logic_vec().unwrap(), &local);
-        prop_assert_eq!(
+        assert_eq!(remote.as_logic_vec().unwrap(), &local);
+        assert_eq!(
             local.to_word().unwrap().value(),
             u128::from(a) * u128::from(b)
         );
     }
+}
 
-    #[test]
-    fn remote_toggle_power_equals_local_engine(
-        width in 2usize..6,
-        seeds in prop::collection::vec(any::<u64>(), 3..12),
-    ) {
-        let (_server, session) = rig(width);
+#[test]
+fn remote_toggle_power_equals_local_engine() {
+    let mut rng = Rng::seed_from_u64(0x1b02);
+    for _ in 0..CASES {
+        let width = rng.gen_range(2usize..6);
+        let n_seeds = rng.gen_range(3usize..12);
+        let seeds: Vec<u64> = (0..n_seeds).map(|_| rng.next_u64()).collect();
+        let (_server, session) = rig();
         let component = session.instantiate("MultFastLowPower", width).unwrap();
         let estimators = component.estimator_catalog().unwrap();
         let remote_toggle = estimators
@@ -59,7 +62,6 @@ proptest! {
             .find(|e| e.info().name == "power/gate-level-toggle")
             .unwrap();
 
-        let mask = (1u64 << (2 * width)) - 1;
         let snapshots: Vec<PortSnapshot> = seeds
             .iter()
             .enumerate()
@@ -77,19 +79,24 @@ proptest! {
 
         // Local recomputation over the concatenated input patterns.
         let netlist = Arc::new(generators::wallace_multiplier(width));
-        let local_est = TogglePowerEstimator::new(netlist, PowerModel::default(), vec![0, 1], false);
+        let local_est =
+            TogglePowerEstimator::new(netlist, PowerModel::default(), vec![0, 1], false);
         let local = local_est.estimate(&input).unwrap().as_f64().unwrap();
-        prop_assert!((remote - local).abs() <= 1e-15 * local.abs().max(1.0), "{remote} vs {local}");
-        let _ = mask;
+        assert!(
+            (remote - local).abs() <= 1e-15 * local.abs().max(1.0),
+            "{remote} vs {local}"
+        );
     }
+}
 
-    #[test]
-    fn remote_detection_tables_equal_local(
-        width in 1usize..4,
-        pattern in any::<u64>(),
-    ) {
-        use vcad_faults::{DetectionTableSource, NetlistDetectionSource};
-        let (_server, session) = rig(width);
+#[test]
+fn remote_detection_tables_equal_local() {
+    use vcad_faults::{DetectionTableSource, NetlistDetectionSource};
+    let mut rng = Rng::seed_from_u64(0x1b03);
+    for _ in 0..CASES {
+        let width = rng.gen_range(1usize..4);
+        let pattern = rng.next_u64();
+        let (_server, session) = rig();
         let component = session.instantiate("MultFastLowPower", width).unwrap();
         let inputs = LogicVec::from_u64(2 * width, pattern & ((1 << (2 * width)) - 1));
         let remote = component
@@ -99,6 +106,6 @@ proptest! {
         let local = NetlistDetectionSource::new(Arc::new(generators::wallace_multiplier(width)))
             .detection_table(&inputs)
             .unwrap();
-        prop_assert_eq!(remote, local);
+        assert_eq!(remote, local);
     }
 }

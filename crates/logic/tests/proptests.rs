@@ -1,125 +1,198 @@
-//! Property-based tests for the logic value domain.
+//! Randomized property tests for the logic value domain.
+//!
+//! Formerly written against `proptest`; the workspace now builds fully
+//! offline, so the same properties are exercised with deterministic
+//! seeded sampling from [`vcad_prng::Rng`]. Each test draws a few
+//! thousand cases, which comfortably covers the 4-valued scalar domain
+//! exhaustively many times over.
 
-use proptest::prelude::*;
 use vcad_logic::{Logic, LogicVec, Word};
+use vcad_prng::Rng;
 
-fn arb_logic() -> impl Strategy<Value = Logic> {
-    prop_oneof![
-        Just(Logic::Zero),
-        Just(Logic::One),
-        Just(Logic::X),
-        Just(Logic::Z),
-    ]
+const CASES: usize = 2_000;
+
+fn arb_logic(rng: &mut Rng) -> Logic {
+    match rng.gen_range(0usize..4) {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        2 => Logic::X,
+        _ => Logic::Z,
+    }
 }
 
-fn arb_logic_vec(max_width: usize) -> impl Strategy<Value = LogicVec> {
-    prop::collection::vec(arb_logic(), 0..=max_width).prop_map(LogicVec::from_bits)
+fn arb_logic_vec(rng: &mut Rng, max_width: usize) -> LogicVec {
+    let width = rng.gen_range(0usize..=max_width);
+    LogicVec::from_bits((0..width).map(|_| arb_logic(rng)))
 }
 
-proptest! {
-    #[test]
-    fn scalar_and_identity(a in arb_logic()) {
+#[test]
+fn scalar_and_identity() {
+    let mut rng = Rng::seed_from_u64(0x10c1);
+    for _ in 0..CASES {
+        let a = arb_logic(&mut rng);
         // 1 is the identity of AND for driven values; Z degrades to X.
-        prop_assert_eq!(a & Logic::One, a.driven());
-        prop_assert_eq!(a & Logic::Zero, Logic::Zero);
+        assert_eq!(a & Logic::One, a.driven());
+        assert_eq!(a & Logic::Zero, Logic::Zero);
     }
+}
 
-    #[test]
-    fn scalar_or_identity(a in arb_logic()) {
-        prop_assert_eq!(a | Logic::Zero, a.driven());
-        prop_assert_eq!(a | Logic::One, Logic::One);
+#[test]
+fn scalar_or_identity() {
+    let mut rng = Rng::seed_from_u64(0x10c2);
+    for _ in 0..CASES {
+        let a = arb_logic(&mut rng);
+        assert_eq!(a | Logic::Zero, a.driven());
+        assert_eq!(a | Logic::One, Logic::One);
     }
+}
 
-    #[test]
-    fn de_morgan(a in arb_logic(), b in arb_logic()) {
-        prop_assert_eq!(!(a & b), !a | !b);
-        prop_assert_eq!(!(a | b), !a & !b);
+#[test]
+fn de_morgan() {
+    let mut rng = Rng::seed_from_u64(0x10c3);
+    for _ in 0..CASES {
+        let (a, b) = (arb_logic(&mut rng), arb_logic(&mut rng));
+        assert_eq!(!(a & b), !a | !b);
+        assert_eq!(!(a | b), !a & !b);
     }
+}
 
-    #[test]
-    fn xor_as_and_or(a in arb_logic(), b in arb_logic()) {
+#[test]
+fn xor_as_and_or() {
+    let mut rng = Rng::seed_from_u64(0x10c4);
+    for _ in 0..CASES {
+        let (a, b) = (arb_logic(&mut rng), arb_logic(&mut rng));
         // a ^ b == (a & !b) | (!a & b) holds on binary values; on X/Z both
         // sides are X because XOR has no controlling value.
-        prop_assert_eq!(a ^ b, (a & !b) | (!a & b));
+        assert_eq!(a ^ b, (a & !b) | (!a & b));
     }
+}
 
-    #[test]
-    fn associativity(a in arb_logic(), b in arb_logic(), c in arb_logic()) {
-        prop_assert_eq!((a & b) & c, a & (b & c));
-        prop_assert_eq!((a | b) | c, a | (b | c));
-        prop_assert_eq!((a ^ b) ^ c, a ^ (b ^ c));
+#[test]
+fn associativity() {
+    let mut rng = Rng::seed_from_u64(0x10c5);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            arb_logic(&mut rng),
+            arb_logic(&mut rng),
+            arb_logic(&mut rng),
+        );
+        assert_eq!((a & b) & c, a & (b & c));
+        assert_eq!((a | b) | c, a | (b | c));
+        assert_eq!((a ^ b) ^ c, a ^ (b ^ c));
     }
+}
 
-    #[test]
-    fn resolve_associative_commutative(a in arb_logic(), b in arb_logic(), c in arb_logic()) {
-        prop_assert_eq!(a.resolve(b), b.resolve(a));
-        prop_assert_eq!(a.resolve(b).resolve(c), a.resolve(b.resolve(c)));
+#[test]
+fn resolve_associative_commutative() {
+    let mut rng = Rng::seed_from_u64(0x10c6);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            arb_logic(&mut rng),
+            arb_logic(&mut rng),
+            arb_logic(&mut rng),
+        );
+        assert_eq!(a.resolve(b), b.resolve(a));
+        assert_eq!(a.resolve(b).resolve(c), a.resolve(b.resolve(c)));
     }
+}
 
-    #[test]
-    fn vec_display_parse_round_trip(v in arb_logic_vec(150)) {
-        prop_assume!(!v.is_empty());
+#[test]
+fn vec_display_parse_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x10c7);
+    for _ in 0..500 {
+        let v = arb_logic_vec(&mut rng, 150);
+        if v.is_empty() {
+            continue;
+        }
         let s = v.to_string();
         let back: LogicVec = s.parse().unwrap();
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v);
     }
+}
 
-    #[test]
-    fn vec_bitwise_matches_scalar(
-        bits in prop::collection::vec((arb_logic(), arb_logic()), 1..100)
-    ) {
+#[test]
+fn vec_bitwise_matches_scalar() {
+    let mut rng = Rng::seed_from_u64(0x10c8);
+    for _ in 0..500 {
+        let len = rng.gen_range(1usize..100);
+        let bits: Vec<(Logic, Logic)> = (0..len)
+            .map(|_| (arb_logic(&mut rng), arb_logic(&mut rng)))
+            .collect();
         let a = LogicVec::from_bits(bits.iter().map(|p| p.0));
         let b = LogicVec::from_bits(bits.iter().map(|p| p.1));
         let and = &a & &b;
         let or = &a | &b;
         let xor = &a ^ &b;
         for (i, (x, y)) in bits.iter().enumerate() {
-            prop_assert_eq!(and.get(i), *x & *y);
-            prop_assert_eq!(or.get(i), *x | *y);
-            prop_assert_eq!(xor.get(i), *x ^ *y);
+            assert_eq!(and.get(i), *x & *y);
+            assert_eq!(or.get(i), *x | *y);
+            assert_eq!(xor.get(i), *x ^ *y);
         }
     }
+}
 
-    #[test]
-    fn vec_concat_slice_inverse(v in arb_logic_vec(100), split in 0usize..100) {
-        prop_assume!(v.width() > 0);
-        let split = split % v.width();
+#[test]
+fn vec_concat_slice_inverse() {
+    let mut rng = Rng::seed_from_u64(0x10c9);
+    for _ in 0..500 {
+        let v = arb_logic_vec(&mut rng, 100);
+        if v.width() == 0 {
+            continue;
+        }
+        let split = rng.gen_range(0usize..100) % v.width();
         let low = v.slice(0, split);
         let high = v.slice(split, v.width() - split);
-        prop_assert_eq!(low.concat(&high), v);
+        assert_eq!(low.concat(&high), v);
     }
+}
 
-    #[test]
-    fn word_vec_round_trip(width in 1usize..=128, value in any::<u128>()) {
-        let w = Word::new(width, value);
+#[test]
+fn word_vec_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x10ca);
+    for _ in 0..CASES {
+        let width = rng.gen_range(1usize..=128);
+        let w = Word::new(width, rng.next_u128());
         let v = LogicVec::from(w);
-        prop_assert_eq!(v.to_word(), Some(w));
+        assert_eq!(v.to_word(), Some(w));
     }
+}
 
-    #[test]
-    fn word_hamming_symmetric(w in 1usize..=64, a in any::<u64>(), b in any::<u64>()) {
-        let wa = Word::new(w, u128::from(a));
-        let wb = Word::new(w, u128::from(b));
-        prop_assert_eq!(wa.hamming(wb), wb.hamming(wa));
-        prop_assert_eq!(wa.hamming(wa), 0);
+#[test]
+fn word_hamming_symmetric() {
+    let mut rng = Rng::seed_from_u64(0x10cb);
+    for _ in 0..CASES {
+        let w = rng.gen_range(1usize..=64);
+        let wa = Word::new(w, u128::from(rng.next_u64()));
+        let wb = Word::new(w, u128::from(rng.next_u64()));
+        assert_eq!(wa.hamming(wb), wb.hamming(wa));
+        assert_eq!(wa.hamming(wa), 0);
     }
+}
 
-    #[test]
-    fn word_add_commutes(w in 1usize..=128, a in any::<u128>(), b in any::<u128>()) {
-        let wa = Word::new(w, a);
-        let wb = Word::new(w, b);
-        prop_assert_eq!(wa.wrapping_add(wb), wb.wrapping_add(wa));
+#[test]
+fn word_add_commutes() {
+    let mut rng = Rng::seed_from_u64(0x10cc);
+    for _ in 0..CASES {
+        let w = rng.gen_range(1usize..=128);
+        let wa = Word::new(w, rng.next_u128());
+        let wb = Word::new(w, rng.next_u128());
+        assert_eq!(wa.wrapping_add(wb), wb.wrapping_add(wa));
     }
+}
 
-    #[test]
-    fn vec_distance_is_metric(
-        pairs in prop::collection::vec((arb_logic(), arb_logic()), 0..80)
-    ) {
+#[test]
+fn vec_distance_is_metric() {
+    let mut rng = Rng::seed_from_u64(0x10cd);
+    for _ in 0..500 {
+        let len = rng.gen_range(0usize..80);
+        let pairs: Vec<(Logic, Logic)> = (0..len)
+            .map(|_| (arb_logic(&mut rng), arb_logic(&mut rng)))
+            .collect();
         let a = LogicVec::from_bits(pairs.iter().map(|p| p.0));
         let b = LogicVec::from_bits(pairs.iter().map(|p| p.1));
-        prop_assert_eq!(a.distance(&b), b.distance(&a));
-        prop_assert_eq!(a.distance(&a), 0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert_eq!(a.distance(&a), 0);
         let expected = pairs.iter().filter(|(x, y)| x != y).count();
-        prop_assert_eq!(a.distance(&b), expected);
+        assert_eq!(a.distance(&b), expected);
     }
 }

@@ -10,8 +10,7 @@
 //! of `a` first (LSB first), then all bits of `b`; its input pattern is
 //! therefore `a_bits.concat(&b_bits)`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vcad_prng::Rng;
 
 use crate::{GateKind, NetId, Netlist, NetlistBuilder};
 
@@ -325,7 +324,7 @@ pub struct RandomCircuitSpec {
 pub fn random_circuit(spec: RandomCircuitSpec) -> Netlist {
     assert!(spec.inputs > 0 && spec.gates > 0 && spec.outputs > 0);
     assert!(spec.outputs <= spec.gates, "more outputs than gates");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let mut b = NetlistBuilder::new(format!(
         "rand_i{}_g{}_s{}",
         spec.inputs, spec.gates, spec.seed
@@ -434,10 +433,9 @@ mod tests {
 
     #[test]
     fn multipliers_agree_at_width_8_random() {
-        use rand::{Rng, SeedableRng};
         let arr = array_multiplier(8);
         let wal = wallace_multiplier(8);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = vcad_prng::Rng::seed_from_u64(7);
         for _ in 0..50 {
             let a = rng.gen_range(0..256u64);
             let b = rng.gen_range(0..256u64);

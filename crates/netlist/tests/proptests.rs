@@ -1,8 +1,12 @@
-//! Property-based tests: generated netlists agree with word arithmetic.
+//! Randomized property tests: generated netlists agree with word
+//! arithmetic. Deterministic seeded sampling replaces the external
+//! property-testing framework (offline build).
 
-use proptest::prelude::*;
 use vcad_logic::{Logic, LogicVec, Word};
 use vcad_netlist::{generators, Evaluator, Netlist};
+use vcad_prng::Rng;
+
+const CASES: usize = 64;
 
 fn outputs_for(nl: &Netlist, a: u64, b: u64, width: usize) -> Word {
     let pattern = LogicVec::from(Word::new(width, u128::from(a)))
@@ -13,49 +17,90 @@ fn outputs_for(nl: &Netlist, a: u64, b: u64, width: usize) -> Word {
         .expect("binary in, binary out")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn ripple_adder_matches_addition(width in 1usize..=16, a in any::<u64>(), b in any::<u64>()) {
-        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
-        let (a, b) = (a & mask, b & mask);
+#[test]
+fn ripple_adder_matches_addition() {
+    let mut rng = Rng::seed_from_u64(0x0e11);
+    for _ in 0..CASES {
+        let width = rng.gen_range(1usize..=16);
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
+        let (a, b) = (rng.next_u64() & mask, rng.next_u64() & mask);
         let nl = generators::ripple_adder(width);
         let got = outputs_for(&nl, a, b, width);
-        prop_assert_eq!(got.value(), u128::from(a) + u128::from(b));
+        assert_eq!(got.value(), u128::from(a) + u128::from(b));
     }
+}
 
-    #[test]
-    fn array_multiplier_matches_multiplication(width in 1usize..=8, a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn array_multiplier_matches_multiplication() {
+    let mut rng = Rng::seed_from_u64(0x0e12);
+    for _ in 0..CASES {
+        let width = rng.gen_range(1usize..=8);
         let mask = (1u64 << width) - 1;
-        let (a, b) = (a & mask, b & mask);
+        let (a, b) = (rng.next_u64() & mask, rng.next_u64() & mask);
         let nl = generators::array_multiplier(width);
-        prop_assert_eq!(outputs_for(&nl, a, b, width).value(), u128::from(a) * u128::from(b));
+        assert_eq!(
+            outputs_for(&nl, a, b, width).value(),
+            u128::from(a) * u128::from(b)
+        );
     }
+}
 
-    #[test]
-    fn wallace_multiplier_matches_multiplication(width in 1usize..=8, a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn wallace_multiplier_matches_multiplication() {
+    let mut rng = Rng::seed_from_u64(0x0e13);
+    for _ in 0..CASES {
+        let width = rng.gen_range(1usize..=8);
         let mask = (1u64 << width) - 1;
-        let (a, b) = (a & mask, b & mask);
+        let (a, b) = (rng.next_u64() & mask, rng.next_u64() & mask);
         let nl = generators::wallace_multiplier(width);
-        prop_assert_eq!(outputs_for(&nl, a, b, width).value(), u128::from(a) * u128::from(b));
+        assert_eq!(
+            outputs_for(&nl, a, b, width).value(),
+            u128::from(a) * u128::from(b)
+        );
     }
+}
 
-    #[test]
-    fn comparator_matches_equality(width in 1usize..=16, a in any::<u64>(), b in any::<u64>()) {
-        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
-        let (a, b) = (a & mask, b & mask);
+#[test]
+fn comparator_matches_equality() {
+    let mut rng = Rng::seed_from_u64(0x0e14);
+    for case in 0..CASES {
+        let width = rng.gen_range(1usize..=16);
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
+        // Force equal operands half the time so both branches are hit.
+        let a = rng.next_u64() & mask;
+        let b = if case % 2 == 0 {
+            a
+        } else {
+            rng.next_u64() & mask
+        };
         let nl = generators::equality_comparator(width);
-        prop_assert_eq!(outputs_for(&nl, a, b, width).value(), u128::from(a == b));
+        assert_eq!(outputs_for(&nl, a, b, width).value(), u128::from(a == b));
     }
+}
 
-    #[test]
-    fn x_inputs_never_produce_wrong_binaries(seed in any::<u64>(), pattern in any::<u64>(), x_bit in 0usize..8) {
+#[test]
+fn x_inputs_never_produce_wrong_binaries() {
+    let mut rng = Rng::seed_from_u64(0x0e15);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let pattern = rng.next_u64();
+        let x_bit = rng.gen_range(0usize..8);
         // Monotonicity of 4-valued simulation: forcing one input to X can
         // only change a binary output to X, never flip it to the opposite
         // binary value.
         let nl = generators::random_circuit(generators::RandomCircuitSpec {
-            inputs: 8, gates: 60, outputs: 8, seed,
+            inputs: 8,
+            gates: 60,
+            outputs: 8,
+            seed,
         });
         let ev = Evaluator::new(&nl);
         let clean = LogicVec::from_u64(8, pattern & 0xFF);
@@ -66,33 +111,48 @@ proptest! {
         for i in 0..out_clean.width() {
             let d = out_dirty.get(i);
             if d.is_binary() {
-                prop_assert_eq!(d, out_clean.get(i), "output bit {}", i);
+                assert_eq!(d, out_clean.get(i), "output bit {i}");
             }
         }
     }
+}
 
-    #[test]
-    fn evaluation_is_deterministic(seed in any::<u64>(), pattern in any::<u64>()) {
+#[test]
+fn evaluation_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0x0e16);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let pattern = rng.next_u64();
         let nl = generators::random_circuit(generators::RandomCircuitSpec {
-            inputs: 10, gates: 120, outputs: 10, seed,
+            inputs: 10,
+            gates: 120,
+            outputs: 10,
+            seed,
         });
         let ev = Evaluator::new(&nl);
         let inp = LogicVec::from_u64(10, pattern & 0x3FF);
-        prop_assert_eq!(ev.outputs(&inp), ev.outputs(&inp));
+        assert_eq!(ev.outputs(&inp), ev.outputs(&inp));
     }
+}
 
-    #[test]
-    fn stats_are_consistent(seed in any::<u64>()) {
+#[test]
+fn stats_are_consistent() {
+    let mut rng = Rng::seed_from_u64(0x0e17);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
         let nl = generators::random_circuit(generators::RandomCircuitSpec {
-            inputs: 6, gates: 40, outputs: 4, seed,
+            inputs: 6,
+            gates: 40,
+            outputs: 4,
+            seed,
         });
         let stats = nl.stats();
-        prop_assert_eq!(stats.gates, nl.gate_count());
-        prop_assert_eq!(stats.nets, nl.net_count());
-        prop_assert!(stats.depth as usize <= nl.gate_count());
-        prop_assert!(stats.area > 0.0);
+        assert_eq!(stats.gates, nl.gate_count());
+        assert_eq!(stats.nets, nl.net_count());
+        assert!(stats.depth as usize <= nl.gate_count());
+        assert!(stats.area > 0.0);
         // Critical path must be at least the delay of one gate on a path to
         // an output, and no more than depth * the slowest cell.
-        prop_assert!(stats.critical_path_delay <= f64::from(stats.depth) * 90.0 + 1e-9);
+        assert!(stats.critical_path_delay <= f64::from(stats.depth) * 90.0 + 1e-9);
     }
 }

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use rand::Rng;
+use vcad_prng::Rng;
 
 /// A point-to-point network link model.
 ///
@@ -144,7 +144,7 @@ impl NetworkModel {
     }
 
     /// One-way time with uniform ± jitter drawn from `rng`.
-    pub fn one_way_jittered<R: Rng + ?Sized>(&self, bytes: usize, rng: &mut R) -> Duration {
+    pub fn one_way_jittered(&self, bytes: usize, rng: &mut Rng) -> Duration {
         let base = self.one_way(bytes).as_secs_f64();
         if self.jitter_frac == 0.0 {
             return Duration::from_secs_f64(base);
@@ -154,11 +154,11 @@ impl NetworkModel {
     }
 
     /// Round-trip time with independent jitter on both directions.
-    pub fn round_trip_jittered<R: Rng + ?Sized>(
+    pub fn round_trip_jittered(
         &self,
         request_bytes: usize,
         response_bytes: usize,
-        rng: &mut R,
+        rng: &mut Rng,
     ) -> Duration {
         self.one_way_jittered(request_bytes, rng) + self.one_way_jittered(response_bytes, rng)
     }
@@ -179,8 +179,6 @@ impl fmt::Display for NetworkModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn one_way_scales_with_payload() {
@@ -210,7 +208,7 @@ mod tests {
     fn jitter_stays_bounded() {
         let m = NetworkModel::wan_1999();
         let base = m.one_way(10_000).as_secs_f64();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..200 {
             let j = m.one_way_jittered(10_000, &mut rng).as_secs_f64();
             assert!(j >= base * 0.75 - 1e-12 && j <= base * 1.25 + 1e-12);
@@ -220,7 +218,7 @@ mod tests {
     #[test]
     fn zero_jitter_is_deterministic() {
         let m = NetworkModel::local_host();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         assert_eq!(m.one_way_jittered(1024, &mut rng), m.one_way(1024));
     }
 

@@ -1,0 +1,206 @@
+//! Chrome trace-event JSON export.
+//!
+//! Writes the `{"traceEvents": [...]}` object format understood by
+//! `chrome://tracing` and <https://ui.perfetto.dev>. JSON is emitted by
+//! hand — the crate carries no serialization dependency.
+//!
+//! Spans become `ph:"X"` complete events; instants become `ph:"i"`.
+//! Timestamps and durations are microseconds (floats, so nanosecond
+//! resolution survives). The virtual-timeline position, when present,
+//! rides along in `args.virtual_us`.
+
+use std::fmt::Write as _;
+use std::io;
+
+use crate::collector::{ArgValue, EventKind, Trace, TraceEvent};
+
+/// Escapes `s` into `out` as JSON string contents (no quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        // JSON has no NaN/Infinity; null keeps viewers happy.
+        out.push_str("null");
+    }
+}
+
+fn write_arg_value(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::F64(x) => write_json_f64(out, *x),
+        ArgValue::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+fn write_event(out: &mut String, e: &TraceEvent, pid: u32) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, &e.name);
+    out.push_str("\",\"cat\":\"");
+    escape_into(out, &e.category);
+    out.push('"');
+    let ts_us = e.wall_ns as f64 / 1_000.0;
+    match e.kind {
+        EventKind::Span { dur_ns } => {
+            let _ = write!(
+                out,
+                ",\"ph\":\"X\",\"ts\":{ts_us},\"dur\":{}",
+                dur_ns as f64 / 1_000.0
+            );
+        }
+        EventKind::Instant => {
+            let _ = write!(out, ",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us}");
+        }
+    }
+    let _ = write!(out, ",\"pid\":{pid},\"tid\":{}", e.thread);
+    if e.virtual_ns.is_some() || !e.args.is_empty() {
+        out.push_str(",\"args\":{");
+        let mut first = true;
+        if let Some(v) = e.virtual_ns {
+            let _ = write!(out, "\"virtual_us\":{}", v as f64 / 1_000.0);
+            first = false;
+        }
+        for (k, v) in &e.args {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            escape_into(out, k);
+            out.push_str("\":");
+            write_arg_value(out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Renders `trace` as a Chrome trace-event JSON document.
+#[must_use]
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(128 + trace.events.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in trace.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_event(&mut out, e, 1);
+    }
+    out.push(']');
+    let _ = write!(
+        out,
+        ",\"otherData\":{{\"dropped_events\":{},\"exporter\":\"vcad-obs\"}}}}",
+        trace.dropped
+    );
+    out
+}
+
+/// Writes `trace` as Chrome trace JSON to `path`.
+pub fn write_chrome_trace(trace: &Trace, path: &std::path::Path) -> io::Result<()> {
+    std::fs::write(path, to_chrome_json(trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+
+    /// Minimal structural JSON check: balanced braces/brackets outside
+    /// strings, valid escapes. Enough to catch exporter bugs without a
+    /// JSON parser dependency.
+    fn assert_structurally_valid_json(s: &str) {
+        let mut depth: Vec<char> = Vec::new();
+        let mut chars = s.chars().peekable();
+        let mut in_string = false;
+        while let Some(c) = chars.next() {
+            if in_string {
+                match c {
+                    '\\' => {
+                        let next = chars.next().expect("escape at end of input");
+                        assert!(
+                            matches!(next, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' | 'u'),
+                            "bad escape \\{next}"
+                        );
+                        if next == 'u' {
+                            for _ in 0..4 {
+                                let h = chars.next().expect("short \\u escape");
+                                assert!(h.is_ascii_hexdigit(), "bad hex digit {h}");
+                            }
+                        }
+                    }
+                    '"' => in_string = false,
+                    c => assert!((c as u32) >= 0x20, "raw control char in string"),
+                }
+            } else {
+                match c {
+                    '"' => in_string = true,
+                    '{' => depth.push('}'),
+                    '[' => depth.push(']'),
+                    '}' | ']' => assert_eq!(depth.pop(), Some(c), "mismatched {c}"),
+                    _ => {}
+                }
+            }
+        }
+        assert!(!in_string, "unterminated string");
+        assert!(depth.is_empty(), "unbalanced nesting");
+    }
+
+    #[test]
+    fn exports_spans_and_instants() {
+        let c = Collector::enabled();
+        {
+            let mut s = c.span("rmi", "call:power_toggle");
+            s.arg("bytes", 42u64);
+            s.arg("note", "quote \" and \\ backslash\nnewline");
+        }
+        c.event("scheduler", "token");
+        let json = to_chrome_json(&c.trace());
+        assert_structurally_valid_json(&json);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("call:power_toggle"));
+        assert!(json.contains("\"bytes\":42"));
+        assert!(json.contains("\\\"") && json.contains("\\\\") && json.contains("\\n"));
+        assert!(json.contains("\"dropped_events\":0"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let c = Collector::enabled();
+        let json = to_chrome_json(&c.trace());
+        assert_structurally_valid_json(&json);
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let c = Collector::enabled();
+        c.event("t", "weird\u{1}name\ttab");
+        let json = to_chrome_json(&c.trace());
+        assert_structurally_valid_json(&json);
+        assert!(json.contains("\\u0001"));
+        assert!(json.contains("\\t"));
+    }
+}

@@ -1,0 +1,483 @@
+//! The trace collector: spans and instant events with both wall-clock
+//! and virtual-timeline timestamps.
+//!
+//! A [`Collector`] is a cheap clonable handle. Recording an event when
+//! tracing is disabled costs **one relaxed atomic load** — collectors
+//! are threaded through the scheduler, transports and fault simulator
+//! unconditionally, and only pay for themselves when a trace was asked
+//! for. Enabled recording pushes into the bounded lock-free ring from
+//! [`crate::ring`], so a burst of events can never stall or unbounded-ly
+//! bloat a simulation; overflow is counted, not waited on.
+//!
+//! Concurrent schedulers each get an isolated child collector
+//! ([`Collector::child`]) — mirroring the per-scheduler state isolation
+//! of the simulation backplane itself — and fold their traces back with
+//! [`Collector::absorb`].
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use vcad_netsim::VirtualTimeline;
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::ring::RingBuffer;
+
+/// Default ring capacity (events) for enabled collectors.
+pub const DEFAULT_CAPACITY: usize = 64 * 1024;
+
+static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static THREAD_ID: u32 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small, process-unique id for the calling thread (dense, unlike
+/// `std::thread::ThreadId`, so trace viewers get tidy rows).
+#[must_use]
+pub fn thread_id() -> u32 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// An argument value attached to a trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// Text.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> ArgValue {
+        ArgValue::U64(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> ArgValue {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> ArgValue {
+        ArgValue::F64(v)
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> ArgValue {
+        ArgValue::Str(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> ArgValue {
+        ArgValue::Str(v.to_owned())
+    }
+}
+
+/// What a [`TraceEvent`] records.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A completed span with its duration in nanoseconds.
+    Span {
+        /// Wall-clock duration, nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point-in-time marker.
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (e.g. `rmi.call:power_toggle`).
+    pub name: Cow<'static, str>,
+    /// Category (subsystem: `scheduler`, `rmi`, `ip`, `faults`, …).
+    pub category: Cow<'static, str>,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Start time, nanoseconds since the collector epoch.
+    pub wall_ns: u64,
+    /// Position on the attached virtual timeline at the time of the
+    /// event, nanoseconds, when a timeline is attached.
+    pub virtual_ns: Option<u64>,
+    /// Recording thread (see [`thread_id`]).
+    pub thread: u32,
+    /// Attached key/value arguments.
+    pub args: Vec<(Cow<'static, str>, ArgValue)>,
+}
+
+struct CollectorInner {
+    enabled: AtomicBool,
+    epoch: Instant,
+    capacity: usize,
+    ring: RingBuffer<TraceEvent>,
+    metrics: MetricsRegistry,
+    timeline: RwLock<Option<Arc<Mutex<VirtualTimeline>>>>,
+    /// Events already drained out of children (absorbed traces).
+    absorbed_events: Mutex<Vec<TraceEvent>>,
+    /// Drop counts inherited from absorbed children.
+    absorbed_dropped: Mutex<u64>,
+}
+
+/// A clonable handle to one tracing + metrics domain.
+#[derive(Clone)]
+pub struct Collector {
+    inner: Arc<CollectorInner>,
+}
+
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector::disabled()
+    }
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Collector {
+    fn with_enabled(enabled: bool, capacity: usize) -> Collector {
+        Collector {
+            inner: Arc::new(CollectorInner {
+                enabled: AtomicBool::new(enabled),
+                epoch: Instant::now(),
+                capacity,
+                ring: RingBuffer::with_capacity(capacity),
+                metrics: MetricsRegistry::new(),
+                timeline: RwLock::new(None),
+                absorbed_events: Mutex::new(Vec::new()),
+                absorbed_dropped: Mutex::new(0),
+            }),
+        }
+    }
+
+    /// An enabled collector with the default ring capacity.
+    #[must_use]
+    pub fn enabled() -> Collector {
+        Collector::with_enabled(true, DEFAULT_CAPACITY)
+    }
+
+    /// An enabled collector with an explicit ring capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Collector {
+        Collector::with_enabled(true, capacity)
+    }
+
+    /// A disabled collector: metrics still aggregate (they are single
+    /// atomic ops), but span/event recording is a near-no-op.
+    #[must_use]
+    pub fn disabled() -> Collector {
+        // A tiny ring: nothing is ever pushed while disabled.
+        Collector::with_enabled(false, 2)
+    }
+
+    /// Whether event recording is on.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns event recording on or off at runtime.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The metrics registry of this collector's domain.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// Attaches the virtual timeline whose position is stamped onto
+    /// every subsequent event.
+    pub fn attach_virtual_timeline(&self, timeline: Arc<Mutex<VirtualTimeline>>) {
+        *self.inner.timeline.write().unwrap() = Some(timeline);
+    }
+
+    /// Nanoseconds since this collector's epoch.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn virtual_now_ns(&self) -> Option<u64> {
+        let guard = self.inner.timeline.read().unwrap();
+        guard
+            .as_ref()
+            .map(|tl| u64::try_from(tl.lock().unwrap().real_time().as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Records an instant event. One relaxed load when disabled.
+    pub fn event(
+        &self,
+        category: impl Into<Cow<'static, str>>,
+        name: impl Into<Cow<'static, str>>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(TraceEvent {
+            name: name.into(),
+            category: category.into(),
+            kind: EventKind::Instant,
+            wall_ns: self.now_ns(),
+            virtual_ns: self.virtual_now_ns(),
+            thread: thread_id(),
+            args: Vec::new(),
+        });
+    }
+
+    /// Records an instant event with arguments.
+    pub fn event_with_args(
+        &self,
+        category: impl Into<Cow<'static, str>>,
+        name: impl Into<Cow<'static, str>>,
+        args: Vec<(Cow<'static, str>, ArgValue)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(TraceEvent {
+            name: name.into(),
+            category: category.into(),
+            kind: EventKind::Instant,
+            wall_ns: self.now_ns(),
+            virtual_ns: self.virtual_now_ns(),
+            thread: thread_id(),
+            args,
+        });
+    }
+
+    /// Opens a span; the span records itself when the guard drops.
+    /// One relaxed load when disabled.
+    #[must_use = "dropping the guard immediately records a zero-length span"]
+    pub fn span(
+        &self,
+        category: impl Into<Cow<'static, str>>,
+        name: impl Into<Cow<'static, str>>,
+    ) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard { state: None };
+        }
+        SpanGuard {
+            state: Some(SpanState {
+                collector: self.clone(),
+                name: name.into(),
+                category: category.into(),
+                start_wall: self.now_ns(),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    fn push(&self, event: TraceEvent) {
+        // Drop-on-full: the ring counts what it sheds.
+        let _ = self.inner.ring.push(event);
+    }
+
+    /// An isolated child sharing nothing but configuration (enablement,
+    /// ring capacity, virtual-timeline attachment) — one per concurrent
+    /// scheduler. Fold it back with [`Collector::absorb`].
+    #[must_use]
+    pub fn child(&self) -> Collector {
+        let child = Collector::with_enabled(self.is_enabled(), self.inner.capacity);
+        *child.inner.timeline.write().unwrap() = self.inner.timeline.read().unwrap().clone();
+        child
+    }
+
+    /// Merges a child collector's events and metrics into this one.
+    ///
+    /// Child event timestamps are re-based onto this collector's epoch
+    /// so a merged trace stays on one clock.
+    pub fn absorb(&self, child: &Collector) {
+        let offset_ns = {
+            let child_epoch = child.inner.epoch;
+            let parent_epoch = self.inner.epoch;
+            if child_epoch >= parent_epoch {
+                i128::try_from((child_epoch - parent_epoch).as_nanos()).unwrap_or(i128::MAX)
+            } else {
+                -i128::try_from((parent_epoch - child_epoch).as_nanos()).unwrap_or(i128::MAX)
+            }
+        };
+        let mut events = child.inner.ring.drain();
+        {
+            let mut child_absorbed = child.inner.absorbed_events.lock().unwrap();
+            events.extend(child_absorbed.drain(..));
+        }
+        for e in &mut events {
+            let shifted = i128::from(e.wall_ns) + offset_ns;
+            e.wall_ns = u64::try_from(shifted.max(0)).unwrap_or(u64::MAX);
+        }
+        self.inner.absorbed_events.lock().unwrap().extend(events);
+        *self.inner.absorbed_dropped.lock().unwrap() +=
+            child.inner.ring.dropped() + *child.inner.absorbed_dropped.lock().unwrap();
+        self.inner.metrics.absorb(child.metrics().snapshot());
+    }
+
+    /// Drains everything recorded so far into an exportable [`Trace`].
+    #[must_use]
+    pub fn trace(&self) -> Trace {
+        let mut events = self
+            .inner
+            .absorbed_events
+            .lock()
+            .unwrap()
+            .drain(..)
+            .collect::<Vec<_>>();
+        events.extend(self.inner.ring.drain());
+        events.sort_by_key(|e| e.wall_ns);
+        Trace {
+            events,
+            metrics: self.inner.metrics.snapshot(),
+            dropped: self.inner.ring.dropped() + *self.inner.absorbed_dropped.lock().unwrap(),
+        }
+    }
+}
+
+struct SpanState {
+    collector: Collector,
+    name: Cow<'static, str>,
+    category: Cow<'static, str>,
+    start_wall: u64,
+    args: Vec<(Cow<'static, str>, ArgValue)>,
+}
+
+/// An open span; records a [`EventKind::Span`] event when dropped.
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct SpanGuard {
+    state: Option<SpanState>,
+}
+
+impl SpanGuard {
+    /// Attaches an argument to the span (no-op when tracing is off).
+    pub fn arg(&mut self, key: impl Into<Cow<'static, str>>, value: impl Into<ArgValue>) {
+        if let Some(s) = &mut self.state {
+            s.args.push((key.into(), value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(s) = self.state.take() {
+            let end = s.collector.now_ns();
+            let virtual_ns = s.collector.virtual_now_ns();
+            s.collector.push(TraceEvent {
+                name: s.name,
+                category: s.category,
+                kind: EventKind::Span {
+                    dur_ns: end.saturating_sub(s.start_wall),
+                },
+                wall_ns: s.start_wall,
+                virtual_ns,
+                thread: thread_id(),
+                args: s.args,
+            });
+        }
+    }
+}
+
+/// A drained, exportable trace: events, metrics, and how many events
+/// the ring had to shed.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// All recorded events, sorted by wall-clock start.
+    pub events: Vec<TraceEvent>,
+    /// The metrics aggregate at drain time.
+    pub metrics: MetricsSnapshot,
+    /// Events dropped due to ring overflow.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Events whose name starts with `prefix`.
+    #[must_use]
+    pub fn events_named(&self, prefix: &str) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.name.starts_with(prefix))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = Collector::disabled();
+        c.event("test", "e1");
+        let mut span = c.span("test", "s1");
+        span.arg("k", 1u64);
+        drop(span);
+        let t = c.trace();
+        assert!(t.events.is_empty());
+        assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn spans_measure_nonzero_time() {
+        let c = Collector::enabled();
+        {
+            let mut span = c.span("test", "slow");
+            span.arg("n", 3u64);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let t = c.trace();
+        assert_eq!(t.events.len(), 1);
+        match &t.events[0].kind {
+            EventKind::Span { dur_ns } => assert!(*dur_ns >= 1_000_000, "dur {dur_ns}"),
+            other => panic!("expected span, got {other:?}"),
+        }
+        assert_eq!(t.events[0].args[0].0, "n");
+    }
+
+    #[test]
+    fn virtual_timestamps_follow_the_attached_timeline() {
+        let c = Collector::enabled();
+        let tl = Arc::new(Mutex::new(VirtualTimeline::new()));
+        c.attach_virtual_timeline(Arc::clone(&tl));
+        c.event("test", "before");
+        tl.lock().unwrap().add_network(Duration::from_millis(250));
+        c.event("test", "after");
+        let t = c.trace();
+        assert_eq!(t.events[0].virtual_ns, Some(0));
+        assert_eq!(t.events[1].virtual_ns, Some(250_000_000));
+    }
+
+    #[test]
+    fn children_absorb_back_into_the_parent() {
+        let parent = Collector::enabled();
+        parent.metrics().counter("n").add(1);
+        let child = parent.child();
+        assert!(child.is_enabled());
+        child.event("test", "from-child");
+        child.metrics().counter("n").add(9);
+        parent.absorb(&child);
+        let t = parent.trace();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].name, "from-child");
+        assert_eq!(t.metrics.counter("n"), 10);
+    }
+
+    #[test]
+    fn overflow_is_counted_not_blocking() {
+        let c = Collector::with_capacity(4);
+        for i in 0..10 {
+            c.event("test", format!("e{i}"));
+        }
+        let t = c.trace();
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.dropped, 6);
+    }
+}

@@ -1,0 +1,49 @@
+//! # vcad-obs — tracing & metrics backplane
+//!
+//! A zero-dependency observability layer for the virtual-simulation
+//! workspace: structured spans and events with **both wall-clock and
+//! virtual-timeline timestamps**, a metrics registry of counters,
+//! gauges and log-scale histograms, and exporters for Chrome
+//! trace-event JSON and plain-text summary tables.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Observe, don't perturb.** A disabled [`Collector`] costs one
+//!    relaxed atomic load per span/event. Enabled recording goes
+//!    through a bounded lock-free ring ([`ring::RingBuffer`]) that
+//!    drops (and counts) on overflow rather than ever blocking the
+//!    scheduler's hot loop.
+//! 2. **Two clocks.** The paper's cost model separates wall time from
+//!    the virtual timeline (cpu / network / server, overlapped).
+//!    Events carry both so a trace can show where *modeled* time went,
+//!    not just where the host CPU did.
+//! 3. **Per-scheduler isolation.** Concurrent simulations get isolated
+//!    child collectors ([`Collector::child`]) merged back with
+//!    [`Collector::absorb`] — the same isolate-then-merge shape as the
+//!    schedulers' own state stores.
+//!
+//! ```
+//! use vcad_obs::Collector;
+//!
+//! let obs = Collector::enabled();
+//! obs.metrics().counter("rmi.calls").inc();
+//! {
+//!     let mut span = obs.span("rmi", "call:power_toggle");
+//!     span.arg("bytes", 128u64);
+//! } // span records itself here
+//! let trace = obs.trace();
+//! assert_eq!(trace.events.len(), 1);
+//! let json = vcad_obs::chrome::to_chrome_json(&trace);
+//! assert!(json.starts_with("{\"traceEvents\":["));
+//! ```
+
+pub mod chrome;
+pub mod collector;
+pub mod metrics;
+pub mod ring;
+pub mod summary;
+
+pub use collector::{ArgValue, Collector, EventKind, SpanGuard, Trace, TraceEvent};
+pub use metrics::{
+    Counter, FloatCounter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};

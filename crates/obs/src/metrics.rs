@@ -1,0 +1,534 @@
+//! The metrics registry: named counters, gauges and log-scale
+//! histograms, all backed by plain `std` atomics.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`], [`FloatCounter`]) are
+//! resolved **once** — a registry lookup behind an `RwLock` — and then
+//! recorded through with a single relaxed atomic operation, which keeps
+//! them safe to hold inside the scheduler's hot event loop.
+//!
+//! ## Naming convention
+//!
+//! Dotted lowercase paths, most-general first:
+//! `subsystem.object.metric` — e.g. `scheduler.events_dispatched`,
+//! `rmi.transport.bytes_sent`, `rmi.method.power_toggle.latency_ns`,
+//! `ip.fees_cents`, `faults.injections`. Snapshots sort
+//! lexicographically, so related metrics render adjacently for free.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Number of histogram buckets: one per power of two of a `u64`, plus a
+/// zero bucket at index 0.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing integer counter handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A floating-point accumulator handle (for fees in cents and other
+/// non-integral sums), implemented as a CAS loop over the `f64` bit
+/// pattern.
+#[derive(Clone, Debug, Default)]
+pub struct FloatCounter(Arc<AtomicU64>);
+
+impl FloatCounter {
+    /// Adds `x`.
+    pub fn add(&self, x: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + x).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge handle, with a high-water mark.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+    max: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the current value, updating the high-water mark.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever set.
+    #[must_use]
+    pub fn high_water(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over `u64` samples with fixed log₂ buckets.
+///
+/// Bucket 0 holds zeros; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. 65 buckets cover the whole `u64` range, so the
+/// bucket layout never depends on the data — histograms from different
+/// collectors merge bucket-by-bucket.
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> HistogramCore {
+        HistogramCore {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A histogram handle.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// The bucket index a value lands in.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The inclusive lower bound of bucket `i`.
+#[must_use]
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a `Duration` in nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// An immutable copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            max: self.0.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the floor of the first bucket at which the
+    /// cumulative count reaches `q` (0..=1) of the total.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_floor(i);
+            }
+        }
+        self.max
+    }
+
+    /// Adds `other`'s buckets into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A point-in-time copy of a [`Gauge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Last value set.
+    pub value: u64,
+    /// Highest value ever set.
+    pub high_water: u64,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    float_counters: RwLock<BTreeMap<String, FloatCounter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+    /// Snapshots absorbed from child registries (merged schedulers).
+    absorbed: Mutex<Vec<MetricsSnapshot>>,
+}
+
+/// A shared, clonable registry of named metrics.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Resolves (creating if needed) the counter called `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.counters.read().unwrap().get(name) {
+            return c.clone();
+        }
+        self.inner
+            .counters
+            .write()
+            .unwrap()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Resolves (creating if needed) the float counter called `name`.
+    #[must_use]
+    pub fn float_counter(&self, name: &str) -> FloatCounter {
+        if let Some(c) = self.inner.float_counters.read().unwrap().get(name) {
+            return c.clone();
+        }
+        self.inner
+            .float_counters
+            .write()
+            .unwrap()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Resolves (creating if needed) the gauge called `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.gauges.read().unwrap().get(name) {
+            return g.clone();
+        }
+        self.inner
+            .gauges
+            .write()
+            .unwrap()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Resolves (creating if needed) the histogram called `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.histograms.read().unwrap().get(name) {
+            return h.clone();
+        }
+        self.inner
+            .histograms
+            .write()
+            .unwrap()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Folds a snapshot from another registry (e.g. a per-scheduler
+    /// child) into this registry's aggregate view.
+    pub fn absorb(&self, snapshot: MetricsSnapshot) {
+        self.inner.absorbed.lock().unwrap().push(snapshot);
+    }
+
+    /// A point-in-time copy of every metric, including absorbed child
+    /// snapshots.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
+            counters: self
+                .inner
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            float_counters: self
+                .inner
+                .float_counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        GaugeSnapshot {
+                            value: v.get(),
+                            high_water: v.high_water(),
+                        },
+                    )
+                })
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        };
+        for child in self.inner.absorbed.lock().unwrap().iter() {
+            snap.merge(child);
+        }
+        snap
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+/// A point-in-time copy of a whole registry; also the unit of merging
+/// between per-scheduler collectors.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Float-counter values by name.
+    pub float_counters: BTreeMap<String, f64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Adds `other` into `self`: counters and histograms sum; gauges
+    /// keep the maximum high-water mark and the latest value seen last.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.float_counters {
+            *self.float_counters.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(*v);
+            e.value = v.value;
+            e.high_water = e.high_water.max(v.high_water);
+        }
+        for (k, v) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(h) => h.merge(v),
+                None => {
+                    self.histograms.insert(k.clone(), v.clone());
+                }
+            }
+        }
+    }
+
+    /// Convenience: a counter's value, defaulting to zero.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Convenience: a float counter's value, defaulting to zero.
+    #[must_use]
+    pub fn float_counter(&self, name: &str) -> f64 {
+        self.float_counters.get(name).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.b");
+        c.inc();
+        c.add(4);
+        // Handles to the same name share state.
+        reg.counter("a.b").inc();
+        assert_eq!(reg.snapshot().counter("a.b"), 6);
+    }
+
+    #[test]
+    fn float_counters_sum() {
+        let reg = MetricsRegistry::new();
+        let f = reg.float_counter("fees");
+        f.add(0.25);
+        f.add(0.5);
+        assert!((reg.snapshot().float_counter("fees") - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauges_track_high_water() {
+        let g = Gauge::default();
+        g.set(3);
+        g.set(10);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 10);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_exact_powers_of_two() {
+        // The load-bearing boundary cases: 0 is its own bucket, exact
+        // powers of two open a new bucket, and the extremes land at the
+        // ends of the fixed layout.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            // floor(bucket) must itself land in that bucket.
+            assert_eq!(bucket_index(bucket_floor(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1107);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 2); // the two ones
+        assert_eq!(s.buckets[2], 2); // 2 and 3
+        assert!(s.quantile(0.5) <= 2);
+        assert!(s.quantile(1.0) >= 512);
+    }
+
+    #[test]
+    fn snapshots_merge_by_summation() {
+        let a = MetricsRegistry::new();
+        a.counter("x").add(2);
+        a.histogram("h").record(5);
+        let b = MetricsRegistry::new();
+        b.counter("x").add(3);
+        b.counter("y").add(1);
+        b.histogram("h").record(6);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("x"), 5);
+        assert_eq!(merged.counter("y"), 1);
+        assert_eq!(merged.histograms["h"].count, 2);
+        assert_eq!(merged.histograms["h"].sum, 11);
+    }
+
+    #[test]
+    fn absorbed_children_appear_in_snapshots() {
+        let parent = MetricsRegistry::new();
+        parent.counter("n").add(1);
+        let child = MetricsRegistry::new();
+        child.counter("n").add(41);
+        parent.absorb(child.snapshot());
+        assert_eq!(parent.snapshot().counter("n"), 42);
+    }
+}

@@ -1,0 +1,241 @@
+//! A bounded multi-producer multi-consumer ring buffer.
+//!
+//! The trace collector sits inside the scheduler's hot event loop, so
+//! recording must never block and never allocate beyond the slot's own
+//! payload. This is the classic Dmitry Vyukov bounded MPMC queue built
+//! on `std` atomics only: each slot carries a sequence number that
+//! producers and consumers use to claim it without locks. When the ring
+//! is full the event is **dropped** (and counted) rather than stalling
+//! the simulation — tracing must observe, not perturb.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free ring buffer with drop-on-full semantics.
+pub struct RingBuffer<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// Safety: slots are claimed exclusively through the sequence protocol;
+// values only move across threads whole.
+unsafe impl<T: Send> Send for RingBuffer<T> {}
+unsafe impl<T: Send> Sync for RingBuffer<T> {}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring with at least `capacity` slots (rounded up to a
+    /// power of two, minimum 2).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> RingBuffer<T> {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        RingBuffer {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events discarded because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to enqueue `value`. Returns `false` (and counts a drop)
+    /// when the ring is full. Never blocks.
+    pub fn push(&self, value: T) -> bool {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: the CAS gave this thread exclusive
+                        // ownership of the slot until seq is bumped.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                // Slot still holds an unconsumed value: ring is full.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest value, if any. Never blocks.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - (pos.wrapping_add(1)) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: the CAS gave this thread exclusive
+                        // ownership of the written slot.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains everything currently in the ring.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<T> Drop for RingBuffer<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let ring = RingBuffer::with_capacity(8);
+        for i in 0..5 {
+            assert!(ring.push(i));
+        }
+        assert_eq!(ring.drain(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let ring = RingBuffer::<u32>::with_capacity(5);
+        assert_eq!(ring.capacity(), 8);
+        let ring = RingBuffer::<u32>::with_capacity(0);
+        assert_eq!(ring.capacity(), 2);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots_many_times() {
+        let ring = RingBuffer::with_capacity(4);
+        // Fill and drain far past the capacity so every slot's sequence
+        // number wraps repeatedly.
+        let mut expected = 0u64;
+        for round in 0..100u64 {
+            for i in 0..4 {
+                assert!(ring.push(round * 4 + i), "push in round {round}");
+            }
+            for _ in 0..4 {
+                assert_eq!(ring.pop(), Some(expected));
+                expected += 1;
+            }
+        }
+        assert_eq!(ring.pop(), None);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_instead_of_blocking() {
+        let ring = RingBuffer::with_capacity(4);
+        for i in 0..4 {
+            assert!(ring.push(i));
+        }
+        assert!(!ring.push(99));
+        assert!(!ring.push(100));
+        assert_eq!(ring.dropped(), 2);
+        // The stored prefix is intact.
+        assert_eq!(ring.drain(), vec![0, 1, 2, 3]);
+        // After draining, pushes succeed again.
+        assert!(ring.push(7));
+        assert_eq!(ring.pop(), Some(7));
+    }
+
+    #[test]
+    fn interleaved_push_pop_around_the_seam() {
+        let ring = RingBuffer::with_capacity(2);
+        for i in 0..1000u32 {
+            assert!(ring.push(i));
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_until_full() {
+        use std::sync::Arc;
+        let ring = Arc::new(RingBuffer::with_capacity(1024));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        assert!(ring.push(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut got = ring.drain();
+        got.sort_unstable();
+        let mut expected: Vec<u64> = (0..4)
+            .flat_map(|t| (0..200).map(move |i| t * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+}

@@ -4,7 +4,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
+
+use vcad_obs::Collector;
 
 use crate::error::{RemoteErrorKind, RmiError};
 use crate::frame::{CallFrame, Frame, ResponseFrame};
@@ -57,37 +59,40 @@ impl ObjectRegistry {
 
     /// Installs the root (bootstrap) object, replacing any previous one.
     pub fn register_root(&self, object: Arc<dyn RemoteObject>) {
-        self.objects.write().insert(ObjectId::ROOT.0, object);
+        self.objects
+            .write()
+            .unwrap()
+            .insert(ObjectId::ROOT.0, object);
     }
 
     /// Exports an object under a fresh id.
     pub fn register(&self, object: Arc<dyn RemoteObject>) -> ObjectId {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
-        self.objects.write().insert(id, object);
+        self.objects.write().unwrap().insert(id, object);
         ObjectId(id)
     }
 
     /// Withdraws an exported object. Returns `true` if it existed.
     pub fn unregister(&self, id: ObjectId) -> bool {
-        self.objects.write().remove(&id.0).is_some()
+        self.objects.write().unwrap().remove(&id.0).is_some()
     }
 
     /// Looks up an exported object.
     #[must_use]
     pub fn get(&self, id: ObjectId) -> Option<Arc<dyn RemoteObject>> {
-        self.objects.read().get(&id.0).cloned()
+        self.objects.read().unwrap().get(&id.0).cloned()
     }
 
     /// Number of exported objects (including the root, if set).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.objects.read().len()
+        self.objects.read().unwrap().len()
     }
 
     /// Returns `true` when nothing is exported.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.objects.read().is_empty()
+        self.objects.read().unwrap().is_empty()
     }
 }
 
@@ -129,6 +134,7 @@ impl ServerCtx {
 pub struct Dispatcher {
     registry: Arc<ObjectRegistry>,
     security: SecurityManager,
+    obs: Collector,
 }
 
 impl Dispatcher {
@@ -139,13 +145,26 @@ impl Dispatcher {
         Dispatcher {
             registry,
             security: SecurityManager::permissive(),
+            obs: Collector::disabled(),
         }
     }
 
     /// Creates a dispatcher that also polices outgoing results.
     #[must_use]
     pub fn with_security(registry: Arc<ObjectRegistry>, security: SecurityManager) -> Dispatcher {
-        Dispatcher { registry, security }
+        Dispatcher {
+            registry,
+            security,
+            obs: Collector::disabled(),
+        }
+    }
+
+    /// Routes dispatch metrics (`rmi.dispatch.*`, per-method counters and
+    /// latency histograms) and per-call spans into `obs`.
+    #[must_use]
+    pub fn with_collector(mut self, obs: Collector) -> Dispatcher {
+        self.obs = obs;
+        self
     }
 
     /// The registry this dispatcher serves.
@@ -157,7 +176,27 @@ impl Dispatcher {
     /// Handles one decoded call.
     #[must_use]
     pub fn handle(&self, call: &CallFrame) -> ResponseFrame {
+        let started = std::time::Instant::now();
+        let span = self
+            .obs
+            .is_enabled()
+            .then(|| self.obs.span("rmi", format!("dispatch:{}", call.method)));
         let result = self.dispatch(call);
+        let metrics = self.obs.metrics();
+        metrics.counter("rmi.dispatch.calls").inc();
+        if result.is_err() {
+            metrics.counter("rmi.dispatch.errors").inc();
+        }
+        metrics
+            .counter(&format!("rmi.method.{}.calls", call.method))
+            .inc();
+        metrics
+            .histogram(&format!("rmi.method.{}.latency_ns", call.method))
+            .record_duration(started.elapsed());
+        if let Some(mut span) = span {
+            span.arg("object", call.object.0);
+            span.arg("ok", u64::from(result.is_ok()));
+        }
         ResponseFrame {
             call_id: call.call_id,
             result: result.map_err(|e| match e {
@@ -299,6 +338,27 @@ mod tests {
             Frame::Response(r) => assert_eq!(r.result, Ok(Value::Str("hi".into()))),
             Frame::Call(_) => panic!("expected response"),
         }
+    }
+
+    #[test]
+    fn dispatcher_records_per_method_metrics() {
+        let reg = Arc::new(ObjectRegistry::new());
+        reg.register_root(Arc::new(Echo));
+        let obs = Collector::enabled();
+        let d = Dispatcher::new(reg).with_collector(obs.clone());
+        let _ = d.handle(&call("echo", vec![Value::I64(1)]));
+        let _ = d.handle(&call("echo", vec![Value::I64(2)]));
+        let _ = d.handle(&call("nope", vec![]));
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counters.get("rmi.dispatch.calls"), Some(&3));
+        assert_eq!(snap.counters.get("rmi.dispatch.errors"), Some(&1));
+        assert_eq!(snap.counters.get("rmi.method.echo.calls"), Some(&2));
+        assert_eq!(snap.counters.get("rmi.method.nope.calls"), Some(&1));
+        let h = snap.histograms.get("rmi.method.echo.latency_ns").unwrap();
+        assert_eq!(h.count, 2);
+        // One span per handled call.
+        let trace = obs.trace();
+        assert_eq!(trace.events_named("dispatch:").len(), 3);
     }
 
     #[test]

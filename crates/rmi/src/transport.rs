@@ -13,24 +13,33 @@
 //!   on a [`VirtualTimeline`](vcad_netsim::VirtualTimeline) or sleeping a
 //!   scaled-down real delay.
 //!
-//! All transports count calls and bytes ([`Transport::stats`]); the
-//! Table 2 / Figure 3 harnesses read these counters.
+//! All transports count calls and bytes into a
+//! [`vcad_obs`] metrics registry ([`Transport::stats`] is a view over
+//! it); the Table 2 / Figure 3 harnesses read these counters, and a
+//! `--trace` run additionally gets one span per round trip.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use crossbeam::channel::{bounded, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Mutex;
 
 use vcad_netsim::{NetworkModel, Shaper, VirtualTimeline};
+use vcad_obs::{Collector, Counter, Histogram};
 
 use crate::dispatch::Dispatcher;
 use crate::error::RmiError;
 
-/// Byte and call counters kept by every transport.
+/// A point-in-time view of a transport's traffic counters.
+///
+/// The counters themselves live in the transport's
+/// [`vcad_obs::MetricsRegistry`] (names `rmi.transport.calls`,
+/// `rmi.transport.bytes_sent`, `rmi.transport.bytes_received`); this
+/// struct is the convenience snapshot the bench harnesses consume.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TransportStats {
     /// Completed round trips.
@@ -41,25 +50,51 @@ pub struct TransportStats {
     pub bytes_received: u64,
 }
 
-#[derive(Debug, Default)]
-struct StatsCell {
-    calls: AtomicU64,
-    sent: AtomicU64,
-    received: AtomicU64,
+/// Per-transport telemetry: registry-backed counters plus (when the
+/// collector is enabled) one span per round trip.
+struct TransportTelemetry {
+    obs: Collector,
+    calls: Counter,
+    sent: Counter,
+    received: Counter,
+    round_trip_ns: Histogram,
 }
 
-impl StatsCell {
-    fn record(&self, sent: usize, received: usize) {
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        self.sent.fetch_add(sent as u64, Ordering::Relaxed);
-        self.received.fetch_add(received as u64, Ordering::Relaxed);
+impl TransportTelemetry {
+    fn new(obs: &Collector) -> TransportTelemetry {
+        let m = obs.metrics();
+        TransportTelemetry {
+            calls: m.counter("rmi.transport.calls"),
+            sent: m.counter("rmi.transport.bytes_sent"),
+            received: m.counter("rmi.transport.bytes_received"),
+            round_trip_ns: m.histogram("rmi.transport.round_trip_ns"),
+            obs: obs.clone(),
+        }
+    }
+
+    /// Telemetry for a transport constructed without a caller-provided
+    /// collector: counters still aggregate (so [`Transport::stats`]
+    /// works), tracing stays off.
+    fn detached() -> TransportTelemetry {
+        TransportTelemetry::new(&Collector::disabled())
+    }
+
+    fn span(&self) -> vcad_obs::SpanGuard {
+        self.obs.span("rmi", "call")
+    }
+
+    fn record(&self, sent: usize, received: usize, started: Instant) {
+        self.calls.inc();
+        self.sent.add(sent as u64);
+        self.received.add(received as u64);
+        self.round_trip_ns.record_duration(started.elapsed());
     }
 
     fn snapshot(&self) -> TransportStats {
         TransportStats {
-            calls: self.calls.load(Ordering::Relaxed),
-            bytes_sent: self.sent.load(Ordering::Relaxed),
-            bytes_received: self.received.load(Ordering::Relaxed),
+            calls: self.calls.get(),
+            bytes_sent: self.sent.get(),
+            bytes_received: self.received.get(),
         }
     }
 }
@@ -84,7 +119,7 @@ pub trait Transport: Send + Sync {
 /// Directly dispatches requests to an in-process [`Dispatcher`].
 pub struct InProcTransport {
     dispatcher: Arc<Dispatcher>,
-    stats: StatsCell,
+    telemetry: TransportTelemetry,
 }
 
 impl InProcTransport {
@@ -93,29 +128,43 @@ impl InProcTransport {
     pub fn new(dispatcher: Arc<Dispatcher>) -> InProcTransport {
         InProcTransport {
             dispatcher,
-            stats: StatsCell::default(),
+            telemetry: TransportTelemetry::detached(),
+        }
+    }
+
+    /// Creates a transport recording its traffic into `obs`.
+    #[must_use]
+    pub fn with_collector(dispatcher: Arc<Dispatcher>, obs: &Collector) -> InProcTransport {
+        InProcTransport {
+            dispatcher,
+            telemetry: TransportTelemetry::new(obs),
         }
     }
 }
 
 impl Transport for InProcTransport {
     fn call(&self, request: &[u8]) -> Result<Vec<u8>, RmiError> {
+        let mut span = self.telemetry.span();
+        let started = Instant::now();
         let response = self.dispatcher.handle_bytes(request);
-        self.stats.record(request.len(), response.len());
+        self.telemetry
+            .record(request.len(), response.len(), started);
+        span.arg("bytes_sent", request.len());
+        span.arg("bytes_received", response.len());
         Ok(response)
     }
 
     fn stats(&self) -> TransportStats {
-        self.stats.snapshot()
+        self.telemetry.snapshot()
     }
 }
 
-type ChannelRequest = (Vec<u8>, Sender<Vec<u8>>);
+type ChannelRequest = (Vec<u8>, SyncSender<Vec<u8>>);
 
 /// A transport backed by a dedicated server thread and a bounded channel.
 pub struct ChannelTransport {
-    requests: Sender<ChannelRequest>,
-    stats: StatsCell,
+    requests: SyncSender<ChannelRequest>,
+    telemetry: TransportTelemetry,
     handle: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -123,7 +172,17 @@ impl ChannelTransport {
     /// Spawns the server thread and returns the connected transport.
     #[must_use]
     pub fn spawn(dispatcher: Arc<Dispatcher>) -> ChannelTransport {
-        let (tx, rx) = bounded::<ChannelRequest>(64);
+        ChannelTransport::spawn_inner(dispatcher, TransportTelemetry::detached())
+    }
+
+    /// As [`ChannelTransport::spawn`], recording traffic into `obs`.
+    #[must_use]
+    pub fn spawn_with_collector(dispatcher: Arc<Dispatcher>, obs: &Collector) -> ChannelTransport {
+        ChannelTransport::spawn_inner(dispatcher, TransportTelemetry::new(obs))
+    }
+
+    fn spawn_inner(dispatcher: Arc<Dispatcher>, telemetry: TransportTelemetry) -> ChannelTransport {
+        let (tx, rx) = sync_channel::<ChannelRequest>(64);
         let handle = std::thread::Builder::new()
             .name("vcad-rmi-server".into())
             .spawn(move || {
@@ -136,7 +195,7 @@ impl ChannelTransport {
             .expect("spawn rmi server thread");
         ChannelTransport {
             requests: tx,
-            stats: StatsCell::default(),
+            telemetry,
             handle: Mutex::new(Some(handle)),
         }
     }
@@ -144,28 +203,33 @@ impl ChannelTransport {
 
 impl Transport for ChannelTransport {
     fn call(&self, request: &[u8]) -> Result<Vec<u8>, RmiError> {
-        let (reply_tx, reply_rx) = bounded(1);
+        let mut span = self.telemetry.span();
+        let started = Instant::now();
+        let (reply_tx, reply_rx) = sync_channel(1);
         self.requests
             .send((request.to_vec(), reply_tx))
             .map_err(|_| RmiError::Transport("server thread terminated".into()))?;
         let response = reply_rx
             .recv()
             .map_err(|_| RmiError::Transport("server dropped the reply".into()))?;
-        self.stats.record(request.len(), response.len());
+        self.telemetry
+            .record(request.len(), response.len(), started);
+        span.arg("bytes_sent", request.len());
+        span.arg("bytes_received", response.len());
         Ok(response)
     }
 
     fn stats(&self) -> TransportStats {
-        self.stats.snapshot()
+        self.telemetry.snapshot()
     }
 }
 
 impl Drop for ChannelTransport {
     fn drop(&mut self) {
         // Closing the sender ends the server loop; join to avoid leaks.
-        let (closed_tx, _) = bounded(0);
+        let (closed_tx, _) = sync_channel(0);
         let _ = std::mem::replace(&mut self.requests, closed_tx);
-        if let Some(h) = self.handle.lock().take() {
+        if let Some(h) = self.handle.lock().unwrap().take() {
             let _ = h.join();
         }
     }
@@ -261,7 +325,7 @@ impl Drop for TcpServer {
 /// A client transport over one TCP connection.
 pub struct TcpTransport {
     stream: Mutex<TcpStream>,
-    stats: StatsCell,
+    telemetry: TransportTelemetry,
 }
 
 impl TcpTransport {
@@ -271,6 +335,25 @@ impl TcpTransport {
     ///
     /// Returns [`RmiError::Transport`] when the connection fails.
     pub fn connect(addr: SocketAddr) -> Result<TcpTransport, RmiError> {
+        TcpTransport::connect_inner(addr, TransportTelemetry::detached())
+    }
+
+    /// As [`TcpTransport::connect`], recording traffic into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmiError::Transport`] when the connection fails.
+    pub fn connect_with_collector(
+        addr: SocketAddr,
+        obs: &Collector,
+    ) -> Result<TcpTransport, RmiError> {
+        TcpTransport::connect_inner(addr, TransportTelemetry::new(obs))
+    }
+
+    fn connect_inner(
+        addr: SocketAddr,
+        telemetry: TransportTelemetry,
+    ) -> Result<TcpTransport, RmiError> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| RmiError::Transport(format!("connect {addr}: {e}")))?;
         stream
@@ -278,23 +361,28 @@ impl TcpTransport {
             .map_err(|e| RmiError::Transport(format!("nodelay: {e}")))?;
         Ok(TcpTransport {
             stream: Mutex::new(stream),
-            stats: StatsCell::default(),
+            telemetry,
         })
     }
 }
 
 impl Transport for TcpTransport {
     fn call(&self, request: &[u8]) -> Result<Vec<u8>, RmiError> {
-        let mut stream = self.stream.lock();
+        let mut span = self.telemetry.span();
+        let started = Instant::now();
+        let mut stream = self.stream.lock().unwrap();
         write_frame(&mut stream, request).map_err(|e| RmiError::Transport(format!("send: {e}")))?;
         let response =
             read_frame(&mut stream).map_err(|e| RmiError::Transport(format!("receive: {e}")))?;
-        self.stats.record(request.len(), response.len());
+        self.telemetry
+            .record(request.len(), response.len(), started);
+        span.arg("bytes_sent", request.len());
+        span.arg("bytes_received", response.len());
         Ok(response)
     }
 
     fn stats(&self) -> TransportStats {
-        self.stats.snapshot()
+        self.telemetry.snapshot()
     }
 }
 
@@ -351,7 +439,7 @@ impl Transport for ShapedTransport {
         let response = self.inner.call(request)?;
         let delay = self.model.round_trip(request.len(), response.len());
         match &self.mode {
-            ShapeMode::Virtual(timeline) => timeline.lock().add_network(delay),
+            ShapeMode::Virtual(timeline) => timeline.lock().unwrap().add_network(delay),
             ShapeMode::Sleep(scale) => {
                 Shaper::new(self.model.clone(), *scale).apply(request.len() + response.len());
             }
@@ -476,10 +564,10 @@ mod tests {
         ));
         let c = Client::new(t as Arc<dyn Transport>);
         c.root().invoke("ping", vec![Value::I64(0)]).unwrap();
-        let after_one = timeline.lock().network_time();
+        let after_one = timeline.lock().unwrap().network_time();
         assert!(after_one > std::time::Duration::ZERO);
         c.root().invoke("ping", vec![Value::I64(0)]).unwrap();
-        assert!(timeline.lock().network_time() > after_one);
+        assert!(timeline.lock().unwrap().network_time() > after_one);
     }
 
     #[test]

@@ -1,108 +1,176 @@
-//! Property-based tests: the wire format round-trips arbitrary values.
+//! Randomized property tests: the wire format round-trips arbitrary
+//! values. Deterministic seeded sampling stands in for the external
+//! property-testing framework the offline build cannot fetch.
 
-use proptest::prelude::*;
 use vcad_logic::{Logic, LogicVec, Word};
+use vcad_prng::Rng;
 use vcad_rmi::{CallFrame, Frame, MarshalPolicy, ObjectId, ResponseFrame, Value};
 
-fn arb_logic() -> impl Strategy<Value = Logic> {
-    prop_oneof![
-        Just(Logic::Zero),
-        Just(Logic::One),
-        Just(Logic::X),
-        Just(Logic::Z),
-    ]
+const CASES: usize = 256;
+
+fn arb_logic(rng: &mut Rng) -> Logic {
+    match rng.gen_range(0usize..4) {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        2 => Logic::X,
+        _ => Logic::Z,
+    }
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::I64),
-        // Use finite floats so equality round-trips (NaN != NaN).
-        (-1e12f64..1e12).prop_map(Value::F64),
-        "[a-zA-Z0-9 _.-]{0,40}".prop_map(Value::Str),
-        prop::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
-        arb_logic().prop_map(Value::Logic),
-        prop::collection::vec(arb_logic(), 0..80)
-            .prop_map(|bits| Value::Vec(LogicVec::from_bits(bits))),
-        (0usize..=128, any::<u128>()).prop_map(|(w, v)| Value::Word(Word::new(w, v))),
-        any::<u64>().prop_map(|id| Value::ObjectRef(ObjectId(id))),
-    ];
-    leaf.prop_recursive(3, 64, 8, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..8).prop_map(Value::List),
-            prop::collection::vec(("[a-z]{1,8}", inner), 0..8).prop_map(Value::Map),
-        ]
-    })
+fn arb_string(rng: &mut Rng, max_len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _.-";
+    let len = rng.gen_range(0usize..=max_len);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0usize..ALPHABET.len())] as char)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_ident(rng: &mut Rng, max_len: usize) -> String {
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    let mut s = String::new();
+    s.push(HEAD[rng.gen_range(0usize..HEAD.len())] as char);
+    let extra = rng.gen_range(0usize..max_len);
+    for _ in 0..extra {
+        s.push(TAIL[rng.gen_range(0usize..TAIL.len())] as char);
+    }
+    s
+}
 
-    #[test]
-    fn value_encoding_round_trips(v in arb_value()) {
+fn arb_bytes(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0usize..max_len);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// A leaf value: every non-recursive `Value` variant.
+fn arb_leaf(rng: &mut Rng) -> Value {
+    match rng.gen_range(0usize..10) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::I64(rng.next_u64() as i64),
+        // Finite floats so equality round-trips (NaN != NaN).
+        3 => Value::F64(rng.gen_range(-1e12f64..1e12)),
+        4 => Value::Str(arb_string(rng, 40)),
+        5 => Value::Bytes(arb_bytes(rng, 64)),
+        6 => Value::Logic(arb_logic(rng)),
+        7 => {
+            let n = rng.gen_range(0usize..80);
+            Value::Vec(LogicVec::from_bits((0..n).map(|_| arb_logic(rng))))
+        }
+        8 => Value::Word(Word::new(rng.gen_range(0usize..=128), rng.next_u128())),
+        _ => Value::ObjectRef(ObjectId(rng.next_u64())),
+    }
+}
+
+/// A possibly-nested value, recursing up to `depth` levels of lists/maps.
+fn arb_value(rng: &mut Rng, depth: usize) -> Value {
+    if depth == 0 || rng.gen_bool(0.6) {
+        return arb_leaf(rng);
+    }
+    let n = rng.gen_range(0usize..8);
+    if rng.gen_bool(0.5) {
+        Value::List((0..n).map(|_| arb_value(rng, depth - 1)).collect())
+    } else {
+        Value::Map(
+            (0..n)
+                .map(|_| (arb_ident(rng, 7), arb_value(rng, depth - 1)))
+                .collect(),
+        )
+    }
+}
+
+#[test]
+fn value_encoding_round_trips() {
+    let mut rng = Rng::seed_from_u64(0x9a11);
+    for _ in 0..CASES {
+        let v = arb_value(&mut rng, 3);
         let bytes = v.encode();
-        prop_assert_eq!(bytes.len(), v.encoded_len());
-        prop_assert_eq!(Value::decode(&bytes).unwrap(), v);
+        assert_eq!(bytes.len(), v.encoded_len());
+        assert_eq!(Value::decode(&bytes).unwrap(), v);
     }
+}
 
-    #[test]
-    fn call_frames_round_trip(
-        call_id in any::<u64>(),
-        object in any::<u64>(),
-        method in "[a-zA-Z_][a-zA-Z0-9_]{0,24}",
-        args in prop::collection::vec(arb_value(), 0..6),
-    ) {
+#[test]
+fn call_frames_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x9a12);
+    for _ in 0..CASES {
+        let n_args = rng.gen_range(0usize..6);
         let frame = Frame::Call(CallFrame {
-            call_id,
-            object: ObjectId(object),
-            method,
-            args,
+            call_id: rng.next_u64(),
+            object: ObjectId(rng.next_u64()),
+            method: arb_ident(&mut rng, 24),
+            args: (0..n_args).map(|_| arb_value(&mut rng, 2)).collect(),
         });
-        prop_assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+        assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
     }
+}
 
-    #[test]
-    fn response_frames_round_trip(call_id in any::<u64>(), v in arb_value()) {
-        let frame = Frame::Response(ResponseFrame { call_id, result: Ok(v) });
-        prop_assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+#[test]
+fn response_frames_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x9a13);
+    for _ in 0..CASES {
+        let frame = Frame::Response(ResponseFrame {
+            call_id: rng.next_u64(),
+            result: Ok(arb_value(&mut rng, 3)),
+        });
+        assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
     }
+}
 
-    #[test]
-    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn decoder_never_panics_on_garbage() {
+    let mut rng = Rng::seed_from_u64(0x9a14);
+    for _ in 0..CASES {
+        let bytes = arb_bytes(&mut rng, 256);
         // Any result is fine; panics and hangs are not.
         let _ = Value::decode(&bytes);
         let _ = Frame::decode(&bytes);
     }
+}
 
-    #[test]
-    fn truncation_is_always_an_error(v in arb_value(), cut in 1usize..16) {
+#[test]
+fn truncation_is_always_an_error() {
+    let mut rng = Rng::seed_from_u64(0x9a15);
+    for _ in 0..CASES {
+        let v = arb_value(&mut rng, 3);
+        let cut = rng.gen_range(1usize..16);
         let bytes = v.encode();
-        prop_assume!(bytes.len() > cut);
+        if bytes.len() <= cut {
+            continue;
+        }
         let truncated = &bytes[..bytes.len() - cut];
-        prop_assert!(Value::decode(truncated).is_err());
+        assert!(Value::decode(truncated).is_err());
     }
+}
 
-    #[test]
-    fn port_data_policy_accepts_port_values(
-        bits in prop::collection::vec(arb_logic(), 0..64),
-        w in 0usize..=128,
-        raw in any::<u128>(),
-    ) {
+#[test]
+fn port_data_policy_accepts_port_values() {
+    let mut rng = Rng::seed_from_u64(0x9a16);
+    for _ in 0..CASES {
         let policy = MarshalPolicy::port_data_only();
-        policy.check(&Value::Vec(LogicVec::from_bits(bits))).unwrap();
-        policy.check(&Value::Word(Word::new(w, raw))).unwrap();
+        let n = rng.gen_range(0usize..64);
+        let bits = LogicVec::from_bits((0..n).map(|_| arb_logic(&mut rng)));
+        policy.check(&Value::Vec(bits)).unwrap();
+        let w = rng.gen_range(0usize..=128);
+        policy
+            .check(&Value::Word(Word::new(w, rng.next_u128())))
+            .unwrap();
     }
+}
 
-    #[test]
-    fn port_data_policy_rejects_bytes_anywhere(
-        depth in 0usize..4,
-        payload in prop::collection::vec(any::<u8>(), 1..16),
-    ) {
+#[test]
+fn port_data_policy_rejects_bytes_anywhere() {
+    let mut rng = Rng::seed_from_u64(0x9a17);
+    for _ in 0..CASES {
+        let depth = rng.gen_range(0usize..4);
+        let payload = {
+            let len = rng.gen_range(1usize..16);
+            (0..len).map(|_| rng.next_u64() as u8).collect()
+        };
         let mut v = Value::Bytes(payload);
         for _ in 0..depth {
             v = Value::List(vec![Value::I64(0), v]);
         }
-        prop_assert!(MarshalPolicy::port_data_only().check(&v).is_err());
+        assert!(MarshalPolicy::port_data_only().check(&v).is_err());
     }
 }

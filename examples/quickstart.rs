@@ -7,27 +7,66 @@
 //! accurate gate-level power estimate — all without seeing a single gate
 //! of the multiplier.
 //!
-//! Run with `cargo run --example quickstart`.
+//! Run with `cargo run --example quickstart`. Pass `--trace <path>` to
+//! also write a Chrome trace-event JSON file (open in `chrome://tracing`
+//! or <https://ui.perfetto.dev>) and print a metrics summary.
 
 use std::error::Error;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use vcad::core::stdlib::{CaptureState, PrimaryOutput, RandomInput, Register};
 use vcad::core::{DesignBuilder, Parameter, SetupController, SetupCriterion, SimulationController};
 use vcad::ip::{ClientSession, ComponentOffering, ProviderServer};
+use vcad::netsim::{NetworkModel, VirtualTimeline};
+use vcad::obs::Collector;
+use vcad::rmi::{InProcTransport, ShapedTransport, Transport};
+
+/// Parses `--trace <path>` from the command line, if present.
+fn trace_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return Some(args.next().expect("--trace needs a file path").into());
+        }
+    }
+    None
+}
 
 fn main() -> Result<(), Box<dyn Error>> {
     let width = 16;
     let patterns = 100;
+    let trace_out = trace_path();
+    let obs = if trace_out.is_some() {
+        Collector::enabled()
+    } else {
+        Collector::disabled()
+    };
 
     // ── Provider side ────────────────────────────────────────────────
     // In production this process lives on the provider's host behind a
     // TCP transport; here it runs in-process for a self-contained demo.
-    let provider = ProviderServer::new("provider.example.com");
+    let provider = ProviderServer::with_collector("provider.example.com", obs.clone());
     provider.offer(ComponentOffering::fast_low_power_multiplier());
 
     // ── IP user side ─────────────────────────────────────────────────
-    let session = ClientSession::connect_in_process(&provider)?;
+    // Under --trace, shape the link as the paper's 1999 WAN on a virtual
+    // timeline attached to the collector, so every trace event carries
+    // the modeled network clock next to the wall clock. Virtual shaping
+    // only accounts time — it never sleeps — so results are unchanged.
+    let inproc: Arc<dyn Transport> =
+        Arc::new(InProcTransport::with_collector(provider.dispatcher(), &obs));
+    let transport: Arc<dyn Transport> = if trace_out.is_some() {
+        let timeline = Arc::new(Mutex::new(VirtualTimeline::new()));
+        obs.attach_virtual_timeline(Arc::clone(&timeline));
+        Arc::new(ShapedTransport::virtual_time(
+            inproc,
+            NetworkModel::wan_1999(),
+            timeline,
+        ))
+    } else {
+        inproc
+    };
+    let session = ClientSession::connect(transport, provider.host());
     println!("catalog:");
     for offering in session.catalog()? {
         println!(
@@ -73,6 +112,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let run = SimulationController::new(Arc::clone(&design))
         .with_setup(binding)
+        .with_collector(obs.clone())
         .run()?;
 
     let captured = run
@@ -106,5 +146,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         run.estimates().total_fees_cents(),
         session.bill()?
     );
+
+    if let Some(path) = trace_out {
+        let trace = obs.trace();
+        println!("\n{}", vcad::obs::summary::render_summary(&trace));
+        vcad::obs::chrome::write_chrome_trace(&trace, &path)?;
+        println!("Chrome trace written to {}", path.display());
+    }
     Ok(())
 }

@@ -19,7 +19,9 @@
 //! * [`power`] — the gate-level power engine and estimator tiers;
 //! * [`faults`] — stuck-at faults, detection tables and virtual fault
 //!   simulation;
-//! * [`ip`] — provider servers, component packaging and client sessions.
+//! * [`ip`] — provider servers, component packaging and client sessions;
+//! * [`obs`] — the tracing & metrics backplane (spans with wall + virtual
+//!   timestamps, counters/gauges/histograms, Chrome trace export).
 //!
 //! # Quickstart
 //!
@@ -33,5 +35,6 @@ pub use vcad_ip as ip;
 pub use vcad_logic as logic;
 pub use vcad_netlist as netlist;
 pub use vcad_netsim as netsim;
+pub use vcad_obs as obs;
 pub use vcad_power as power;
 pub use vcad_rmi as rmi;

@@ -58,7 +58,7 @@ fn two_clients_share_one_tcp_server() {
 
 #[test]
 fn shaped_tcp_session_accumulates_virtual_network_time() {
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
     use vcad::netsim::VirtualTimeline;
 
     let server = provider();
@@ -74,7 +74,7 @@ fn shaped_tcp_session_accumulates_virtual_network_time() {
     let component = session.instantiate("MultFastLowPower", 4).unwrap();
     let _ = component.constant_power().unwrap();
 
-    let network = timeline.lock().network_time();
+    let network = timeline.lock().unwrap().network_time();
     // Several round trips at ≥ 90 ms modeled RTT each.
     assert!(
         network.as_millis() >= 200,
