@@ -16,4 +16,10 @@ cargo build --release
 echo "==> tier-1 verify: cargo test -q"
 cargo test -q
 
+echo "==> chaos soak: fault-injected session must match the fault-free baseline"
+cargo test --release -q --test chaos_session
+
+echo "==> chaos determinism: same seed twice must inject the same fault schedule"
+cargo test --release -q --test chaos_session fault_schedule_is_deterministic
+
 echo "CI green."

@@ -11,6 +11,10 @@
 //! (open in `chrome://tracing` or <https://ui.perfetto.dev>) covering
 //! every RMI call, dispatch and scheduler instant of all three runs,
 //! plus a plain-text metrics summary on stdout.
+//! Pass `--chaos-seed <u64>` to run the remote scenarios over a
+//! deterministically faulty link (drops, corruption, duplicates, delays)
+//! behind the resilience layer; the results are unchanged while the
+//! `rmi.chaos.*` / `rmi.retry.*` counters report the injected turbulence.
 
 use vcad_bench::cli;
 use vcad_bench::report::{modeled_real_time, print_table, secs};
@@ -22,6 +26,7 @@ fn main() {
     let patterns = 100;
     let buffer = 5;
     let trace_out = cli::trace_path();
+    let chaos_seed = cli::chaos_seed();
     let obs = cli::collector_for(trace_out.as_ref());
 
     let environments = [
@@ -34,7 +39,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut runs = Vec::new();
     for scenario in Scenario::ALL {
-        let rig = scenarios::build_with_obs(scenario, width, patterns, buffer, obs.clone());
+        let rig = scenarios::build_with_obs_and_chaos(
+            scenario,
+            width,
+            patterns,
+            buffer,
+            obs.clone(),
+            chaos_seed,
+        );
         let run = rig.run(scenario);
         runs.push(run.clone());
         for (env_name, model) in &environments {
@@ -80,10 +92,11 @@ fn main() {
     let al = &runs[0];
     let er = &runs[1];
     let mr = &runs[2];
-    // CPU-time comparisons are only meaningful untraced: recording a span
-    // per scheduler instant and RMI call perturbs exactly what these two
-    // assertions measure.
-    if trace_out.is_none() {
+    // CPU-time comparisons are only meaningful untraced and unchaosed:
+    // recording a span per scheduler instant and RMI call — or retrying
+    // injected faults — perturbs exactly what these two assertions
+    // measure.
+    if trace_out.is_none() && chaos_seed.is_none() {
         // "The impact of using RMI to access a module having only one
         //  remote method is almost negligible" — ER CPU close to AL's.
         assert!(
@@ -132,6 +145,22 @@ fn main() {
         );
     }
     println!("\nAll shape assertions passed.");
+
+    if let Some(seed) = chaos_seed {
+        let snap = obs.metrics().snapshot();
+        println!(
+            "\nchaos (seed {seed}): {} faults injected over {} transport calls \
+             — {} retries, {} calls recovered, {} exhausted, breaker opened {}×, \
+             {} duplicate calls deduplicated by the provider",
+            snap.counter("rmi.chaos.injected.total"),
+            snap.counter("rmi.chaos.calls"),
+            snap.counter("rmi.retry.retries"),
+            snap.counter("rmi.retry.recovered"),
+            snap.counter("rmi.retry.exhausted"),
+            snap.counter("rmi.breaker.opened"),
+            snap.counter("rmi.dispatch.dedup_hits"),
+        );
+    }
 
     cli::finish_trace(&obs, trace_out);
 }

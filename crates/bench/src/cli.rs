@@ -22,6 +22,29 @@ pub fn trace_path() -> Option<PathBuf> {
     None
 }
 
+/// Parses `--chaos-seed <u64>` from the process arguments, if present.
+///
+/// The seed selects a deterministic fault-injection schedule (see
+/// `vcad_rmi::FaultPlan`): the same seed reproduces the same drops,
+/// corruptions and delays on every run.
+///
+/// Exits with status 2 when `--chaos-seed` is given without a valid
+/// unsigned integer.
+#[must_use]
+pub fn chaos_seed() -> Option<u64> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--chaos-seed" {
+            let seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--chaos-seed needs an unsigned integer");
+                std::process::exit(2);
+            });
+            return Some(seed);
+        }
+    }
+    None
+}
+
 /// A collector sized for a full bench run when tracing is requested,
 /// or a disabled one (metrics only) otherwise.
 #[must_use]

@@ -22,7 +22,10 @@ use vcad_ip::{ClientSession, ComponentOffering, IpComponentModule, ProviderServe
 use vcad_netlist::generators;
 use vcad_obs::{Collector, MetricsSnapshot};
 use vcad_power::{PowerModel, TogglePowerEstimator};
-use vcad_rmi::{InProcTransport, Transport, TransportStats};
+use vcad_rmi::{
+    BreakerConfig, FaultConfig, FaultPlan, FaultyTransport, InProcTransport, ResilientTransport,
+    RetryPolicy, Transport, TransportStats, VirtualClock,
+};
 
 /// The three deployment scenarios of Table 2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,6 +112,50 @@ pub fn build_with_obs(
     buffer: usize,
     obs: Collector,
 ) -> ScenarioRig {
+    build_with_obs_and_chaos(scenario, width, patterns, buffer, obs, None)
+}
+
+/// Like [`build_with_obs`], optionally injecting deterministic network
+/// faults on the client–provider link: with `chaos_seed` set, the
+/// transport is wrapped in `FaultyTransport` (the
+/// [`FaultConfig::heavy`] schedule seeded by `chaos_seed`) under a
+/// `ResilientTransport` whose retry budget comfortably outlasts it, so
+/// the run's results match the fault-free rig bit for bit while the
+/// `rmi.chaos.*` / `rmi.retry.*` counters record the turbulence. Both
+/// layers share one virtual clock: injected latency and backoffs are
+/// accounted, never slept.
+#[must_use]
+pub fn build_with_obs_and_chaos(
+    scenario: Scenario,
+    width: usize,
+    patterns: u64,
+    buffer: usize,
+    obs: Collector,
+    chaos_seed: Option<u64>,
+) -> ScenarioRig {
+    let chaos_wrap = |transport: Arc<dyn Transport>| -> Arc<dyn Transport> {
+        let Some(seed) = chaos_seed else {
+            return transport;
+        };
+        let clock = Arc::new(VirtualClock::new());
+        let faulty = FaultyTransport::new(transport, FaultPlan::new(seed, FaultConfig::heavy()))
+            .with_clock(clock.clone())
+            .with_collector(&obs);
+        let policy = RetryPolicy::default()
+            .with_max_attempts(12)
+            .with_deadline(Duration::from_secs(30))
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(50));
+        let breaker = BreakerConfig {
+            failure_threshold: 16,
+            cooldown: Duration::from_secs(5),
+        };
+        Arc::new(
+            ResilientTransport::new(Arc::new(faulty), policy)
+                .with_breaker(breaker)
+                .with_clock(clock)
+                .with_collector(&obs),
+        )
+    };
     let (mult_module, server): (Arc<dyn Module>, Option<ProviderServer>) = match scenario {
         Scenario::AllLocal => {
             // Full disclosure: the user owns the netlist and runs the
@@ -129,8 +176,9 @@ pub fn build_with_obs(
         Scenario::EstimatorRemote | Scenario::MultiplierRemote => {
             let server = ProviderServer::with_collector("provider.example.com", obs.clone());
             server.offer(ComponentOffering::fast_low_power_multiplier());
-            let transport: Arc<dyn Transport> =
-                Arc::new(InProcTransport::with_collector(server.dispatcher(), &obs));
+            let transport: Arc<dyn Transport> = chaos_wrap(Arc::new(
+                InProcTransport::with_collector(server.dispatcher(), &obs),
+            ));
             let session = ClientSession::connect(transport, server.host());
             let component = session
                 .instantiate("MultFastLowPower", width)

@@ -6,9 +6,9 @@ use std::sync::Arc;
 use vcad_obs::Collector;
 
 use crate::design::{Design, ModuleId};
-use crate::estimate::{EstimationInput, Parameter, PortSnapshot};
+use crate::estimate::{EstimateError, EstimationInput, Parameter, PortSnapshot};
 use crate::scheduler::{Scheduler, SimulationError, StateStore};
-use crate::setup::{EstimateLog, EstimateRecord, SetupBinding};
+use crate::setup::{Degradation, EstimateLog, EstimateRecord, SetupBinding};
 use crate::time::SimTime;
 
 /// Launches and coordinates schedulers over a design — JavaCAD's
@@ -107,6 +107,10 @@ impl SimulationController {
         scheduler.init();
         let mut log = EstimateLog::default();
         let mut buffers: HashMap<usize, Vec<PortSnapshot>> = HashMap::new();
+        // Module/parameter pairs whose remote estimator became
+        // unreachable: degraded to the null estimator for the rest of
+        // the run (graceful degradation instead of aborting).
+        let mut degraded: std::collections::HashSet<(usize, Parameter)> = Default::default();
         // The last snapshot of the previous flush seeds the next one, so
         // the transition across a buffer boundary is never lost and a
         // buffer size of 1 still yields one transition per pattern.
@@ -131,7 +135,15 @@ impl SimulationController {
                     let buffer = buffers.entry(module.index()).or_default();
                     buffer.push(scheduler.snapshot(module));
                     if buffer.len() >= setup.buffer_size() {
-                        Self::flush(setup, module, buffer, &mut seeds, &scheduler, &mut log);
+                        Self::flush(
+                            setup,
+                            module,
+                            buffer,
+                            &mut seeds,
+                            &scheduler,
+                            &mut log,
+                            &mut degraded,
+                        );
                     }
                 }
             }
@@ -140,7 +152,15 @@ impl SimulationController {
             for &module in &bound_modules {
                 if let Some(buffer) = buffers.get_mut(&module.index()) {
                     if !buffer.is_empty() {
-                        Self::flush(setup, module, buffer, &mut seeds, &scheduler, &mut log);
+                        Self::flush(
+                            setup,
+                            module,
+                            buffer,
+                            &mut seeds,
+                            &scheduler,
+                            &mut log,
+                            &mut degraded,
+                        );
                     }
                 }
             }
@@ -153,6 +173,8 @@ impl SimulationController {
                 .add(log.total_fees_cents());
             m.counter("estimate.records")
                 .add(log.records().len() as u64);
+            m.counter("estimate.degraded")
+                .add(log.degradations().len() as u64);
             parent.absorb(child);
         }
 
@@ -186,6 +208,7 @@ impl SimulationController {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn flush(
         setup: &SetupBinding,
         module: ModuleId,
@@ -193,6 +216,7 @@ impl SimulationController {
         seeds: &mut HashMap<usize, PortSnapshot>,
         scheduler: &Scheduler,
         log: &mut EstimateLog,
+        degraded: &mut std::collections::HashSet<(usize, Parameter)>,
     ) {
         // Fees accrue per *new* pattern; the carried-over seed snapshot
         // was already paid for in the previous flush.
@@ -218,19 +242,54 @@ impl SimulationController {
                 continue;
             };
             let info = estimator.info();
-            let value = estimator.estimate(&input).unwrap_or(crate::Value::Null);
             // Fees are per evaluated transition (consecutive snapshot
-            // pair), matching the provider-side accounting.
+            // pair), matching the provider-side accounting. A failed or
+            // degraded estimate records Null and is never charged.
             let transitions = input.pattern_count().saturating_sub(1);
+            let key = (module.index(), parameter.clone());
+            let (value, fee_cents, name, remote) = if degraded.contains(&key) {
+                (
+                    crate::Value::Null,
+                    0.0,
+                    format!("null/{parameter} (degraded from {})", info.name),
+                    false,
+                )
+            } else {
+                match estimator.estimate(&input) {
+                    Ok(value) => (
+                        value,
+                        info.cost_per_pattern_cents * transitions as f64,
+                        info.name.clone(),
+                        info.remote,
+                    ),
+                    Err(EstimateError::Unavailable(reason)) => {
+                        log.push_degradation(Degradation {
+                            time: scheduler.time(),
+                            module,
+                            parameter: parameter.clone(),
+                            from: info.name.clone(),
+                            reason,
+                        });
+                        degraded.insert(key);
+                        (
+                            crate::Value::Null,
+                            0.0,
+                            format!("null/{parameter} (degraded from {})", info.name),
+                            false,
+                        )
+                    }
+                    Err(_) => (crate::Value::Null, 0.0, info.name.clone(), info.remote),
+                }
+            };
             log.push(EstimateRecord {
                 time: scheduler.time(),
                 module,
                 parameter,
-                estimator: info.name,
+                estimator: name,
                 value,
                 patterns,
-                fee_cents: info.cost_per_pattern_cents * transitions as f64,
-                remote: info.remote,
+                fee_cents,
+                remote,
             });
         }
     }
@@ -446,6 +505,118 @@ mod tests {
         // 3 + 4 + 3 = 10 transitions at 2 cents each.
         let fee = run.estimates().total_fees_cents();
         assert!((fee - 20.0).abs() < 1e-9, "{fee}");
+    }
+
+    /// A "remote" estimator whose provider answers once, then goes dark.
+    struct DyingRemote {
+        calls: std::sync::atomic::AtomicU64,
+    }
+    impl Estimator for DyingRemote {
+        fn info(&self) -> EstimatorInfo {
+            EstimatorInfo {
+                name: "remote/dying".into(),
+                parameter: Parameter::IoActivity,
+                expected_error_pct: 0.0,
+                cost_per_pattern_cents: 3.0,
+                cpu_time_per_pattern: Duration::ZERO,
+                remote: true,
+            }
+        }
+        fn estimate(&self, _input: &crate::EstimationInput) -> Result<Value, EstimateError> {
+            if self
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                == 0
+            {
+                Ok(Value::F64(1.5))
+            } else {
+                Err(EstimateError::Unavailable(
+                    "transport error: provider blackout".into(),
+                ))
+            }
+        }
+    }
+
+    struct DyingReg {
+        inner: Register,
+        estimator: Arc<DyingRemote>,
+    }
+    impl crate::Module for DyingReg {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn ports(&self) -> &[crate::PortSpec] {
+            self.inner.ports()
+        }
+        fn on_signal(
+            &self,
+            ctx: &mut crate::ModuleCtx<'_>,
+            port: usize,
+            value: &vcad_logic::LogicVec,
+        ) {
+            self.inner.on_signal(ctx, port, value);
+        }
+        fn estimators(&self) -> Vec<Arc<dyn Estimator>> {
+            vec![Arc::clone(&self.estimator) as Arc<dyn Estimator>]
+        }
+    }
+
+    #[test]
+    fn unreachable_estimator_degrades_to_null_and_stops_billing() {
+        let estimator = Arc::new(DyingRemote {
+            calls: std::sync::atomic::AtomicU64::new(0),
+        });
+        let mut b = DesignBuilder::new("d");
+        let s = b.add_module(Arc::new(RandomInput::new("IN", 8, 3, 10)));
+        let r = b.add_module(Arc::new(DyingReg {
+            inner: Register::new("REG", 8),
+            estimator: Arc::clone(&estimator),
+        }));
+        let o = b.add_module(Arc::new(PrimaryOutput::new("OUT", 8)));
+        b.connect(s, "out", r, "d").unwrap();
+        b.connect(r, "q", o, "in").unwrap();
+        let d = Arc::new(b.build().unwrap());
+
+        let mut setup = SetupController::new();
+        setup.set(Parameter::IoActivity, SetupCriterion::MostAccurate);
+        setup.set_buffer_size(4);
+        let binding = setup.apply(&d);
+
+        let obs = Collector::enabled();
+        let run = SimulationController::new(Arc::clone(&d))
+            .with_setup(binding)
+            .with_collector(obs.clone())
+            .run()
+            .unwrap();
+        // The run completed despite the provider dying mid-run.
+        let records: Vec<_> = run
+            .estimates()
+            .records_for(r, &Parameter::IoActivity)
+            .collect();
+        assert_eq!(records.len(), 3, "4+4+3 snapshot flushes");
+        // First flush succeeded and was billed.
+        assert_eq!(records[0].value, Value::F64(1.5));
+        assert!(records[0].fee_cents > 0.0);
+        assert!(records[0].remote);
+        // Second flush hit the outage: degraded, Null, free.
+        for record in &records[1..] {
+            assert_eq!(record.value, Value::Null);
+            assert_eq!(record.fee_cents, 0.0);
+            assert!(!record.remote);
+            assert!(record.estimator.contains("degraded from remote/dying"));
+        }
+        // Degradation recorded once; the dead estimator was never
+        // invoked again after the fallback.
+        let degradations = run.estimates().degradations();
+        assert_eq!(degradations.len(), 1);
+        assert_eq!(degradations[0].from, "remote/dying");
+        assert!(degradations[0].reason.contains("blackout"));
+        assert_eq!(
+            estimator.calls.load(std::sync::atomic::Ordering::Relaxed),
+            2
+        );
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counter("estimate.degraded"), 1);
     }
 
     #[test]

@@ -117,6 +117,11 @@ pub enum EstimateError {
     Remote(String),
     /// The estimator is not applicable to this module.
     NotApplicable(String),
+    /// A remote estimator's provider is unreachable (transport failure,
+    /// exhausted retry budget, or an open circuit breaker). The
+    /// controller reacts by degrading the estimator to the null
+    /// estimator for the rest of the run instead of aborting.
+    Unavailable(String),
 }
 
 impl fmt::Display for EstimateError {
@@ -125,6 +130,7 @@ impl fmt::Display for EstimateError {
             EstimateError::InsufficientInput(m) => write!(f, "insufficient input: {m}"),
             EstimateError::Remote(m) => write!(f, "remote estimation failed: {m}"),
             EstimateError::NotApplicable(m) => write!(f, "estimator not applicable: {m}"),
+            EstimateError::Unavailable(m) => write!(f, "estimator unavailable: {m}"),
         }
     }
 }

@@ -65,7 +65,9 @@ pub use estimate::{
 };
 pub use module::{Module, ModuleCtx, PortDirection, PortSpec};
 pub use scheduler::{Scheduler, SimulationError, StateStore};
-pub use setup::{EstimateLog, EstimateRecord, SetupBinding, SetupController, SetupCriterion};
+pub use setup::{
+    Degradation, EstimateLog, EstimateRecord, SetupBinding, SetupController, SetupCriterion,
+};
 pub use time::SimTime;
 pub use token::TokenPayload;
 

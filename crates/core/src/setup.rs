@@ -268,15 +268,44 @@ pub struct EstimateRecord {
     pub remote: bool,
 }
 
+/// One recorded estimator degradation: a remote estimator's provider
+/// became unreachable past the retry budget, so the controller swapped in
+/// the null estimator for the rest of the run rather than aborting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Degradation {
+    /// When the degradation happened.
+    pub time: SimTime,
+    /// The affected module.
+    pub module: ModuleId,
+    /// The affected parameter.
+    pub parameter: Parameter,
+    /// The estimator that was degraded away from.
+    pub from: String,
+    /// The unavailability error that triggered the fallback.
+    pub reason: String,
+}
+
 /// The chronological log of all dynamic estimates of one run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct EstimateLog {
     records: Vec<EstimateRecord>,
+    degradations: Vec<Degradation>,
 }
 
 impl EstimateLog {
     pub(crate) fn push(&mut self, record: EstimateRecord) {
         self.records.push(record);
+    }
+
+    pub(crate) fn push_degradation(&mut self, degradation: Degradation) {
+        self.degradations.push(degradation);
+    }
+
+    /// Estimator degradations, in the order they happened (empty on a
+    /// healthy run).
+    #[must_use]
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
     }
 
     /// All records, in flush order.

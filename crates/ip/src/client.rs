@@ -6,7 +6,8 @@ use vcad_core::{Estimator, Module};
 use vcad_faults::{DetectionTable, DetectionTableSource, SymbolicFault, VirtualSimError};
 use vcad_logic::LogicVec;
 use vcad_rmi::{
-    Client, InProcTransport, RemoteRef, RmiError, Sandbox, SecurityManager, Transport, Value,
+    Client, InProcTransport, RemoteRef, ResilientTransport, RetryPolicy, RmiError, Sandbox,
+    SecurityManager, Transport, Value,
 };
 
 use crate::estimator::{
@@ -52,6 +53,21 @@ impl ClientSession {
             client: Client::with_security(transport, SecurityManager::strict()),
             host: host.into(),
         }
+    }
+
+    /// Connects through `transport` wrapped in a [`ResilientTransport`]:
+    /// every call is retried under `policy` and stamped with a request ID
+    /// so the provider's dispatcher deduplicates retried calls (fees are
+    /// charged at most once per logical call even when the network
+    /// duplicates or drops frames).
+    #[must_use]
+    pub fn connect_resilient(
+        transport: Arc<dyn Transport>,
+        host: impl Into<String>,
+        policy: RetryPolicy,
+    ) -> ClientSession {
+        let resilient: Arc<dyn Transport> = Arc::new(ResilientTransport::new(transport, policy));
+        ClientSession::connect(resilient, host)
     }
 
     /// Connects in-process to a provider (useful for tests and the AL/ER

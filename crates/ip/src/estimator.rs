@@ -4,9 +4,22 @@ use std::time::Duration;
 
 use vcad_core::{EstimateError, EstimationInput, Estimator, EstimatorInfo, Parameter, Value};
 use vcad_logic::LogicVec;
-use vcad_rmi::RemoteRef;
+use vcad_rmi::{RemoteRef, RmiError};
 
 use crate::protocol::{component, encode_patterns};
+
+/// Maps a failed remote estimation call onto [`EstimateError`]:
+/// unreachability (transport failure, exhausted retries, open breaker)
+/// becomes [`EstimateError::Unavailable`] — the controller's signal to
+/// degrade to the null estimator — while everything else stays a plain
+/// remote failure.
+fn remote_error(e: &RmiError) -> EstimateError {
+    if e.is_unavailability() {
+        EstimateError::Unavailable(e.to_string())
+    } else {
+        EstimateError::Remote(e.to_string())
+    }
+}
 
 fn concat_ports(input: &EstimationInput, ports: &[usize]) -> Vec<LogicVec> {
     input
@@ -186,7 +199,7 @@ impl Estimator for RemotePeakPowerEstimator {
         }
         self.component
             .invoke(component::POWER_PEAK, vec![encode_patterns(&patterns)])
-            .map_err(|e| EstimateError::Remote(e.to_string()))
+            .map_err(|e| remote_error(&e))
     }
 }
 
@@ -211,6 +224,6 @@ impl Estimator for RemoteToggleEstimator {
         }
         self.component
             .invoke(component::POWER_TOGGLE, vec![encode_patterns(&patterns)])
-            .map_err(|e| EstimateError::Remote(e.to_string()))
+            .map_err(|e| remote_error(&e))
     }
 }

@@ -1,15 +1,18 @@
 //! The server side: exported objects and call dispatch.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 
 use vcad_obs::Collector;
 
 use crate::error::{RemoteErrorKind, RmiError};
 use crate::frame::{CallFrame, Frame, ResponseFrame};
+use crate::resilience::{
+    decode_tracked_call, encode_tracked_resp_corrupt, encode_tracked_resp_ok, TAG_TRACKED_CALL,
+};
 use crate::security::SecurityManager;
 use crate::value::{ObjectId, Value};
 
@@ -129,12 +132,68 @@ impl ServerCtx {
     }
 }
 
+/// A bounded FIFO cache of tracked-call responses, keyed by request id.
+///
+/// This is what turns retried non-idempotent calls into at-most-once
+/// execution: a retry of an already-executed call replays the cached
+/// response bytes instead of executing (and billing) again.
+struct ReplyCache {
+    capacity: usize,
+    replies: HashMap<u128, Vec<u8>>,
+    order: VecDeque<u128>,
+}
+
+impl ReplyCache {
+    fn new(capacity: usize) -> ReplyCache {
+        ReplyCache {
+            capacity,
+            replies: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, request_id: u128) -> Option<Vec<u8>> {
+        self.replies.get(&request_id).cloned()
+    }
+
+    fn insert(&mut self, request_id: u128, response: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.replies.insert(request_id, response).is_none() {
+            self.order.push_back(request_id);
+        }
+        while self.order.len() > self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.replies.remove(&evicted);
+            }
+        }
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.order.len() > self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.replies.remove(&evicted);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+}
+
+/// Default number of tracked responses a dispatcher remembers.
+const DEFAULT_REPLY_CACHE_CAPACITY: usize = 4096;
+
 /// Decodes call frames, dispatches them to exported objects and encodes
 /// the responses. One dispatcher serves any number of transports.
 pub struct Dispatcher {
     registry: Arc<ObjectRegistry>,
     security: SecurityManager,
     obs: Collector,
+    replies: Mutex<ReplyCache>,
 }
 
 impl Dispatcher {
@@ -146,6 +205,7 @@ impl Dispatcher {
             registry,
             security: SecurityManager::permissive(),
             obs: Collector::disabled(),
+            replies: Mutex::new(ReplyCache::new(DEFAULT_REPLY_CACHE_CAPACITY)),
         }
     }
 
@@ -156,6 +216,7 @@ impl Dispatcher {
             registry,
             security,
             obs: Collector::disabled(),
+            replies: Mutex::new(ReplyCache::new(DEFAULT_REPLY_CACHE_CAPACITY)),
         }
     }
 
@@ -171,6 +232,18 @@ impl Dispatcher {
     #[must_use]
     pub fn registry(&self) -> &Arc<ObjectRegistry> {
         &self.registry
+    }
+
+    /// Resizes the tracked-call reply cache (0 disables deduplication —
+    /// retried calls may then execute more than once).
+    pub fn set_reply_cache_capacity(&self, capacity: usize) {
+        self.replies.lock().unwrap().set_capacity(capacity);
+    }
+
+    /// Tracked responses currently cached.
+    #[must_use]
+    pub fn reply_cache_len(&self) -> usize {
+        self.replies.lock().unwrap().len()
     }
 
     /// Handles one decoded call.
@@ -209,10 +282,17 @@ impl Dispatcher {
 
     /// Handles one encoded request and returns the encoded response.
     ///
-    /// Malformed requests that still carry a decodable call id get an error
-    /// response; undecodable garbage gets an error response with call id 0.
+    /// A tracked-call envelope (see
+    /// [`ResilientTransport`](crate::ResilientTransport)) is
+    /// integrity-checked and deduplicated through the reply cache before
+    /// its inner frame is dispatched. Malformed requests that still carry
+    /// a decodable call id get an error response; undecodable garbage
+    /// gets an error response with call id 0.
     #[must_use]
     pub fn handle_bytes(&self, request: &[u8]) -> Vec<u8> {
+        if request.first() == Some(&TAG_TRACKED_CALL) {
+            return self.handle_tracked(request);
+        }
         let response = match Frame::decode(request) {
             Ok(Frame::Call(call)) => self.handle(&call),
             Ok(Frame::Response(r)) => ResponseFrame {
@@ -228,6 +308,40 @@ impl Dispatcher {
             },
         };
         Frame::Response(response).encode()
+    }
+
+    /// Handles one tracked-call envelope: verify the checksum, replay a
+    /// cached response for a retried request id, otherwise execute once
+    /// and cache the wrapped response.
+    ///
+    /// Deduplication is exact for the retry pattern it serves — the
+    /// client retries a call only after the previous attempt returned —
+    /// and best-effort for concurrent duplicates of the same id, which a
+    /// single client never produces.
+    fn handle_tracked(&self, request: &[u8]) -> Vec<u8> {
+        let metrics = self.obs.metrics();
+        metrics.counter("rmi.dispatch.tracked_calls").inc();
+        let Ok((request_id, payload)) = decode_tracked_call(request) else {
+            metrics.counter("rmi.dispatch.corrupt_requests").inc();
+            return encode_tracked_resp_corrupt();
+        };
+        // A nested tracked envelope is never legitimate; refuse it rather
+        // than recurse.
+        if payload.first() == Some(&TAG_TRACKED_CALL) {
+            metrics.counter("rmi.dispatch.corrupt_requests").inc();
+            return encode_tracked_resp_corrupt();
+        }
+        if let Some(cached) = self.replies.lock().unwrap().get(request_id) {
+            metrics.counter("rmi.dispatch.dedup_hits").inc();
+            return cached;
+        }
+        let inner_response = self.handle_bytes(&payload);
+        let response = encode_tracked_resp_ok(&inner_response);
+        self.replies
+            .lock()
+            .unwrap()
+            .insert(request_id, response.clone());
+        response
     }
 
     fn dispatch(&self, call: &CallFrame) -> Result<Value, RmiError> {
@@ -359,6 +473,79 @@ mod tests {
         // One span per handled call.
         let trace = obs.trace();
         assert_eq!(trace.events_named("dispatch:").len(), 3);
+    }
+
+    #[test]
+    fn tracked_calls_deduplicate_and_replay() {
+        use crate::resilience::{decode_tracked_resp, encode_tracked_call, TrackedResponse};
+        let reg = Arc::new(ObjectRegistry::new());
+        reg.register_root(Arc::new(Echo));
+        let obs = Collector::disabled();
+        let d = Dispatcher::new(reg).with_collector(obs.clone());
+        let inner = Frame::Call(call("spawn", vec![])).encode();
+        let tracked = encode_tracked_call(0xA1, &inner);
+        let first = d.handle_bytes(&tracked);
+        let replay = d.handle_bytes(&tracked);
+        // Byte-identical replay: "spawn" ran once, not twice.
+        assert_eq!(first, replay);
+        assert_eq!(d.reply_cache_len(), 1);
+        let TrackedResponse::Ok(payload) = decode_tracked_resp(&first).unwrap() else {
+            panic!("expected ok envelope");
+        };
+        match Frame::decode(&payload).unwrap() {
+            Frame::Response(r) => assert!(r.result.is_ok()),
+            Frame::Call(_) => panic!("expected response"),
+        }
+        // Only the registry root plus the single spawned object exist.
+        assert_eq!(d.registry().len(), 2);
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counter("rmi.dispatch.tracked_calls"), 2);
+        assert_eq!(snap.counter("rmi.dispatch.dedup_hits"), 1);
+        // The inner frame dispatched once.
+        assert_eq!(snap.counter("rmi.dispatch.calls"), 1);
+    }
+
+    #[test]
+    fn corrupted_tracked_calls_execute_nothing() {
+        use crate::resilience::{decode_tracked_resp, encode_tracked_call, TrackedResponse};
+        let reg = Arc::new(ObjectRegistry::new());
+        reg.register_root(Arc::new(Echo));
+        let obs = Collector::disabled();
+        let d = Dispatcher::new(reg).with_collector(obs.clone());
+        let inner = Frame::Call(call("echo", vec![Value::I64(1)])).encode();
+        let mut tracked = encode_tracked_call(0xB2, &inner);
+        let last = tracked.len() - 1;
+        tracked[last] ^= 0x10;
+        let resp = d.handle_bytes(&tracked);
+        assert!(matches!(
+            decode_tracked_resp(&resp).unwrap(),
+            TrackedResponse::CorruptRequest
+        ));
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counter("rmi.dispatch.corrupt_requests"), 1);
+        assert_eq!(snap.counter("rmi.dispatch.calls"), 0);
+        assert_eq!(d.reply_cache_len(), 0);
+    }
+
+    #[test]
+    fn reply_cache_is_bounded_fifo() {
+        use crate::resilience::encode_tracked_call;
+        let reg = Arc::new(ObjectRegistry::new());
+        reg.register_root(Arc::new(Echo));
+        let d = Dispatcher::new(reg);
+        d.set_reply_cache_capacity(4);
+        let inner = Frame::Call(call("echo", vec![])).encode();
+        for id in 0..10u128 {
+            let _ = d.handle_bytes(&encode_tracked_call(id, &inner));
+        }
+        assert_eq!(d.reply_cache_len(), 4);
+        // Shrinking evicts the oldest survivors too.
+        d.set_reply_cache_capacity(2);
+        assert_eq!(d.reply_cache_len(), 2);
+        // Capacity 0 disables caching entirely.
+        d.set_reply_cache_capacity(0);
+        let _ = d.handle_bytes(&encode_tracked_call(99, &inner));
+        assert_eq!(d.reply_cache_len(), 0);
     }
 
     #[test]

@@ -80,6 +80,13 @@ pub enum RmiError {
     /// The local security policy refused the operation before any data
     /// left the process.
     SecurityViolation(String),
+    /// The call (or its retry budget) ran out of time before a response
+    /// arrived.
+    Timeout(String),
+    /// The per-endpoint circuit breaker is open: recent calls failed and
+    /// the cooldown has not elapsed, so the call failed fast without
+    /// touching the network.
+    CircuitOpen(String),
 }
 
 impl RmiError {
@@ -128,6 +135,30 @@ impl RmiError {
             _ => None,
         }
     }
+
+    /// Whether retrying the same call can plausibly succeed.
+    ///
+    /// Only delivery failures qualify: a transport fault or a timeout may
+    /// be transient, while a remote application fault, a security denial,
+    /// a marshalling error, or an open circuit breaker will fail the same
+    /// way again (the breaker exists precisely to stop retries).
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RmiError::Transport(_) | RmiError::Timeout(_))
+    }
+
+    /// Whether this error means the peer is (currently) unreachable —
+    /// delivery failed, the retry budget ran out, or the circuit breaker
+    /// is failing fast. This is the condition under which the estimation
+    /// framework degrades a remote estimator to the null estimator rather
+    /// than aborting the run.
+    #[must_use]
+    pub fn is_unavailability(&self) -> bool {
+        matches!(
+            self,
+            RmiError::Transport(_) | RmiError::Timeout(_) | RmiError::CircuitOpen(_)
+        )
+    }
 }
 
 impl fmt::Display for RmiError {
@@ -137,6 +168,8 @@ impl fmt::Display for RmiError {
             RmiError::Transport(msg) => write!(f, "transport error: {msg}"),
             RmiError::Remote { kind, message } => write!(f, "remote {kind}: {message}"),
             RmiError::SecurityViolation(msg) => write!(f, "security violation: {msg}"),
+            RmiError::Timeout(msg) => write!(f, "timeout: {msg}"),
+            RmiError::CircuitOpen(msg) => write!(f, "circuit breaker open: {msg}"),
         }
     }
 }
@@ -183,6 +216,44 @@ mod tests {
         );
         let e = RmiError::from(WireError::UnexpectedEof);
         assert!(e.to_string().contains("wire format"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        // Delivery failures are worth retrying…
+        assert!(RmiError::Transport("connection reset".into()).is_retryable());
+        assert!(RmiError::Timeout("deadline exceeded".into()).is_retryable());
+        // …while deterministic failures are not.
+        assert!(!RmiError::bad_args("estimate").is_retryable());
+        assert!(!RmiError::Remote {
+            kind: RemoteErrorKind::Security,
+            message: "denied".into()
+        }
+        .is_retryable());
+        assert!(!RmiError::SecurityViolation("netlist blocked".into()).is_retryable());
+        assert!(!RmiError::Wire(WireError::UnexpectedEof).is_retryable());
+        assert!(!RmiError::CircuitOpen("cooling down".into()).is_retryable());
+    }
+
+    #[test]
+    fn unavailability_classification() {
+        assert!(RmiError::Transport("down".into()).is_unavailability());
+        assert!(RmiError::Timeout("budget spent".into()).is_unavailability());
+        assert!(RmiError::CircuitOpen("open".into()).is_unavailability());
+        assert!(!RmiError::application("bad width").is_unavailability());
+        assert!(!RmiError::SecurityViolation("blocked".into()).is_unavailability());
+    }
+
+    #[test]
+    fn new_variant_display() {
+        assert_eq!(
+            RmiError::Timeout("call deadline 5s".into()).to_string(),
+            "timeout: call deadline 5s"
+        );
+        assert_eq!(
+            RmiError::CircuitOpen("provider.example.com".into()).to_string(),
+            "circuit breaker open: provider.example.com"
+        );
     }
 
     #[test]

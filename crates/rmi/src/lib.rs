@@ -23,7 +23,15 @@
 //!   marshal calls through a transport (the "stub" half of RMI);
 //! * [`SecurityManager`], [`MarshalPolicy`], [`Sandbox`] — the IP
 //!   protection boundary: what may be serialised, and what downloaded
-//!   provider code may do on the user's machine.
+//!   provider code may do on the user's machine;
+//! * [`FaultPlan`] + [`FaultyTransport`] — deterministic, seed-driven
+//!   injection of drops, latency, corruption, duplicates, resets and
+//!   blackouts into any transport;
+//! * [`RetryPolicy`], [`CircuitBreaker`], [`ResilientTransport`] — the
+//!   machinery that survives such networks: exponential backoff with
+//!   deterministic jitter, per-call deadlines, at-most-once request
+//!   deduplication through the dispatcher's reply cache, and fail-fast
+//!   circuit breaking.
 //!
 //! # Examples
 //!
@@ -60,23 +68,30 @@
 //! # Ok::<(), vcad_rmi::RmiError>(())
 //! ```
 
+mod chaos;
 mod client;
 mod dispatch;
 mod error;
 mod frame;
+mod resilience;
 mod security;
 mod transport;
 mod value;
 mod wire;
 
+pub use chaos::{FaultConfig, FaultDecision, FaultPlan, FaultyTransport};
 pub use client::{Client, RemoteRef};
 pub use dispatch::{Dispatcher, ObjectRegistry, RemoteObject, ServerCtx};
 pub use error::{RemoteErrorKind, RmiError};
 pub use frame::{CallFrame, Frame, ResponseFrame};
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, Deadline, RealClock, ResilienceClock,
+    ResilientTransport, RetryPolicy, VirtualClock,
+};
 pub use security::{Capability, MarshalPolicy, Sandbox, SecurityManager};
 pub use transport::{
-    ChannelTransport, InProcTransport, ShapedTransport, TcpServer, TcpTransport, Transport,
-    TransportStats,
+    ChannelTransport, InProcTransport, ShapedTransport, TcpServer, TcpTimeouts, TcpTransport,
+    Transport, TransportStats,
 };
 pub use value::{ObjectId, Value};
 pub use wire::{WireError, WireReader, WireWriter};

@@ -27,12 +27,14 @@ use std::time::Instant;
 
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use vcad_netsim::{NetworkModel, Shaper, VirtualTimeline};
 use vcad_obs::{Collector, Counter, Histogram};
 
 use crate::dispatch::Dispatcher;
 use crate::error::RmiError;
+use crate::resilience::Deadline;
 
 /// A point-in-time view of a transport's traffic counters.
 ///
@@ -322,6 +324,63 @@ impl Drop for TcpServer {
     }
 }
 
+/// Socket-level time budgets for a [`TcpTransport`].
+///
+/// `None` means "block forever" (the pre-timeout behaviour); the
+/// convenience constructors bound everything, so a dead provider cannot
+/// hang the client thread. Expired I/O surfaces as [`RmiError::Timeout`]
+/// — retryable under a
+/// [`ResilientTransport`](crate::ResilientTransport).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcpTimeouts {
+    /// Budget for establishing the connection.
+    pub connect: Option<Duration>,
+    /// Budget for each blocking read.
+    pub read: Option<Duration>,
+    /// Budget for each blocking write.
+    pub write: Option<Duration>,
+}
+
+impl TcpTimeouts {
+    /// No budgets: block forever (the default).
+    #[must_use]
+    pub fn none() -> TcpTimeouts {
+        TcpTimeouts::default()
+    }
+
+    /// The same budget for connect, read and write.
+    #[must_use]
+    pub fn all(budget: Duration) -> TcpTimeouts {
+        TcpTimeouts {
+            connect: Some(budget),
+            read: Some(budget),
+            write: Some(budget),
+        }
+    }
+
+    /// Budgets derived from a [`Deadline`]'s remaining time (an expired
+    /// deadline leaves a minimal 1 ms budget rather than blocking).
+    #[must_use]
+    pub fn from_deadline(deadline: &Deadline) -> TcpTimeouts {
+        let remaining = deadline
+            .remaining()
+            .unwrap_or_default()
+            .max(Duration::from_millis(1));
+        TcpTimeouts::all(remaining)
+    }
+}
+
+/// Maps socket I/O failures onto [`RmiError`], distinguishing expired
+/// budgets ([`RmiError::Timeout`]) from broken connections.
+fn io_to_rmi(op: &str, e: &std::io::Error) -> RmiError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            RmiError::Timeout(format!("{op}: {e}"))
+        }
+        _ => RmiError::Transport(format!("{op}: {e}")),
+    }
+}
+
 /// A client transport over one TCP connection.
 pub struct TcpTransport {
     stream: Mutex<TcpStream>,
@@ -335,7 +394,7 @@ impl TcpTransport {
     ///
     /// Returns [`RmiError::Transport`] when the connection fails.
     pub fn connect(addr: SocketAddr) -> Result<TcpTransport, RmiError> {
-        TcpTransport::connect_inner(addr, TransportTelemetry::detached())
+        TcpTransport::connect_inner(addr, TcpTimeouts::none(), TransportTelemetry::detached())
     }
 
     /// As [`TcpTransport::connect`], recording traffic into `obs`.
@@ -347,18 +406,58 @@ impl TcpTransport {
         addr: SocketAddr,
         obs: &Collector,
     ) -> Result<TcpTransport, RmiError> {
-        TcpTransport::connect_inner(addr, TransportTelemetry::new(obs))
+        TcpTransport::connect_inner(addr, TcpTimeouts::none(), TransportTelemetry::new(obs))
+    }
+
+    /// Connects with socket-level time budgets: the connect attempt, and
+    /// every read and write afterwards, fail with [`RmiError::Timeout`]
+    /// instead of blocking past their budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmiError::Timeout`] when the connect budget expires and
+    /// [`RmiError::Transport`] for other connection failures.
+    pub fn connect_with_timeouts(
+        addr: SocketAddr,
+        timeouts: TcpTimeouts,
+    ) -> Result<TcpTransport, RmiError> {
+        TcpTransport::connect_inner(addr, timeouts, TransportTelemetry::detached())
+    }
+
+    /// As [`TcpTransport::connect_with_timeouts`], recording traffic into
+    /// `obs`.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpTransport::connect_with_timeouts`].
+    pub fn connect_with_timeouts_and_collector(
+        addr: SocketAddr,
+        timeouts: TcpTimeouts,
+        obs: &Collector,
+    ) -> Result<TcpTransport, RmiError> {
+        TcpTransport::connect_inner(addr, timeouts, TransportTelemetry::new(obs))
     }
 
     fn connect_inner(
         addr: SocketAddr,
+        timeouts: TcpTimeouts,
         telemetry: TransportTelemetry,
     ) -> Result<TcpTransport, RmiError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| RmiError::Transport(format!("connect {addr}: {e}")))?;
+        let stream = match timeouts.connect {
+            Some(budget) => TcpStream::connect_timeout(&addr, budget)
+                .map_err(|e| io_to_rmi(&format!("connect {addr}"), &e))?,
+            None => TcpStream::connect(addr)
+                .map_err(|e| RmiError::Transport(format!("connect {addr}: {e}")))?,
+        };
         stream
             .set_nodelay(true)
             .map_err(|e| RmiError::Transport(format!("nodelay: {e}")))?;
+        stream
+            .set_read_timeout(timeouts.read)
+            .map_err(|e| RmiError::Transport(format!("read timeout: {e}")))?;
+        stream
+            .set_write_timeout(timeouts.write)
+            .map_err(|e| RmiError::Transport(format!("write timeout: {e}")))?;
         Ok(TcpTransport {
             stream: Mutex::new(stream),
             telemetry,
@@ -371,9 +470,8 @@ impl Transport for TcpTransport {
         let mut span = self.telemetry.span();
         let started = Instant::now();
         let mut stream = self.stream.lock().unwrap();
-        write_frame(&mut stream, request).map_err(|e| RmiError::Transport(format!("send: {e}")))?;
-        let response =
-            read_frame(&mut stream).map_err(|e| RmiError::Transport(format!("receive: {e}")))?;
+        write_frame(&mut stream, request).map_err(|e| io_to_rmi("send", &e))?;
+        let response = read_frame(&mut stream).map_err(|e| io_to_rmi("receive", &e))?;
         self.telemetry
             .record(request.len(), response.len(), started);
         span.arg("bytes_sent", request.len());
@@ -568,6 +666,41 @@ mod tests {
         assert!(after_one > std::time::Duration::ZERO);
         c.root().invoke("ping", vec![Value::I64(0)]).unwrap();
         assert!(timeline.lock().unwrap().network_time() > after_one);
+    }
+
+    #[test]
+    fn read_timeout_unsticks_a_stalled_peer() {
+        // A listener that accepts the connection into its backlog but
+        // never reads or replies: without a read timeout the call would
+        // block forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t =
+            TcpTransport::connect_with_timeouts(addr, TcpTimeouts::all(Duration::from_millis(50)))
+                .unwrap();
+        let started = Instant::now();
+        let err = t.call(b"hello?").unwrap_err();
+        assert!(matches!(err, RmiError::Timeout(_)), "{err}");
+        assert!(err.is_retryable());
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "timed out promptly"
+        );
+        drop(listener);
+    }
+
+    #[test]
+    fn deadline_derived_timeouts_are_bounded() {
+        let deadline = Deadline::after(Duration::from_secs(2));
+        let t = TcpTimeouts::from_deadline(&deadline);
+        assert!(t.read.unwrap() <= Duration::from_secs(2));
+        assert!(t.read.unwrap() >= Duration::from_millis(1));
+        // An already-expired deadline still yields a non-zero budget
+        // (zero socket timeouts are invalid).
+        let expired = Deadline::after(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        let t = TcpTimeouts::from_deadline(&expired);
+        assert_eq!(t.connect.unwrap(), Duration::from_millis(1));
     }
 
     #[test]

@@ -9,17 +9,25 @@
 //!
 //! Run with `cargo run --example quickstart`. Pass `--trace <path>` to
 //! also write a Chrome trace-event JSON file (open in `chrome://tracing`
-//! or <https://ui.perfetto.dev>) and print a metrics summary.
+//! or <https://ui.perfetto.dev>) and print a metrics summary. Pass
+//! `--chaos-seed <u64>` to run the session over a deterministically
+//! faulty link — dropped, corrupted, duplicated and delayed frames —
+//! behind the retry/dedup resilience layer: the results are identical,
+//! and a fault/retry summary is printed at the end.
 
 use std::error::Error;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use vcad::core::stdlib::{CaptureState, PrimaryOutput, RandomInput, Register};
 use vcad::core::{DesignBuilder, Parameter, SetupController, SetupCriterion, SimulationController};
 use vcad::ip::{ClientSession, ComponentOffering, ProviderServer};
 use vcad::netsim::{NetworkModel, VirtualTimeline};
 use vcad::obs::Collector;
-use vcad::rmi::{InProcTransport, ShapedTransport, Transport};
+use vcad::rmi::{
+    BreakerConfig, FaultConfig, FaultPlan, FaultyTransport, InProcTransport, ResilientTransport,
+    RetryPolicy, ShapedTransport, Transport, VirtualClock,
+};
 
 /// Parses `--trace <path>` from the command line, if present.
 fn trace_path() -> Option<std::path::PathBuf> {
@@ -32,10 +40,27 @@ fn trace_path() -> Option<std::path::PathBuf> {
     None
 }
 
+/// Parses `--chaos-seed <u64>` from the command line, if present.
+fn chaos_seed() -> Option<u64> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--chaos-seed" {
+            return Some(
+                args.next()
+                    .expect("--chaos-seed needs a seed")
+                    .parse()
+                    .expect("--chaos-seed needs an unsigned integer"),
+            );
+        }
+    }
+    None
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
     let width = 16;
     let patterns = 100;
     let trace_out = trace_path();
+    let chaos = chaos_seed();
     let obs = if trace_out.is_some() {
         Collector::enabled()
     } else {
@@ -65,6 +90,32 @@ fn main() -> Result<(), Box<dyn Error>> {
         ))
     } else {
         inproc
+    };
+    // Under --chaos-seed, the link misbehaves deterministically and the
+    // resilience layer (retries + request-ID dedup on the provider's
+    // dispatcher) absorbs it. One virtual clock drives injected latency
+    // and backoffs alike, so no wall time is spent sleeping.
+    let transport: Arc<dyn Transport> = if let Some(seed) = chaos {
+        let clock = Arc::new(VirtualClock::new());
+        let faulty = FaultyTransport::new(transport, FaultPlan::new(seed, FaultConfig::heavy()))
+            .with_clock(clock.clone())
+            .with_collector(&obs);
+        let policy = RetryPolicy::default()
+            .with_max_attempts(12)
+            .with_deadline(Duration::from_secs(30))
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(50));
+        let breaker = BreakerConfig {
+            failure_threshold: 16,
+            cooldown: Duration::from_secs(5),
+        };
+        Arc::new(
+            ResilientTransport::new(Arc::new(faulty), policy)
+                .with_breaker(breaker)
+                .with_clock(clock)
+                .with_collector(&obs),
+        )
+    } else {
+        transport
     };
     let session = ClientSession::connect(transport, provider.host());
     println!("catalog:");
@@ -146,6 +197,22 @@ fn main() -> Result<(), Box<dyn Error>> {
         run.estimates().total_fees_cents(),
         session.bill()?
     );
+
+    if let Some(seed) = chaos {
+        let snap = obs.metrics().snapshot();
+        println!(
+            "\nchaos (seed {seed}): {} faults injected over {} transport calls \
+             — {} retries, {} calls recovered, {} exhausted, breaker opened {}×, \
+             {} duplicates deduplicated by the provider",
+            snap.counter("rmi.chaos.injected.total"),
+            snap.counter("rmi.chaos.calls"),
+            snap.counter("rmi.retry.retries"),
+            snap.counter("rmi.retry.recovered"),
+            snap.counter("rmi.retry.exhausted"),
+            snap.counter("rmi.breaker.opened"),
+            snap.counter("rmi.dispatch.dedup_hits"),
+        );
+    }
 
     if let Some(path) = trace_out {
         let trace = obs.trace();
