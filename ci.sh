@@ -22,4 +22,7 @@ cargo test --release -q --test chaos_session
 echo "==> chaos determinism: same seed twice must inject the same fault schedule"
 cargo test --release -q --test chaos_session fault_schedule_is_deterministic
 
+echo "==> cached-rerun determinism: warm pass must be bit-identical, wire-free and fee-free"
+cargo test --release -q --test cached_rerun
+
 echo "CI green."

@@ -15,10 +15,20 @@
 //! deterministically faulty link (drops, corruption, duplicates, delays)
 //! behind the resilience layer; the results are unchanged while the
 //! `rmi.chaos.*` / `rmi.retry.*` counters report the injected turbulence.
+//! Pass `--cache` to memoize provider calls client-side
+//! (`vcad_ip::IpCache`): each scenario then runs twice, a cold pass
+//! filling the cache and a warm pass that must stay entirely local and
+//! fee-free.
+//! Pass `--json <path>` to also write the per-pass measurements (wall
+//! time, RMI calls/bytes, fees, cache hit-rate) as a JSON file.
+
+use std::sync::Arc;
 
 use vcad_bench::cli;
 use vcad_bench::report::{modeled_real_time, print_table, secs};
-use vcad_bench::scenarios::{self, Scenario};
+use vcad_bench::scenarios::{self, Scenario, ScenarioRun};
+use vcad_cache::CacheConfig;
+use vcad_ip::IpCache;
 use vcad_netsim::NetworkModel;
 
 fn main() {
@@ -27,6 +37,8 @@ fn main() {
     let buffer = 5;
     let trace_out = cli::trace_path();
     let chaos_seed = cli::chaos_seed();
+    let cached = cli::cache_enabled();
+    let json_out = cli::json_path();
     let obs = cli::collector_for(trace_out.as_ref());
 
     let environments = [
@@ -37,37 +49,60 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
-    let mut runs = Vec::new();
+    let mut cold_runs = Vec::new();
+    // (scenario label, pass label, run) — everything the JSON reports.
+    let mut passes: Vec<(&'static str, &'static str, ScenarioRun)> = Vec::new();
     for scenario in Scenario::ALL {
-        let rig = scenarios::build_with_obs_and_chaos(
+        // One cache per rig: keys include the provider host and object
+        // ids, which repeat across independently built rigs.
+        let cache =
+            cached.then(|| Arc::new(IpCache::new(CacheConfig::default()).with_collector(&obs)));
+        let rig = scenarios::build_full(
             scenario,
             width,
             patterns,
             buffer,
             obs.clone(),
             chaos_seed,
+            cache,
         );
-        let run = rig.run(scenario);
-        runs.push(run.clone());
-        for (env_name, model) in &environments {
-            // AL has no network leg; remote scenarios skip the NA row.
-            match (scenario, model) {
-                (Scenario::AllLocal, None) => {}
-                (Scenario::AllLocal, Some(_)) | (_, None) => continue,
-                _ => {}
+        let cold = rig.run(scenario);
+        cold_runs.push(cold.clone());
+        let scenario_passes: Vec<(&'static str, ScenarioRun)> = if cached {
+            let warm = rig.run(scenario);
+            vec![("cold", cold), ("warm", warm)]
+        } else {
+            vec![("single", cold)]
+        };
+        for (pass, run) in scenario_passes {
+            for (env_name, model) in &environments {
+                // AL has no network leg; remote scenarios skip the NA row.
+                match (scenario, model) {
+                    (Scenario::AllLocal, None) => {}
+                    (Scenario::AllLocal, Some(_)) | (_, None) => continue,
+                    _ => {}
+                }
+                let real = match model {
+                    Some(m) => modeled_real_time(run.cpu, &run.stats, m),
+                    None => run.cpu,
+                };
+                let design = if cached {
+                    format!("{} [{pass}]", scenario.label())
+                } else {
+                    scenario.label().to_owned()
+                };
+                rows.push(vec![
+                    design,
+                    (*env_name).to_owned(),
+                    secs(run.cpu),
+                    secs(real),
+                    run.stats.calls.to_string(),
+                    (run.stats.bytes_sent + run.stats.bytes_received).to_string(),
+                    format!("{:.1}", run.fees_cents),
+                    format!("{:.0}%", run.cache_hit_rate() * 100.0),
+                ]);
             }
-            let real = match model {
-                Some(m) => modeled_real_time(run.cpu, &run.stats, m),
-                None => run.cpu,
-            };
-            rows.push(vec![
-                scenario.label().to_owned(),
-                (*env_name).to_owned(),
-                secs(run.cpu),
-                secs(real),
-                run.stats.calls.to_string(),
-                (run.stats.bytes_sent + run.stats.bytes_received).to_string(),
-            ]);
+            passes.push((scenario.label(), pass, run));
         }
     }
 
@@ -80,6 +115,8 @@ fn main() {
             "Real time (s)",
             "RMI calls",
             "RMI bytes",
+            "Fees (¢)",
+            "Cache hit",
         ],
         &rows,
     );
@@ -89,14 +126,14 @@ fn main() {
     );
 
     // Shape assertions mirroring the paper's observations.
-    let al = &runs[0];
-    let er = &runs[1];
-    let mr = &runs[2];
-    // CPU-time comparisons are only meaningful untraced and unchaosed:
-    // recording a span per scheduler instant and RMI call — or retrying
-    // injected faults — perturbs exactly what these two assertions
-    // measure.
-    if trace_out.is_none() && chaos_seed.is_none() {
+    let al = &cold_runs[0];
+    let er = &cold_runs[1];
+    let mr = &cold_runs[2];
+    // CPU-time comparisons are only meaningful untraced, unchaosed and
+    // uncached: recording a span per scheduler instant and RMI call,
+    // retrying injected faults, or hashing every request perturbs
+    // exactly what these two assertions measure.
+    if trace_out.is_none() && chaos_seed.is_none() && !cached {
         // "The impact of using RMI to access a module having only one
         //  remote method is almost negligible" — ER CPU close to AL's.
         assert!(
@@ -144,6 +181,27 @@ fn main() {
                 > modeled_real_time(er.cpu, &er.stats, &model)
         );
     }
+    if cached {
+        // The warm pass of each remote scenario must be served entirely
+        // from the cache: zero wire calls, zero fees, same outputs.
+        for ((label, pass, warm), cold) in passes
+            .iter()
+            .filter(|(_, pass, _)| *pass == "warm")
+            .zip(&cold_runs)
+        {
+            assert_eq!(warm.outputs, cold.outputs, "{label} warm diverged");
+            assert_eq!(warm.events, cold.events, "{label} warm diverged");
+            if cold.stats.calls > 0 {
+                assert_eq!(
+                    warm.stats.calls, 0,
+                    "{label} [{pass}] crossed the wire {} times",
+                    warm.stats.calls
+                );
+                assert_eq!(warm.fees_cents, 0.0, "{label} warm pass was billed");
+                assert!(warm.cache_hits > 0, "{label} warm pass never hit");
+            }
+        }
+    }
     println!("\nAll shape assertions passed.");
 
     if let Some(seed) = chaos_seed {
@@ -160,6 +218,52 @@ fn main() {
             snap.counter("rmi.breaker.opened"),
             snap.counter("rmi.dispatch.dedup_hits"),
         );
+    }
+    if cached {
+        let snap = obs.metrics().snapshot();
+        println!(
+            "\ncache: {} hits, {} misses, {} single-flight coalesced, \
+             {} evictions (lru {}, ttl {}, epoch {})",
+            snap.counter("cache.hits"),
+            snap.counter("cache.misses"),
+            snap.counter("cache.singleflight.coalesced"),
+            snap.counter("cache.evictions.lru")
+                + snap.counter("cache.evictions.ttl")
+                + snap.counter("cache.evictions.epoch"),
+            snap.counter("cache.evictions.lru"),
+            snap.counter("cache.evictions.ttl"),
+            snap.counter("cache.evictions.epoch"),
+        );
+    }
+
+    if let Some(path) = json_out {
+        let entries: Vec<String> = passes
+            .iter()
+            .map(|(label, pass, run)| {
+                format!(
+                    "    {{\"scenario\": \"{label}\", \"pass\": \"{pass}\", \
+                     \"wall_ms\": {:.3}, \"rmi_calls\": {}, \"rmi_bytes\": {}, \
+                     \"fees_cents\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
+                     \"cache_hit_rate\": {:.4}}}",
+                    run.cpu.as_secs_f64() * 1e3,
+                    run.stats.calls,
+                    run.stats.bytes_sent + run.stats.bytes_received,
+                    run.fees_cents,
+                    run.cache_hits,
+                    run.cache_misses,
+                    run.cache_hit_rate(),
+                )
+            })
+            .collect();
+        let doc = format!(
+            "{{\n  \"bench\": \"table2\",\n  \"width\": {width},\n  \
+             \"patterns\": {patterns},\n  \"buffer\": {buffer},\n  \
+             \"cached\": {cached},\n  \"chaos_seed\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+            chaos_seed.map_or_else(|| "null".to_owned(), |s| s.to_string()),
+            entries.join(",\n"),
+        );
+        std::fs::write(&path, doc).expect("write json results");
+        println!("\nJSON results written to {}", path.display());
     }
 
     cli::finish_trace(&obs, trace_out);

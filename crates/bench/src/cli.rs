@@ -45,6 +45,35 @@ pub fn chaos_seed() -> Option<u64> {
     None
 }
 
+/// Parses `--json <path>` from the process arguments, if present: the
+/// bench writes a machine-readable result file (wall times, RMI call
+/// counts, fees and cache hit-rates) next to its human-readable table.
+///
+/// Exits with status 2 when `--json` is given without a path.
+#[must_use]
+pub fn json_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("--json needs a file path");
+                std::process::exit(2);
+            });
+            return Some(path.into());
+        }
+    }
+    None
+}
+
+/// True when `--cache` is present: remote sessions memoize provider
+/// calls (see `vcad_ip::IpCache`) and the bench runs each scenario
+/// twice — a cold pass filling the cache and a warm pass served from
+/// it.
+#[must_use]
+pub fn cache_enabled() -> bool {
+    std::env::args().skip(1).any(|a| a == "--cache")
+}
+
 /// A collector sized for a full bench run when tracing is requested,
 /// or a disabled one (metrics only) otherwise.
 #[must_use]

@@ -18,7 +18,7 @@ use vcad_core::{
     Design, DesignBuilder, Estimator, Module, ModuleId, Parameter, SetupController, SetupCriterion,
     SimulationController,
 };
-use vcad_ip::{ClientSession, ComponentOffering, IpComponentModule, ProviderServer};
+use vcad_ip::{ClientSession, ComponentOffering, IpCache, IpComponentModule, ProviderServer};
 use vcad_netlist::generators;
 use vcad_obs::{Collector, MetricsSnapshot};
 use vcad_power::{PowerModel, TogglePowerEstimator};
@@ -67,6 +67,7 @@ pub struct ScenarioRig {
     controller: SimulationController,
     output: ModuleId,
     obs: Collector,
+    cache: Option<Arc<IpCache>>,
     // Kept alive for the duration of the rig: the provider process.
     _server: Option<ProviderServer>,
 }
@@ -84,6 +85,29 @@ pub struct ScenarioRun {
     pub events: u64,
     /// Captured output patterns (sanity check).
     pub outputs: usize,
+    /// Estimation fees charged to the user during this run, cents.
+    pub fees_cents: f64,
+    /// Cache lookups served locally during this run, both layers
+    /// combined (0 without a cache).
+    pub cache_hits: u64,
+    /// Cache lookups that had to cross the wire (0 without a cache; a
+    /// cold typed-layer miss that also misses the transport layer
+    /// counts once per layer).
+    pub cache_misses: u64,
+}
+
+impl ScenarioRun {
+    /// Cache hits over total cache lookups this run (0.0 without a
+    /// cache or on an all-miss run).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Builds the Figure 2 circuit for one scenario.
@@ -133,6 +157,26 @@ pub fn build_with_obs_and_chaos(
     obs: Collector,
     chaos_seed: Option<u64>,
 ) -> ScenarioRig {
+    build_full(scenario, width, patterns, buffer, obs, chaos_seed, None)
+}
+
+/// Like [`build_with_obs_and_chaos`], optionally adding client-side
+/// memoization: with `cache` set, the session connects through a
+/// caching transport and the remote estimator stubs consult the typed
+/// value cache, so a warm rerun over the same patterns never crosses
+/// the wire and is charged no fees. The cache must be per-rig — keys
+/// include the provider host and object ids, which repeat across
+/// independently built rigs.
+#[must_use]
+pub fn build_full(
+    scenario: Scenario,
+    width: usize,
+    patterns: u64,
+    buffer: usize,
+    obs: Collector,
+    chaos_seed: Option<u64>,
+    cache: Option<Arc<IpCache>>,
+) -> ScenarioRig {
     let chaos_wrap = |transport: Arc<dyn Transport>| -> Arc<dyn Transport> {
         let Some(seed) = chaos_seed else {
             return transport;
@@ -179,7 +223,10 @@ pub fn build_with_obs_and_chaos(
             let transport: Arc<dyn Transport> = chaos_wrap(Arc::new(
                 InProcTransport::with_collector(server.dispatcher(), &obs),
             ));
-            let session = ClientSession::connect(transport, server.host());
+            let session = match &cache {
+                Some(c) => ClientSession::connect_cached(transport, server.host(), Arc::clone(c)),
+                None => ClientSession::connect(transport, server.host()),
+            };
             let component = session
                 .instantiate("MultFastLowPower", width)
                 .expect("instantiate remote multiplier");
@@ -228,6 +275,7 @@ pub fn build_with_obs_and_chaos(
         controller,
         output: out,
         obs,
+        cache,
         _server: server,
     }
 }
@@ -261,6 +309,12 @@ impl ScenarioRig {
         &self.obs
     }
 
+    /// The client-side cache, when the rig was built with one.
+    #[must_use]
+    pub fn cache(&self) -> Option<&Arc<IpCache>> {
+        self.cache.as_ref()
+    }
+
     /// Runs the simulation once, measuring client time and RMI traffic.
     ///
     /// Traffic is the delta of the rig collector's `rmi.transport.*`
@@ -273,10 +327,21 @@ impl ScenarioRig {
     #[must_use]
     pub fn run(&self, scenario: Scenario) -> ScenarioRun {
         let before = transport_stats(&self.obs.metrics().snapshot());
+        let cache_before = self.cache.as_ref().map(|c| c.stats());
         let start = Instant::now();
         let run = self.controller.run().expect("scenario simulation");
         let cpu = start.elapsed();
         let after = transport_stats(&self.obs.metrics().snapshot());
+        let (cache_hits, cache_misses) = match (&self.cache, cache_before) {
+            (Some(c), Some((calls0, values0))) => {
+                let (calls, values) = c.stats();
+                (
+                    calls.hits + values.hits - calls0.hits - values0.hits,
+                    calls.misses + values.misses - calls0.misses - values0.misses,
+                )
+            }
+            _ => (0, 0),
+        };
         let outputs = run
             .module_state::<vcad_core::stdlib::CaptureState>(self.output)
             .map(|c| c.history().len())
@@ -291,6 +356,9 @@ impl ScenarioRig {
             },
             events: run.events_processed(),
             outputs,
+            fees_cents: run.estimates().total_fees_cents(),
+            cache_hits,
+            cache_misses,
         }
     }
 }

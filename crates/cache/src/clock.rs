@@ -1,0 +1,95 @@
+//! Time sources for TTL expiry.
+//!
+//! TTL checks must never make an otherwise-deterministic run depend on
+//! wall time, so the cache reads time through [`CacheClock`]: production
+//! code uses [`SystemClock`] (monotonic, relative to process start),
+//! while deterministic rigs and tests drive a [`ManualClock`] by hand —
+//! the same pattern as `vcad-rmi`'s `ResilienceClock`. A cache built
+//! without a TTL never consults its clock at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source for cache expiry.
+pub trait CacheClock: Send + Sync {
+    /// Time elapsed since the clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// The real monotonic clock, measured from construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// Creates a clock whose origin is now.
+    #[must_use]
+    pub fn new() -> SystemClock {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> SystemClock {
+        SystemClock::new()
+    }
+}
+
+impl CacheClock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A manually advanced clock for deterministic runs and tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    #[must_use]
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::SeqCst,
+        );
+    }
+}
+
+impl CacheClock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_only_moves_when_advanced() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(5));
+        c.advance(Duration::from_millis(7));
+        assert_eq!(c.now(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

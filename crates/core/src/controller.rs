@@ -173,6 +173,8 @@ impl SimulationController {
                 .add(log.total_fees_cents());
             m.counter("estimate.records")
                 .add(log.records().len() as u64);
+            m.counter("estimate.cache_hits")
+                .add(log.cache_hits() as u64);
             m.counter("estimate.degraded")
                 .add(log.degradations().len() as u64);
             parent.absorb(child);
@@ -247,20 +249,29 @@ impl SimulationController {
             // degraded estimate records Null and is never charged.
             let transitions = input.pattern_count().saturating_sub(1);
             let key = (module.index(), parameter.clone());
-            let (value, fee_cents, name, remote) = if degraded.contains(&key) {
+            let (value, fee_cents, name, remote, cached) = if degraded.contains(&key) {
                 (
                     crate::Value::Null,
                     0.0,
                     format!("null/{parameter} (degraded from {})", info.name),
                     false,
+                    false,
                 )
             } else {
-                match estimator.estimate(&input) {
-                    Ok(value) => (
-                        value,
-                        info.cost_per_pattern_cents * transitions as f64,
+                match estimator.estimate_with_meta(&input) {
+                    // A cache hit never reaches the provider's server, so
+                    // there is nothing to bill: the fee is zero
+                    // regardless of the estimator's list price.
+                    Ok(estimate) => (
+                        estimate.value,
+                        if estimate.cached {
+                            0.0
+                        } else {
+                            info.cost_per_pattern_cents * transitions as f64
+                        },
                         info.name.clone(),
                         info.remote,
+                        estimate.cached,
                     ),
                     Err(EstimateError::Unavailable(reason)) => {
                         log.push_degradation(Degradation {
@@ -276,9 +287,16 @@ impl SimulationController {
                             0.0,
                             format!("null/{parameter} (degraded from {})", info.name),
                             false,
+                            false,
                         )
                     }
-                    Err(_) => (crate::Value::Null, 0.0, info.name.clone(), info.remote),
+                    Err(_) => (
+                        crate::Value::Null,
+                        0.0,
+                        info.name.clone(),
+                        info.remote,
+                        false,
+                    ),
                 }
             };
             log.push(EstimateRecord {
@@ -290,6 +308,7 @@ impl SimulationController {
                 patterns,
                 fee_cents,
                 remote,
+                cached,
             });
         }
     }
@@ -617,6 +636,117 @@ mod tests {
         );
         let snap = obs.metrics().snapshot();
         assert_eq!(snap.counter("estimate.degraded"), 1);
+    }
+
+    /// A "remote" estimator that memoizes: the first flush computes, all
+    /// later flushes report a cache hit.
+    struct MemoizingRemote {
+        calls: std::sync::atomic::AtomicU64,
+    }
+    impl Estimator for MemoizingRemote {
+        fn info(&self) -> EstimatorInfo {
+            EstimatorInfo {
+                name: "remote/memoizing".into(),
+                parameter: Parameter::IoActivity,
+                expected_error_pct: 0.0,
+                cost_per_pattern_cents: 3.0,
+                cpu_time_per_pattern: Duration::ZERO,
+                remote: true,
+            }
+        }
+        fn estimate(&self, input: &crate::EstimationInput) -> Result<Value, EstimateError> {
+            self.estimate_with_meta(input).map(|e| e.value)
+        }
+        fn estimate_with_meta(
+            &self,
+            _input: &crate::EstimationInput,
+        ) -> Result<crate::Estimate, EstimateError> {
+            let first = self
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                == 0;
+            if first {
+                Ok(crate::Estimate::fresh(Value::F64(4.5)))
+            } else {
+                Ok(crate::Estimate::cached(Value::F64(4.5)))
+            }
+        }
+    }
+
+    struct MemoReg {
+        inner: Register,
+        estimator: Arc<MemoizingRemote>,
+    }
+    impl crate::Module for MemoReg {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn ports(&self) -> &[crate::PortSpec] {
+            self.inner.ports()
+        }
+        fn on_signal(
+            &self,
+            ctx: &mut crate::ModuleCtx<'_>,
+            port: usize,
+            value: &vcad_logic::LogicVec,
+        ) {
+            self.inner.on_signal(ctx, port, value);
+        }
+        fn estimators(&self) -> Vec<Arc<dyn Estimator>> {
+            vec![Arc::clone(&self.estimator) as Arc<dyn Estimator>]
+        }
+    }
+
+    #[test]
+    fn cached_estimates_are_recorded_and_not_billed() {
+        let estimator = Arc::new(MemoizingRemote {
+            calls: std::sync::atomic::AtomicU64::new(0),
+        });
+        let mut b = DesignBuilder::new("d");
+        let s = b.add_module(Arc::new(RandomInput::new("IN", 8, 3, 10)));
+        let r = b.add_module(Arc::new(MemoReg {
+            inner: Register::new("REG", 8),
+            estimator: Arc::clone(&estimator),
+        }));
+        let o = b.add_module(Arc::new(PrimaryOutput::new("OUT", 8)));
+        b.connect(s, "out", r, "d").unwrap();
+        b.connect(r, "q", o, "in").unwrap();
+        let d = Arc::new(b.build().unwrap());
+
+        let mut setup = SetupController::new();
+        setup.set(Parameter::IoActivity, SetupCriterion::MostAccurate);
+        setup.set_buffer_size(4);
+        // Scope to REG so the whole-log hit/miss tallies below see only
+        // the memoizing estimator's records.
+        let binding = setup.apply_to(&d, "REG");
+
+        let obs = Collector::enabled();
+        let run = SimulationController::new(Arc::clone(&d))
+            .with_setup(binding)
+            .with_collector(obs.clone())
+            .run()
+            .unwrap();
+        let records: Vec<_> = run
+            .estimates()
+            .records_for(r, &Parameter::IoActivity)
+            .collect();
+        assert_eq!(records.len(), 3, "4+4+3 snapshot flushes");
+        // First flush was fresh: billed per transition (3 × 3¢).
+        assert!(!records[0].cached);
+        assert!((records[0].fee_cents - 9.0).abs() < 1e-9);
+        // Later flushes hit the cache: same value, zero fee.
+        for record in &records[1..] {
+            assert!(record.cached);
+            assert_eq!(record.value, Value::F64(4.5));
+            assert_eq!(record.fee_cents, 0.0);
+            assert!(record.remote, "a cached remote estimator is still remote");
+        }
+        assert_eq!(run.estimates().cache_hits(), 2);
+        assert_eq!(run.estimates().cache_misses(), 1);
+        let profile = run.estimates().cache_profile();
+        assert_eq!(profile[&(r, Parameter::IoActivity)], (2, 1));
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counter("estimate.cache_hits"), 2);
     }
 
     #[test]

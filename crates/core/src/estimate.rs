@@ -137,6 +137,41 @@ impl fmt::Display for EstimateError {
 
 impl Error for EstimateError {}
 
+/// An estimator result together with how it was obtained.
+///
+/// The `cached` flag is the hook for fee-aware memoization: a remote
+/// estimator that served the request from a local cache reports
+/// `cached: true`, and the controller then charges **zero** fee for the
+/// flush — the provider's server never ran, so there is nothing to bill.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Estimate {
+    /// The estimated value.
+    pub value: Value,
+    /// True when the result came from a cache rather than a fresh
+    /// (billable) evaluation.
+    pub cached: bool,
+}
+
+impl Estimate {
+    /// A freshly computed (billable, for remote estimators) result.
+    #[must_use]
+    pub fn fresh(value: Value) -> Estimate {
+        Estimate {
+            value,
+            cached: false,
+        }
+    }
+
+    /// A result served from a cache (never billed).
+    #[must_use]
+    pub fn cached(value: Value) -> Estimate {
+        Estimate {
+            value,
+            cached: true,
+        }
+    }
+}
+
 /// Evaluates one [`Parameter`] of one module — JavaCAD's
 /// `EstimatorSkeleton` subclasses.
 ///
@@ -155,6 +190,18 @@ pub trait Estimator: Send + Sync {
     /// Returns an [`EstimateError`] when the input is unusable or a remote
     /// call fails.
     fn estimate(&self, input: &EstimationInput) -> Result<Value, EstimateError>;
+
+    /// As [`Estimator::estimate`], additionally reporting whether the
+    /// result was served from a cache. The default wraps `estimate` as a
+    /// fresh (billable) evaluation; caching estimators override this and
+    /// the controller calls it to decide what to charge.
+    ///
+    /// # Errors
+    ///
+    /// As [`Estimator::estimate`].
+    fn estimate_with_meta(&self, input: &EstimationInput) -> Result<Estimate, EstimateError> {
+        self.estimate(input).map(Estimate::fresh)
+    }
 }
 
 /// The default estimator bound when setup requirements cannot be met: it

@@ -60,8 +60,8 @@ mod token;
 pub use controller::{SimRun, SimulationController};
 pub use design::{Design, DesignBuilder, DesignError, ModuleId, PortRef};
 pub use estimate::{
-    ActivityEstimator, EstimateError, EstimationInput, Estimator, EstimatorInfo, NullEstimator,
-    Parameter, ParseParameterError, PortSnapshot,
+    ActivityEstimator, Estimate, EstimateError, EstimationInput, Estimator, EstimatorInfo,
+    NullEstimator, Parameter, ParseParameterError, PortSnapshot,
 };
 pub use module::{Module, ModuleCtx, PortDirection, PortSpec};
 pub use scheduler::{Scheduler, SimulationError, StateStore};

@@ -262,10 +262,14 @@ pub struct EstimateRecord {
     pub value: Value,
     /// How many buffered patterns this estimate covered.
     pub patterns: usize,
-    /// The fee charged (`cost_per_pattern × patterns`), in cents.
+    /// The fee charged (`cost_per_pattern × patterns`; zero for a cache
+    /// hit), in cents.
     pub fee_cents: f64,
     /// Whether the estimator ran remotely.
     pub remote: bool,
+    /// Whether the value was served from a cache (in which case no fee
+    /// was charged — the provider's server never ran).
+    pub cached: bool,
 }
 
 /// One recorded estimator degradation: a remote estimator's provider
@@ -344,6 +348,34 @@ impl EstimateLog {
     #[must_use]
     pub fn remote_invocations(&self) -> usize {
         self.records.iter().filter(|r| r.remote).count()
+    }
+
+    /// Number of estimates served from a cache (zero fee, no provider
+    /// round trip).
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.records.iter().filter(|r| r.cached).count()
+    }
+
+    /// Number of estimates computed fresh (billable when remote).
+    #[must_use]
+    pub fn cache_misses(&self) -> usize {
+        self.records.iter().filter(|r| !r.cached).count()
+    }
+
+    /// Per-(module, parameter) cache hit/miss tallies, for fee audits.
+    #[must_use]
+    pub fn cache_profile(&self) -> HashMap<(ModuleId, Parameter), (usize, usize)> {
+        let mut profile: HashMap<(ModuleId, Parameter), (usize, usize)> = HashMap::new();
+        for r in &self.records {
+            let slot = profile.entry((r.module, r.parameter.clone())).or_default();
+            if r.cached {
+                slot.0 += 1;
+            } else {
+                slot.1 += 1;
+            }
+        }
+        profile
     }
 }
 
@@ -442,6 +474,7 @@ mod tests {
                 patterns: 5,
                 fee_cents: 0.5,
                 remote: true,
+                cached: false,
             });
         }
         assert_eq!(log.records().len(), 3);

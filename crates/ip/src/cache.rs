@@ -1,0 +1,226 @@
+//! Client-side memoization of provider calls.
+//!
+//! An [`IpCache`] bundles the two cache layers an IP user session runs:
+//!
+//! * a **call cache** ([`vcad_rmi::CallCache`]) the session's
+//!   [`CachingTransport`](vcad_rmi::CachingTransport) consults — encoded
+//!   response frames keyed by the canonical request, so *any* pure
+//!   protocol method is served locally on repeat;
+//! * a **value cache** the typed stubs consult — decoded [`Value`]
+//!   results for the billable estimator calls (`power_toggle`,
+//!   `power_peak`) and the fault-oracle calls (`fault_list`,
+//!   `detection_table`), so a hit can be *reported* as cached and the
+//!   simulation controller charges a zero fee for it.
+//!
+//! Both layers share one epoch space: [`IpCache::bump_epoch`] (called
+//! automatically after a successful renegotiation, or manually on a
+//! provider version bump) lazily invalidates every entry of that
+//! provider in both caches, and only that provider's.
+//!
+//! Which methods are safe to memoize is decided by
+//! [`cacheable_method`]: the pure, deterministic read side of the
+//! protocol. Session-mutating methods (`instantiate`, `release`,
+//! `negotiate`) and fee-observing ones (`bill`) always cross the wire.
+
+use std::sync::Arc;
+
+use vcad_cache::hash::CanonicalHasher;
+use vcad_cache::{Cache, CacheConfig, CacheStats, Fill};
+use vcad_obs::Collector;
+use vcad_rmi::{call_cache, CallCache, RemoteRef, RmiError, Value};
+
+use crate::protocol::{catalog, component};
+
+/// True for protocol methods whose result is a pure function of the
+/// target object and arguments — safe to serve from a cache.
+///
+/// The list is an explicit allowlist: an unknown method is assumed
+/// impure, so protocol extensions stay correct by default.
+#[must_use]
+pub fn cacheable_method(method: &str) -> bool {
+    matches!(
+        method,
+        catalog::LIST
+            | component::DESCRIBE
+            | component::AREA
+            | component::DELAY
+            | component::POWER_CONSTANT
+            | component::POWER_REGRESSION
+            | component::POWER_TOGGLE
+            | component::POWER_PEAK
+            | component::FUNCTIONAL_EVAL
+            | component::FAULT_LIST
+            | component::DETECTION_TABLE
+    )
+}
+
+/// The typed value cache: decoded results, weighed by encoded size,
+/// errors shared with coalesced waiters as [`RmiError`].
+pub type ValueCache = Cache<Value, RmiError>;
+
+/// The two-layer client cache for one or more provider sessions.
+///
+/// Cheap to clone the `Arc` of and safe to share across sessions: keys
+/// are provider-scoped, so two providers never collide, and epoch bumps
+/// stay per-provider.
+pub struct IpCache {
+    calls: Arc<CallCache>,
+    values: Arc<ValueCache>,
+}
+
+impl IpCache {
+    /// Creates both layers with the same sizing policy.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> IpCache {
+        IpCache {
+            calls: Arc::new(call_cache(config.clone())),
+            values: Arc::new(Cache::new(config).with_weigher(|v: &Value| v.encode().len())),
+        }
+    }
+
+    /// Meters both layers into `obs`. The layers share the registry's
+    /// `cache.*` handles, so the published counters are combined totals.
+    #[must_use]
+    pub fn with_collector(self, obs: &Collector) -> IpCache {
+        IpCache {
+            calls: Arc::new(
+                Arc::try_unwrap(self.calls)
+                    .unwrap_or_else(|_| panic!("with_collector before sharing the cache"))
+                    .with_collector(obs),
+            ),
+            values: Arc::new(
+                Arc::try_unwrap(self.values)
+                    .unwrap_or_else(|_| panic!("with_collector before sharing the cache"))
+                    .with_collector(obs),
+            ),
+        }
+    }
+
+    /// The transport-layer call cache.
+    #[must_use]
+    pub fn calls(&self) -> &Arc<CallCache> {
+        &self.calls
+    }
+
+    /// The typed value cache.
+    #[must_use]
+    pub fn values(&self) -> &Arc<ValueCache> {
+        &self.values
+    }
+
+    /// Bumps `provider`'s epoch in both layers, lazily invalidating all
+    /// of its entries (and nobody else's). Returns the new epoch (the
+    /// layers move in lockstep).
+    pub fn bump_epoch(&self, provider: &str) -> u64 {
+        self.calls.bump_epoch(provider);
+        self.values.bump_epoch(provider)
+    }
+
+    /// Counter snapshots of both layers: `(calls, values)`.
+    #[must_use]
+    pub fn stats(&self) -> (CacheStats, CacheStats) {
+        (self.calls.stats(), self.values.stats())
+    }
+}
+
+impl std::fmt::Debug for IpCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IpCache")
+            .field("calls", &self.calls)
+            .field("values", &self.values)
+            .finish()
+    }
+}
+
+/// A provider-scoped handle to the typed value cache, carried by the
+/// remote estimator stubs and detection sources of one session.
+#[derive(Clone)]
+pub(crate) struct ValueCacheHandle {
+    cache: Arc<ValueCache>,
+    provider: Arc<str>,
+}
+
+impl ValueCacheHandle {
+    pub(crate) fn new(cache: Arc<ValueCache>, provider: &str) -> ValueCacheHandle {
+        ValueCacheHandle {
+            cache,
+            provider: Arc::from(provider),
+        }
+    }
+
+    /// The canonical key of a typed call: target object id, method
+    /// selector, encoded argument — same shape as the transport layer's
+    /// canonical frame, so the key is stable across runs of one session.
+    fn key(&self, target: &RemoteRef, method: &str, arg: Option<&Value>) -> u128 {
+        let mut h = CanonicalHasher::new();
+        h.write_str(&self.provider);
+        h.write_u64(target.id().0);
+        h.write_str(method);
+        match arg {
+            Some(v) => h.write_bytes(&v.encode()),
+            None => h.write_u64(0),
+        }
+        h.finish()
+    }
+
+    /// Invokes `method` through the cache: a hit (or a coalesced flight)
+    /// reports `cached == true`, which downstream fee accounting maps to
+    /// a zero charge. Errors pass through uncached.
+    pub(crate) fn invoke(
+        &self,
+        target: &RemoteRef,
+        method: &str,
+        arg: Option<Value>,
+    ) -> Result<(Value, bool), RmiError> {
+        let key = self.key(target, method, arg.as_ref());
+        self.cache
+            .get_or_join(key, &self.provider, || {
+                let args = arg.map(|v| vec![v]).unwrap_or_default();
+                target.invoke(method, args).map(Fill::Store)
+            })
+            .map(|(value, outcome)| (value, outcome.avoided_wire_call()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_admits_only_pure_methods() {
+        for pure in [
+            "list",
+            "describe",
+            "area",
+            "delay",
+            "power_constant",
+            "power_regression",
+            "power_toggle",
+            "power_peak",
+            "functional_eval",
+            "fault_list",
+            "detection_table",
+        ] {
+            assert!(cacheable_method(pure), "{pure} should be cacheable");
+        }
+        for impure in [
+            "instantiate",
+            "release",
+            "negotiate",
+            "bill",
+            "anything_else",
+        ] {
+            assert!(!cacheable_method(impure), "{impure} must not be cacheable");
+        }
+    }
+
+    #[test]
+    fn bump_epoch_moves_both_layers_in_lockstep() {
+        let cache = IpCache::new(CacheConfig::default());
+        assert_eq!(cache.bump_epoch("p"), 1);
+        assert_eq!(cache.bump_epoch("p"), 2);
+        assert_eq!(cache.calls().epoch("p"), 2);
+        assert_eq!(cache.values().epoch("p"), 2);
+        assert_eq!(cache.calls().epoch("other"), 0);
+    }
+}

@@ -6,10 +6,11 @@ use vcad_core::{Estimator, Module};
 use vcad_faults::{DetectionTable, DetectionTableSource, SymbolicFault, VirtualSimError};
 use vcad_logic::LogicVec;
 use vcad_rmi::{
-    Client, InProcTransport, RemoteRef, ResilientTransport, RetryPolicy, RmiError, Sandbox,
-    SecurityManager, Transport, Value,
+    CachingTransport, Client, InProcTransport, RemoteRef, ResilientTransport, RetryPolicy,
+    RmiError, Sandbox, SecurityManager, Transport, Value,
 };
 
+use crate::cache::{cacheable_method, IpCache, ValueCacheHandle};
 use crate::estimator::{
     DownloadedConstantPower, DownloadedRegressionPower, DownloadedStaticEstimator,
     RemotePeakPowerEstimator, RemoteToggleEstimator,
@@ -43,6 +44,7 @@ pub struct OfferingInfo {
 pub struct ClientSession {
     client: Client,
     host: String,
+    cache: Option<Arc<IpCache>>,
 }
 
 impl ClientSession {
@@ -52,6 +54,35 @@ impl ClientSession {
         ClientSession {
             client: Client::with_security(transport, SecurityManager::strict()),
             host: host.into(),
+            cache: None,
+        }
+    }
+
+    /// Connects with client-side memoization: `transport` is wrapped in a
+    /// [`CachingTransport`] keyed to this provider, and the session's
+    /// remote estimator stubs and detection sources consult `cache`'s
+    /// typed layer so cache hits are fee-free.
+    ///
+    /// When stacking with resilience, pass the *resilient* transport here
+    /// — the cache must sit above the retry layer (see
+    /// [`vcad_rmi::CachingTransport`] for why).
+    #[must_use]
+    pub fn connect_cached(
+        transport: Arc<dyn Transport>,
+        host: impl Into<String>,
+        cache: Arc<IpCache>,
+    ) -> ClientSession {
+        let host = host.into();
+        let caching: Arc<dyn Transport> = Arc::new(CachingTransport::new(
+            transport,
+            Arc::clone(cache.calls()),
+            host.clone(),
+            cacheable_method,
+        ));
+        ClientSession {
+            client: Client::with_security(caching, SecurityManager::strict()),
+            host,
+            cache: Some(cache),
         }
     }
 
@@ -156,6 +187,10 @@ impl ClientSession {
             stub,
             public: PublicPart::new(behavior, width, Sandbox::for_provider(&self.host)),
             toggle_fee_cents: toggle_fee,
+            cache: self
+                .cache
+                .as_ref()
+                .map(|c| ValueCacheHandle::new(Arc::clone(c.values()), &self.host)),
         })
     }
 
@@ -181,12 +216,21 @@ impl ClientSession {
                 crate::negotiate::encode_requests(requests),
             ],
         )?;
-        reply
+        let outcomes: Result<Vec<crate::NegotiationOutcome>, RmiError> = reply
             .as_list()
             .ok_or_else(|| RmiError::application("malformed negotiation reply"))?
             .iter()
             .map(crate::negotiate::decode_outcome)
-            .collect()
+            .collect();
+        // A successful renegotiation can change prices and models, so
+        // everything previously memoized from this provider is suspect:
+        // flip its epoch and let the caches lazily re-fetch.
+        if outcomes.is_ok() {
+            if let Some(cache) = &self.cache {
+                cache.bump_epoch(&self.host);
+            }
+        }
+        outcomes
     }
 
     /// The total fees the provider has charged this server, in cents.
@@ -209,6 +253,7 @@ pub struct RemoteComponent {
     stub: RemoteRef,
     public: PublicPart,
     toggle_fee_cents: f64,
+    cache: Option<ValueCacheHandle>,
 }
 
 impl RemoteComponent {
@@ -308,15 +353,17 @@ impl RemoteComponent {
                 slope,
                 input_ports: vec![0, 1],
             }),
-            Arc::new(RemoteToggleEstimator::new(
+            Arc::new(RemoteToggleEstimator::with_cache(
                 self.stub.clone(),
                 vec![0, 1],
                 self.toggle_fee_cents,
+                self.cache.clone(),
             )),
-            Arc::new(RemotePeakPowerEstimator::new(
+            Arc::new(RemotePeakPowerEstimator::with_cache(
                 self.stub.clone(),
                 vec![0, 1],
                 self.toggle_fee_cents,
+                self.cache.clone(),
             )),
             Arc::new(vcad_core::ActivityEstimator::new()),
         ])
@@ -366,10 +413,14 @@ impl RemoteComponent {
     }
 
     /// The component's testability oracle for virtual fault simulation.
+    /// On a cached session, fault lists and detection tables are
+    /// memoized — repeat queries for the same input pattern never reach
+    /// the provider.
     #[must_use]
     pub fn detection_source(&self) -> Arc<RemoteDetectionSource> {
         Arc::new(RemoteDetectionSource {
             stub: self.stub.clone(),
+            cache: self.cache.clone(),
         })
     }
 
@@ -384,12 +435,24 @@ impl RemoteComponent {
 /// RMI — the remote half of the paper's virtual fault simulation.
 pub struct RemoteDetectionSource {
     stub: RemoteRef,
+    cache: Option<ValueCacheHandle>,
+}
+
+impl RemoteDetectionSource {
+    fn fetch(&self, method: &str, arg: Option<Value>) -> Result<Value, RmiError> {
+        match &self.cache {
+            Some(cache) => cache.invoke(&self.stub, method, arg).map(|(v, _)| v),
+            None => {
+                let args = arg.map(|v| vec![v]).unwrap_or_default();
+                self.stub.invoke(method, args)
+            }
+        }
+    }
 }
 
 impl DetectionTableSource for RemoteDetectionSource {
     fn fault_list(&self) -> Vec<SymbolicFault> {
-        self.stub
-            .invoke(component::FAULT_LIST, vec![])
+        self.fetch(component::FAULT_LIST, None)
             .ok()
             .and_then(|v| {
                 v.as_list().map(|items| {
@@ -404,8 +467,7 @@ impl DetectionTableSource for RemoteDetectionSource {
 
     fn detection_table(&self, inputs: &LogicVec) -> Result<DetectionTable, VirtualSimError> {
         let value = self
-            .stub
-            .invoke(component::DETECTION_TABLE, vec![Value::Vec(inputs.clone())])
+            .fetch(component::DETECTION_TABLE, Some(Value::Vec(inputs.clone())))
             .map_err(|e| VirtualSimError::Source(e.to_string()))?;
         DetectionTable::from_value(&value)
             .ok_or_else(|| VirtualSimError::Source("malformed detection table".into()))

@@ -2,10 +2,13 @@
 
 use std::time::Duration;
 
-use vcad_core::{EstimateError, EstimationInput, Estimator, EstimatorInfo, Parameter, Value};
+use vcad_core::{
+    Estimate, EstimateError, EstimationInput, Estimator, EstimatorInfo, Parameter, Value,
+};
 use vcad_logic::LogicVec;
 use vcad_rmi::{RemoteRef, RmiError};
 
+use crate::cache::ValueCacheHandle;
 use crate::protocol::{component, encode_patterns};
 
 /// Maps a failed remote estimation call onto [`EstimateError`]:
@@ -135,6 +138,7 @@ pub struct RemoteToggleEstimator {
     component: RemoteRef,
     input_ports: Vec<usize>,
     fee_cents_per_pattern: f64,
+    cache: Option<ValueCacheHandle>,
 }
 
 impl RemoteToggleEstimator {
@@ -145,10 +149,20 @@ impl RemoteToggleEstimator {
         input_ports: Vec<usize>,
         fee_cents_per_pattern: f64,
     ) -> RemoteToggleEstimator {
+        RemoteToggleEstimator::with_cache(component, input_ports, fee_cents_per_pattern, None)
+    }
+
+    pub(crate) fn with_cache(
+        component: RemoteRef,
+        input_ports: Vec<usize>,
+        fee_cents_per_pattern: f64,
+        cache: Option<ValueCacheHandle>,
+    ) -> RemoteToggleEstimator {
         RemoteToggleEstimator {
             component,
             input_ports,
             fee_cents_per_pattern,
+            cache,
         }
     }
 }
@@ -160,6 +174,7 @@ pub struct RemotePeakPowerEstimator {
     component: RemoteRef,
     input_ports: Vec<usize>,
     fee_cents_per_pattern: f64,
+    cache: Option<ValueCacheHandle>,
 }
 
 impl RemotePeakPowerEstimator {
@@ -170,10 +185,20 @@ impl RemotePeakPowerEstimator {
         input_ports: Vec<usize>,
         fee_cents_per_pattern: f64,
     ) -> RemotePeakPowerEstimator {
+        RemotePeakPowerEstimator::with_cache(component, input_ports, fee_cents_per_pattern, None)
+    }
+
+    pub(crate) fn with_cache(
+        component: RemoteRef,
+        input_ports: Vec<usize>,
+        fee_cents_per_pattern: f64,
+        cache: Option<ValueCacheHandle>,
+    ) -> RemotePeakPowerEstimator {
         RemotePeakPowerEstimator {
             component,
             input_ports,
             fee_cents_per_pattern,
+            cache,
         }
     }
 }
@@ -191,15 +216,31 @@ impl Estimator for RemotePeakPowerEstimator {
     }
 
     fn estimate(&self, input: &EstimationInput) -> Result<Value, EstimateError> {
+        self.estimate_with_meta(input).map(|e| e.value)
+    }
+
+    fn estimate_with_meta(&self, input: &EstimationInput) -> Result<Estimate, EstimateError> {
         let patterns = concat_ports(input, &self.input_ports);
         if patterns.len() < 2 {
             return Err(EstimateError::InsufficientInput(
                 "peak power needs at least two buffered patterns".into(),
             ));
         }
-        self.component
-            .invoke(component::POWER_PEAK, vec![encode_patterns(&patterns)])
-            .map_err(|e| remote_error(&e))
+        match &self.cache {
+            None => self
+                .component
+                .invoke(component::POWER_PEAK, vec![encode_patterns(&patterns)])
+                .map(Estimate::fresh)
+                .map_err(|e| remote_error(&e)),
+            Some(handle) => handle
+                .invoke(
+                    &self.component,
+                    component::POWER_PEAK,
+                    Some(encode_patterns(&patterns)),
+                )
+                .map(|(value, cached)| Estimate { value, cached })
+                .map_err(|e| remote_error(&e)),
+        }
     }
 }
 
@@ -216,14 +257,30 @@ impl Estimator for RemoteToggleEstimator {
     }
 
     fn estimate(&self, input: &EstimationInput) -> Result<Value, EstimateError> {
+        self.estimate_with_meta(input).map(|e| e.value)
+    }
+
+    fn estimate_with_meta(&self, input: &EstimationInput) -> Result<Estimate, EstimateError> {
         let patterns = concat_ports(input, &self.input_ports);
         if patterns.len() < 2 {
             return Err(EstimateError::InsufficientInput(
                 "toggle counting needs at least two buffered patterns".into(),
             ));
         }
-        self.component
-            .invoke(component::POWER_TOGGLE, vec![encode_patterns(&patterns)])
-            .map_err(|e| remote_error(&e))
+        match &self.cache {
+            None => self
+                .component
+                .invoke(component::POWER_TOGGLE, vec![encode_patterns(&patterns)])
+                .map(Estimate::fresh)
+                .map_err(|e| remote_error(&e)),
+            Some(handle) => handle
+                .invoke(
+                    &self.component,
+                    component::POWER_TOGGLE,
+                    Some(encode_patterns(&patterns)),
+                )
+                .map(|(value, cached)| Estimate { value, cached })
+                .map_err(|e| remote_error(&e)),
+        }
     }
 }

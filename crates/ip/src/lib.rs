@@ -46,6 +46,7 @@
 //! # Ok::<(), vcad_rmi::RmiError>(())
 //! ```
 
+mod cache;
 mod client;
 mod estimator;
 mod modules;
@@ -54,6 +55,7 @@ mod offering;
 mod protocol;
 mod server;
 
+pub use cache::{cacheable_method, IpCache, ValueCache};
 pub use client::{ClientSession, OfferingInfo, RemoteComponent, RemoteDetectionSource};
 pub use estimator::{RemotePeakPowerEstimator, RemoteToggleEstimator};
 pub use modules::{IpComponentModule, PublicPart, RemoteFunctionalModule};

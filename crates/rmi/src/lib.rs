@@ -31,7 +31,11 @@
 //!   machinery that survives such networks: exponential backoff with
 //!   deterministic jitter, per-call deadlines, at-most-once request
 //!   deduplication through the dispatcher's reply cache, and fail-fast
-//!   circuit breaking.
+//!   circuit breaking;
+//! * [`CachingTransport`] — content-addressed memoization of pure remote
+//!   calls (backed by [`vcad_cache`]), with single-flight deduplication
+//!   and provider-epoch invalidation; stacks above the resilience layer
+//!   so repeated identical requests never reach the wire at all.
 //!
 //! # Examples
 //!
@@ -68,6 +72,7 @@
 //! # Ok::<(), vcad_rmi::RmiError>(())
 //! ```
 
+mod caching;
 mod chaos;
 mod client;
 mod dispatch;
@@ -79,6 +84,7 @@ mod transport;
 mod value;
 mod wire;
 
+pub use caching::{call_cache, CachingTransport, CallCache};
 pub use chaos::{FaultConfig, FaultDecision, FaultPlan, FaultyTransport};
 pub use client::{Client, RemoteRef};
 pub use dispatch::{Dispatcher, ObjectRegistry, RemoteObject, ServerCtx};

@@ -42,6 +42,18 @@ use crate::resilience::Deadline;
 /// [`vcad_obs::MetricsRegistry`] (names `rmi.transport.calls`,
 /// `rmi.transport.bytes_sent`, `rmi.transport.bytes_received`); this
 /// struct is the convenience snapshot the bench harnesses consume.
+///
+/// # Consistency
+///
+/// A snapshot is a *monotonic* view, not a linearizable cut: the three
+/// counters are individual relaxed atomics, so a snapshot taken while
+/// another thread is mid-[`record`](TransportTelemetry::record) may lag
+/// that call. Each field only ever grows, so deltas between two
+/// snapshots of the same transport are well-defined. Writers publish
+/// byte counts *before* bumping `calls` and the snapshot reads `calls`
+/// first, so the byte totals always cover at least the round trips the
+/// snapshot reports — `calls` can never run ahead of the traffic it
+/// accounts for.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TransportStats {
     /// Completed round trips.
@@ -86,17 +98,26 @@ impl TransportTelemetry {
     }
 
     fn record(&self, sent: usize, received: usize, started: Instant) {
-        self.calls.inc();
+        // Bytes first, `calls` last: a concurrent snapshot that observes
+        // the new round trip then also observes its traffic (see the
+        // consistency note on [`TransportStats`]).
         self.sent.add(sent as u64);
         self.received.add(received as u64);
         self.round_trip_ns.record_duration(started.elapsed());
+        self.calls.inc();
     }
 
     fn snapshot(&self) -> TransportStats {
+        // One pass, `calls` before the byte counters — the read-side
+        // half of the ordering contract documented on
+        // [`TransportStats`].
+        let calls = self.calls.get();
+        let bytes_sent = self.sent.get();
+        let bytes_received = self.received.get();
         TransportStats {
-            calls: self.calls.get(),
-            bytes_sent: self.sent.get(),
-            bytes_received: self.received.get(),
+            calls,
+            bytes_sent,
+            bytes_received,
         }
     }
 }

@@ -19,6 +19,9 @@
 //! * [`power`] — the gate-level power engine and estimator tiers;
 //! * [`faults`] — stuck-at faults, detection tables and virtual fault
 //!   simulation;
+//! * [`cache`] — content-addressed memoization of remote IP calls
+//!   (sharded LRU, single-flight dedup, per-provider epoch
+//!   invalidation);
 //! * [`ip`] — provider servers, component packaging and client sessions;
 //! * [`obs`] — the tracing & metrics backplane (spans with wall + virtual
 //!   timestamps, counters/gauges/histograms, Chrome trace export).
@@ -29,6 +32,7 @@
 //! `quickstart.rs`, which builds the paper's Figure 2 circuit: two random
 //! 16-bit inputs feeding registers and a remote IP multiplier.
 
+pub use vcad_cache as cache;
 pub use vcad_core as core;
 pub use vcad_faults as faults;
 pub use vcad_ip as ip;
