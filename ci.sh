@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (workspace, no deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> tier-1 verify: cargo build --release"
 cargo build --release
 
@@ -24,5 +27,11 @@ cargo test --release -q --test chaos_session fault_schedule_is_deterministic
 
 echo "==> cached-rerun determinism: warm pass must be bit-identical, wire-free and fee-free"
 cargo test --release -q --test cached_rerun
+
+echo "==> lint gate: clean two-provider design must pass elaboration"
+cargo run --release -q -p vcad-lint --bin lintgate -- clean
+
+echo "==> lint gate: seeded defect fixtures must each trip their rule"
+cargo run --release -q -p vcad-lint --bin lintgate -- dirty
 
 echo "CI green."

@@ -8,6 +8,8 @@
 //! Run with `cargo run -p vcad-bench --bin figure3 --release`.
 //! Pass `--trace <path>` to also write a Chrome trace-event JSON file
 //! covering every run, plus a plain-text metrics summary on stdout.
+//! Pass `--lint` (or `--lint=json`) to statically analyse the ER
+//! scenario's design and exit instead of measuring.
 
 use vcad_bench::cli;
 use vcad_bench::report::{modeled_real_time, print_table, secs};
@@ -20,6 +22,15 @@ fn main() {
     let wan = NetworkModel::wan_1999();
     let trace_out = cli::trace_path();
     let obs = cli::collector_for(trace_out.as_ref());
+
+    // Under --lint[=json], statically analyse the scenario's design and
+    // exit instead of measuring. The buffer size only affects scheduling,
+    // not structure, so one representative rig covers every row.
+    if cli::lint_mode() != cli::LintMode::Off {
+        let rig = scenarios::build(Scenario::EstimatorRemote, width, patterns, 5);
+        cli::run_lint_flag([(Scenario::EstimatorRemote.label(), rig.design())]);
+        return;
+    }
 
     let buffer_pcts = [1usize, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
     let mut rows = Vec::new();

@@ -21,6 +21,8 @@
 //! fee-free.
 //! Pass `--json <path>` to also write the per-pass measurements (wall
 //! time, RMI calls/bytes, fees, cache hit-rate) as a JSON file.
+//! Pass `--lint` (or `--lint=json`) to statically analyse each
+//! scenario's design and exit instead of measuring.
 
 use std::sync::Arc;
 
@@ -40,6 +42,14 @@ fn main() {
     let cached = cli::cache_enabled();
     let json_out = cli::json_path();
     let obs = cli::collector_for(trace_out.as_ref());
+
+    // Under --lint[=json], statically analyse each scenario's design
+    // and exit instead of measuring.
+    if cli::lint_mode() != cli::LintMode::Off {
+        let rigs = Scenario::ALL.map(|s| (s.label(), scenarios::build(s, width, patterns, buffer)));
+        cli::run_lint_flag(rigs.iter().map(|(label, rig)| (*label, rig.design())));
+        return;
+    }
 
     let environments = [
         ("NA (no network)", None),

@@ -1,7 +1,12 @@
 //! Tiny shared argument handling for the bench binaries.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
+use vcad_core::Design;
+pub use vcad_lint::cli::LintMode;
+use vcad_lint::graph::LintGraph;
+use vcad_lint::Linter;
 use vcad_obs::Collector;
 
 /// Parses `--trace <path>` from the process arguments, if present.
@@ -72,6 +77,41 @@ pub fn json_path() -> Option<PathBuf> {
 #[must_use]
 pub fn cache_enabled() -> bool {
     std::env::args().skip(1).any(|a| a == "--cache")
+}
+
+/// Whether `--lint` / `--lint=json` is present on the command line.
+#[must_use]
+pub fn lint_mode() -> LintMode {
+    vcad_lint::cli::lint_mode()
+}
+
+/// Handles `--lint[=json]` for a bench binary: statically analyses each
+/// named design (including the built-in wire-protocol frame audit) and
+/// prints one report per design in the requested format. Returns `true`
+/// when reports were produced — the caller should skip measurement.
+/// Exits with status 1 when any design carries a Deny-level finding.
+pub fn run_lint_flag<'a>(designs: impl IntoIterator<Item = (&'a str, &'a Arc<Design>)>) -> bool {
+    let mode = lint_mode();
+    if mode == LintMode::Off {
+        return false;
+    }
+    let mut any_deny = false;
+    for (label, design) in designs {
+        let graph = LintGraph::from_design(design).with_builtin_frames();
+        let report = Linter::new().check_graph(&graph);
+        match mode {
+            LintMode::Json => println!("{}", report.to_json()),
+            _ => {
+                println!("— {label}");
+                print!("{}", report.render());
+            }
+        }
+        any_deny |= report.has_deny();
+    }
+    if any_deny {
+        std::process::exit(1);
+    }
+    true
 }
 
 /// A collector sized for a full bench run when tracing is requested,

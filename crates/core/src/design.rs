@@ -320,10 +320,14 @@ impl DesignBuilder {
     ///
     /// # Errors
     ///
-    /// As [`DesignBuilder::connect`].
+    /// As [`DesignBuilder::connect`]. A [`PortRef`] pointing at a module
+    /// or port that does not exist (the fields are public, so a caller
+    /// can fabricate one) is reported as
+    /// [`DesignError::UnknownModule`] / [`DesignError::UnknownPort`]
+    /// instead of panicking.
     pub fn connect_refs(&mut self, a: PortRef, b: PortRef) -> Result<(), DesignError> {
-        let spec_a = self.spec(a).clone();
-        let spec_b = self.spec(b).clone();
+        let spec_a = self.checked_spec(a)?.clone();
+        let spec_b = self.checked_spec(b)?.clone();
         let label = |p: PortRef, s: &crate::module::PortSpec| {
             format!("{}.{}", self.instance_names[p.module.index()], s.name())
         };
@@ -434,6 +438,20 @@ impl DesignBuilder {
         &self.modules[p.module.index()].ports()[p.port]
     }
 
+    fn checked_spec(&self, p: PortRef) -> Result<&crate::module::PortSpec, DesignError> {
+        let module = self
+            .modules
+            .get(p.module.index())
+            .ok_or_else(|| DesignError::UnknownModule(format!("{}", p.module)))?;
+        module
+            .ports()
+            .get(p.port)
+            .ok_or_else(|| DesignError::UnknownPort {
+                module: self.instance_names[p.module.index()].clone(),
+                port: format!("p{}", p.port),
+            })
+    }
+
     fn record(&mut self, err: DesignError) {
         if self.error.is_none() {
             self.error = Some(err);
@@ -504,6 +522,29 @@ mod tests {
         assert!(matches!(
             b.connect(s, "out", o2, "in"),
             Err(DesignError::PortAlreadyConnected { .. })
+        ));
+    }
+
+    #[test]
+    fn fabricated_port_ref_reported_not_panicking() {
+        let mut b = DesignBuilder::new("d");
+        let s = b.add_module(source(8));
+        let out = b.port(s, "out").unwrap();
+        let bogus_module = PortRef {
+            module: ModuleId::from_index(7),
+            port: 0,
+        };
+        assert!(matches!(
+            b.connect_refs(bogus_module, out),
+            Err(DesignError::UnknownModule(_))
+        ));
+        let bogus_port = PortRef {
+            module: s,
+            port: 99,
+        };
+        assert!(matches!(
+            b.connect_refs(out, bogus_port),
+            Err(DesignError::UnknownPort { .. })
         ));
     }
 

@@ -3,7 +3,7 @@
 //!
 //! This crate implements the paper's core artifact: a general, multi-level,
 //! event-driven simulation engine for hierarchical designs built from
-//! [`Module`]s connected by point-to-point, zero-delay [connectors]
+//! [`Module`]s connected by point-to-point, zero-delay connectors
 //! (design::DesignBuilder::connect):
 //!
 //! * **Modules and ports** — every design component implements [`Module`];

@@ -142,6 +142,35 @@ pub trait Module: Send + Sync {
         Vec::new()
     }
 
+    /// The module's zero-delay input→output port couplings, as
+    /// `(input port index, output port index)` pairs: an event arriving
+    /// on the input may cause an emission on the output *in the same
+    /// simulated instant*.
+    ///
+    /// Static analysis (`vcad-lint`) walks these couplings across
+    /// connectors to find combinational loops before a scheduler burns
+    /// its event budget discovering one dynamically. The default is
+    /// deliberately conservative — every input feeds every output — so
+    /// a module that breaks the zero-delay path (a register, a delay
+    /// line) must override this to declare itself sequential. A false
+    /// "combinational" claim only costs a spurious loop report; a false
+    /// "sequential" claim would hide a real loop.
+    fn combinational_deps(&self) -> Vec<(usize, usize)> {
+        let ports = self.ports();
+        let mut deps = Vec::new();
+        for (i, pi) in ports.iter().enumerate() {
+            if !pi.direction().accepts_input() {
+                continue;
+            }
+            for (o, po) in ports.iter().enumerate() {
+                if i != o && po.direction().produces_output() {
+                    deps.push((i, o));
+                }
+            }
+        }
+        deps
+    }
+
     /// Looks up a port index by name.
     fn port_index(&self, name: &str) -> Option<usize> {
         self.ports().iter().position(|p| p.name() == name)

@@ -25,6 +25,17 @@ pub enum SimulationError {
         /// The configured limit.
         limit: u64,
     },
+    /// An externally injected token or preload referenced a module or
+    /// port that does not exist, or carried a value of the wrong width.
+    ///
+    /// Reported at the injection site — before the token enters the
+    /// queue — so the diagnostic points at the malformed reference
+    /// rather than at a later dispatch. `vcad-lint` catches the same
+    /// class of defect before any scheduler exists.
+    MalformedInjection {
+        /// What was wrong, with the offending reference.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimulationError {
@@ -32,6 +43,9 @@ impl fmt::Display for SimulationError {
         match self {
             SimulationError::EventLimitExceeded { limit } => {
                 write!(f, "event limit of {limit} exceeded (zero-delay loop?)")
+            }
+            SimulationError::MalformedInjection { reason } => {
+                write!(f, "malformed injection: {reason}")
             }
         }
     }
@@ -233,27 +247,96 @@ impl Scheduler {
     /// Presets a port latch without generating an event (used to reproduce
     /// a fault-free signal configuration before an injection run).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the port index is out of range or the width mismatches.
-    pub fn preload_port(&mut self, port: PortRef, value: LogicVec) {
-        let latch = &mut self.latches[port.module.index()][port.port];
-        assert_eq!(latch.width(), value.width(), "preload width mismatch");
+    /// Returns [`SimulationError::MalformedInjection`] if the port
+    /// reference is out of range or the value's width does not match the
+    /// port's.
+    pub fn preload_port(&mut self, port: PortRef, value: LogicVec) -> Result<(), SimulationError> {
+        let latch = self
+            .latches
+            .get_mut(port.module.index())
+            .and_then(|l| l.get_mut(port.port))
+            .ok_or_else(|| SimulationError::MalformedInjection {
+                reason: format!("preload references unknown port {port}"),
+            })?;
+        if latch.width() != value.width() {
+            return Err(SimulationError::MalformedInjection {
+                reason: format!(
+                    "preload of {}-bit value on {}-bit port {port}",
+                    value.width(),
+                    latch.width()
+                ),
+            });
+        }
         *latch = value;
+        Ok(())
     }
 
     /// Enqueues a signal token for a module input port.
-    pub fn inject_signal(&mut self, target: ModuleId, port: usize, value: LogicVec, delay: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::MalformedInjection`] if the target
+    /// module or port does not exist, the port does not accept input, or
+    /// the value's width does not match the port's.
+    pub fn inject_signal(
+        &mut self,
+        target: ModuleId,
+        port: usize,
+        value: LogicVec,
+        delay: u64,
+    ) -> Result<(), SimulationError> {
+        let spec = self
+            .design
+            .modules()
+            .nth(target.index())
+            .and_then(|(_, m)| m.ports().get(port).cloned())
+            .ok_or_else(|| SimulationError::MalformedInjection {
+                reason: format!("signal injection references unknown port {target}.p{port}"),
+            })?;
+        if !spec.direction().accepts_input() {
+            return Err(SimulationError::MalformedInjection {
+                reason: format!("signal injected on non-input port {target}.{}", spec.name()),
+            });
+        }
+        if spec.width() != value.width() {
+            return Err(SimulationError::MalformedInjection {
+                reason: format!(
+                    "{}-bit signal injected on {}-bit port {target}.{}",
+                    value.width(),
+                    spec.width(),
+                    spec.name()
+                ),
+            });
+        }
         self.enqueue(
             self.time + delay,
             target,
             TokenPayload::Signal { port, value },
         );
+        Ok(())
     }
 
     /// Enqueues a control token.
-    pub fn inject_control(&mut self, target: ModuleId, message: vcad_rmi::Value, delay: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::MalformedInjection`] if the target
+    /// module does not exist.
+    pub fn inject_control(
+        &mut self,
+        target: ModuleId,
+        message: vcad_rmi::Value,
+        delay: u64,
+    ) -> Result<(), SimulationError> {
+        if target.index() >= self.design.module_count() {
+            return Err(SimulationError::MalformedInjection {
+                reason: format!("control injection references unknown module {target}"),
+            });
+        }
         self.enqueue(self.time + delay, target, TokenPayload::Control(message));
+        Ok(())
     }
 
     /// Calls every module's [`Module::init`] hook.
@@ -647,6 +730,45 @@ mod tests {
     }
 
     #[test]
+    fn malformed_injections_reported_not_panicking() {
+        let (design, _) = chain_design(1);
+        let reg = design.find_module("REG").unwrap();
+        let mut sched = Scheduler::new(design);
+        // Unknown module.
+        assert!(matches!(
+            sched.inject_control(ModuleId::from_index(99), vcad_rmi::Value::Null, 0),
+            Err(SimulationError::MalformedInjection { .. })
+        ));
+        // Unknown port.
+        assert!(matches!(
+            sched.inject_signal(reg, 7, LogicVec::zeros(8), 0),
+            Err(SimulationError::MalformedInjection { .. })
+        ));
+        // Non-input port (REG.q is port 1, an output).
+        assert!(matches!(
+            sched.inject_signal(reg, 1, LogicVec::zeros(8), 0),
+            Err(SimulationError::MalformedInjection { .. })
+        ));
+        // Width mismatch.
+        assert!(matches!(
+            sched.inject_signal(reg, 0, LogicVec::zeros(4), 0),
+            Err(SimulationError::MalformedInjection { .. })
+        ));
+        assert!(matches!(
+            sched.preload_port(
+                PortRef {
+                    module: reg,
+                    port: 0
+                },
+                LogicVec::zeros(3)
+            ),
+            Err(SimulationError::MalformedInjection { .. })
+        ));
+        // Nothing was enqueued or latched by the rejected injections.
+        assert!(!sched.has_pending());
+    }
+
+    #[test]
     fn preload_and_peek_ports() {
         let (design, _) = chain_design(1);
         let reg = design.find_module("REG").unwrap();
@@ -656,7 +778,9 @@ mod tests {
             port: 0,
         };
         assert!(!sched.port_value(d_port).is_binary()); // all-X initially
-        sched.preload_port(d_port, LogicVec::from_u64(8, 0x5A));
+        sched
+            .preload_port(d_port, LogicVec::from_u64(8, 0x5A))
+            .unwrap();
         assert_eq!(sched.port_value(d_port).to_word().unwrap().value(), 0x5A);
         let snap = sched.snapshot(reg);
         assert_eq!(snap.ports[0].to_word().unwrap().value(), 0x5A);
@@ -721,7 +845,7 @@ mod control_tests {
 
         let mut sched = Scheduler::new(design);
         sched.init();
-        sched.inject_control(ida, Value::I64(0), 0);
+        sched.inject_control(ida, Value::I64(0), 0).unwrap();
         sched.run(None).unwrap();
 
         // Hops 0,2,4,… landed on A; 1,3,5,… on B; one tick per hop.

@@ -39,4 +39,10 @@ impl Module for Register {
             ctx.emit_after(1, value.clone(), 1);
         }
     }
+
+    /// `q` follows `d` one tick later — never in the same instant, so a
+    /// register legitimately breaks a feedback path.
+    fn combinational_deps(&self) -> Vec<(usize, usize)> {
+        Vec::new()
+    }
 }

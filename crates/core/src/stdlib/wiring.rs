@@ -61,6 +61,16 @@ impl Module for Fanout {
             }
         }
     }
+
+    /// Only zero-delay branches propagate within the arrival instant.
+    fn combinational_deps(&self) -> Vec<(usize, usize)> {
+        self.delays
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| (0, 1 + i))
+            .collect()
+    }
 }
 
 /// Forwards its input to its output after a fixed delay (a net-delay
@@ -96,6 +106,15 @@ impl Module for Delay {
     fn on_signal(&self, ctx: &mut ModuleCtx<'_>, port: usize, value: &LogicVec) {
         if port == 0 {
             ctx.emit_after(1, value.clone(), self.delay);
+        }
+    }
+
+    /// A non-zero delay breaks the combinational path.
+    fn combinational_deps(&self) -> Vec<(usize, usize)> {
+        if self.delay == 0 {
+            vec![(0, 1)]
+        } else {
+            Vec::new()
         }
     }
 }

@@ -208,7 +208,7 @@ pub struct CoverageReport {
 ///    and for each still-undetected erroneous output configuration run a
 ///    *single-instant injection*: a fresh scheduler preloaded with the
 ///    fault-free signal state, with the block's behaviour replaced by a
-///    [`ForcedOutputs`] override; if any primary output differs, every
+///    `ForcedOutputs` override; if any primary output differs, every
 ///    fault in that table row is detected and dropped.
 ///
 /// The design's stimulus sources drive the patterns (one per tick), and
@@ -475,7 +475,7 @@ impl VirtualFaultSim {
         // Reproduce the fault-free signal configuration everywhere.
         for (id, snap) in snapshots {
             for (port, value) in snap.ports.iter().enumerate() {
-                sched.preload_port(vcad_core::PortRef { module: *id, port }, value.clone());
+                sched.preload_port(vcad_core::PortRef { module: *id, port }, value.clone())?;
             }
         }
         // Replace the block's behaviour with the forced configuration.
@@ -497,7 +497,7 @@ impl VirtualFaultSim {
             }),
         );
         // Poke the faulty block and let the error propagate.
-        sched.inject_control(block, Value::Null, 0);
+        sched.inject_control(block, Value::Null, 0)?;
         sched.run(None)?;
         Ok(self.observed_outputs(&sched) != good_outputs)
     }

@@ -61,4 +61,5 @@ pub use estimator::{RemotePeakPowerEstimator, RemoteToggleEstimator};
 pub use modules::{IpComponentModule, PublicPart, RemoteFunctionalModule};
 pub use negotiate::{EstimatorOffer, NegotiationOutcome, NegotiationRequest};
 pub use offering::{ComponentOffering, ModelAvailability, PriceList};
+pub use protocol::{protocol_manifest, MethodManifest, PayloadKind};
 pub use server::{ProviderServer, ServerLedger};

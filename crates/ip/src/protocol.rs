@@ -54,6 +54,167 @@ pub(crate) mod component {
     pub const RELEASE: &str = "release";
 }
 
+/// Classification of one direction of a protocol method's payload, for
+/// the wire-privacy audit (`vcad-lint`).
+///
+/// The paper's zero-disclosure property requires that only *port-local*
+/// information crosses the wire: the user ships pattern buffers and port
+/// values, never design topology; the provider ships numbers, labels and
+/// port-shaped results, never gates or nets. `Structural` marks the
+/// payloads that would break that property — no shipped method may carry
+/// one, and the audit fails the build of any protocol extension that
+/// declares it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PayloadKind {
+    /// No payload at all.
+    Empty,
+    /// Scalars and opaque metadata: numbers, fee totals, names,
+    /// accuracy/price descriptors, provider-chosen symbolic labels.
+    Scalar,
+    /// Port-local data: pattern buffers, port values, per-pattern
+    /// results — exactly what an estimator attached to a module's own
+    /// ports may see.
+    PortLocal,
+    /// A reference to an object exported by the peer.
+    ObjectRef,
+    /// Structural IP: netlists, gate or net enumerations, topology.
+    /// **Never legal on the wire.**
+    Structural,
+}
+
+impl PayloadKind {
+    /// Whether this payload obeys the port-data-only marshalling rule.
+    #[must_use]
+    pub fn is_port_local_safe(self) -> bool {
+        !matches!(self, PayloadKind::Structural)
+    }
+}
+
+/// The machine-checkable declaration of one protocol method: what each
+/// direction of its payload may contain and whether the method is a pure
+/// read (a function of target and arguments alone).
+///
+/// `vcad-lint`'s privacy pass audits this table; the cache layer's
+/// [`cacheable_method`](crate::cacheable_method) allowlist is
+/// cross-checked against `pure` so a mutating method can never be served
+/// from a cache and a pure one is not silently left uncached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MethodManifest {
+    /// The method selector.
+    pub method: &'static str,
+    /// What the client is allowed to send.
+    pub request: PayloadKind,
+    /// What the provider is allowed to return.
+    pub response: PayloadKind,
+    /// Whether the result is a pure function of target and arguments.
+    pub pure: bool,
+}
+
+/// The complete manifest of the shipped wire protocol, one entry per
+/// method selector in the `catalog` and `component` modules.
+///
+/// Kept exhaustive by the `manifest_covers_every_selector` test: adding
+/// a protocol method without classifying its payloads is a test failure,
+/// which is the point — the zero-disclosure property stays a checked
+/// invariant instead of a convention.
+#[must_use]
+pub fn protocol_manifest() -> &'static [MethodManifest] {
+    use PayloadKind::{Empty, ObjectRef, PortLocal, Scalar};
+    const MANIFEST: &[MethodManifest] = &[
+        MethodManifest {
+            method: catalog::LIST,
+            request: Empty,
+            response: Scalar,
+            pure: true,
+        },
+        MethodManifest {
+            method: catalog::INSTANTIATE,
+            request: Scalar,
+            response: ObjectRef,
+            pure: false,
+        },
+        MethodManifest {
+            method: catalog::BILL,
+            request: Empty,
+            response: Scalar,
+            pure: false,
+        },
+        MethodManifest {
+            method: catalog::NEGOTIATE,
+            request: Scalar,
+            response: Scalar,
+            pure: false,
+        },
+        MethodManifest {
+            method: component::DESCRIBE,
+            request: Empty,
+            response: Scalar,
+            pure: true,
+        },
+        MethodManifest {
+            method: component::AREA,
+            request: Empty,
+            response: Scalar,
+            pure: true,
+        },
+        MethodManifest {
+            method: component::DELAY,
+            request: Empty,
+            response: Scalar,
+            pure: true,
+        },
+        MethodManifest {
+            method: component::POWER_CONSTANT,
+            request: Empty,
+            response: Scalar,
+            pure: true,
+        },
+        MethodManifest {
+            method: component::POWER_REGRESSION,
+            request: Empty,
+            response: Scalar,
+            pure: true,
+        },
+        MethodManifest {
+            method: component::POWER_TOGGLE,
+            request: PortLocal,
+            response: Scalar,
+            pure: true,
+        },
+        MethodManifest {
+            method: component::POWER_PEAK,
+            request: PortLocal,
+            response: Scalar,
+            pure: true,
+        },
+        MethodManifest {
+            method: component::FUNCTIONAL_EVAL,
+            request: PortLocal,
+            response: PortLocal,
+            pure: true,
+        },
+        MethodManifest {
+            method: component::FAULT_LIST,
+            request: Empty,
+            response: Scalar,
+            pure: true,
+        },
+        MethodManifest {
+            method: component::DETECTION_TABLE,
+            request: PortLocal,
+            response: PortLocal,
+            pure: true,
+        },
+        MethodManifest {
+            method: component::RELEASE,
+            request: Empty,
+            response: Empty,
+            pure: false,
+        },
+    ];
+    MANIFEST
+}
+
 /// Encodes a buffered pattern sequence (client → provider).
 pub(crate) fn encode_patterns(patterns: &[LogicVec]) -> Value {
     Value::List(patterns.iter().cloned().map(Value::Vec).collect())
@@ -89,5 +250,62 @@ mod tests {
     fn decode_rejects_non_lists() {
         assert!(decode_patterns(&Value::I64(3)).is_err());
         assert!(decode_patterns(&Value::List(vec![Value::Null])).is_err());
+    }
+
+    #[test]
+    fn manifest_covers_every_selector() {
+        let selectors = [
+            catalog::LIST,
+            catalog::INSTANTIATE,
+            catalog::BILL,
+            catalog::NEGOTIATE,
+            component::DESCRIBE,
+            component::AREA,
+            component::DELAY,
+            component::POWER_CONSTANT,
+            component::POWER_REGRESSION,
+            component::POWER_TOGGLE,
+            component::POWER_PEAK,
+            component::FUNCTIONAL_EVAL,
+            component::FAULT_LIST,
+            component::DETECTION_TABLE,
+            component::RELEASE,
+        ];
+        let manifest = protocol_manifest();
+        assert_eq!(manifest.len(), selectors.len());
+        for s in selectors {
+            assert!(
+                manifest.iter().any(|m| m.method == s),
+                "method `{s}` missing from the protocol manifest"
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_cache_allowlist_agrees_with_purity() {
+        for m in protocol_manifest() {
+            assert_eq!(
+                crate::cache::cacheable_method(m.method),
+                m.pure,
+                "cacheability of `{}` disagrees with its declared purity",
+                m.method
+            );
+        }
+    }
+
+    #[test]
+    fn shipped_protocol_carries_no_structural_payloads() {
+        for m in protocol_manifest() {
+            assert!(
+                m.request.is_port_local_safe(),
+                "`{}` request would ship structural IP",
+                m.method
+            );
+            assert!(
+                m.response.is_port_local_safe(),
+                "`{}` response would ship structural IP",
+                m.method
+            );
+        }
     }
 }

@@ -1,0 +1,296 @@
+//! Connectivity pass: drivers, widths and dangling ports.
+
+use vcad_core::PortDirection;
+
+use crate::diag::{rules, Diagnostic, Severity};
+use crate::graph::LintGraph;
+
+/// Runs the connectivity checks over a graph.
+pub(crate) fn check(graph: &LintGraph, out: &mut Vec<Diagnostic>) {
+    check_deps(graph, out);
+    for &(a, b) in &graph.connectors {
+        check_connector(graph, a, b, out);
+    }
+    check_unbound(graph, out);
+}
+
+/// Declared zero-delay couplings must name real ports with sensible
+/// directions; everything downstream (the loop pass) trusts them.
+fn check_deps(graph: &LintGraph, out: &mut Vec<Diagnostic>) {
+    for module in &graph.modules {
+        for &(i, o) in &module.comb_deps {
+            let ok = match (module.ports.get(i), module.ports.get(o)) {
+                (Some(pi), Some(po)) => {
+                    pi.direction.accepts_input() && po.direction.produces_output()
+                }
+                _ => false,
+            };
+            if !ok {
+                out.push(Diagnostic::at(
+                    rules::BAD_DEP,
+                    Severity::Deny,
+                    &module.name,
+                    None,
+                    format!(
+                        "zero-delay coupling ({i} -> {o}) does not name an \
+                         input/output port pair of `{}`",
+                        module.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_connector(
+    graph: &LintGraph,
+    a: (usize, usize),
+    b: (usize, usize),
+    out: &mut Vec<Diagnostic>,
+) {
+    let (Some(pa), Some(pb)) = (graph.port(a), graph.port(b)) else {
+        // A fabricated endpoint; the fixture parser rejects these, and
+        // `Design` cannot hold one, so this is purely defensive.
+        out.push(Diagnostic::global(
+            rules::NO_DRIVER,
+            Severity::Deny,
+            format!(
+                "connector {} -- {} references a port that does not exist",
+                graph.endpoint_name(a),
+                graph.endpoint_name(b)
+            ),
+        ));
+        return;
+    };
+    let name_a = graph.endpoint_name(a);
+    let name_b = graph.endpoint_name(b);
+
+    if pa.width != pb.width {
+        out.push(Diagnostic::at(
+            rules::WIDTH_MISMATCH,
+            Severity::Deny,
+            &graph.modules[a.0].name,
+            Some(pa.name.clone()),
+            format!(
+                "{name_a} is {} bits wide but its peer {name_b} is {} bits wide",
+                pa.width, pb.width
+            ),
+        ));
+    }
+
+    let drives_a = pa.direction.produces_output();
+    let drives_b = pb.direction.produces_output();
+    match (drives_a, drives_b) {
+        (true, true) => {
+            if pa.direction == PortDirection::Output && pb.direction == PortDirection::Output {
+                out.push(Diagnostic::at(
+                    rules::DOUBLE_DRIVER,
+                    Severity::Deny,
+                    &graph.modules[a.0].name,
+                    Some(pa.name.clone()),
+                    format!("{name_a} and {name_b} are both outputs driving one connector"),
+                ));
+            } else {
+                out.push(Diagnostic::at(
+                    rules::BIDI_CONTENTION,
+                    Severity::Warn,
+                    &graph.modules[a.0].name,
+                    Some(pa.name.clone()),
+                    format!(
+                        "{name_a} and {name_b} can both drive their connector; \
+                         contention cannot be ruled out statically"
+                    ),
+                ));
+            }
+        }
+        (false, false) => {
+            out.push(Diagnostic::at(
+                rules::NO_DRIVER,
+                Severity::Deny,
+                &graph.modules[a.0].name,
+                Some(pa.name.clone()),
+                format!("{name_a} and {name_b} are both inputs; nothing drives their connector"),
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// Ports with no connector and no export: inputs stay all-X (Warn),
+/// outputs are merely unused (Allow).
+fn check_unbound(graph: &LintGraph, out: &mut Vec<Diagnostic>) {
+    for (m, module) in graph.modules.iter().enumerate() {
+        for (p, port) in module.ports.iter().enumerate() {
+            let at = (m, p);
+            if graph.is_connected(at) || graph.is_exported(at) {
+                continue;
+            }
+            if port.direction.accepts_input() {
+                out.push(Diagnostic::at(
+                    rules::UNDRIVEN_INPUT,
+                    Severity::Warn,
+                    &module.name,
+                    Some(port.name.clone()),
+                    format!(
+                        "input {} is neither connected nor exported; it will stay all-X",
+                        graph.endpoint_name(at)
+                    ),
+                ));
+            } else {
+                out.push(Diagnostic::at(
+                    rules::DANGLING_OUTPUT,
+                    Severity::Allow,
+                    &module.name,
+                    Some(port.name.clone()),
+                    format!("output {} is unconnected", graph.endpoint_name(at)),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LintModule, LintPort};
+
+    fn port(name: &str, direction: PortDirection, width: usize) -> LintPort {
+        LintPort {
+            name: name.into(),
+            direction,
+            width,
+        }
+    }
+
+    fn module(name: &str, ports: Vec<LintPort>) -> LintModule {
+        LintModule {
+            name: name.into(),
+            ports,
+            comb_deps: Vec::new(),
+            estimators: Vec::new(),
+        }
+    }
+
+    fn lint(graph: &LintGraph) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check(graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn width_mismatch_is_deny() {
+        let graph = LintGraph {
+            design_name: "t".into(),
+            modules: vec![
+                module("S", vec![port("y", PortDirection::Output, 8)]),
+                module("T", vec![port("a", PortDirection::Input, 4)]),
+            ],
+            connectors: vec![((0, 0), (1, 0))],
+            ..LintGraph::default()
+        };
+        let out = lint(&graph);
+        let hit = out
+            .iter()
+            .find(|d| d.rule == rules::WIDTH_MISMATCH)
+            .unwrap();
+        assert_eq!(hit.severity, Severity::Deny);
+        assert!(hit.message.contains("S.y") && hit.message.contains("T.a"));
+    }
+
+    #[test]
+    fn double_driver_and_no_driver() {
+        let graph = LintGraph {
+            design_name: "t".into(),
+            modules: vec![
+                module(
+                    "A",
+                    vec![
+                        port("y", PortDirection::Output, 1),
+                        port("a", PortDirection::Input, 1),
+                    ],
+                ),
+                module(
+                    "B",
+                    vec![
+                        port("y", PortDirection::Output, 1),
+                        port("a", PortDirection::Input, 1),
+                    ],
+                ),
+            ],
+            connectors: vec![((0, 0), (1, 0)), ((0, 1), (1, 1))],
+            ..LintGraph::default()
+        };
+        let out = lint(&graph);
+        assert_eq!(
+            out.iter()
+                .filter(|d| d.rule == rules::DOUBLE_DRIVER)
+                .count(),
+            1
+        );
+        assert_eq!(out.iter().filter(|d| d.rule == rules::NO_DRIVER).count(), 1);
+    }
+
+    #[test]
+    fn bidi_pair_warns_not_denies() {
+        let graph = LintGraph {
+            design_name: "t".into(),
+            modules: vec![
+                module("A", vec![port("b", PortDirection::Bidirectional, 4)]),
+                module("B", vec![port("b", PortDirection::Bidirectional, 4)]),
+            ],
+            connectors: vec![((0, 0), (1, 0))],
+            ..LintGraph::default()
+        };
+        let out = lint(&graph);
+        assert!(out
+            .iter()
+            .any(|d| d.rule == rules::BIDI_CONTENTION && d.severity == Severity::Warn));
+        assert!(!out.iter().any(|d| d.severity == Severity::Deny));
+    }
+
+    #[test]
+    fn unbound_ports_classified_by_direction() {
+        let graph = LintGraph {
+            design_name: "t".into(),
+            modules: vec![module(
+                "M",
+                vec![
+                    port("a", PortDirection::Input, 1),
+                    port("y", PortDirection::Output, 1),
+                    port("x", PortDirection::Input, 1),
+                ],
+            )],
+            exports: vec![(0, 2)],
+            ..LintGraph::default()
+        };
+        let out = lint(&graph);
+        assert!(out.iter().any(|d| d.rule == rules::UNDRIVEN_INPUT
+            && d.severity == Severity::Warn
+            && d.message.contains("M.a")));
+        assert!(out
+            .iter()
+            .any(|d| d.rule == rules::DANGLING_OUTPUT && d.severity == Severity::Allow));
+        // The exported input is fine.
+        assert!(!out.iter().any(|d| d.message.contains("M.x")));
+    }
+
+    #[test]
+    fn bad_dep_is_deny() {
+        let mut m = module(
+            "M",
+            vec![
+                port("a", PortDirection::Input, 1),
+                port("y", PortDirection::Output, 1),
+            ],
+        );
+        m.comb_deps = vec![(0, 1), (1, 0), (0, 9)];
+        let graph = LintGraph {
+            design_name: "t".into(),
+            modules: vec![m],
+            exports: vec![(0, 0), (0, 1)],
+            ..LintGraph::default()
+        };
+        let out = lint(&graph);
+        assert_eq!(out.iter().filter(|d| d.rule == rules::BAD_DEP).count(), 2);
+    }
+}

@@ -1,0 +1,693 @@
+//! Diagnostics: severities, stable rule identifiers, locations, reports
+//! and their JSON round-trip.
+
+use std::fmt;
+
+/// How much a finding matters.
+///
+/// The ordering is total: `Allow < Warn < Deny`, so
+/// [`LintReport::max_severity`] is a plain `max`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: reported, never blocks anything.
+    Allow,
+    /// Suspicious but simulable; the design runs, the finding is shown.
+    Warn,
+    /// The design must not be scheduled.
+    /// [`elaborate`](crate::Elaborate::elaborate) refuses it.
+    Deny,
+}
+
+impl Severity {
+    /// The lowercase wire name used in the JSON export.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+
+    /// Parses the wire name back.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "allow" => Some(Severity::Allow),
+            "warn" => Some(Severity::Warn),
+            "deny" => Some(Severity::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The stable rule identifiers. These are part of the tool's contract:
+/// scripts and CI gates match on them, so they never change meaning and
+/// are never reused.
+pub mod rules {
+    /// The two endpoints of a connector have different widths.
+    pub const WIDTH_MISMATCH: &str = "connectivity/width-mismatch";
+    /// Two output ports drive the same connector.
+    pub const DOUBLE_DRIVER: &str = "connectivity/double-driver";
+    /// Neither endpoint of a connector can drive it.
+    pub const NO_DRIVER: &str = "connectivity/no-driver";
+    /// Two bidirectional ports share a connector: contention cannot be
+    /// ruled out statically.
+    pub const BIDI_CONTENTION: &str = "connectivity/bidi-contention";
+    /// An input port is neither connected nor exported: it stays all-X.
+    pub const UNDRIVEN_INPUT: &str = "connectivity/undriven-input";
+    /// An output port is neither connected nor exported.
+    pub const DANGLING_OUTPUT: &str = "connectivity/dangling-output";
+    /// A module declares a zero-delay dependency on a port index it does
+    /// not have.
+    pub const BAD_DEP: &str = "connectivity/bad-dep";
+    /// A zero-delay cycle through combinational dependencies and
+    /// connectors.
+    pub const COMBINATIONAL_LOOP: &str = "loops/combinational-loop";
+    /// An estimator with an empty name.
+    pub const ESTIMATOR_NAME: &str = "meta/estimator-name";
+    /// An estimator with a negative or non-finite cost.
+    pub const ESTIMATOR_COST: &str = "meta/estimator-cost";
+    /// An estimator with a negative, non-finite or implausible expected
+    /// error.
+    pub const ESTIMATOR_ACCURACY: &str = "meta/estimator-accuracy";
+    /// Two estimators of one module share a name and parameter.
+    pub const ESTIMATOR_DUPLICATE: &str = "meta/estimator-duplicate";
+    /// A detection-table row names a fault missing from the fault list.
+    pub const UNKNOWN_FAULT: &str = "faults/unknown-fault";
+    /// A detection-table row's output width differs from the fault-free
+    /// response.
+    pub const DETECTION_WIDTH: &str = "faults/detection-width";
+    /// A fault list contains the same symbolic fault twice.
+    pub const DUPLICATE_FAULT: &str = "faults/duplicate-fault";
+    /// A detection table exists but the fault list is empty.
+    pub const EMPTY_FAULT_LIST: &str = "faults/empty-fault-list";
+    /// A wire value does not decode as the frame it claims to be.
+    pub const MALFORMED_TABLE: &str = "faults/malformed-table";
+    /// A protocol method's request would ship structural IP.
+    pub const STRUCTURAL_REQUEST: &str = "privacy/structural-request";
+    /// A protocol method's response would ship structural IP.
+    pub const STRUCTURAL_RESPONSE: &str = "privacy/structural-response";
+    /// A method is cacheable but not pure: a cache could serve stale
+    /// session state.
+    pub const CACHEABLE_IMPURE: &str = "privacy/cacheable-impure";
+    /// A method is pure but not cacheable: every repeat call pays the
+    /// wire.
+    pub const UNCACHED_PURE: &str = "privacy/uncached-pure";
+    /// A marshalled value carries a structural-looking payload.
+    pub const STRUCTURAL_PAYLOAD: &str = "privacy/structural-payload";
+}
+
+/// Where a finding points: a module instance and optionally one of its
+/// ports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Location {
+    /// Hierarchical module instance name (e.g. `u0/REG`).
+    pub module: String,
+    /// Port name, when the finding is port-precise.
+    pub port: Option<String>,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.port {
+            Some(p) => write!(f, "{}.{}", self.module, p),
+            None => f.write_str(&self.module),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// The stable rule identifier (see [`rules`]).
+    pub rule: String,
+    /// How much the finding matters.
+    pub severity: Severity,
+    /// Where it points, when it points anywhere.
+    pub location: Option<Location>,
+    /// The human-readable explanation, including the concrete names
+    /// involved (for loops, the full cycle path).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a finding with a module/port location.
+    #[must_use]
+    pub fn at(
+        rule: &str,
+        severity: Severity,
+        module: impl Into<String>,
+        port: Option<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_owned(),
+            severity,
+            location: Some(Location {
+                module: module.into(),
+                port,
+            }),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a finding with no location (protocol-level findings).
+    #[must_use]
+    pub fn global(rule: &str, severity: Severity, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_owned(),
+            severity,
+            location: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}]", self.severity, self.rule)?;
+        if let Some(loc) = &self.location {
+            write!(f, " {loc}:")?;
+        }
+        write!(f, " {}", self.message)
+    }
+}
+
+/// Everything one lint run found, in pass order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LintReport {
+    design: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report for a named design.
+    #[must_use]
+    pub fn new(design: impl Into<String>) -> LintReport {
+        LintReport {
+            design: design.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// The linted design's name.
+    #[must_use]
+    pub fn design(&self) -> &str {
+        &self.design
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Appends many findings.
+    pub fn extend(&mut self, diagnostics: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(diagnostics);
+    }
+
+    /// All findings, in pass order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Findings matching one rule id.
+    pub fn by_rule<'a>(&'a self, rule: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+
+    /// Number of Deny findings.
+    #[must_use]
+    pub fn deny_count(&self) -> usize {
+        self.count(Severity::Deny)
+    }
+
+    /// Number of Warn findings.
+    #[must_use]
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Whether any finding is Deny-level — the design must not run.
+    #[must_use]
+    pub fn has_deny(&self) -> bool {
+        self.deny_count() > 0
+    }
+
+    /// The worst severity present, if any finding exists.
+    #[must_use]
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Renders a human-readable multi-line summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "lint of `{}`: {} finding(s), {} deny, {} warn",
+            self.design,
+            self.diagnostics.len(),
+            self.deny_count(),
+            self.warn_count()
+        );
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+        out
+    }
+
+    /// Serialises the report as a single JSON object.
+    ///
+    /// The schema is stable: `{"design": str, "diagnostics": [{"rule":
+    /// str, "severity": "allow"|"warn"|"deny", "module"?: str, "port"?:
+    /// str, "message": str}]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.diagnostics.len() * 96);
+        out.push_str("{\"design\":");
+        json::write_str(&mut out, &self.design);
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            json::write_str(&mut out, &d.rule);
+            out.push_str(",\"severity\":");
+            json::write_str(&mut out, d.severity.as_str());
+            if let Some(loc) = &d.location {
+                out.push_str(",\"module\":");
+                json::write_str(&mut out, &loc.module);
+                if let Some(port) = &loc.port {
+                    out.push_str(",\"port\":");
+                    json::write_str(&mut out, port);
+                }
+            }
+            out.push_str(",\"message\":");
+            json::write_str(&mut out, &d.message);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a report back from its [`LintReport::to_json`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed JSON or a schema mismatch.
+    pub fn from_json(input: &str) -> Result<LintReport, JsonError> {
+        let value = json::parse(input)?;
+        let obj = value.as_object().ok_or(JsonError::Schema("root object"))?;
+        let design = json::get_str(obj, "design").ok_or(JsonError::Schema("design"))?;
+        let list = json::get(obj, "diagnostics")
+            .and_then(json::JsonValue::as_array)
+            .ok_or(JsonError::Schema("diagnostics array"))?;
+        let mut report = LintReport::new(design);
+        for item in list {
+            let d = item.as_object().ok_or(JsonError::Schema("diagnostic"))?;
+            let rule = json::get_str(d, "rule").ok_or(JsonError::Schema("rule"))?;
+            let severity = json::get_str(d, "severity")
+                .as_deref()
+                .and_then(Severity::parse)
+                .ok_or(JsonError::Schema("severity"))?;
+            let message = json::get_str(d, "message").ok_or(JsonError::Schema("message"))?;
+            let location = json::get_str(d, "module").map(|module| Location {
+                module,
+                port: json::get_str(d, "port"),
+            });
+            report.push(Diagnostic {
+                rule,
+                severity,
+                location,
+                message,
+            });
+        }
+        Ok(report)
+    }
+}
+
+/// Failures of [`LintReport::from_json`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonError {
+    /// The text is not well-formed JSON; the payload names the offending
+    /// byte offset.
+    Syntax(usize),
+    /// Well-formed JSON with a missing or mistyped field.
+    Schema(&'static str),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Syntax(at) => write!(f, "malformed JSON at byte {at}"),
+            JsonError::Schema(what) => write!(f, "JSON schema mismatch: expected {what}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A minimal JSON reader/writer — just enough for the diagnostic schema,
+/// with full string escaping. No external dependencies by design.
+pub(crate) mod json {
+    use super::JsonError;
+
+    /// Writes `s` as a JSON string literal (with escaping) into `out`.
+    pub(crate) fn write_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub(crate) enum JsonValue {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<JsonValue>),
+        Object(Vec<(String, JsonValue)>),
+    }
+
+    impl JsonValue {
+        pub(crate) fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+            match self {
+                JsonValue::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        pub(crate) fn as_array(&self) -> Option<&[JsonValue]> {
+            match self {
+                JsonValue::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub(crate) fn as_str(&self) -> Option<&str> {
+            match self {
+                JsonValue::String(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    pub(crate) fn get<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub(crate) fn get_str(obj: &[(String, JsonValue)], key: &str) -> Option<String> {
+        get(obj, key).and_then(|v| v.as_str().map(str::to_owned))
+    }
+
+    /// Parses one complete JSON document.
+    pub(crate) fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::Syntax(p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn err<T>(&self) -> Result<T, JsonError> {
+            Err(JsonError::Syntax(self.pos))
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                self.err()
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                self.err()
+            }
+        }
+
+        fn value(&mut self) -> Result<JsonValue, JsonError> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(JsonValue::String(self.string()?)),
+                Some(b't') => self.literal("true", JsonValue::Bool(true)),
+                Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+                Some(b'n') => self.literal("null", JsonValue::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => self.err(),
+            }
+        }
+
+        fn object(&mut self) -> Result<JsonValue, JsonError> {
+            self.expect(b'{')?;
+            let mut entries = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(JsonValue::Object(entries));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                entries.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(JsonValue::Object(entries));
+                    }
+                    _ => return self.err(),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<JsonValue, JsonError> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return self.err(),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, JsonError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return self.err(),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok());
+                                match hex.and_then(char::from_u32) {
+                                    Some(c) => {
+                                        out.push(c);
+                                        self.pos += 4;
+                                    }
+                                    None => return self.err(),
+                                }
+                            }
+                            _ => return self.err(),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar, not one byte.
+                        let rest = &self.bytes[self.pos..];
+                        let s =
+                            std::str::from_utf8(rest).map_err(|_| JsonError::Syntax(self.pos))?;
+                        let c = s.chars().next().ok_or(JsonError::Syntax(self.pos))?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<JsonValue, JsonError> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(JsonValue::Number)
+                .ok_or(JsonError::Syntax(start))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        let mut r = LintReport::new("unit \"design\"");
+        r.push(Diagnostic::at(
+            rules::WIDTH_MISMATCH,
+            Severity::Deny,
+            "u0/REG",
+            Some("d".into()),
+            "8-bit port tied to 4-bit port",
+        ));
+        r.push(Diagnostic::global(
+            rules::UNCACHED_PURE,
+            Severity::Warn,
+            "method `describe` is pure but\nnot cacheable",
+        ));
+        r.push(Diagnostic::at(
+            rules::DANGLING_OUTPUT,
+            Severity::Allow,
+            "CLK",
+            Some("out".into()),
+            "output is unconnected",
+        ));
+        r
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let report = sample();
+        let json = report.to_json();
+        let back = LintReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn severity_counts_and_max() {
+        let report = sample();
+        assert_eq!(report.deny_count(), 1);
+        assert_eq!(report.warn_count(), 1);
+        assert!(report.has_deny());
+        assert_eq!(report.max_severity(), Some(Severity::Deny));
+        assert!(Severity::Allow < Severity::Warn && Severity::Warn < Severity::Deny);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(
+            LintReport::from_json("not json"),
+            Err(JsonError::Syntax(_))
+        ));
+        assert!(matches!(
+            LintReport::from_json("{\"design\":\"d\"}"),
+            Err(JsonError::Schema(_))
+        ));
+        assert!(matches!(
+            LintReport::from_json(
+                "{\"design\":\"d\",\"diagnostics\":[{\"rule\":\"r\",\"severity\":\"loud\",\
+                 \"message\":\"m\"}]}"
+            ),
+            Err(JsonError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn render_mentions_rules_and_locations() {
+        let text = sample().render();
+        assert!(text.contains("connectivity/width-mismatch"));
+        assert!(text.contains("u0/REG.d"));
+        assert!(text.contains("1 deny, 1 warn"));
+    }
+}

@@ -1,0 +1,324 @@
+//! A tiny textual design format for lint fixtures.
+//!
+//! `DesignBuilder` refuses malformed compositions at build time — which
+//! is correct for production but means the linter's own test corpus
+//! (double drivers, width mismatches, privacy leaks) could never exist
+//! as `Design` values. This module parses a deliberately unvalidated
+//! text form straight into a [`LintGraph`], so known-bad designs can be
+//! checked into `tests/fixtures/` and fed to the lint gate.
+//!
+//! # Grammar
+//!
+//! One statement per line; `#` starts a comment.
+//!
+//! ```text
+//! design ring
+//! module A comb in:a[1] out:y[1]
+//! module R seq  in:d[8] out:q[8]
+//! deps A a->y
+//! connect A.y R.d
+//! export clk A.a
+//! frame functional_eval request=portlocal response=portlocal pure cacheable
+//! ```
+//!
+//! `comb` modules default to all-inputs-feed-all-outputs; `seq` modules
+//! default to no zero-delay couplings; an optional `deps` line replaces
+//! the default with an explicit list.
+
+use std::fmt;
+
+use vcad_core::PortDirection;
+use vcad_ip::PayloadKind;
+
+use crate::graph::{FrameSpec, LintGraph, LintModule, LintPort};
+
+/// A fixture parse failure, with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixtureError {
+    /// 1-based line of the offending statement.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for FixtureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fixture line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FixtureError {}
+
+/// Parses the fixture text form into an (unvalidated) [`LintGraph`].
+///
+/// # Errors
+///
+/// Returns a [`FixtureError`] naming the first malformed line. Note the
+/// *graph* is never validated — producing analysably-broken graphs is
+/// the whole point — but the text itself must follow the grammar.
+pub fn parse_fixture(text: &str) -> Result<LintGraph, FixtureError> {
+    let mut graph = LintGraph::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let stmt = raw.split('#').next().unwrap_or("").trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let err = |message: String| FixtureError { line, message };
+        let mut words = stmt.split_whitespace();
+        let keyword = words.next().expect("non-empty statement has a word");
+        let rest: Vec<&str> = words.collect();
+        match keyword {
+            "design" => {
+                let [name] = rest[..] else {
+                    return Err(err("expected `design <name>`".into()));
+                };
+                graph.design_name = name.to_owned();
+            }
+            "module" => parse_module(&rest, &mut graph).map_err(err)?,
+            "deps" => parse_deps(&rest, &mut graph).map_err(err)?,
+            "connect" => {
+                let [a, b] = rest[..] else {
+                    return Err(err("expected `connect A.port B.port`".into()));
+                };
+                let a = endpoint(a, &graph).map_err(err)?;
+                let b = endpoint(b, &graph).map_err(err)?;
+                graph.connectors.push((a, b));
+            }
+            "export" => {
+                let [_name, port] = rest[..] else {
+                    return Err(err("expected `export <name> A.port`".into()));
+                };
+                let at = endpoint(port, &graph).map_err(err)?;
+                graph.exports.push(at);
+            }
+            "frame" => parse_frame(&rest, &mut graph).map_err(err)?,
+            other => return Err(err(format!("unknown statement `{other}`"))),
+        }
+    }
+    Ok(graph)
+}
+
+fn parse_module(rest: &[&str], graph: &mut LintGraph) -> Result<(), String> {
+    let [name, kind, port_specs @ ..] = rest else {
+        return Err("expected `module <name> <comb|seq> <ports...>`".into());
+    };
+    let comb = match *kind {
+        "comb" => true,
+        "seq" => false,
+        other => {
+            return Err(format!(
+                "module kind must be `comb` or `seq`, got `{other}`"
+            ))
+        }
+    };
+    let mut ports = Vec::new();
+    for spec in port_specs {
+        ports.push(parse_port(spec)?);
+    }
+    let comb_deps = if comb {
+        let mut deps = Vec::new();
+        for (i, pi) in ports.iter().enumerate() {
+            if !pi.direction.accepts_input() {
+                continue;
+            }
+            for (o, po) in ports.iter().enumerate() {
+                if i != o && po.direction.produces_output() {
+                    deps.push((i, o));
+                }
+            }
+        }
+        deps
+    } else {
+        Vec::new()
+    };
+    graph.modules.push(LintModule {
+        name: (*name).to_owned(),
+        ports,
+        comb_deps,
+        estimators: Vec::new(),
+    });
+    Ok(())
+}
+
+/// `in:a[8]`, `out:y[1]`, `inout:b[4]`.
+fn parse_port(spec: &str) -> Result<LintPort, String> {
+    let (dir, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("port `{spec}` must look like `in:name[width]`"))?;
+    let direction = match dir {
+        "in" => PortDirection::Input,
+        "out" => PortDirection::Output,
+        "inout" => PortDirection::Bidirectional,
+        other => return Err(format!("unknown port direction `{other}`")),
+    };
+    let (name, width) = match rest.split_once('[') {
+        Some((name, w)) => {
+            let digits = w
+                .strip_suffix(']')
+                .ok_or_else(|| format!("port `{spec}` is missing `]`"))?;
+            let width: usize = digits
+                .parse()
+                .map_err(|_| format!("port `{spec}` has a non-numeric width"))?;
+            (name, width)
+        }
+        None => (rest, 1),
+    };
+    if name.is_empty() {
+        return Err(format!("port `{spec}` has an empty name"));
+    }
+    Ok(LintPort {
+        name: name.to_owned(),
+        direction,
+        width,
+    })
+}
+
+/// `deps <module> a->y b->y ...` — replaces the module's default
+/// couplings.
+fn parse_deps(rest: &[&str], graph: &mut LintGraph) -> Result<(), String> {
+    let [module_name, pairs @ ..] = rest else {
+        return Err("expected `deps <module> in->out ...`".into());
+    };
+    let module = graph
+        .modules
+        .iter_mut()
+        .find(|m| m.name == *module_name)
+        .ok_or_else(|| format!("unknown module `{module_name}`"))?;
+    let mut deps = Vec::new();
+    for pair in pairs {
+        let (i_name, o_name) = pair
+            .split_once("->")
+            .ok_or_else(|| format!("coupling `{pair}` must look like `in->out`"))?;
+        let find = |name: &str| {
+            module
+                .ports
+                .iter()
+                .position(|p| p.name == name)
+                .ok_or_else(|| format!("module `{module_name}` has no port `{name}`"))
+        };
+        deps.push((find(i_name)?, find(o_name)?));
+    }
+    module.comb_deps = deps;
+    Ok(())
+}
+
+/// `A.port` -> endpoint indices.
+fn endpoint(text: &str, graph: &LintGraph) -> Result<(usize, usize), String> {
+    let (module_name, port_name) = text
+        .split_once('.')
+        .ok_or_else(|| format!("endpoint `{text}` must look like `Module.port`"))?;
+    let m = graph
+        .modules
+        .iter()
+        .position(|x| x.name == module_name)
+        .ok_or_else(|| format!("unknown module `{module_name}`"))?;
+    let p = graph.modules[m]
+        .ports
+        .iter()
+        .position(|x| x.name == port_name)
+        .ok_or_else(|| format!("module `{module_name}` has no port `{port_name}`"))?;
+    Ok((m, p))
+}
+
+/// `frame <method> request=<kind> response=<kind> <pure|impure> [cacheable]`.
+fn parse_frame(rest: &[&str], graph: &mut LintGraph) -> Result<(), String> {
+    let [method, args @ ..] = rest else {
+        return Err("expected `frame <method> ...`".into());
+    };
+    let mut request = None;
+    let mut response = None;
+    let mut pure = None;
+    let mut cacheable = false;
+    for arg in args {
+        match *arg {
+            "pure" => pure = Some(true),
+            "impure" => pure = Some(false),
+            "cacheable" => cacheable = true,
+            other => match other.split_once('=') {
+                Some(("request", kind)) => request = Some(payload_kind(kind)?),
+                Some(("response", kind)) => response = Some(payload_kind(kind)?),
+                _ => return Err(format!("unknown frame attribute `{other}`")),
+            },
+        }
+    }
+    graph.frames.push(FrameSpec {
+        method: (*method).to_owned(),
+        request: request.ok_or("frame is missing `request=`")?,
+        response: response.ok_or("frame is missing `response=`")?,
+        pure: pure.ok_or("frame must say `pure` or `impure`")?,
+        cacheable,
+    });
+    Ok(())
+}
+
+fn payload_kind(text: &str) -> Result<PayloadKind, String> {
+    match text {
+        "empty" => Ok(PayloadKind::Empty),
+        "scalar" => Ok(PayloadKind::Scalar),
+        "portlocal" => Ok(PayloadKind::PortLocal),
+        "objectref" => Ok(PayloadKind::ObjectRef),
+        "structural" => Ok(PayloadKind::Structural),
+        other => Err(format!("unknown payload kind `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_grammar_example() {
+        let text = "\
+# a ring fixture
+design ring
+module A comb in:a[1] out:y[1]
+module R seq  in:d[8] out:q[8]
+deps A a->y
+connect A.y R.d
+export clk A.a
+frame functional_eval request=portlocal response=portlocal pure cacheable
+";
+        let g = parse_fixture(text).unwrap();
+        assert_eq!(g.design_name, "ring");
+        assert_eq!(g.modules.len(), 2);
+        assert_eq!(g.modules[0].comb_deps, vec![(0, 1)]);
+        assert!(g.modules[1].comb_deps.is_empty());
+        assert_eq!(g.connectors, vec![((0, 1), (1, 0))]);
+        assert_eq!(g.exports, vec![(0, 0)]);
+        assert_eq!(g.frames.len(), 1);
+        assert!(g.frames[0].pure && g.frames[0].cacheable);
+    }
+
+    #[test]
+    fn default_widths_and_comb_deps() {
+        let g = parse_fixture("module M comb in:a in:b out:y out:z\n").unwrap();
+        assert_eq!(g.modules[0].ports[0].width, 1);
+        // 2 inputs x 2 outputs.
+        assert_eq!(g.modules[0].comb_deps.len(), 4);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_fixture("design d\nconnect A.y B.a\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown module"));
+
+        let err = parse_fixture("bogus statement\n").unwrap_err();
+        assert_eq!(err.line, 1);
+
+        let err = parse_fixture("module M comb in:a[x]\n").unwrap_err();
+        assert!(err.message.contains("non-numeric"));
+    }
+
+    #[test]
+    fn malformed_graphs_are_representable() {
+        // DesignBuilder would refuse this width mismatch; the fixture
+        // parser must not.
+        let g = parse_fixture(
+            "design bad\nmodule S comb out:y[8]\nmodule T comb in:a[4]\nconnect S.y T.a\n",
+        )
+        .unwrap();
+        assert_eq!(g.connectors.len(), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! The linter's intermediate representation of a composed design.
+//!
+//! [`LintGraph`] is deliberately decoupled from [`vcad_core::Design`]:
+//! a `Design` can only exist once `DesignBuilder` has accepted it, but
+//! the linter must also analyse *malformed* compositions (fixtures, wire
+//! imports, generated designs) that the builder would reject outright.
+//! The graph carries exactly what the passes need — port shapes,
+//! connector endpoints, zero-delay couplings, estimator metadata and
+//! declared protocol frames — and nothing a provider would consider
+//! structural IP.
+
+use vcad_core::{Design, EstimatorInfo, PortDirection};
+use vcad_ip::{MethodManifest, PayloadKind};
+
+/// One port of a [`LintModule`].
+#[derive(Clone, Debug)]
+pub struct LintPort {
+    /// Port name, unique within the module.
+    pub name: String,
+    /// Direction.
+    pub direction: PortDirection,
+    /// Width in bits.
+    pub width: usize,
+}
+
+/// One module instance in the graph.
+#[derive(Clone, Debug)]
+pub struct LintModule {
+    /// Hierarchical instance name.
+    pub name: String,
+    /// Port shapes, in declaration order.
+    pub ports: Vec<LintPort>,
+    /// Zero-delay `(input port, output port)` couplings.
+    pub comb_deps: Vec<(usize, usize)>,
+    /// Declared estimator metadata.
+    pub estimators: Vec<EstimatorInfo>,
+}
+
+/// One declared protocol frame, for the wire-privacy audit.
+#[derive(Clone, Debug)]
+pub struct FrameSpec {
+    /// Method selector.
+    pub method: String,
+    /// What the client may send.
+    pub request: PayloadKind,
+    /// What the provider may return.
+    pub response: PayloadKind,
+    /// Whether the result is a pure function of target and arguments.
+    pub pure: bool,
+    /// Whether the cache layer will serve repeats of this method.
+    pub cacheable: bool,
+}
+
+impl From<&MethodManifest> for FrameSpec {
+    fn from(m: &MethodManifest) -> FrameSpec {
+        FrameSpec {
+            method: m.method.to_owned(),
+            request: m.request,
+            response: m.response,
+            pure: m.pure,
+            cacheable: vcad_ip::cacheable_method(m.method),
+        }
+    }
+}
+
+/// A connector endpoint: `(module index, port index)`.
+pub type Endpoint = (usize, usize);
+
+/// The analysable view of one composed design.
+#[derive(Clone, Debug, Default)]
+pub struct LintGraph {
+    /// Design name, echoed into the report.
+    pub design_name: String,
+    /// Module instances.
+    pub modules: Vec<LintModule>,
+    /// Point-to-point connectors.
+    pub connectors: Vec<(Endpoint, Endpoint)>,
+    /// Exported interface ports.
+    pub exports: Vec<Endpoint>,
+    /// Protocol frames to audit (empty when the design is purely local).
+    pub frames: Vec<FrameSpec>,
+}
+
+impl LintGraph {
+    /// Builds the analysable view of an elaborated [`Design`].
+    ///
+    /// Connector endpoints are recovered through
+    /// [`Design::peer_of`], estimator metadata through
+    /// [`Module::estimators`](vcad_core::Module::estimators), and
+    /// zero-delay couplings through
+    /// [`Module::combinational_deps`](vcad_core::Module::combinational_deps).
+    #[must_use]
+    pub fn from_design(design: &Design) -> LintGraph {
+        let mut graph = LintGraph {
+            design_name: design.name().to_owned(),
+            ..LintGraph::default()
+        };
+        for (id, module) in design.modules() {
+            graph.modules.push(LintModule {
+                name: design.instance_name(id).to_owned(),
+                ports: module
+                    .ports()
+                    .iter()
+                    .map(|p| LintPort {
+                        name: p.name().to_owned(),
+                        direction: p.direction(),
+                        width: p.width(),
+                    })
+                    .collect(),
+                comb_deps: module.combinational_deps(),
+                estimators: module.estimators().iter().map(|e| e.info()).collect(),
+            });
+        }
+        // Recover the connector list from the peer mapping, once per pair.
+        for (id, module) in design.modules() {
+            for port in 0..module.ports().len() {
+                let here = vcad_core::PortRef { module: id, port };
+                if let Some(peer) = design.peer_of(here) {
+                    let a = (id.index(), port);
+                    let b = (peer.module.index(), peer.port);
+                    if a <= b {
+                        graph.connectors.push((a, b));
+                    }
+                }
+            }
+        }
+        for (_, port) in design.exports() {
+            graph.exports.push((port.module.index(), port.port));
+        }
+        graph
+    }
+
+    /// Attaches the shipped protocol manifest so
+    /// [`check_graph`](crate::Linter::check_graph) also runs the
+    /// wire-privacy audit.
+    #[must_use]
+    pub fn with_builtin_frames(mut self) -> LintGraph {
+        self.frames = vcad_ip::protocol_manifest()
+            .iter()
+            .map(FrameSpec::from)
+            .collect();
+        self
+    }
+
+    /// The port behind an endpoint, if it exists.
+    #[must_use]
+    pub fn port(&self, at: Endpoint) -> Option<&LintPort> {
+        self.modules.get(at.0).and_then(|m| m.ports.get(at.1))
+    }
+
+    /// Renders an endpoint as `instance.port` (falling back to indices
+    /// for endpoints that do not resolve).
+    #[must_use]
+    pub fn endpoint_name(&self, at: Endpoint) -> String {
+        match (self.modules.get(at.0), self.port(at)) {
+            (Some(m), Some(p)) => format!("{}.{}", m.name, p.name),
+            (Some(m), None) => format!("{}.#{}", m.name, at.1),
+            _ => format!("#{}.#{}", at.0, at.1),
+        }
+    }
+
+    /// Whether an endpoint is exported as part of the design interface.
+    #[must_use]
+    pub fn is_exported(&self, at: Endpoint) -> bool {
+        self.exports.contains(&at)
+    }
+
+    /// Whether an endpoint is tied to any connector.
+    #[must_use]
+    pub fn is_connected(&self, at: Endpoint) -> bool {
+        self.connectors.iter().any(|&(a, b)| a == at || b == at)
+    }
+}

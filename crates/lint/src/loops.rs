@@ -1,0 +1,279 @@
+//! Combinational-loop detection.
+//!
+//! Nodes are *ports*; edges are the zero-delay couplings declared by
+//! each module ([`Module::combinational_deps`](vcad_core::Module::combinational_deps))
+//! plus the connectors, directed from the driving endpoint to the
+//! receiving one. A non-trivial strongly connected component of this
+//! graph is a zero-delay cycle: an event on any port of the component
+//! re-triggers itself in the same simulated instant, and a scheduler
+//! would spin until its event budget runs out. Tarjan's algorithm finds
+//! every component in one linear pass; the report renders one
+//! representative cycle path per component.
+
+use crate::diag::{rules, Diagnostic, Severity};
+use crate::graph::LintGraph;
+
+pub(crate) fn check(graph: &LintGraph, out: &mut Vec<Diagnostic>) {
+    let flat = FlatGraph::build(graph);
+    for scc in tarjan(&flat) {
+        if !is_cyclic(&flat, &scc) {
+            continue;
+        }
+        let path = cycle_path(&flat, &scc);
+        let rendered: Vec<String> = path
+            .iter()
+            .map(|&n| graph.endpoint_name(flat.ports[n]))
+            .collect();
+        let (module_idx, port_idx) = flat.ports[path[0]];
+        out.push(Diagnostic::at(
+            rules::COMBINATIONAL_LOOP,
+            Severity::Deny,
+            &graph.modules[module_idx].name,
+            Some(graph.modules[module_idx].ports[port_idx].name.clone()),
+            format!(
+                "zero-delay cycle through {} port(s): {}",
+                scc.len(),
+                rendered.join(" -> ")
+            ),
+        ));
+    }
+}
+
+/// The port-level graph in adjacency-list form.
+struct FlatGraph {
+    /// Node index -> `(module, port)` endpoint.
+    ports: Vec<(usize, usize)>,
+    /// Adjacency lists.
+    edges: Vec<Vec<usize>>,
+}
+
+impl FlatGraph {
+    fn build(graph: &LintGraph) -> FlatGraph {
+        let mut ports = Vec::new();
+        let mut offsets = Vec::with_capacity(graph.modules.len());
+        for (m, module) in graph.modules.iter().enumerate() {
+            offsets.push(ports.len());
+            for p in 0..module.ports.len() {
+                ports.push((m, p));
+            }
+        }
+        let mut edges = vec![Vec::new(); ports.len()];
+        let node = |at: (usize, usize)| offsets[at.0] + at.1;
+
+        for (m, module) in graph.modules.iter().enumerate() {
+            for &(i, o) in &module.comb_deps {
+                // `connectivity/bad-dep` already denies malformed pairs;
+                // skip them here so both passes can run on one graph.
+                if i < module.ports.len() && o < module.ports.len() {
+                    edges[node((m, i))].push(node((m, o)));
+                }
+            }
+        }
+        for &(a, b) in &graph.connectors {
+            let (Some(pa), Some(pb)) = (graph.port(a), graph.port(b)) else {
+                continue;
+            };
+            // A connector propagates from any endpoint that can drive to
+            // any endpoint that can receive; bidi pairs get both edges.
+            if pa.direction.produces_output() && pb.direction.accepts_input() {
+                edges[node(a)].push(node(b));
+            }
+            if pb.direction.produces_output() && pa.direction.accepts_input() {
+                edges[node(b)].push(node(a));
+            }
+        }
+        FlatGraph { ports, edges }
+    }
+}
+
+/// Iterative Tarjan SCC (the recursion is a design input, so stack depth
+/// must not bound design size).
+fn tarjan(g: &FlatGraph) -> Vec<Vec<usize>> {
+    let n = g.ports.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs = Vec::new();
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = g.edges[v].get(*child) {
+                *child += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// A single-node SCC is a cycle only if the node has a self-edge.
+fn is_cyclic(g: &FlatGraph, scc: &[usize]) -> bool {
+    scc.len() > 1 || g.edges[scc[0]].contains(&scc[0])
+}
+
+/// Walks one concrete cycle inside an SCC, for the report: starting from
+/// the smallest node, repeatedly follow any in-component edge until the
+/// start reappears. Every node of an SCC has such an edge, so this
+/// terminates within `scc.len() + 1` hops of the first revisit.
+fn cycle_path(g: &FlatGraph, scc: &[usize]) -> Vec<usize> {
+    let inside = |n: usize| scc.contains(&n);
+    let start = *scc.iter().min().expect("SCC is never empty");
+    let mut path = vec![start];
+    let mut seen = vec![start];
+    let mut at = start;
+    loop {
+        let next = *g.edges[at]
+            .iter()
+            .find(|&&w| inside(w))
+            .expect("every SCC node keeps an in-component edge");
+        path.push(next);
+        if next == start {
+            return path;
+        }
+        if let Some(pos) = seen.iter().position(|&s| s == next) {
+            // Closed a sub-cycle that skips `start`; report that one.
+            path.clear();
+            path.extend_from_slice(&seen[pos..]);
+            path.push(next);
+            return path;
+        }
+        seen.push(next);
+        at = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LintModule, LintPort};
+    use vcad_core::PortDirection;
+
+    fn comb(name: &str) -> LintModule {
+        LintModule {
+            name: name.into(),
+            ports: vec![
+                LintPort {
+                    name: "a".into(),
+                    direction: PortDirection::Input,
+                    width: 1,
+                },
+                LintPort {
+                    name: "y".into(),
+                    direction: PortDirection::Output,
+                    width: 1,
+                },
+            ],
+            comb_deps: vec![(0, 1)],
+            estimators: Vec::new(),
+        }
+    }
+
+    fn seq(name: &str) -> LintModule {
+        let mut m = comb(name);
+        m.comb_deps.clear();
+        m
+    }
+
+    fn lint(graph: &LintGraph) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check(graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn two_comb_modules_in_a_ring_is_one_loop() {
+        let graph = LintGraph {
+            design_name: "ring".into(),
+            modules: vec![comb("A"), comb("B")],
+            connectors: vec![((0, 1), (1, 0)), ((1, 1), (0, 0))],
+            ..LintGraph::default()
+        };
+        let out = lint(&graph);
+        assert_eq!(out.len(), 1);
+        let d = &out[0];
+        assert_eq!(d.rule, rules::COMBINATIONAL_LOOP);
+        assert_eq!(d.severity, Severity::Deny);
+        for name in ["A.a", "A.y", "B.a", "B.y"] {
+            assert!(
+                d.message.contains(name),
+                "cycle path misses {name}: {}",
+                d.message
+            );
+        }
+    }
+
+    #[test]
+    fn register_breaks_the_ring() {
+        let graph = LintGraph {
+            design_name: "ring".into(),
+            modules: vec![comb("A"), seq("R")],
+            connectors: vec![((0, 1), (1, 0)), ((1, 1), (0, 0))],
+            ..LintGraph::default()
+        };
+        assert!(lint(&graph).is_empty());
+    }
+
+    #[test]
+    fn chain_is_clean() {
+        let graph = LintGraph {
+            design_name: "chain".into(),
+            modules: vec![comb("A"), comb("B"), comb("C")],
+            connectors: vec![((0, 1), (1, 0)), ((1, 1), (2, 0))],
+            ..LintGraph::default()
+        };
+        assert!(lint(&graph).is_empty());
+    }
+
+    #[test]
+    fn two_disjoint_rings_are_two_diagnostics() {
+        let graph = LintGraph {
+            design_name: "rings".into(),
+            modules: vec![comb("A"), comb("B"), comb("C"), comb("D")],
+            connectors: vec![
+                ((0, 1), (1, 0)),
+                ((1, 1), (0, 0)),
+                ((2, 1), (3, 0)),
+                ((3, 1), (2, 0)),
+            ],
+            ..LintGraph::default()
+        };
+        let out = lint(&graph);
+        assert_eq!(out.len(), 2);
+    }
+}

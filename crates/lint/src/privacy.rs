@@ -1,0 +1,217 @@
+//! Wire-privacy audit.
+//!
+//! The paper's core promise is zero IP disclosure: a provider's netlist
+//! never leaves its process, and the user's design topology never
+//! reaches a provider. The marshalling layer enforces this dynamically
+//! (only port-local values cross the wire); this pass enforces it
+//! *statically* by auditing every declared protocol frame
+//! ([`FrameSpec`]) and, for concrete payloads, by walking marshalled
+//! [`Value`] trees against a deny-list of structural key names.
+
+use vcad_rmi::Value;
+
+use crate::diag::{rules, Diagnostic, Severity};
+use crate::graph::FrameSpec;
+
+/// Map keys that smell like structural IP. A marshalled payload
+/// carrying one of these is either a disclosure or, at best, a naming
+/// accident worth renaming.
+const STRUCTURAL_KEYS: &[&str] = &[
+    "netlist",
+    "gates",
+    "nets",
+    "topology",
+    "schematic",
+    "private_part",
+    "structure",
+    "placement",
+];
+
+/// Audits the declared protocol frames.
+pub(crate) fn audit_frames(frames: &[FrameSpec], out: &mut Vec<Diagnostic>) {
+    for frame in frames {
+        if !frame.request.is_port_local_safe() {
+            out.push(Diagnostic::global(
+                rules::STRUCTURAL_REQUEST,
+                Severity::Deny,
+                format!(
+                    "method `{}` declares a structural request payload; \
+                     only port-local data may cross the wire",
+                    frame.method
+                ),
+            ));
+        }
+        if !frame.response.is_port_local_safe() {
+            out.push(Diagnostic::global(
+                rules::STRUCTURAL_RESPONSE,
+                Severity::Deny,
+                format!(
+                    "method `{}` declares a structural response payload; \
+                     only port-local data may cross the wire",
+                    frame.method
+                ),
+            ));
+        }
+        if frame.cacheable && !frame.pure {
+            out.push(Diagnostic::global(
+                rules::CACHEABLE_IMPURE,
+                Severity::Deny,
+                format!(
+                    "method `{}` is cacheable but not pure; a cache hit would \
+                     replay stale session state",
+                    frame.method
+                ),
+            ));
+        }
+        if frame.pure && !frame.cacheable {
+            out.push(Diagnostic::global(
+                rules::UNCACHED_PURE,
+                Severity::Warn,
+                format!(
+                    "method `{}` is pure but not cacheable; every repeat call \
+                     pays a network round-trip",
+                    frame.method
+                ),
+            ));
+        }
+    }
+}
+
+/// Audits one concrete marshalled value against the structural-key
+/// deny-list, recursively. `method` labels the finding.
+#[must_use]
+pub fn audit_value(method: &str, value: &Value) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    walk(method, value, &mut out);
+    out
+}
+
+fn walk(method: &str, value: &Value, out: &mut Vec<Diagnostic>) {
+    match value {
+        Value::Map(entries) => {
+            for (key, inner) in entries {
+                let lowered = key.to_ascii_lowercase();
+                if STRUCTURAL_KEYS.iter().any(|&s| lowered == s) {
+                    out.push(Diagnostic::global(
+                        rules::STRUCTURAL_PAYLOAD,
+                        Severity::Deny,
+                        format!(
+                            "payload of `{method}` carries a `{key}` entry — \
+                             structural data must never be marshalled"
+                        ),
+                    ));
+                }
+                walk(method, inner, out);
+            }
+        }
+        Value::List(items) => {
+            for item in items {
+                walk(method, item, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcad_ip::PayloadKind;
+
+    fn frame(
+        method: &str,
+        request: PayloadKind,
+        response: PayloadKind,
+        pure: bool,
+        cacheable: bool,
+    ) -> FrameSpec {
+        FrameSpec {
+            method: method.into(),
+            request,
+            response,
+            pure,
+            cacheable,
+        }
+    }
+
+    fn audit(frames: &[FrameSpec]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        audit_frames(frames, &mut out);
+        out
+    }
+
+    #[test]
+    fn shipped_manifest_audits_clean() {
+        let frames: Vec<FrameSpec> = vcad_ip::protocol_manifest()
+            .iter()
+            .map(FrameSpec::from)
+            .collect();
+        let out = audit(&frames);
+        assert!(out.is_empty(), "shipped protocol flagged: {out:?}");
+    }
+
+    #[test]
+    fn structural_payloads_are_deny() {
+        let out = audit(&[
+            frame(
+                "upload_netlist",
+                PayloadKind::Structural,
+                PayloadKind::Scalar,
+                false,
+                false,
+            ),
+            frame(
+                "fetch_gates",
+                PayloadKind::Empty,
+                PayloadKind::Structural,
+                true,
+                true,
+            ),
+        ]);
+        assert!(out
+            .iter()
+            .any(|d| d.rule == rules::STRUCTURAL_REQUEST && d.message.contains("upload_netlist")));
+        assert!(out
+            .iter()
+            .any(|d| d.rule == rules::STRUCTURAL_RESPONSE && d.message.contains("fetch_gates")));
+    }
+
+    #[test]
+    fn cache_purity_cross_checks() {
+        let out = audit(&[
+            frame("bump", PayloadKind::Empty, PayloadKind::Scalar, false, true),
+            frame("peek", PayloadKind::Empty, PayloadKind::Scalar, true, false),
+        ]);
+        assert!(out
+            .iter()
+            .any(|d| d.rule == rules::CACHEABLE_IMPURE && d.severity == Severity::Deny));
+        assert!(out
+            .iter()
+            .any(|d| d.rule == rules::UNCACHED_PURE && d.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn value_walk_flags_structural_keys_at_any_depth() {
+        let v = Value::Map(vec![(
+            "result".into(),
+            Value::List(vec![Value::Map(vec![(
+                "Netlist".into(),
+                Value::Str("nand(a,b)".into()),
+            )])]),
+        )]);
+        let out = audit_value("describe", &v);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, rules::STRUCTURAL_PAYLOAD);
+        assert!(out[0].message.contains("describe"));
+    }
+
+    #[test]
+    fn detection_table_wire_form_is_clean() {
+        use vcad_faults::{DetectionTable, FaultUniverse};
+        use vcad_netlist::generators;
+        let nl = generators::half_adder_nand();
+        let universe = FaultUniverse::collapsed(&nl);
+        let table = DetectionTable::build(&nl, &universe, &"11".parse().unwrap());
+        assert!(audit_value("detection_table", &table.to_value()).is_empty());
+    }
+}

@@ -7,6 +7,12 @@
 //! producers and consumers use to claim it without locks. When the ring
 //! is full the event is **dropped** (and counted) rather than stalling
 //! the simulation — tracing must observe, not perturb.
+//!
+//! This is the only module in the workspace allowed to use `unsafe`
+//! (every other crate forbids it via `[workspace.lints]`); each block
+//! below documents the invariant that makes it sound.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -26,9 +32,17 @@ pub struct RingBuffer<T> {
     dropped: AtomicU64,
 }
 
-// Safety: slots are claimed exclusively through the sequence protocol;
-// values only move across threads whole.
+// Safety: the `UnsafeCell`s make `RingBuffer` non-auto-`Send`/`Sync`,
+// but a slot's cell is only ever touched by the one thread that won the
+// CAS on `enqueue_pos`/`dequeue_pos` for it, and the Acquire load /
+// Release store pair on `slot.seq` orders that access across threads
+// (writes happen-before the reader's `assume_init_read`). Values cross
+// threads only whole and by move, so `T: Send` is the sole requirement;
+// `T: Sync` is not needed because no `&T` is ever shared.
 unsafe impl<T: Send> Send for RingBuffer<T> {}
+// Safety: see the `Send` impl above — all shared-state mutation goes
+// through atomics, and the sequence protocol gives each slot a single
+// owner at a time, so `&RingBuffer<T>` is safe to share across threads.
 unsafe impl<T: Send> Sync for RingBuffer<T> {}
 
 impl<T> RingBuffer<T> {
@@ -81,8 +95,16 @@ impl<T> RingBuffer<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // Safety: the CAS gave this thread exclusive
-                        // ownership of the slot until seq is bumped.
+                        // Safety: winning the CAS on `enqueue_pos` makes
+                        // this thread the slot's unique owner until the
+                        // Release store below publishes `seq = pos + 1`:
+                        // other producers see `seq == pos` only for the
+                        // ticket `pos`, which the CAS just consumed, and
+                        // consumers wait for `seq == pos + 1`. Writing
+                        // into the `MaybeUninit` needs no drop of the
+                        // previous content — the sequence protocol
+                        // guarantees the slot is vacant (its last value,
+                        // if any, was moved out by `pop`).
                         unsafe { (*slot.value.get()).write(value) };
                         slot.seq.store(pos.wrapping_add(1), Ordering::Release);
                         return true;
@@ -114,8 +136,15 @@ impl<T> RingBuffer<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // Safety: the CAS gave this thread exclusive
-                        // ownership of the written slot.
+                        // Safety: `seq == pos + 1` (checked above via the
+                        // Acquire load, which synchronises with the
+                        // producer's Release store) proves a producer
+                        // fully initialised this slot for ticket `pos`,
+                        // and winning the CAS on `dequeue_pos` makes this
+                        // thread the unique reader of that ticket — so the
+                        // value is initialised, read exactly once, and
+                        // moved out before the Release store below marks
+                        // the slot vacant for the next lap.
                         let value = unsafe { (*slot.value.get()).assume_init_read() };
                         slot.seq
                             .store(pos.wrapping_add(self.mask + 1), Ordering::Release);

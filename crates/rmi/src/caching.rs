@@ -58,7 +58,7 @@ pub fn call_cache(config: vcad_cache::CacheConfig) -> CallCache {
 
 /// A [`Transport`] decorator that memoizes pure remote calls.
 ///
-/// See the [module docs](self) for keying, error and stacking semantics.
+/// See the module docs for keying, error and stacking semantics.
 pub struct CachingTransport {
     inner: Arc<dyn Transport>,
     cache: Arc<CallCache>,

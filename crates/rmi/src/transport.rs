@@ -47,7 +47,7 @@ use crate::resilience::Deadline;
 ///
 /// A snapshot is a *monotonic* view, not a linearizable cut: the three
 /// counters are individual relaxed atomics, so a snapshot taken while
-/// another thread is mid-[`record`](TransportTelemetry::record) may lag
+/// another thread is mid-`record` may lag
 /// that call. Each field only ever grows, so deltas between two
 /// snapshots of the same transport are well-defined. Writers publish
 /// byte counts *before* bumping `calls` and the snapshot reads `calls`

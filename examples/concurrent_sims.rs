@@ -6,7 +6,9 @@
 //! This example runs the Figure 2-style circuit under several setups at
 //! once and shows the runs are bit-identical to serial execution.
 //!
-//! Run with `cargo run --example concurrent_sims`.
+//! Run with `cargo run --example concurrent_sims`. Pass `--lint` (or
+//! `--lint=json`) to statically analyse the composed design and exit
+//! instead of simulating.
 
 use std::error::Error;
 use std::sync::Arc;
@@ -32,6 +34,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     b.connect(regb, "q", mult, "b")?;
     b.connect(mult, "p", out, "in")?;
     let design = Arc::new(b.build()?);
+
+    // Under --lint[=json], statically analyse the composed design and
+    // exit instead of simulating.
+    if vcad::lint::cli::run_lint_flag(&design) {
+        return Ok(());
+    }
 
     let controller = SimulationController::new(Arc::clone(&design));
 

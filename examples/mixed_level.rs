@@ -6,7 +6,9 @@
 //! highlights: multiple abstraction levels, custom connector semantics,
 //! fan-out/delay modules and autonomous components.
 //!
-//! Run with `cargo run --example mixed_level`.
+//! Run with `cargo run --example mixed_level`. Pass `--lint` (or
+//! `--lint=json`) to statically analyse the composed design and exit
+//! instead of simulating.
 
 use std::error::Error;
 use std::sync::Arc;
@@ -56,6 +58,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     b.connect(clk, "clk", clk_out, "in")?;
 
     let design = Arc::new(b.build()?);
+
+    // Under --lint[=json], statically analyse the composed design and
+    // exit instead of simulating.
+    if vcad::lint::cli::run_lint_flag(&design) {
+        return Ok(());
+    }
+
     let run = SimulationController::new(design).run()?;
 
     // The comparator glitches while operands settle within an instant

@@ -13,7 +13,9 @@
 //! `--chaos-seed <u64>` to run the session over a deterministically
 //! faulty link — dropped, corrupted, duplicated and delayed frames —
 //! behind the retry/dedup resilience layer: the results are identical,
-//! and a fault/retry summary is printed at the end.
+//! and a fault/retry summary is printed at the end. Pass `--lint` (or
+//! `--lint=json`) to statically analyse the composed design and exit
+//! instead of simulating.
 
 use std::error::Error;
 use std::sync::{Arc, Mutex};
@@ -153,6 +155,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     b.connect(regb, "q", mult, "b")?;
     b.connect(mult, "p", out, "in")?;
     let design = Arc::new(b.build()?);
+
+    // Under --lint[=json], statically analyse the composed design (and
+    // the wire protocol) instead of simulating.
+    if vcad::lint::cli::run_lint_flag(&design) {
+        return Ok(());
+    }
 
     // Simulation setup: the most accurate power estimator the provider
     // offers, with a pattern buffer of 5 to amortise RMI calls.

@@ -116,6 +116,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     b.connect(o2_gate, "o", o2, "in")?;
     let design = Arc::new(b.build()?);
 
+    // Under --lint[=json], statically analyse the composed design and
+    // exit instead of simulating.
+    if vcad::lint::cli::run_lint_flag(&design) {
+        return Ok(());
+    }
+
     // ── Virtual fault simulation (Figure 5) ──────────────────────────
     let sim = VirtualFaultSim::new(
         design,

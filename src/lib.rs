@@ -24,7 +24,10 @@
 //!   invalidation);
 //! * [`ip`] — provider servers, component packaging and client sessions;
 //! * [`obs`] — the tracing & metrics backplane (spans with wall + virtual
-//!   timestamps, counters/gauges/histograms, Chrome trace export).
+//!   timestamps, counters/gauges/histograms, Chrome trace export);
+//! * [`lint`] — static design analysis: connectivity, combinational
+//!   loops, metadata sanity and the wire-privacy audit, gated into
+//!   elaboration via [`lint::Elaborate`].
 //!
 //! # Quickstart
 //!
@@ -36,6 +39,7 @@ pub use vcad_cache as cache;
 pub use vcad_core as core;
 pub use vcad_faults as faults;
 pub use vcad_ip as ip;
+pub use vcad_lint as lint;
 pub use vcad_logic as logic;
 pub use vcad_netlist as netlist;
 pub use vcad_netsim as netsim;
