@@ -28,6 +28,15 @@ cargo test --release -q --test chaos_session fault_schedule_is_deterministic
 echo "==> cached-rerun determinism: warm pass must be bit-identical, wire-free and fee-free"
 cargo test --release -q --test cached_rerun
 
+echo "==> shard matrix: differential suite must be bit-identical at 1, 2 and 8 shards"
+VCAD_SHARDS=1,2,8 cargo test --release -q --test shard_differential
+
+echo "==> shard properties: fixed-seed random designs/partitions (rerun one with VCAD_PROP_SEED=<seed>)"
+cargo test --release -q --test shard_property
+
+echo "==> golden drift gate: canonical bench outputs must match tests/golden/ (update: VCAD_UPDATE_GOLDEN=1)"
+cargo test --release -q --test golden_outputs
+
 echo "==> lint gate: clean two-provider design must pass elaboration"
 cargo run --release -q -p vcad-lint --bin lintgate -- clean
 

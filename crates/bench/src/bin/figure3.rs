@@ -10,10 +10,16 @@
 //! covering every run, plus a plain-text metrics summary on stdout.
 //! Pass `--lint` (or `--lint=json`) to statically analyse the ER
 //! scenario's design and exit instead of measuring.
+//! Pass `--shards <n>` to schedule each run under
+//! `ShardPolicy::Auto(n)`. The ER circuit is one connectivity
+//! component, so this degenerates to the sequential scheduler — the
+//! flag exists for interface parity with `table2`, where the
+//! multi-component benchmark gives it teeth.
 
 use vcad_bench::cli;
 use vcad_bench::report::{modeled_real_time, print_table, secs};
 use vcad_bench::scenarios::{self, Scenario};
+use vcad_core::ShardPolicy;
 use vcad_netsim::NetworkModel;
 
 fn main() {
@@ -21,6 +27,7 @@ fn main() {
     let patterns = 100u64;
     let wan = NetworkModel::wan_1999();
     let trace_out = cli::trace_path();
+    let shards = cli::shards();
     let obs = cli::collector_for(trace_out.as_ref());
 
     // Under --lint[=json], statically analyse the scenario's design and
@@ -37,13 +44,16 @@ fn main() {
     let mut reals = Vec::new();
     for &pct in &buffer_pcts {
         let buffer = (patterns as usize * pct / 100).max(1);
-        let rig = scenarios::build_with_obs(
+        let mut rig = scenarios::build_with_obs(
             Scenario::EstimatorRemote,
             width,
             patterns,
             buffer,
             obs.clone(),
         );
+        if let Some(n) = shards {
+            rig.set_shards(ShardPolicy::Auto(n));
+        }
         let run = rig.run(Scenario::EstimatorRemote);
         let real = modeled_real_time(run.cpu, &run.stats, &wan);
         reals.push(real);

@@ -23,15 +23,66 @@
 //! time, RMI calls/bytes, fees, cache hit-rate) as a JSON file.
 //! Pass `--lint` (or `--lint=json`) to statically analyse each
 //! scenario's design and exit instead of measuring.
+//! Pass `--shards <n>` to run every scenario's scheduler under
+//! `ShardPolicy::Auto(n)` (a no-op for the single-component Figure 2
+//! circuit, asserted bit-identical by the scenario suite) and — for
+//! `n > 1` — to additionally time the multi-component shard benchmark
+//! at 1 versus `n` shards, asserting the outputs bit-identical and
+//! recording both wall clocks in the `--json` report.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use vcad_bench::cli;
 use vcad_bench::report::{modeled_real_time, print_table, secs};
 use vcad_bench::scenarios::{self, Scenario, ScenarioRun};
 use vcad_cache::CacheConfig;
+use vcad_core::ShardPolicy;
 use vcad_ip::IpCache;
 use vcad_netsim::NetworkModel;
+
+/// Wall clocks of the multi-component benchmark at 1 and `shards`
+/// shards (best of three runs each, to keep the committed numbers
+/// stable against scheduler noise).
+struct ShardBench {
+    components: usize,
+    width: usize,
+    patterns: u64,
+    shards: usize,
+    events: u64,
+    sequential: Duration,
+    sharded: Duration,
+}
+
+fn run_shard_bench(shards: usize) -> ShardBench {
+    let (components, width, patterns) = (8, 16, 400);
+    let best = |policy: ShardPolicy| -> (Duration, vcad_bench::scenarios::MultiRun) {
+        let rig = scenarios::build_multi_component(components, width, patterns, policy);
+        let mut runs: Vec<vcad_bench::scenarios::MultiRun> = (0..3).map(|_| rig.run()).collect();
+        runs.sort_by_key(|r| r.cpu);
+        (runs[0].cpu, runs.swap_remove(0))
+    };
+    let (sequential, seq_run) = best(ShardPolicy::Sequential);
+    let (sharded, par_run) = best(ShardPolicy::Auto(shards));
+    assert_eq!(par_run.shard_count, shards.min(components));
+    assert_eq!(
+        par_run.events, seq_run.events,
+        "sharded run processed a different event count"
+    );
+    assert_eq!(
+        par_run.words, seq_run.words,
+        "sharded run diverged from sequential"
+    );
+    ShardBench {
+        components,
+        width,
+        patterns,
+        shards,
+        events: seq_run.events,
+        sequential,
+        sharded,
+    }
+}
 
 fn main() {
     let width = 16;
@@ -41,6 +92,7 @@ fn main() {
     let chaos_seed = cli::chaos_seed();
     let cached = cli::cache_enabled();
     let json_out = cli::json_path();
+    let shards = cli::shards();
     let obs = cli::collector_for(trace_out.as_ref());
 
     // Under --lint[=json], statically analyse each scenario's design
@@ -67,7 +119,7 @@ fn main() {
         // ids, which repeat across independently built rigs.
         let cache =
             cached.then(|| Arc::new(IpCache::new(CacheConfig::default()).with_collector(&obs)));
-        let rig = scenarios::build_full(
+        let mut rig = scenarios::build_full(
             scenario,
             width,
             patterns,
@@ -76,6 +128,9 @@ fn main() {
             chaos_seed,
             cache,
         );
+        if let Some(n) = shards {
+            rig.set_shards(ShardPolicy::Auto(n));
+        }
         let cold = rig.run(scenario);
         cold_runs.push(cold.clone());
         let scenario_passes: Vec<(&'static str, ScenarioRun)> = if cached {
@@ -246,6 +301,26 @@ fn main() {
         );
     }
 
+    // The Figure 2 circuit is a single connectivity component, so the
+    // table above is shard-invariant by construction; the scaling story
+    // needs a design with independent components to spread.
+    let shard_bench = shards.filter(|&n| n > 1).map(run_shard_bench);
+    if let Some(bench) = &shard_bench {
+        println!(
+            "\nshard bench ({} components × {}-bit wallace multipliers, \
+             {} patterns, {} events): 1 shard {:.1} ms, {} shards {:.1} ms \
+             ({:.2}× speedup), outputs bit-identical",
+            bench.components,
+            bench.width,
+            bench.patterns,
+            bench.events,
+            bench.sequential.as_secs_f64() * 1e3,
+            bench.shards,
+            bench.sharded.as_secs_f64() * 1e3,
+            bench.sequential.as_secs_f64() / bench.sharded.as_secs_f64(),
+        );
+    }
+
     if let Some(path) = json_out {
         let entries: Vec<String> = passes
             .iter()
@@ -265,10 +340,29 @@ fn main() {
                 )
             })
             .collect();
+        let shard_doc = shard_bench.as_ref().map_or_else(
+            || "null".to_owned(),
+            |b| {
+                format!(
+                    "{{\"components\": {}, \"width\": {}, \"patterns\": {}, \
+                     \"events\": {}, \"shards\": {}, \"wall_ms_1_shard\": {:.3}, \
+                     \"wall_ms_sharded\": {:.3}, \"speedup\": {:.3}}}",
+                    b.components,
+                    b.width,
+                    b.patterns,
+                    b.events,
+                    b.shards,
+                    b.sequential.as_secs_f64() * 1e3,
+                    b.sharded.as_secs_f64() * 1e3,
+                    b.sequential.as_secs_f64() / b.sharded.as_secs_f64(),
+                )
+            },
+        );
         let doc = format!(
             "{{\n  \"bench\": \"table2\",\n  \"width\": {width},\n  \
              \"patterns\": {patterns},\n  \"buffer\": {buffer},\n  \
-             \"cached\": {cached},\n  \"chaos_seed\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+             \"cached\": {cached},\n  \"chaos_seed\": {},\n  \
+             \"shard_bench\": {shard_doc},\n  \"runs\": [\n{}\n  ]\n}}\n",
             chaos_seed.map_or_else(|| "null".to_owned(), |s| s.to_string()),
             entries.join(",\n"),
         );

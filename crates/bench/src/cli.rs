@@ -50,6 +50,34 @@ pub fn chaos_seed() -> Option<u64> {
     None
 }
 
+/// Parses `--shards <n>` from the process arguments, if present: the
+/// bench runs its scheduler sharded over up to `n` worker threads
+/// (`vcad_core::ShardPolicy::Auto`), and — where the bin defines one —
+/// additionally measures the multi-component benchmark at `--shards 1`
+/// versus `--shards n`. Results are bit-identical to sequential runs;
+/// only the wall clock moves.
+///
+/// Exits with status 2 when `--shards` is given without a positive
+/// integer.
+#[must_use]
+pub fn shards() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--shards needs a positive integer");
+                std::process::exit(2);
+            });
+            if n == 0 {
+                eprintln!("--shards needs a positive integer");
+                std::process::exit(2);
+            }
+            return Some(n);
+        }
+    }
+    None
+}
+
 /// Parses `--json <path>` from the process arguments, if present: the
 /// bench writes a machine-readable result file (wall times, RMI call
 /// counts, fees and cache hit-rates) next to its human-readable table.

@@ -13,10 +13,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use vcad_core::stdlib::{PrimaryOutput, RandomInput, Register, WordMultiplier};
+use vcad_core::stdlib::{NetlistBusBlock, PrimaryOutput, RandomInput, Register, WordMultiplier};
 use vcad_core::{
     Design, DesignBuilder, Estimator, Module, ModuleId, Parameter, SetupController, SetupCriterion,
-    SimulationController,
+    ShardPolicy, SimulationController,
 };
 use vcad_ip::{ClientSession, ComponentOffering, IpCache, IpComponentModule, ProviderServer};
 use vcad_netlist::generators;
@@ -315,6 +315,15 @@ impl ScenarioRig {
         self.cache.as_ref()
     }
 
+    /// Reruns this rig's controller under a shard policy. The Figure 2
+    /// circuit is one connectivity component, so [`ShardPolicy::Auto`]
+    /// degenerates to the sequential scheduler here — the hook exists so
+    /// `--shards` applies uniformly across bench rigs, and so a future
+    /// multi-component rig change picks it up for free.
+    pub fn set_shards(&mut self, policy: ShardPolicy) {
+        self.controller = self.controller.clone().with_shards(policy);
+    }
+
     /// Runs the simulation once, measuring client time and RMI traffic.
     ///
     /// Traffic is the delta of the rig collector's `rmi.transport.*`
@@ -369,6 +378,139 @@ pub fn run(scenario: Scenario, width: usize, patterns: u64, buffer: usize) -> Sc
     build(scenario, width, patterns, buffer).run(scenario)
 }
 
+/// A shard-scaling benchmark design: `components` independent copies of
+/// a heavy gate-level pipeline.
+///
+/// Each copy is `RandomInput ×2 → Register ×2 → gate-level Wallace
+/// multiplier → PrimaryOutput`, with no connector crossing copies — so
+/// [`vcad_core::connectivity_components`] finds exactly `components`
+/// components and [`ShardPolicy::Auto`] spreads them over worker
+/// threads. The multiplier is a [`NetlistBusBlock`] evaluated gate by
+/// gate on every event, which makes per-event work heavy enough for
+/// sharding to show a real wall-clock difference (the Figure 2
+/// scenarios are one component each and cannot).
+pub struct MultiRig {
+    design: Arc<Design>,
+    controller: SimulationController,
+    outputs: Vec<ModuleId>,
+}
+
+/// The measured outcome of one [`MultiRig`] run.
+#[derive(Clone, Debug)]
+pub struct MultiRun {
+    /// Wall time of the run.
+    pub cpu: Duration,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Shards the scheduler actually used (1 when sequential).
+    pub shard_count: usize,
+    /// Captured output words, one history per component. Runs under
+    /// different shard policies must agree on these bit for bit.
+    pub words: Vec<Vec<u128>>,
+}
+
+/// Builds the multi-component shard benchmark.
+///
+/// `components` independent pipelines, operand `width` bits, `patterns`
+/// random vectors each, scheduled under `policy`.
+///
+/// # Panics
+///
+/// Panics when the design fails to elaborate (a bug, not a recoverable
+/// state).
+#[must_use]
+pub fn build_multi_component(
+    components: usize,
+    width: usize,
+    patterns: u64,
+    policy: ShardPolicy,
+) -> MultiRig {
+    let netlist = Arc::new(generators::wallace_multiplier(width));
+    let mut b = DesignBuilder::new(format!("shard-bench-{components}x{width}"));
+    let mut outputs = Vec::with_capacity(components);
+    for k in 0..components {
+        // Distinct seeds per copy: identical streams would let a
+        // value-memoizing scheduler cheat the benchmark.
+        let seed = 2 * k as u64;
+        let ina = b.add_module(Arc::new(RandomInput::new(
+            format!("INA{k}"),
+            width,
+            0xA000 + seed,
+            patterns,
+        )));
+        let inb = b.add_module(Arc::new(RandomInput::new(
+            format!("INB{k}"),
+            width,
+            0xB000 + seed,
+            patterns,
+        )));
+        let rega = b.add_module(Arc::new(Register::new(format!("REGA{k}"), width)));
+        let regb = b.add_module(Arc::new(Register::new(format!("REGB{k}"), width)));
+        let mult = b.add_module(Arc::new(NetlistBusBlock::new(
+            format!("MULT{k}"),
+            Arc::clone(&netlist),
+            &[("a", width), ("b", width)],
+            &[("p", 2 * width)],
+        )));
+        let out = b.add_module(Arc::new(PrimaryOutput::new(format!("OUT{k}"), 2 * width)));
+        b.connect(ina, "out", rega, "d").expect("wire INA");
+        b.connect(inb, "out", regb, "d").expect("wire INB");
+        b.connect(rega, "q", mult, "a").expect("wire REGA");
+        b.connect(regb, "q", mult, "b").expect("wire REGB");
+        b.connect(mult, "p", out, "in").expect("wire OUT");
+        outputs.push(out);
+    }
+    let design = Arc::new(b.build().expect("shard bench design is valid"));
+    let controller = SimulationController::new(Arc::clone(&design)).with_shards(policy);
+    MultiRig {
+        design,
+        controller,
+        outputs,
+    }
+}
+
+impl MultiRig {
+    /// The elaborated design.
+    #[must_use]
+    pub fn design(&self) -> &Arc<Design> {
+        &self.design
+    }
+
+    /// The controller (for custom runs).
+    #[must_use]
+    pub fn controller(&self) -> &SimulationController {
+        &self.controller
+    }
+
+    /// Runs the benchmark once, measuring wall time and capturing every
+    /// component's output history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation itself fails.
+    #[must_use]
+    pub fn run(&self) -> MultiRun {
+        let start = Instant::now();
+        let run = self.controller.run().expect("shard bench simulation");
+        let cpu = start.elapsed();
+        let words = self
+            .outputs
+            .iter()
+            .map(|&out| {
+                run.module_state::<vcad_core::stdlib::CaptureState>(out)
+                    .expect("output captured")
+                    .words()
+            })
+            .collect();
+        MultiRun {
+            cpu,
+            events: run.events_processed(),
+            shard_count: run.shard_count(),
+            words,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +549,19 @@ mod tests {
             er.stats.calls
         );
         assert!(mr.stats.bytes_sent > er.stats.bytes_sent);
+    }
+
+    #[test]
+    fn multi_component_rig_is_shard_invariant() {
+        let seq = build_multi_component(4, 6, 8, ShardPolicy::Sequential).run();
+        assert_eq!(seq.shard_count, 1);
+        assert_eq!(seq.words.len(), 4);
+        for shards in [2, 4] {
+            let par = build_multi_component(4, 6, 8, ShardPolicy::Auto(shards)).run();
+            assert_eq!(par.shard_count, shards);
+            assert_eq!(par.events, seq.events, "{shards} shards");
+            assert_eq!(par.words, seq.words, "{shards} shards diverged");
+        }
     }
 
     #[test]

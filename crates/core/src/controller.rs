@@ -7,8 +7,9 @@ use vcad_obs::Collector;
 
 use crate::design::{Design, ModuleId};
 use crate::estimate::{EstimateError, EstimationInput, Parameter, PortSnapshot};
-use crate::scheduler::{Scheduler, SimulationError, StateStore};
+use crate::scheduler::{LoggedEvent, SimulationError, StateStore};
 use crate::setup::{Degradation, EstimateLog, EstimateRecord, SetupBinding};
+use crate::shard::{ShardPolicy, SimEngine};
 use crate::time::SimTime;
 
 /// Launches and coordinates schedulers over a design — JavaCAD's
@@ -16,7 +17,7 @@ use crate::time::SimTime;
 ///
 /// A controller owns the run policy (time limit, event limit, setup for
 /// dynamic estimation); each [`SimulationController::run`] creates a fresh
-/// [`Scheduler`] with its own isolated state, so the same controller — or
+/// [`Scheduler`](crate::Scheduler) with its own isolated state, so the same controller — or
 /// several controllers over the same shared design — can run any number of
 /// times, serially or concurrently.
 ///
@@ -28,6 +29,8 @@ pub struct SimulationController {
     until: Option<SimTime>,
     event_limit: Option<u64>,
     obs: Option<Collector>,
+    shards: ShardPolicy,
+    record_events: bool,
 }
 
 impl SimulationController {
@@ -40,7 +43,28 @@ impl SimulationController {
             until: None,
             event_limit: None,
             obs: None,
+            shards: ShardPolicy::Sequential,
+            record_events: false,
         }
+    }
+
+    /// Selects how each run is distributed across threads — see
+    /// [`ShardPolicy`]. Sharded runs are bit-identical to sequential ones
+    /// for component-respecting partitions; the default is sequential.
+    #[must_use]
+    pub fn with_shards(mut self, policy: ShardPolicy) -> SimulationController {
+        self.shards = policy;
+        self
+    }
+
+    /// Records every dispatched token, exposed afterwards through
+    /// [`SimRun::event_log`] in canonical order — the hook the shard
+    /// differential tests compare runs with. Off by default (logging
+    /// clones every payload).
+    #[must_use]
+    pub fn record_events(mut self) -> SimulationController {
+        self.record_events = true;
+        self
     }
 
     /// Attaches a setup: dynamic estimation runs at the end of every
@@ -93,12 +117,16 @@ impl SimulationController {
         // Isolate-then-merge: the run records into a child collector, so
         // concurrent runs never share a ring. Merged back at the end.
         let child = self.obs.as_ref().map(Collector::child);
-        let mut scheduler = Scheduler::new(Arc::clone(&self.design));
+        let mut scheduler = SimEngine::new(Arc::clone(&self.design), &self.shards)?;
+        let shard_count = scheduler.shard_count();
         if let Some(limit) = self.event_limit {
             scheduler.set_event_limit(limit);
         }
         if let Some(child) = &child {
             scheduler.set_collector(child);
+        }
+        if self.record_events {
+            scheduler.set_event_log(true);
         }
         let run_span = child.as_ref().and_then(|c| {
             c.is_enabled()
@@ -121,29 +149,36 @@ impl SimulationController {
             .map(|s| s.bound_modules())
             .unwrap_or_default();
 
-        loop {
-            if let (Some(limit), Some(next)) = (self.until, scheduler.next_time()) {
-                if next > limit {
-                    break;
+        if self.setup.is_none() {
+            // Nothing to observe between instants: let the engine drive
+            // the whole run. For zero-cross-edge shard plans this is
+            // where free-running shards drop per-instant barriers.
+            scheduler.run(self.until)?;
+        } else {
+            loop {
+                if let (Some(limit), Some(next)) = (self.until, scheduler.next_time()) {
+                    if next > limit {
+                        break;
+                    }
                 }
-            }
-            let Some(_instant) = scheduler.step_instant()? else {
-                break;
-            };
-            if let Some(setup) = &self.setup {
-                for &module in &bound_modules {
-                    let buffer = buffers.entry(module.index()).or_default();
-                    buffer.push(scheduler.snapshot(module));
-                    if buffer.len() >= setup.buffer_size() {
-                        Self::flush(
-                            setup,
-                            module,
-                            buffer,
-                            &mut seeds,
-                            &scheduler,
-                            &mut log,
-                            &mut degraded,
-                        );
+                let Some(_instant) = scheduler.step_instant()? else {
+                    break;
+                };
+                if let Some(setup) = &self.setup {
+                    for &module in &bound_modules {
+                        let buffer = buffers.entry(module.index()).or_default();
+                        buffer.push(scheduler.snapshot(module));
+                        if buffer.len() >= setup.buffer_size() {
+                            Self::flush(
+                                setup,
+                                module,
+                                buffer,
+                                &mut seeds,
+                                scheduler.time(),
+                                &mut log,
+                                &mut degraded,
+                            );
+                        }
                     }
                 }
             }
@@ -157,7 +192,7 @@ impl SimulationController {
                             module,
                             buffer,
                             &mut seeds,
-                            &scheduler,
+                            scheduler.time(),
                             &mut log,
                             &mut degraded,
                         );
@@ -180,11 +215,14 @@ impl SimulationController {
             parent.absorb(child);
         }
 
+        let event_log = self.record_events.then(|| scheduler.take_event_log());
         Ok(SimRun {
             end_time: scheduler.time(),
             events_processed: scheduler.events_processed(),
             state: scheduler.into_state_store(),
             estimates: log,
+            event_log,
+            shard_count,
         })
     }
 
@@ -216,7 +254,7 @@ impl SimulationController {
         module: ModuleId,
         buffer: &mut Vec<PortSnapshot>,
         seeds: &mut HashMap<usize, PortSnapshot>,
-        scheduler: &Scheduler,
+        now: SimTime,
         log: &mut EstimateLog,
         degraded: &mut std::collections::HashSet<(usize, Parameter)>,
     ) {
@@ -275,7 +313,7 @@ impl SimulationController {
                     ),
                     Err(EstimateError::Unavailable(reason)) => {
                         log.push_degradation(Degradation {
-                            time: scheduler.time(),
+                            time: now,
                             module,
                             parameter: parameter.clone(),
                             from: info.name.clone(),
@@ -300,7 +338,7 @@ impl SimulationController {
                 }
             };
             log.push(EstimateRecord {
-                time: scheduler.time(),
+                time: now,
                 module,
                 parameter,
                 estimator: name,
@@ -330,6 +368,8 @@ pub struct SimRun {
     events_processed: u64,
     state: StateStore,
     estimates: EstimateLog,
+    event_log: Option<Vec<LoggedEvent>>,
+    shard_count: usize,
 }
 
 impl SimRun {
@@ -337,6 +377,19 @@ impl SimRun {
     #[must_use]
     pub fn end_time(&self) -> SimTime {
         self.end_time
+    }
+
+    /// The dispatched-event log in canonical order, if the controller was
+    /// built with [`SimulationController::record_events`].
+    #[must_use]
+    pub fn event_log(&self) -> Option<&[LoggedEvent]> {
+        self.event_log.as_deref()
+    }
+
+    /// How many shards executed this run (1 for a sequential run).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
     }
 
     /// Total events processed.

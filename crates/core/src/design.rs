@@ -206,6 +206,15 @@ impl Design {
         self.connectors[idx].opposite(port)
     }
 
+    /// Iterates over connector endpoint pairs.
+    ///
+    /// This is the boundary along which [`ShardPlan`](crate::ShardPlan)
+    /// partitions a design: modules tied by a connector always land in the
+    /// same shard, so zero-delay signal traffic never crosses threads.
+    pub fn connector_endpoints(&self) -> impl Iterator<Item = (PortRef, PortRef)> + '_ {
+        self.connectors.iter().map(|c| (c.a, c.b))
+    }
+
     /// Exported (interface) ports, as `(name, port)`.
     #[must_use]
     pub fn exports(&self) -> &[(String, PortRef)] {

@@ -53,6 +53,7 @@ mod estimate;
 mod module;
 mod scheduler;
 mod setup;
+mod shard;
 pub mod stdlib;
 mod time;
 mod token;
@@ -64,10 +65,11 @@ pub use estimate::{
     NullEstimator, Parameter, ParseParameterError, PortSnapshot,
 };
 pub use module::{Module, ModuleCtx, PortDirection, PortSpec};
-pub use scheduler::{Scheduler, SimulationError, StateStore};
+pub use scheduler::{canonicalize_event_log, LoggedEvent, Scheduler, SimulationError, StateStore};
 pub use setup::{
     Degradation, EstimateLog, EstimateRecord, SetupBinding, SetupController, SetupCriterion,
 };
+pub use shard::{connectivity_components, ShardPlan, ShardPolicy, ShardedScheduler, SimEngine};
 pub use time::SimTime;
 pub use token::TokenPayload;
 

@@ -36,6 +36,12 @@ pub enum SimulationError {
         /// What was wrong, with the offending reference.
         reason: String,
     },
+    /// A [`ShardPolicy::Manual`](crate::ShardPolicy::Manual) assignment
+    /// did not describe a valid partition of the design.
+    InvalidShardPlan {
+        /// What was wrong with the assignment.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimulationError {
@@ -46,6 +52,9 @@ impl fmt::Display for SimulationError {
             }
             SimulationError::MalformedInjection { reason } => {
                 write!(f, "malformed injection: {reason}")
+            }
+            SimulationError::InvalidShardPlan { reason } => {
+                write!(f, "invalid shard plan: {reason}")
             }
         }
     }
@@ -66,6 +75,14 @@ pub struct StateStore {
 }
 
 impl StateStore {
+    pub(crate) fn from_slots(slots: Vec<Option<Box<dyn Any + Send>>>) -> StateStore {
+        StateStore { slots }
+    }
+
+    pub(crate) fn into_slots(self) -> Vec<Option<Box<dyn Any + Send>>> {
+        self.slots
+    }
+
     /// Immutable access to a module's state, if it has the given type.
     #[must_use]
     pub fn get<T: 'static>(&self, module: ModuleId) -> Option<&T> {
@@ -121,6 +138,51 @@ impl SchedTelemetry {
     }
 }
 
+/// One dispatched event, as recorded by the optional event log.
+///
+/// Event logs are the currency of the differential shard tests: a sharded
+/// run and a sequential run over the same design must produce identical
+/// logs once both are put into [canonical order](canonicalize_event_log).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoggedEvent {
+    /// The instant at which the token was dispatched.
+    pub time: SimTime,
+    /// The module that received it.
+    pub target: ModuleId,
+    /// The token itself.
+    pub payload: TokenPayload,
+}
+
+/// Stable-sorts an event log by `(time, target module)`.
+///
+/// Within one `(instant, module)` pair both the sequential scheduler and
+/// every shard preserve enqueue order, so canonical order is a total,
+/// execution-independent order — the form in which logs are compared.
+pub fn canonicalize_event_log(log: &mut [LoggedEvent]) {
+    log.sort_by_key(|e| (e.time, e.target));
+}
+
+/// A token a shard produced for a module owned by another shard.
+///
+/// Collected from each shard's outbox at a virtual-time barrier and merged
+/// in `(time, origin shard, origin sequence)` order — see
+/// [`ShardedScheduler`](crate::ShardedScheduler).
+#[derive(Debug)]
+pub(crate) struct CrossToken {
+    pub(crate) time: SimTime,
+    pub(crate) origin_seq: u64,
+    pub(crate) target: ModuleId,
+    pub(crate) payload: TokenPayload,
+}
+
+/// Shard identity of one scheduler acting as a shard worker.
+struct ShardCtx {
+    /// This scheduler's shard id.
+    id: usize,
+    /// Module index -> owning shard id, shared across all shards.
+    assignment: Arc<Vec<usize>>,
+}
+
 #[derive(Debug)]
 struct Queued {
     time: SimTime,
@@ -170,6 +232,12 @@ pub struct Scheduler {
     event_limit: u64,
     scratch: Vec<Action>,
     telemetry: Option<Box<SchedTelemetry>>,
+    /// Set when this scheduler is one shard of a sharded run.
+    shard: Option<ShardCtx>,
+    /// Tokens destined for modules owned by other shards.
+    outbox: Vec<CrossToken>,
+    /// Dispatched-event log, when enabled.
+    event_log: Option<Vec<LoggedEvent>>,
 }
 
 impl Scheduler {
@@ -202,7 +270,31 @@ impl Scheduler {
             event_limit: 10_000_000,
             scratch: Vec::new(),
             telemetry: None,
+            shard: None,
+            outbox: Vec::new(),
+            event_log: None,
         }
+    }
+
+    /// Marks this scheduler as shard `id` of a sharded run: only modules
+    /// mapped to `id` by `assignment` are initialised and simulated here;
+    /// tokens for other modules are diverted to the cross-shard outbox.
+    pub(crate) fn configure_shard(&mut self, id: usize, assignment: Arc<Vec<usize>>) {
+        self.shard = Some(ShardCtx { id, assignment });
+    }
+
+    /// Enables or disables the dispatched-event log.
+    pub fn set_event_log(&mut self, enabled: bool) {
+        self.event_log = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the recorded event log (empty if logging was never enabled),
+    /// in dispatch order.
+    pub fn take_event_log(&mut self) -> Vec<LoggedEvent> {
+        self.event_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Replaces the event-processing cap (guards against zero-delay loops).
@@ -339,10 +431,22 @@ impl Scheduler {
         Ok(())
     }
 
-    /// Calls every module's [`Module::init`] hook.
+    /// Calls every owned module's [`Module::init`] hook, in module-index
+    /// order (all modules when this scheduler is not a shard).
     pub fn init(&mut self) {
         for i in 0..self.design.module_count() {
-            self.run_handler(ModuleId::from_index(i), |module, ctx| module.init(ctx));
+            if self.owns(ModuleId::from_index(i)) {
+                self.run_handler(ModuleId::from_index(i), |module, ctx| module.init(ctx));
+            }
+        }
+    }
+
+    /// Whether this scheduler simulates `module` (always true outside a
+    /// sharded run).
+    pub(crate) fn owns(&self, module: ModuleId) -> bool {
+        match &self.shard {
+            Some(ctx) => ctx.assignment.get(module.index()) == Some(&ctx.id),
+            None => true,
         }
     }
 
@@ -414,6 +518,69 @@ impl Scheduler {
         Ok(Some(instant))
     }
 
+    /// Processes every pending token at exactly `instant` and advances
+    /// local time to it — one shard's share of a barrier round.
+    ///
+    /// Unlike [`Scheduler::step_instant`] the instant is dictated by the
+    /// coordinator: a shard with nothing pending at `instant` merely
+    /// advances its clock. Zero-delay cascades that stay shard-local are
+    /// processed here; tokens for other shards land in the outbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::EventLimitExceeded`] when the event cap
+    /// is hit.
+    pub(crate) fn run_instant_at(&mut self, instant: SimTime) -> Result<(), SimulationError> {
+        self.time = instant;
+        let mut active = false;
+        while let Some(Reverse(q)) = self.queue.peek() {
+            if q.time > instant {
+                break;
+            }
+            active = true;
+            let Reverse(q) = self.queue.pop().expect("peeked");
+            self.events_processed += 1;
+            if self.events_processed > self.event_limit {
+                return Err(SimulationError::EventLimitExceeded {
+                    limit: self.event_limit,
+                });
+            }
+            self.dispatch(q);
+        }
+        if let Some(t) = &self.telemetry {
+            if active {
+                t.instants.inc();
+            }
+            t.queue_depth.set(self.queue.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Advances local time without processing anything (barrier catch-up
+    /// for idle shards, so snapshots carry the global instant).
+    pub(crate) fn advance_time(&mut self, instant: SimTime) {
+        debug_assert!(self.next_time().is_none_or(|t| t >= instant));
+        self.time = instant;
+    }
+
+    /// Drains the cross-shard outbox.
+    pub(crate) fn take_cross(&mut self) -> Vec<CrossToken> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Accepts a cross-shard token merged in by the coordinator, giving it
+    /// the next local sequence number.
+    pub(crate) fn receive_cross(&mut self, token: CrossToken) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued {
+            time: token.time,
+            seq,
+            target: token.target,
+            payload: token.payload,
+        }));
+    }
+
     /// Runs instants until the queue drains or `until` is passed.
     ///
     /// # Errors
@@ -455,6 +622,13 @@ impl Scheduler {
     }
 
     fn dispatch(&mut self, q: Queued) {
+        if let Some(log) = &mut self.event_log {
+            log.push(LoggedEvent {
+                time: q.time,
+                target: q.target,
+                payload: q.payload.clone(),
+            });
+        }
         if let Some(t) = &self.telemetry {
             t.events_dispatched.inc();
             match &q.payload {
@@ -532,6 +706,18 @@ impl Scheduler {
     fn enqueue(&mut self, time: SimTime, target: ModuleId, payload: TokenPayload) {
         let seq = self.seq;
         self.seq += 1;
+        if !self.owns(target) {
+            // Another shard simulates `target`: divert to the outbox for
+            // the coordinator's deterministic barrier merge. The local
+            // sequence number rides along as the merge tiebreaker.
+            self.outbox.push(CrossToken {
+                time,
+                origin_seq: seq,
+                target,
+                payload,
+            });
+            return;
+        }
         self.queue.push(Reverse(Queued {
             time,
             seq,

@@ -1,0 +1,1279 @@
+//! Sharded execution: one design, several event loops, bit-identical
+//! results.
+//!
+//! A [`ShardPlan`] partitions a [`Design`] along connector boundaries —
+//! modules tied by a connector always share a shard, so the zero-delay
+//! signal traffic that dominates a simulation never crosses threads. A
+//! [`ShardedScheduler`] then runs one [`Scheduler`] per shard on a
+//! persistent worker pool and synchronises them at virtual-time barriers:
+//!
+//! 1. The coordinator picks the next instant `T` = min over shards of
+//!    their earliest pending token.
+//! 2. Every shard with work at `T` processes *all* of its tokens at `T`
+//!    (including shard-local zero-delay cascades) on its own thread.
+//! 3. Tokens produced for modules owned by other shards (control tokens —
+//!    the only traffic that can leave a connectivity component) are
+//!    drained from per-shard outboxes and merged in
+//!    `(timestamp, origin shard, origin sequence)` order, a total order
+//!    that does not depend on thread scheduling.
+//! 4. If the merge delivered more tokens *at* `T`, another micro-round of
+//!    step 2 runs; otherwise the barrier completes and every shard's clock
+//!    advances to `T`.
+//!
+//! **Why bit-identity holds.** A module's behaviour depends only on its own
+//! token stream and its own latches. Within one shard, tokens are processed
+//! in `(time, sequence)` order and sequence numbers are handed out in the
+//! same relative order as the sequential scheduler hands them to that
+//! shard's modules (init walks modules in index order; dispatch within an
+//! instant preserves enqueue order). Since a connectivity component never
+//! straddles shards, every signal token is shard-local, so each module sees
+//! exactly the sequential token stream — same latches, same state, same
+//! outputs, same estimates. Cross-component control tokens are merged in
+//! the canonical order above; the repository's designs never race a
+//! cross-component control token against same-instant component-local
+//! traffic on one module, which keeps the canonical order observationally
+//! identical to the sequential one there too.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use vcad_obs::Collector;
+
+use crate::design::{Design, ModuleId, PortRef};
+use crate::estimate::PortSnapshot;
+use crate::module::Module;
+use crate::scheduler::{
+    canonicalize_event_log, CrossToken, LoggedEvent, Scheduler, SimulationError, StateStore,
+};
+use crate::time::SimTime;
+
+/// How a [`SimulationController`](crate::SimulationController) (or a
+/// [`SimEngine`]) distributes one run across threads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// One event loop, one thread — the classic scheduler.
+    #[default]
+    Sequential,
+    /// Partition into at most this many shards along connectivity
+    /// components, balancing module counts across shards. A value of 0 or
+    /// 1 (or a single-component design) degenerates to `Sequential`.
+    Auto(usize),
+    /// Explicit module-index → shard-id assignment. Shard ids must be
+    /// dense (`0..max+1`, none empty) and the assignment must cover every
+    /// module. Splitting a connectivity component is allowed — runs stay
+    /// deterministic — but bit-identity with the sequential scheduler is
+    /// only guaranteed for component-respecting assignments such as the
+    /// ones `Auto` produces.
+    Manual(Vec<usize>),
+}
+
+/// A resolved partition of one design.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    assignment: Arc<Vec<usize>>,
+    shard_count: usize,
+    component_count: usize,
+    /// Connectors whose endpoints land on different shards. Zero for
+    /// every component-respecting partition (all `Auto` plans); only a
+    /// `Manual` plan that splits a component can make this positive.
+    cross_edges: usize,
+}
+
+/// Connectors of `design` whose endpoints `assignment` places on
+/// different shards.
+fn count_cross_edges(design: &Design, assignment: &[usize]) -> usize {
+    design
+        .connector_endpoints()
+        .filter(|(a, b)| assignment[a.module.index()] != assignment[b.module.index()])
+        .count()
+}
+
+impl ShardPlan {
+    /// Resolves a policy against a design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::InvalidShardPlan`] for a malformed
+    /// [`ShardPolicy::Manual`] assignment (wrong length, non-dense ids).
+    pub fn resolve(design: &Design, policy: &ShardPolicy) -> Result<ShardPlan, SimulationError> {
+        match policy {
+            ShardPolicy::Sequential => Ok(ShardPlan {
+                assignment: Arc::new(vec![0; design.module_count()]),
+                shard_count: 1,
+                component_count: connectivity_components(design).1,
+                cross_edges: 0,
+            }),
+            ShardPolicy::Auto(n) => Ok(ShardPlan::auto(design, *n)),
+            ShardPolicy::Manual(assignment) => ShardPlan::manual(design, assignment.clone()),
+        }
+    }
+
+    /// Auto-partitions: connectivity components are distributed over at
+    /// most `shards` shards by longest-processing-time assignment (largest
+    /// component first, onto the least-loaded shard, lowest shard id on
+    /// ties) — deterministic for a given design.
+    #[must_use]
+    pub fn auto(design: &Design, shards: usize) -> ShardPlan {
+        let (labels, component_count) = connectivity_components(design);
+        let shard_count = shards.max(1).min(component_count.max(1));
+        // Component sizes, then LPT order: size descending, first-module
+        // index ascending as the deterministic tiebreaker.
+        let mut sizes = vec![0usize; component_count];
+        for &c in &labels {
+            sizes[c] += 1;
+        }
+        let mut order: Vec<usize> = (0..component_count).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(sizes[c]), c));
+        let mut loads = vec![0usize; shard_count];
+        let mut component_shard = vec![0usize; component_count];
+        for c in order {
+            let shard = (0..shard_count).min_by_key(|&s| (loads[s], s)).unwrap_or(0);
+            component_shard[c] = shard;
+            loads[shard] += sizes[c];
+        }
+        // Whole components map to one shard each, so no connector can
+        // cross a shard boundary.
+        ShardPlan {
+            assignment: Arc::new(labels.iter().map(|&c| component_shard[c]).collect()),
+            shard_count,
+            component_count,
+            cross_edges: 0,
+        }
+    }
+
+    /// Validates an explicit assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::InvalidShardPlan`] if the assignment
+    /// length differs from the module count or the shard ids are not dense.
+    pub fn manual(design: &Design, assignment: Vec<usize>) -> Result<ShardPlan, SimulationError> {
+        if assignment.len() != design.module_count() {
+            return Err(SimulationError::InvalidShardPlan {
+                reason: format!(
+                    "assignment covers {} modules but the design has {}",
+                    assignment.len(),
+                    design.module_count()
+                ),
+            });
+        }
+        let shard_count = assignment.iter().max().map_or(1, |m| m + 1);
+        let mut seen = vec![false; shard_count];
+        for &s in &assignment {
+            seen[s] = true;
+        }
+        if let Some(empty) = seen.iter().position(|&s| !s) {
+            return Err(SimulationError::InvalidShardPlan {
+                reason: format!("shard {empty} owns no modules (ids must be dense)"),
+            });
+        }
+        let cross_edges = count_cross_edges(design, &assignment);
+        Ok(ShardPlan {
+            assignment: Arc::new(assignment),
+            shard_count,
+            component_count: connectivity_components(design).1,
+            cross_edges,
+        })
+    }
+
+    /// Number of shards (≥ 1).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Number of connectivity components in the design.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.component_count
+    }
+
+    /// Module index → shard id.
+    #[must_use]
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// The shard that owns a module.
+    #[must_use]
+    pub fn shard_of(&self, module: ModuleId) -> usize {
+        self.assignment[module.index()]
+    }
+
+    /// Connectors whose endpoints this plan places on different shards —
+    /// zero for every component-respecting partition. A zero-cross-edge
+    /// plan never exchanges tokens between shards, which lets
+    /// [`ShardedScheduler::run`] skip per-instant barriers entirely.
+    #[must_use]
+    pub fn cross_edges(&self) -> usize {
+        self.cross_edges
+    }
+}
+
+/// Labels each module with its connectivity component (modules joined
+/// transitively by connectors), returning `(labels, component count)`.
+///
+/// Labels are normalised by first appearance in module-index order, so two
+/// implementations of this traversal (this one and the linter's) can be
+/// compared directly.
+#[must_use]
+pub fn connectivity_components(design: &Design) -> (Vec<usize>, usize) {
+    let n = design.module_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    for (a, b) in design.connector_endpoints() {
+        let ra = find(&mut parent, a.module.index());
+        let rb = find(&mut parent, b.module.index());
+        if ra != rb {
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+    let mut labels = vec![0usize; n];
+    let mut next = 0usize;
+    let mut label_of_root = vec![usize::MAX; n];
+    for (i, label) in labels.iter_mut().enumerate() {
+        let root = find(&mut parent, i);
+        if label_of_root[root] == usize::MAX {
+            label_of_root[root] = next;
+            next += 1;
+        }
+        *label = label_of_root[root];
+    }
+    (labels, next)
+}
+
+/// Aggregated `sched.shard.*` statistics, emitted as metrics at the end of
+/// an instrumented run.
+#[derive(Debug, Default)]
+struct ShardStats {
+    barriers: u64,
+    micro_rounds: u64,
+    cross_tokens: u64,
+    barrier_waits: u64,
+}
+
+enum Job {
+    /// One barrier round: process everything pending at exactly `instant`.
+    Run {
+        slot: usize,
+        sched: Box<Scheduler>,
+        instant: SimTime,
+    },
+    /// Free-run: drain the shard's queue up to `until` without stopping —
+    /// only sound when the plan has no cross-shard edges.
+    RunUntil {
+        slot: usize,
+        sched: Box<Scheduler>,
+        until: Option<SimTime>,
+    },
+}
+
+/// What a worker should do with a shipped shard.
+enum Task {
+    Instant(SimTime),
+    Until(Option<SimTime>),
+}
+
+enum Done {
+    Finished {
+        slot: usize,
+        sched: Box<Scheduler>,
+        result: Result<(), SimulationError>,
+    },
+    Panicked,
+}
+
+/// A persistent pool of barrier workers. Workers idle on their job channel
+/// between barriers; dropping the pool closes the channels and joins.
+struct Pool {
+    txs: Vec<mpsc::Sender<Job>>,
+    rx: mpsc::Receiver<Done>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    fn new(workers: usize) -> Pool {
+        let (done_tx, rx) = mpsc::channel();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, job_rx) = mpsc::channel::<Job>();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("vcad-shard-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        let (slot, mut sched, task): (usize, Box<Scheduler>, Task) = match job {
+                            Job::Run {
+                                slot,
+                                sched,
+                                instant,
+                            } => (slot, sched, Task::Instant(instant)),
+                            Job::RunUntil { slot, sched, until } => {
+                                (slot, sched, Task::Until(until))
+                            }
+                        };
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let result = match task {
+                                Task::Instant(instant) => sched.run_instant_at(instant),
+                                Task::Until(until) => sched.run(until),
+                            };
+                            (sched, result)
+                        }));
+                        let message = match outcome {
+                            Ok((sched, result)) => Done::Finished {
+                                slot,
+                                sched,
+                                result,
+                            },
+                            Err(_) => Done::Panicked,
+                        };
+                        if done.send(message).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn shard worker");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        Pool { txs, rx, handles }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.txs.clear(); // close job channels so workers exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A drop-in parallel counterpart to [`Scheduler`]: the same design, the
+/// same observable results, one event loop per shard.
+///
+/// Between barriers every shard's scheduler is parked on the coordinator,
+/// so inspection and injection (snapshots, port values, module state,
+/// control/signal injection, overrides) work exactly as on a sequential
+/// [`Scheduler`]. The module docs at the top of this file spell out the
+/// barrier protocol and the bit-identity argument.
+pub struct ShardedScheduler {
+    design: Arc<Design>,
+    plan: ShardPlan,
+    /// One scheduler per shard; `None` only while that shard is out on a
+    /// worker thread during a barrier round.
+    shards: Vec<Option<Box<Scheduler>>>,
+    pool: Option<Pool>,
+    time: SimTime,
+    event_limit: u64,
+    obs: Option<Collector>,
+    children: Vec<Collector>,
+    stats: ShardStats,
+    telemetry_flushed: bool,
+}
+
+impl ShardedScheduler {
+    /// Creates a sharded scheduler over `design` following `plan`.
+    #[must_use]
+    pub fn new(design: Arc<Design>, plan: ShardPlan) -> ShardedScheduler {
+        let shards = (0..plan.shard_count())
+            .map(|id| {
+                let mut sched = Box::new(Scheduler::new(Arc::clone(&design)));
+                sched.configure_shard(id, Arc::clone(&plan.assignment));
+                Some(sched)
+            })
+            .collect();
+        let workers = plan.shard_count().saturating_sub(1);
+        ShardedScheduler {
+            design,
+            plan,
+            shards,
+            pool: (workers > 0).then(|| Pool::new(workers)),
+            time: SimTime::ZERO,
+            event_limit: 10_000_000,
+            obs: None,
+            children: Vec::new(),
+            stats: ShardStats::default(),
+            telemetry_flushed: false,
+        }
+    }
+
+    /// The design under simulation.
+    #[must_use]
+    pub fn design(&self) -> &Arc<Design> {
+        &self.design
+    }
+
+    /// The resolved partition.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Replaces the runaway-event cap. Each shard is capped at the full
+    /// limit (a zero-delay loop is always shard-local) and the coordinator
+    /// additionally enforces the limit on the cross-shard total at every
+    /// barrier.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+        for sched in self.shards.iter_mut().flatten() {
+            sched.set_event_limit(limit);
+        }
+    }
+
+    /// Routes telemetry into `obs`: each shard records into its own child
+    /// collector (no contention on the hot path), all of them absorbed —
+    /// together with the `sched.shard.*` barrier statistics — when the run
+    /// finishes.
+    pub fn set_collector(&mut self, obs: &Collector) {
+        self.children = self.shards.iter().map(|_| obs.child()).collect();
+        for (sched, child) in self.shards.iter_mut().flatten().zip(&self.children) {
+            sched.set_collector(child);
+        }
+        self.obs = Some(obs.clone());
+    }
+
+    /// Enables or disables per-shard event logging.
+    pub fn set_event_log(&mut self, enabled: bool) {
+        for sched in self.shards.iter_mut().flatten() {
+            sched.set_event_log(enabled);
+        }
+    }
+
+    /// Takes the merged event log in [canonical
+    /// order](canonicalize_event_log).
+    pub fn take_event_log(&mut self) -> Vec<LoggedEvent> {
+        let mut merged = Vec::new();
+        for sched in self.shards.iter_mut().flatten() {
+            merged.extend(sched.take_event_log());
+        }
+        canonicalize_event_log(&mut merged);
+        merged
+    }
+
+    /// The current (barrier) simulation time.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Events processed so far, across all shards.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.shards
+            .iter()
+            .flatten()
+            .map(|s| s.events_processed())
+            .sum()
+    }
+
+    /// Whether any shard still has a pending token.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        self.shards.iter().flatten().any(|s| s.has_pending())
+    }
+
+    /// The earliest pending instant across all shards.
+    #[must_use]
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .flatten()
+            .filter_map(|s| s.next_time())
+            .min()
+    }
+
+    /// Initialises every module, shard by shard in shard order (within a
+    /// shard, module-index order — the sequential order restricted to that
+    /// shard), then merges any cross-shard tokens init produced.
+    pub fn init(&mut self) {
+        for sched in self.shards.iter_mut().flatten() {
+            sched.init();
+        }
+        self.merge_cross();
+    }
+
+    /// Processes all tokens of the earliest pending instant across every
+    /// shard — one full barrier — and returns that instant, or `None` when
+    /// every queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::EventLimitExceeded`] when a shard (or
+    /// the cross-shard total) exceeds the event cap.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic that escaped a module handler on a worker thread.
+    pub fn step_instant(&mut self) -> Result<Option<SimTime>, SimulationError> {
+        let Some(instant) = self.next_time() else {
+            return Ok(None);
+        };
+        // Micro-rounds: run every shard with work at `instant`, merge the
+        // cross-shard tokens, repeat while the merge keeps feeding the
+        // same instant.
+        loop {
+            let active: Vec<usize> = (0..self.shards.len())
+                .filter(|&i| {
+                    self.shards[i]
+                        .as_ref()
+                        .and_then(|s| s.next_time())
+                        .is_some_and(|t| t <= instant)
+                })
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            self.stats.micro_rounds += 1;
+            if active.len() > 1 {
+                self.stats.barrier_waits += 1;
+            }
+            self.run_round(&active, instant)?;
+            if self.merge_cross() == 0 {
+                break;
+            }
+        }
+        self.stats.barriers += 1;
+        self.time = instant;
+        for sched in self.shards.iter_mut().flatten() {
+            sched.advance_time(instant);
+        }
+        let total = self.events_processed();
+        if total > self.event_limit {
+            return Err(SimulationError::EventLimitExceeded {
+                limit: self.event_limit,
+            });
+        }
+        Ok(Some(instant))
+    }
+
+    /// Runs barriers until every queue drains or `until` is passed.
+    ///
+    /// When the plan has [no cross-shard edges](ShardPlan::cross_edges) —
+    /// every `Auto` plan — shards can never exchange tokens, so instead
+    /// of a barrier per instant each shard free-runs to the horizon in a
+    /// single dispatch (conservative synchronization with unbounded
+    /// lookahead). The results are identical; only the synchronization
+    /// overhead disappears.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedScheduler::step_instant`]. On the free-run path a
+    /// shard may process more events than a sequential run would before
+    /// the limit trips; the reported error is the same.
+    pub fn run(&mut self, until: Option<SimTime>) -> Result<(), SimulationError> {
+        if self.plan.cross_edges() == 0 {
+            return self.run_free(until);
+        }
+        loop {
+            if let (Some(limit), Some(next)) = (until, self.next_time()) {
+                if next > limit {
+                    return Ok(());
+                }
+            }
+            if self.step_instant()?.is_none() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Free-run: each shard with pending work inside the horizon drains
+    /// its own queue independently, all but the first on worker threads.
+    fn run_free(&mut self, until: Option<SimTime>) -> Result<(), SimulationError> {
+        let active: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| {
+                self.shards[i]
+                    .as_ref()
+                    .and_then(|s| s.next_time())
+                    .is_some_and(|t| until.is_none_or(|u| t <= u))
+            })
+            .collect();
+        if active.is_empty() {
+            return Ok(());
+        }
+        self.stats.barriers += 1;
+        self.stats.micro_rounds += 1;
+        let mut first_error: Option<SimulationError> = None;
+        let mut outstanding = 0usize;
+        if let Some(pool) = &self.pool {
+            for (k, &slot) in active.iter().enumerate().skip(1) {
+                let sched = self.shards[slot].take().expect("shard parked");
+                pool.txs[(k - 1) % pool.txs.len()]
+                    .send(Job::RunUntil { slot, sched, until })
+                    .expect("shard worker alive");
+                outstanding += 1;
+            }
+        }
+        let coordinator_slot = active[0];
+        let mut sched = self.shards[coordinator_slot].take().expect("shard parked");
+        let result = catch_unwind(AssertUnwindSafe(|| sched.run(until)));
+        self.shards[coordinator_slot] = Some(sched);
+        let mut panicked = false;
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(err)) => first_error = Some(err),
+            Err(_) => panicked = true,
+        }
+        panicked |= self.collect_outstanding(outstanding, &mut first_error);
+        if panicked {
+            resume_unwind(Box::new("a module handler panicked on a shard worker"));
+        }
+        // The run's end time is the latest instant any shard processed —
+        // exactly the sequential scheduler's final clock.
+        self.time = self
+            .shards
+            .iter()
+            .flatten()
+            .map(|s| s.time())
+            .max()
+            .unwrap_or(self.time)
+            .max(self.time);
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        let total = self.events_processed();
+        if total > self.event_limit {
+            return Err(SimulationError::EventLimitExceeded {
+                limit: self.event_limit,
+            });
+        }
+        Ok(())
+    }
+
+    /// Receives `outstanding` worker results, re-parking their shards.
+    /// Returns whether any worker panicked.
+    fn collect_outstanding(
+        &mut self,
+        mut outstanding: usize,
+        first_error: &mut Option<SimulationError>,
+    ) -> bool {
+        let mut panicked = false;
+        while outstanding > 0 {
+            match self.pool.as_ref().expect("pool").rx.recv() {
+                Ok(Done::Finished {
+                    slot,
+                    sched,
+                    result,
+                }) => {
+                    self.shards[slot] = Some(sched);
+                    if let Err(err) = result {
+                        first_error.get_or_insert(err);
+                    }
+                }
+                Ok(Done::Panicked) | Err(_) => panicked = true,
+            }
+            outstanding -= 1;
+        }
+        panicked
+    }
+
+    /// One micro-round: every active shard processes its tokens at
+    /// `instant`, all but the first on worker threads.
+    fn run_round(&mut self, active: &[usize], instant: SimTime) -> Result<(), SimulationError> {
+        let mut first_error: Option<SimulationError> = None;
+        let mut outstanding = 0usize;
+        if let Some(pool) = &self.pool {
+            for (k, &slot) in active.iter().enumerate().skip(1) {
+                let sched = self.shards[slot].take().expect("shard parked");
+                pool.txs[(k - 1) % pool.txs.len()]
+                    .send(Job::Run {
+                        slot,
+                        sched,
+                        instant,
+                    })
+                    .expect("shard worker alive");
+                outstanding += 1;
+            }
+        }
+        // The first active shard runs on the coordinator thread: the
+        // common fully-partitioned case with one busy shard never pays a
+        // channel round-trip.
+        let coordinator_slot = active[0];
+        let mut sched = self.shards[coordinator_slot].take().expect("shard parked");
+        let result = catch_unwind(AssertUnwindSafe(|| sched.run_instant_at(instant)));
+        self.shards[coordinator_slot] = Some(sched);
+        let mut panicked = false;
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(err)) => first_error = Some(err),
+            Err(_) => panicked = true,
+        }
+        panicked |= self.collect_outstanding(outstanding, &mut first_error);
+        if panicked {
+            resume_unwind(Box::new("a module handler panicked on a shard worker"));
+        }
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// Drains every shard's outbox and redelivers the tokens in canonical
+    /// `(time, origin shard, origin sequence)` order. Returns how many
+    /// tokens were delivered.
+    fn merge_cross(&mut self) -> usize {
+        let mut pending: Vec<(SimTime, usize, u64, CrossToken)> = Vec::new();
+        for (origin, sched) in self.shards.iter_mut().enumerate() {
+            if let Some(sched) = sched {
+                for token in sched.take_cross() {
+                    pending.push((token.time, origin, token.origin_seq, token));
+                }
+            }
+        }
+        pending.sort_by_key(|(time, origin, seq, _)| (*time, *origin, *seq));
+        let delivered = pending.len();
+        self.stats.cross_tokens += delivered as u64;
+        for (_, _, _, token) in pending {
+            let owner = self.plan.shard_of(token.target);
+            self.shards[owner]
+                .as_mut()
+                .expect("shard parked")
+                .receive_cross(token);
+        }
+        delivered
+    }
+
+    fn owner(&self, module: ModuleId) -> &Scheduler {
+        self.shards[self.plan.shard_of(module)]
+            .as_ref()
+            .expect("shard parked")
+    }
+
+    fn owner_mut(&mut self, module: ModuleId) -> &mut Scheduler {
+        self.shards[self.plan.shard_of(module)]
+            .as_mut()
+            .expect("shard parked")
+    }
+
+    /// The latched value of one port (from its owning shard).
+    #[must_use]
+    pub fn port_value(&self, port: PortRef) -> &vcad_logic::LogicVec {
+        self.owner(port.module).port_value(port)
+    }
+
+    /// A snapshot of one module's port latches at the current barrier time.
+    #[must_use]
+    pub fn snapshot(&self, module: ModuleId) -> PortSnapshot {
+        self.owner(module).snapshot(module)
+    }
+
+    /// Immutable access to a module's current state.
+    #[must_use]
+    pub fn module_state<T: 'static>(&self, module: ModuleId) -> Option<&T> {
+        self.owner(module).module_state(module)
+    }
+
+    /// Replaces a module's behaviour in its owning shard only.
+    pub fn override_module(&mut self, id: ModuleId, replacement: Arc<dyn Module>) {
+        self.owner_mut(id).override_module(id, replacement);
+    }
+
+    /// Presets a port latch on the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::preload_port`].
+    pub fn preload_port(
+        &mut self,
+        port: PortRef,
+        value: vcad_logic::LogicVec,
+    ) -> Result<(), SimulationError> {
+        if port.module.index() >= self.design.module_count() {
+            return Err(SimulationError::MalformedInjection {
+                reason: format!("preload references unknown port {port}"),
+            });
+        }
+        self.owner_mut(port.module).preload_port(port, value)
+    }
+
+    /// Enqueues a signal token on the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::inject_signal`].
+    pub fn inject_signal(
+        &mut self,
+        target: ModuleId,
+        port: usize,
+        value: vcad_logic::LogicVec,
+        delay: u64,
+    ) -> Result<(), SimulationError> {
+        if target.index() >= self.design.module_count() {
+            return Err(SimulationError::MalformedInjection {
+                reason: format!("signal injection references unknown port {target}.p{port}"),
+            });
+        }
+        self.owner_mut(target)
+            .inject_signal(target, port, value, delay)
+    }
+
+    /// Enqueues a control token on the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::inject_control`].
+    pub fn inject_control(
+        &mut self,
+        target: ModuleId,
+        message: vcad_rmi::Value,
+        delay: u64,
+    ) -> Result<(), SimulationError> {
+        if target.index() >= self.design.module_count() {
+            return Err(SimulationError::MalformedInjection {
+                reason: format!("control injection references unknown module {target}"),
+            });
+        }
+        self.owner_mut(target)
+            .inject_control(target, message, delay)
+    }
+
+    /// Consumes the scheduler, merging every shard's state slots into one
+    /// [`StateStore`] and flushing the `sched.shard.*` telemetry.
+    #[must_use]
+    pub fn into_state_store(mut self) -> StateStore {
+        self.flush_telemetry();
+        let mut merged: Vec<Option<Box<dyn std::any::Any + Send>>> =
+            Vec::with_capacity(self.design.module_count());
+        merged.resize_with(self.design.module_count(), || None);
+        for (id, sched) in self.shards.iter_mut().enumerate() {
+            let Some(sched) = sched.take() else { continue };
+            for (index, slot) in sched
+                .into_state_store()
+                .into_slots()
+                .into_iter()
+                .enumerate()
+            {
+                if self.plan.assignment[index] == id {
+                    merged[index] = slot;
+                }
+            }
+        }
+        StateStore::from_slots(merged)
+    }
+
+    /// Emits the shard statistics and absorbs the per-shard child
+    /// collectors into the collector passed to
+    /// [`ShardedScheduler::set_collector`]. Idempotent; also runs on drop.
+    fn flush_telemetry(&mut self) {
+        if self.telemetry_flushed {
+            return;
+        }
+        self.telemetry_flushed = true;
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        let m = obs.metrics();
+        m.counter("sched.shard.count")
+            .add(self.plan.shard_count() as u64);
+        m.counter("sched.shard.barriers").add(self.stats.barriers);
+        m.counter("sched.shard.micro_rounds")
+            .add(self.stats.micro_rounds);
+        m.counter("sched.shard.cross_tokens")
+            .add(self.stats.cross_tokens);
+        m.counter("sched.shard.barrier_waits")
+            .add(self.stats.barrier_waits);
+        let loads: Vec<u64> = self
+            .shards
+            .iter()
+            .flatten()
+            .map(|s| s.events_processed())
+            .collect();
+        if let (Some(&max), Some(&min)) = (loads.iter().max(), loads.iter().min()) {
+            m.gauge("sched.shard.load.max_events").set(max);
+            m.gauge("sched.shard.load.min_events").set(min);
+            let imbalance = ((max - min) * 100).checked_div(max).unwrap_or(0);
+            m.gauge("sched.shard.load.imbalance_pct").set(imbalance);
+        }
+        for child in &self.children {
+            obs.absorb(child);
+        }
+    }
+}
+
+impl Drop for ShardedScheduler {
+    fn drop(&mut self) {
+        self.flush_telemetry();
+    }
+}
+
+impl std::fmt::Debug for ShardedScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedScheduler")
+            .field("time", &self.time)
+            .field("shards", &self.plan.shard_count())
+            .field("events_processed", &self.events_processed())
+            .finish()
+    }
+}
+
+/// Either flavour of event loop behind one API — what
+/// [`SimulationController`](crate::SimulationController) and the virtual
+/// fault simulator drive, so every caller gets sharding by configuration.
+pub enum SimEngine {
+    /// The classic single-threaded scheduler.
+    Sequential(Scheduler),
+    /// The barrier-synchronised sharded scheduler.
+    Sharded(ShardedScheduler),
+}
+
+impl SimEngine {
+    /// Builds the engine a policy asks for. Policies that resolve to a
+    /// single shard (including [`ShardPolicy::Auto`] over a design with
+    /// one connectivity component) get the sequential scheduler — there is
+    /// no barrier overhead to pay for a partition that cannot parallelise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::InvalidShardPlan`] for malformed manual
+    /// assignments.
+    pub fn new(design: Arc<Design>, policy: &ShardPolicy) -> Result<SimEngine, SimulationError> {
+        if matches!(policy, ShardPolicy::Sequential) {
+            return Ok(SimEngine::Sequential(Scheduler::new(design)));
+        }
+        let plan = ShardPlan::resolve(&design, policy)?;
+        if plan.shard_count() <= 1 {
+            return Ok(SimEngine::Sequential(Scheduler::new(design)));
+        }
+        Ok(SimEngine::Sharded(ShardedScheduler::new(design, plan)))
+    }
+
+    /// Number of shards actually running (1 for the sequential engine).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        match self {
+            SimEngine::Sequential(_) => 1,
+            SimEngine::Sharded(s) => s.plan().shard_count(),
+        }
+    }
+
+    /// See [`Scheduler::set_event_limit`].
+    pub fn set_event_limit(&mut self, limit: u64) {
+        match self {
+            SimEngine::Sequential(s) => s.set_event_limit(limit),
+            SimEngine::Sharded(s) => s.set_event_limit(limit),
+        }
+    }
+
+    /// See [`Scheduler::set_collector`].
+    pub fn set_collector(&mut self, obs: &Collector) {
+        match self {
+            SimEngine::Sequential(s) => s.set_collector(obs),
+            SimEngine::Sharded(s) => s.set_collector(obs),
+        }
+    }
+
+    /// See [`Scheduler::set_event_log`].
+    pub fn set_event_log(&mut self, enabled: bool) {
+        match self {
+            SimEngine::Sequential(s) => s.set_event_log(enabled),
+            SimEngine::Sharded(s) => s.set_event_log(enabled),
+        }
+    }
+
+    /// The merged event log in [canonical order](canonicalize_event_log).
+    pub fn take_event_log(&mut self) -> Vec<LoggedEvent> {
+        match self {
+            SimEngine::Sequential(s) => {
+                let mut log = s.take_event_log();
+                canonicalize_event_log(&mut log);
+                log
+            }
+            SimEngine::Sharded(s) => s.take_event_log(),
+        }
+    }
+
+    /// See [`Scheduler::init`].
+    pub fn init(&mut self) {
+        match self {
+            SimEngine::Sequential(s) => s.init(),
+            SimEngine::Sharded(s) => s.init(),
+        }
+    }
+
+    /// See [`Scheduler::step_instant`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::step_instant`].
+    pub fn step_instant(&mut self) -> Result<Option<SimTime>, SimulationError> {
+        match self {
+            SimEngine::Sequential(s) => s.step_instant(),
+            SimEngine::Sharded(s) => s.step_instant(),
+        }
+    }
+
+    /// See [`Scheduler::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::run`].
+    pub fn run(&mut self, until: Option<SimTime>) -> Result<(), SimulationError> {
+        match self {
+            SimEngine::Sequential(s) => s.run(until),
+            SimEngine::Sharded(s) => s.run(until),
+        }
+    }
+
+    /// See [`Scheduler::next_time`].
+    #[must_use]
+    pub fn next_time(&self) -> Option<SimTime> {
+        match self {
+            SimEngine::Sequential(s) => s.next_time(),
+            SimEngine::Sharded(s) => s.next_time(),
+        }
+    }
+
+    /// See [`Scheduler::has_pending`].
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        match self {
+            SimEngine::Sequential(s) => s.has_pending(),
+            SimEngine::Sharded(s) => s.has_pending(),
+        }
+    }
+
+    /// See [`Scheduler::time`].
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        match self {
+            SimEngine::Sequential(s) => s.time(),
+            SimEngine::Sharded(s) => s.time(),
+        }
+    }
+
+    /// See [`Scheduler::events_processed`].
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        match self {
+            SimEngine::Sequential(s) => s.events_processed(),
+            SimEngine::Sharded(s) => s.events_processed(),
+        }
+    }
+
+    /// See [`Scheduler::snapshot`].
+    #[must_use]
+    pub fn snapshot(&self, module: ModuleId) -> PortSnapshot {
+        match self {
+            SimEngine::Sequential(s) => s.snapshot(module),
+            SimEngine::Sharded(s) => s.snapshot(module),
+        }
+    }
+
+    /// See [`Scheduler::port_value`].
+    #[must_use]
+    pub fn port_value(&self, port: PortRef) -> &vcad_logic::LogicVec {
+        match self {
+            SimEngine::Sequential(s) => s.port_value(port),
+            SimEngine::Sharded(s) => s.port_value(port),
+        }
+    }
+
+    /// See [`Scheduler::module_state`].
+    #[must_use]
+    pub fn module_state<T: 'static>(&self, module: ModuleId) -> Option<&T> {
+        match self {
+            SimEngine::Sequential(s) => s.module_state(module),
+            SimEngine::Sharded(s) => s.module_state(module),
+        }
+    }
+
+    /// See [`Scheduler::inject_signal`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::inject_signal`].
+    pub fn inject_signal(
+        &mut self,
+        target: ModuleId,
+        port: usize,
+        value: vcad_logic::LogicVec,
+        delay: u64,
+    ) -> Result<(), SimulationError> {
+        match self {
+            SimEngine::Sequential(s) => s.inject_signal(target, port, value, delay),
+            SimEngine::Sharded(s) => s.inject_signal(target, port, value, delay),
+        }
+    }
+
+    /// See [`Scheduler::inject_control`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::inject_control`].
+    pub fn inject_control(
+        &mut self,
+        target: ModuleId,
+        message: vcad_rmi::Value,
+        delay: u64,
+    ) -> Result<(), SimulationError> {
+        match self {
+            SimEngine::Sequential(s) => s.inject_control(target, message, delay),
+            SimEngine::Sharded(s) => s.inject_control(target, message, delay),
+        }
+    }
+
+    /// See [`Scheduler::preload_port`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::preload_port`].
+    pub fn preload_port(
+        &mut self,
+        port: PortRef,
+        value: vcad_logic::LogicVec,
+    ) -> Result<(), SimulationError> {
+        match self {
+            SimEngine::Sequential(s) => s.preload_port(port, value),
+            SimEngine::Sharded(s) => s.preload_port(port, value),
+        }
+    }
+
+    /// See [`Scheduler::override_module`].
+    pub fn override_module(&mut self, id: ModuleId, replacement: Arc<dyn Module>) {
+        match self {
+            SimEngine::Sequential(s) => s.override_module(id, replacement),
+            SimEngine::Sharded(s) => s.override_module(id, replacement),
+        }
+    }
+
+    /// See [`Scheduler::into_state_store`].
+    #[must_use]
+    pub fn into_state_store(self) -> StateStore {
+        match self {
+            SimEngine::Sequential(s) => s.into_state_store(),
+            SimEngine::Sharded(s) => s.into_state_store(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignBuilder;
+    use crate::stdlib::{CaptureState, PrimaryOutput, RandomInput, Register};
+
+    /// `k` independent source→register→capture chains.
+    fn chains(k: usize, patterns: u64) -> (Arc<Design>, Vec<ModuleId>) {
+        let mut b = DesignBuilder::new("chains");
+        let mut outs = Vec::new();
+        for i in 0..k {
+            let s = b.add_named(
+                format!("IN{i}"),
+                Arc::new(RandomInput::new("IN", 8, 11 + i as u64, patterns)) as Arc<dyn Module>,
+            );
+            let r = b.add_named(
+                format!("REG{i}"),
+                Arc::new(Register::new("REG", 8)) as Arc<dyn Module>,
+            );
+            let o = b.add_named(
+                format!("OUT{i}"),
+                Arc::new(PrimaryOutput::new("OUT", 8)) as Arc<dyn Module>,
+            );
+            b.connect(s, "out", r, "d").unwrap();
+            b.connect(r, "q", o, "in").unwrap();
+            outs.push(o);
+        }
+        (Arc::new(b.build().unwrap()), outs)
+    }
+
+    #[test]
+    fn components_follow_connectors() {
+        let (design, _) = chains(3, 2);
+        let (labels, count) = connectivity_components(&design);
+        assert_eq!(count, 3);
+        assert_eq!(labels, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn auto_plan_balances_components() {
+        let (design, _) = chains(4, 2);
+        let plan = ShardPlan::auto(&design, 2);
+        assert_eq!(plan.shard_count(), 2);
+        assert_eq!(plan.component_count(), 4);
+        let mut loads = [0usize; 2];
+        for &s in plan.assignment() {
+            loads[s] += 1;
+        }
+        assert_eq!(loads, [6, 6]);
+        // More shards than components degenerates to one per component.
+        assert_eq!(ShardPlan::auto(&design, 9).shard_count(), 4);
+    }
+
+    #[test]
+    fn manual_plan_validation() {
+        let (design, _) = chains(2, 2);
+        assert!(matches!(
+            ShardPlan::manual(&design, vec![0; 3]),
+            Err(SimulationError::InvalidShardPlan { .. })
+        ));
+        assert!(matches!(
+            ShardPlan::manual(&design, vec![0, 0, 0, 2, 2, 2]),
+            Err(SimulationError::InvalidShardPlan { .. })
+        ));
+        let plan = ShardPlan::manual(&design, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        assert_eq!(plan.shard_count(), 2);
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential() {
+        let (design, outs) = chains(4, 16);
+        let mut seq = Scheduler::new(Arc::clone(&design));
+        seq.set_event_log(true);
+        seq.init();
+        seq.run(None).unwrap();
+        let mut seq_log = seq.take_event_log();
+        canonicalize_event_log(&mut seq_log);
+
+        for shards in [2, 3, 4] {
+            let plan = ShardPlan::auto(&design, shards);
+            let mut par = ShardedScheduler::new(Arc::clone(&design), plan);
+            par.set_event_log(true);
+            par.init();
+            par.run(None).unwrap();
+            assert_eq!(par.time(), seq.time());
+            assert_eq!(par.events_processed(), seq.events_processed());
+            for &o in &outs {
+                assert_eq!(
+                    par.module_state::<CaptureState>(o).unwrap().history(),
+                    seq.module_state::<CaptureState>(o).unwrap().history(),
+                    "shards={shards}"
+                );
+            }
+            assert_eq!(par.take_event_log(), seq_log, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn engine_resolves_single_component_to_sequential() {
+        let mut b = DesignBuilder::new("one");
+        let s = b.add_module(Arc::new(RandomInput::new("IN", 8, 1, 4)));
+        let o = b.add_module(Arc::new(PrimaryOutput::new("OUT", 8)));
+        b.connect(s, "out", o, "in").unwrap();
+        let design = Arc::new(b.build().unwrap());
+        let engine = SimEngine::new(design, &ShardPolicy::Auto(8)).unwrap();
+        assert!(matches!(engine, SimEngine::Sequential(_)));
+        assert_eq!(engine.shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_event_limit_reported() {
+        let (design, _) = chains(2, 50);
+        let plan = ShardPlan::auto(&design, 2);
+        let mut par = ShardedScheduler::new(design, plan);
+        par.set_event_limit(10);
+        par.init();
+        assert_eq!(
+            par.run(None),
+            Err(SimulationError::EventLimitExceeded { limit: 10 })
+        );
+    }
+}

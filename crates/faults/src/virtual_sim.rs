@@ -6,7 +6,9 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use vcad_core::{Design, Module, ModuleCtx, ModuleId, PortSpec, Scheduler, SimulationError, Value};
+use vcad_core::{
+    Design, Module, ModuleCtx, ModuleId, PortSpec, ShardPolicy, SimEngine, SimulationError, Value,
+};
 use vcad_logic::LogicVec;
 use vcad_netlist::Netlist;
 use vcad_obs::Collector;
@@ -223,6 +225,7 @@ pub struct VirtualFaultSim {
     parallelism: usize,
     table_cache: bool,
     obs: Collector,
+    shards: ShardPolicy,
 }
 
 impl VirtualFaultSim {
@@ -246,7 +249,20 @@ impl VirtualFaultSim {
             parallelism: 1,
             table_cache: true,
             obs: Collector::disabled(),
+            shards: ShardPolicy::Sequential,
         }
+    }
+
+    /// Runs the *good machine* (the fault-free simulation that produces
+    /// each pattern's signal configuration) under the given
+    /// [`ShardPolicy`]. Injection runs stay sequential — they are
+    /// single-instant and already parallelised across patterns by
+    /// [`VirtualFaultSim::with_parallelism`]. Coverage results are
+    /// bit-identical to the sequential good machine.
+    #[must_use]
+    pub fn with_shards(mut self, policy: ShardPolicy) -> VirtualFaultSim {
+        self.shards = policy;
+        self
     }
 
     /// Routes run-level metrics (`faults.*` counters, per-worker injection
@@ -323,7 +339,7 @@ impl VirtualFaultSim {
         let mut injections = 0;
 
         // Phase 2: fault-free simulation, one pattern per instant.
-        let mut good = Scheduler::new(Arc::clone(&self.design));
+        let mut good = SimEngine::new(Arc::clone(&self.design), &self.shards)?;
         good.init();
         let mut pattern_index = 0usize;
         while good.step_instant()?.is_some() {
@@ -439,7 +455,7 @@ impl VirtualFaultSim {
     }
 
     /// The concatenated input-port configuration of a block.
-    fn block_inputs(&self, sched: &Scheduler, module: ModuleId) -> LogicVec {
+    fn block_inputs(&self, sched: &SimEngine, module: ModuleId) -> LogicVec {
         let m = self.design.module(module);
         let mut v = LogicVec::zeros(0);
         for (i, p) in m.ports().iter().enumerate() {
@@ -452,7 +468,7 @@ impl VirtualFaultSim {
 
     /// The observed primary-output values (first port of each capture
     /// module).
-    fn observed_outputs(&self, sched: &Scheduler) -> Vec<LogicVec> {
+    fn observed_outputs(&self, sched: &SimEngine) -> Vec<LogicVec> {
         self.outputs
             .iter()
             .map(|&m| {
@@ -471,7 +487,7 @@ impl VirtualFaultSim {
         snapshots: &[(ModuleId, vcad_core::PortSnapshot)],
         good_outputs: &[LogicVec],
     ) -> Result<bool, VirtualSimError> {
-        let mut sched = Scheduler::new(Arc::clone(&self.design));
+        let mut sched = SimEngine::new(Arc::clone(&self.design), &ShardPolicy::Sequential)?;
         // Reproduce the fault-free signal configuration everywhere.
         for (id, snap) in snapshots {
             for (port, value) in snap.ports.iter().enumerate() {

@@ -170,4 +170,89 @@ impl LintGraph {
     pub fn is_connected(&self, at: Endpoint) -> bool {
         self.connectors.iter().any(|&(a, b)| a == at || b == at)
     }
+
+    /// Labels each module with its connectivity component (modules joined
+    /// transitively by connectors), returning `(labels, component count)`.
+    ///
+    /// Labels are normalised by first appearance in module-index order —
+    /// the same convention as
+    /// [`vcad_core::connectivity_components`], so the linter's view of a
+    /// design's partitionable structure can be cross-checked against the
+    /// sharded scheduler's.
+    #[must_use]
+    pub fn components(&self) -> (Vec<usize>, usize) {
+        let n = self.modules.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &((ma, _), (mb, _)) in &self.connectors {
+            if ma >= n || mb >= n {
+                continue; // malformed fixture; other passes report it
+            }
+            let ra = find(&mut parent, ma);
+            let rb = find(&mut parent, mb);
+            if ra != rb {
+                parent[ra.max(rb)] = ra.min(rb);
+            }
+        }
+        let mut labels = vec![0usize; n];
+        let mut next = 0usize;
+        let mut label_of_root = vec![usize::MAX; n];
+        for (i, label) in labels.iter_mut().enumerate() {
+            let root = find(&mut parent, i);
+            if label_of_root[root] == usize::MAX {
+                label_of_root[root] = next;
+                next += 1;
+            }
+            *label = label_of_root[root];
+        }
+        (labels, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vcad_core::stdlib::{PrimaryOutput, RandomInput, Register};
+    use vcad_core::DesignBuilder;
+
+    /// The linter's component labelling and the sharded scheduler's
+    /// partition traversal are independent implementations of the same
+    /// boundary; they must agree on every design.
+    #[test]
+    fn components_agree_with_core_partitioner() {
+        let mut b = DesignBuilder::new("multi");
+        for i in 0..3 {
+            let s = b.add_named(
+                format!("IN{i}"),
+                Arc::new(RandomInput::new("IN", 8, 5 + i, 6)) as Arc<dyn vcad_core::Module>,
+            );
+            let r = b.add_named(
+                format!("REG{i}"),
+                Arc::new(Register::new("REG", 8)) as Arc<dyn vcad_core::Module>,
+            );
+            let o = b.add_named(
+                format!("OUT{i}"),
+                Arc::new(PrimaryOutput::new("OUT", 8)) as Arc<dyn vcad_core::Module>,
+            );
+            b.connect(s, "out", r, "d").unwrap();
+            b.connect(r, "q", o, "in").unwrap();
+        }
+        // One floating module: its own component in both views.
+        b.add_named(
+            "LONE",
+            Arc::new(PrimaryOutput::new("OUT", 4)) as Arc<dyn vcad_core::Module>,
+        );
+        let design = b.build().unwrap();
+        let from_lint = LintGraph::from_design(&design).components();
+        let from_core = vcad_core::connectivity_components(&design);
+        assert_eq!(from_lint, from_core);
+        assert_eq!(from_lint.1, 4);
+    }
 }

@@ -15,14 +15,20 @@
 //! behind the retry/dedup resilience layer: the results are identical,
 //! and a fault/retry summary is printed at the end. Pass `--lint` (or
 //! `--lint=json`) to statically analyse the composed design and exit
-//! instead of simulating.
+//! instead of simulating. Pass `--shards <n>` to schedule the run under
+//! `ShardPolicy::Auto(n)` — results are bit-identical to sequential by
+//! design; this circuit is one connectivity component, so the engine
+//! reports a single shard (see the `table2` bench for a design where
+//! sharding spreads real work).
 
 use std::error::Error;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use vcad::core::stdlib::{CaptureState, PrimaryOutput, RandomInput, Register};
-use vcad::core::{DesignBuilder, Parameter, SetupController, SetupCriterion, SimulationController};
+use vcad::core::{
+    DesignBuilder, Parameter, SetupController, SetupCriterion, ShardPolicy, SimulationController,
+};
 use vcad::ip::{ClientSession, ComponentOffering, ProviderServer};
 use vcad::netsim::{NetworkModel, VirtualTimeline};
 use vcad::obs::Collector;
@@ -37,6 +43,23 @@ fn trace_path() -> Option<std::path::PathBuf> {
     while let Some(arg) = args.next() {
         if arg == "--trace" {
             return Some(args.next().expect("--trace needs a file path").into());
+        }
+    }
+    None
+}
+
+/// Parses `--shards <n>` from the command line, if present.
+fn shards() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            let n = args
+                .next()
+                .expect("--shards needs a shard count")
+                .parse()
+                .expect("--shards needs a positive integer");
+            assert!(n > 0, "--shards needs a positive integer");
+            return Some(n);
         }
     }
     None
@@ -169,10 +192,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     setup.set_buffer_size(5);
     let binding = setup.apply_to(&design, "MULT");
 
-    let run = SimulationController::new(Arc::clone(&design))
+    let mut controller = SimulationController::new(Arc::clone(&design))
         .with_setup(binding)
-        .with_collector(obs.clone())
-        .run()?;
+        .with_collector(obs.clone());
+    if let Some(n) = shards() {
+        controller = controller.with_shards(ShardPolicy::Auto(n));
+    }
+    let run = controller.run()?;
+    if shards().is_some() {
+        println!(
+            "scheduled under ShardPolicy::Auto: {} shard(s) — this design \
+             is one connectivity component, so the engine stays sequential",
+            run.shard_count()
+        );
+    }
 
     let captured = run
         .module_state::<CaptureState>(out)

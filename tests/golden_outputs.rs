@@ -1,0 +1,142 @@
+//! Golden-file regression tests for the canonical bench outputs.
+//!
+//! `table2` and `figure3` print wall-clock measurements — useless as
+//! regression anchors — but everything else they report is a pure
+//! function of the design and the virtual clock: event counts, captured
+//! patterns, RMI call/byte totals, estimation fees. Those fields are
+//! rendered into a stable text form and diffed against the files under
+//! `tests/golden/`.
+//!
+//! When an intentional change shifts the canonical numbers, regenerate
+//! the files with:
+//!
+//! ```text
+//! VCAD_UPDATE_GOLDEN=1 cargo test --test golden_outputs
+//! ```
+//!
+//! then review the diff like any other code change — the whole point is
+//! that drift must be explained in the PR that causes it.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use vcad_bench::scenarios::{self, Scenario};
+use vcad_core::ShardPolicy;
+
+const WIDTH: usize = 16;
+const PATTERNS: u64 = 100;
+const BUFFER: usize = 5;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `rendered` with the stored golden file, or rewrites the
+/// file when `VCAD_UPDATE_GOLDEN=1` is set.
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var("VCAD_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with \
+             VCAD_UPDATE_GOLDEN=1 cargo test --test golden_outputs",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        rendered,
+        "golden drift in {}: if this change is intentional, regenerate \
+         with VCAD_UPDATE_GOLDEN=1 cargo test --test golden_outputs and \
+         commit the diff",
+        path.display()
+    );
+}
+
+/// The deterministic slice of one scenario run, one line per field.
+fn render_run(run: &scenarios::ScenarioRun) -> String {
+    let mut s = String::new();
+    writeln!(s, "[{}]", run.scenario.label()).unwrap();
+    writeln!(s, "events = {}", run.events).unwrap();
+    writeln!(s, "outputs = {}", run.outputs).unwrap();
+    writeln!(s, "rmi_calls = {}", run.stats.calls).unwrap();
+    writeln!(s, "rmi_bytes_sent = {}", run.stats.bytes_sent).unwrap();
+    writeln!(s, "rmi_bytes_received = {}", run.stats.bytes_received).unwrap();
+    writeln!(s, "fees_cents = {:.3}", run.fees_cents).unwrap();
+    s
+}
+
+/// Table 2's three scenarios at the paper's parameters. The sequential
+/// and `--shards 4` schedules must render identically, and both must
+/// match the golden file.
+#[test]
+fn table2_deterministic_outputs_match_golden() {
+    let mut rendered = String::new();
+    for scenario in Scenario::ALL {
+        let seq = scenarios::build(scenario, WIDTH, PATTERNS, BUFFER).run(scenario);
+        let mut sharded_rig = scenarios::build(scenario, WIDTH, PATTERNS, BUFFER);
+        sharded_rig.set_shards(ShardPolicy::Auto(4));
+        let sharded = sharded_rig.run(scenario);
+        let block = render_run(&seq);
+        assert_eq!(
+            block,
+            render_run(&sharded),
+            "{}: sharded schedule drifted from sequential",
+            scenario.label()
+        );
+        rendered.push_str(&block);
+        rendered.push('\n');
+    }
+    check_golden("table2.golden", &rendered);
+}
+
+/// Figure 3's buffer sweep (a subset of the bin's thirteen points): the
+/// RMI call count per buffer size is the figure's deterministic
+/// backbone — wall times ride on top of it.
+#[test]
+fn figure3_buffer_sweep_matches_golden() {
+    let mut rendered = String::new();
+    for pct in [1usize, 5, 20, 50, 100] {
+        let buffer = (PATTERNS as usize * pct / 100).max(1);
+        let run = scenarios::build(Scenario::EstimatorRemote, WIDTH, PATTERNS, buffer)
+            .run(Scenario::EstimatorRemote);
+        writeln!(
+            rendered,
+            "buffer {pct}% ({buffer} patterns): rmi_calls = {}, events = {}, \
+             fees_cents = {:.3}",
+            run.stats.calls, run.events, run.fees_cents
+        )
+        .unwrap();
+    }
+    check_golden("figure3.golden", &rendered);
+}
+
+/// The multi-component shard benchmark's workload itself is pinned too:
+/// event count and captured words must not move when the scheduler is
+/// reworked, whatever the wall clock does.
+#[test]
+fn shard_bench_workload_matches_golden() {
+    let rig = scenarios::build_multi_component(4, 8, 50, ShardPolicy::Auto(4));
+    let run = rig.run();
+    let mut rendered = String::new();
+    writeln!(rendered, "shards = {}", run.shard_count).unwrap();
+    writeln!(rendered, "events = {}", run.events).unwrap();
+    for (i, words) in run.words.iter().enumerate() {
+        let digest = words
+            .iter()
+            .fold(0u128, |acc, &w| acc.rotate_left(7) ^ w ^ (i as u128));
+        writeln!(
+            rendered,
+            "out{i}: patterns = {}, digest = {digest:#x}",
+            words.len()
+        )
+        .unwrap();
+    }
+    check_golden("shard_bench.golden", &rendered);
+}

@@ -1,0 +1,352 @@
+//! Differential tests for the sharded scheduler: every design in this
+//! file runs once sequentially and once per shard count, and the two
+//! runs must agree **bit for bit** — canonical event logs, estimate
+//! ledgers, capture histories, end times, event counts and fault
+//! coverage.
+//!
+//! The shard counts default to 1, 2, 4 and 8 and can be overridden with
+//! `VCAD_SHARDS=1,2,8` (the knob `ci.sh` uses for its matrix).
+
+use std::sync::Arc;
+
+use vcad::core::stdlib::{CaptureState, NetlistBlock, PrimaryOutput, RandomInput, Register};
+use vcad::core::{
+    DesignBuilder, ModuleId, Parameter, SetupController, SetupCriterion, ShardPolicy, SimRun,
+    SimulationController,
+};
+use vcad::faults::{IpBlockBinding, NetlistDetectionSource, VirtualFaultSim};
+use vcad::ip::{ClientSession, ComponentOffering, ModelAvailability, PriceList, ProviderServer};
+use vcad::logic::LogicVec;
+use vcad::netlist::generators;
+
+/// Shard counts under test: `VCAD_SHARDS=1,2,8` or the default ladder.
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("VCAD_SHARDS") {
+        Ok(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("VCAD_SHARDS: bad shard count {s:?}"))
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Every observable a [`SimRun`] exposes must match the sequential
+/// reference exactly.
+fn assert_runs_identical(seq: &SimRun, par: &SimRun, outputs: &[ModuleId], label: &str) {
+    assert_eq!(seq.end_time(), par.end_time(), "{label}: end time");
+    assert_eq!(
+        seq.events_processed(),
+        par.events_processed(),
+        "{label}: event count"
+    );
+    assert_eq!(
+        seq.event_log().expect("reference log"),
+        par.event_log().expect("sharded log"),
+        "{label}: canonical event log"
+    );
+    assert_eq!(
+        seq.estimates().records(),
+        par.estimates().records(),
+        "{label}: estimate ledger"
+    );
+    assert_eq!(
+        seq.estimates().degradations(),
+        par.estimates().degradations(),
+        "{label}: degradations"
+    );
+    assert_eq!(
+        seq.estimates().total_fees_cents(),
+        par.estimates().total_fees_cents(),
+        "{label}: fees"
+    );
+    for &out in outputs {
+        assert_eq!(
+            seq.module_state::<CaptureState>(out)
+                .expect("reference capture")
+                .history(),
+            par.module_state::<CaptureState>(out)
+                .expect("sharded capture")
+                .history(),
+            "{label}: capture history of module {out:?}"
+        );
+    }
+}
+
+/// Runs `controller` sequentially, then at every shard count, asserting
+/// bit-identity throughout.
+fn differential(controller: SimulationController, outputs: &[ModuleId], label: &str) {
+    let controller = controller.record_events();
+    let seq = controller.clone().run().expect("sequential run");
+    assert_eq!(seq.shard_count(), 1);
+    for shards in shard_counts() {
+        let par = controller
+            .clone()
+            .with_shards(ShardPolicy::Auto(shards))
+            .run()
+            .unwrap_or_else(|e| panic!("{label}: sharded run ({shards}) failed: {e}"));
+        assert_runs_identical(&seq, &par, outputs, &format!("{label} @{shards}"));
+    }
+}
+
+/// The two-provider session of `two_providers.rs`: a multiplier from one
+/// provider, a fully remote adder from another, power estimation bound —
+/// RMI traffic, fees and the estimate ledger all in play.
+#[test]
+fn two_provider_session_is_shard_invariant() {
+    let width = 8;
+    let p1 = ProviderServer::new("provider1.example.com");
+    p1.offer(ComponentOffering::fast_low_power_multiplier());
+    let p2 = ProviderServer::new("provider2.example.com");
+    p2.offer(ComponentOffering::new(
+        "AdderIP",
+        |w| Arc::new(generators::ripple_adder(w)),
+        ModelAvailability::functional_only(),
+        PriceList::default(),
+    ));
+    let s1 = ClientSession::connect_in_process(&p1).unwrap();
+    let s2 = ClientSession::connect_in_process(&p2).unwrap();
+    let mult = s1.instantiate("MultFastLowPower", width).unwrap();
+    let adder = s2.instantiate("AdderIP", 2 * width).unwrap();
+
+    let mut b = DesignBuilder::new("two-providers-sharded");
+    let ina = b.add_module(Arc::new(RandomInput::new("INA", width, 5, 10)));
+    let inb = b.add_module(Arc::new(RandomInput::new("INB", width, 6, 10)));
+    let m = b.add_module(mult.functional_module("MULT").unwrap());
+    let fan = b.add_module(Arc::new(vcad::core::stdlib::Fanout::uniform(
+        "FAN",
+        2 * width,
+        3,
+    )));
+    let product_tap = b.add_module(Arc::new(PrimaryOutput::new("PRODUCT", 2 * width)));
+    let add = b.add_module(Arc::new(vcad::ip::RemoteFunctionalModule::with_ports(
+        "DOUBLER",
+        vec![
+            vcad::core::PortSpec::input("a", 2 * width),
+            vcad::core::PortSpec::input("b", 2 * width),
+            vcad::core::PortSpec::output("s", 2 * width + 1),
+        ],
+        adder.stub().clone(),
+        vec![],
+    )));
+    let out = b.add_module(Arc::new(PrimaryOutput::new("OUT", 2 * width + 1)));
+    b.connect(ina, "out", m, "a").unwrap();
+    b.connect(inb, "out", m, "b").unwrap();
+    b.connect(m, "p", fan, "in").unwrap();
+    b.connect(fan, "out0", add, "a").unwrap();
+    b.connect(fan, "out1", add, "b").unwrap();
+    b.connect(add, "s", out, "in").unwrap();
+    b.connect(fan, "out2", product_tap, "in").unwrap();
+    let design = Arc::new(b.build().unwrap());
+
+    let mut setup = SetupController::new();
+    setup.set(Parameter::AvgPower, SetupCriterion::MostAccurate);
+    setup.set_buffer_size(3);
+    let binding = setup.apply(&design);
+
+    differential(
+        SimulationController::new(design).with_setup(binding),
+        &[out, product_tap],
+        "two-providers",
+    );
+}
+
+/// The quickstart circuit (Figure 2 shape, local multiplier): a single
+/// connectivity component, where every `Auto` plan degenerates to the
+/// sequential engine — the degenerate end of the differential ladder.
+#[test]
+fn quickstart_circuit_is_shard_invariant() {
+    let width = 16;
+    let mut b = DesignBuilder::new("quickstart-sharded");
+    let ina = b.add_module(Arc::new(RandomInput::new("INA", width, 1, 50)));
+    let inb = b.add_module(Arc::new(RandomInput::new("INB", width, 2, 50)));
+    let rega = b.add_module(Arc::new(Register::new("REGA", width)));
+    let regb = b.add_module(Arc::new(Register::new("REGB", width)));
+    let mult = b.add_module(Arc::new(vcad::core::stdlib::WordMultiplier::new(
+        "MULT", width,
+    )));
+    let out = b.add_module(Arc::new(PrimaryOutput::new("OUT", 2 * width)));
+    b.connect(ina, "out", rega, "d").unwrap();
+    b.connect(inb, "out", regb, "d").unwrap();
+    b.connect(rega, "q", mult, "a").unwrap();
+    b.connect(regb, "q", mult, "b").unwrap();
+    b.connect(mult, "p", out, "in").unwrap();
+    let design = Arc::new(b.build().unwrap());
+
+    differential(SimulationController::new(design), &[out], "quickstart");
+}
+
+/// Six independent pipelines — the partitioner's bread and butter: real
+/// multi-shard execution with dynamic estimation snapshots taken at
+/// barriers (the null estimator is bound, so the ledger records flush
+/// times that must match the sequential clock exactly).
+#[test]
+fn multi_component_design_is_shard_invariant() {
+    let mut b = DesignBuilder::new("chains-sharded");
+    let mut outputs = Vec::new();
+    for i in 0..6u64 {
+        let s = b.add_module(Arc::new(RandomInput::new(format!("IN{i}"), 8, 11 + i, 20)));
+        let r = b.add_module(Arc::new(Register::new(format!("REG{i}"), 8)));
+        let o = b.add_module(Arc::new(PrimaryOutput::new(format!("OUT{i}"), 8)));
+        b.connect(s, "out", r, "d").unwrap();
+        b.connect(r, "q", o, "in").unwrap();
+        outputs.push(o);
+    }
+    let design = Arc::new(b.build().unwrap());
+
+    let mut setup = SetupController::new();
+    setup.set(Parameter::AvgPower, SetupCriterion::MostAccurate);
+    setup.set_buffer_size(3);
+    let binding = setup.apply(&design);
+
+    differential(
+        SimulationController::new(design).with_setup(binding),
+        &outputs,
+        "chains",
+    );
+}
+
+/// Virtual fault simulation with a sharded good machine: detection
+/// order, per-pattern coverage history, request counts and injection
+/// counts must all match the sequential protocol.
+#[test]
+fn fault_coverage_is_shard_invariant() {
+    // Two independent half-adder IP blocks (two components), observed
+    // directly — the good machine genuinely spreads over shards.
+    let ip_netlist = Arc::new(generators::half_adder_nand());
+    let functional = Arc::new(generators::half_adder());
+    let mut b = DesignBuilder::new("faults-sharded");
+    let mut blocks = Vec::new();
+    let mut outputs = Vec::new();
+    for i in 0..2 {
+        let ia = b.add_module(Arc::new(RandomInput::new(format!("A{i}"), 1, 7 + i, 8)));
+        let ib = b.add_module(Arc::new(RandomInput::new(format!("B{i}"), 1, 9 + i, 8)));
+        let ip = b.add_module(Arc::new(NetlistBlock::new(
+            format!("IP{i}"),
+            Arc::clone(&functional),
+        )));
+        let o1 = b.add_module(Arc::new(PrimaryOutput::new(format!("S{i}"), 1)));
+        let o2 = b.add_module(Arc::new(PrimaryOutput::new(format!("C{i}"), 1)));
+        b.connect(ia, "out", ip, "a").unwrap();
+        b.connect(ib, "out", ip, "b").unwrap();
+        b.connect(ip, "sum", o1, "in").unwrap();
+        b.connect(ip, "carry", o2, "in").unwrap();
+        blocks.push(ip);
+        outputs.push(o1);
+        outputs.push(o2);
+    }
+    let design = Arc::new(b.build().unwrap());
+    let bindings = || {
+        blocks
+            .iter()
+            .map(|&module| IpBlockBinding {
+                module,
+                source: Arc::new(NetlistDetectionSource::new(Arc::clone(&ip_netlist)))
+                    as Arc<dyn vcad::faults::DetectionTableSource>,
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let reference = VirtualFaultSim::new(Arc::clone(&design), bindings(), outputs.clone())
+        .run()
+        .expect("sequential fault sim");
+    for shards in shard_counts() {
+        let sharded = VirtualFaultSim::new(Arc::clone(&design), bindings(), outputs.clone())
+            .with_shards(ShardPolicy::Auto(shards))
+            .run()
+            .unwrap_or_else(|e| panic!("sharded fault sim ({shards}) failed: {e}"));
+        assert_eq!(sharded.patterns, reference.patterns, "@{shards}: patterns");
+        assert_eq!(
+            sharded.tables_requested, reference.tables_requested,
+            "@{shards}: table requests"
+        );
+        assert_eq!(
+            sharded.cache_hits, reference.cache_hits,
+            "@{shards}: cache hits"
+        );
+        assert_eq!(
+            sharded.injections, reference.injections,
+            "@{shards}: injections"
+        );
+        assert_eq!(
+            sharded.blocks.len(),
+            reference.blocks.len(),
+            "@{shards}: block count"
+        );
+        for (s, r) in sharded.blocks.iter().zip(&reference.blocks) {
+            assert_eq!(s.module, r.module, "@{shards}: block module");
+            assert_eq!(s.total, r.total, "@{shards}: fault list size");
+            assert_eq!(s.detected, r.detected, "@{shards}: detection order");
+            assert_eq!(s.history, r.history, "@{shards}: coverage history");
+        }
+    }
+}
+
+/// Sharded runs of the same design and policy are deterministic across
+/// repetitions — thread scheduling must never leak into results.
+#[test]
+fn sharded_runs_are_repeatable() {
+    let mut b = DesignBuilder::new("repeat-sharded");
+    let mut outputs = Vec::new();
+    for i in 0..4u64 {
+        let s = b.add_module(Arc::new(RandomInput::new(format!("IN{i}"), 8, 3 + i, 15)));
+        let o = b.add_module(Arc::new(PrimaryOutput::new(format!("OUT{i}"), 8)));
+        b.connect(s, "out", o, "in").unwrap();
+        outputs.push(o);
+    }
+    let design = Arc::new(b.build().unwrap());
+    let controller = SimulationController::new(design)
+        .with_shards(ShardPolicy::Auto(4))
+        .record_events();
+    let first = controller.clone().run().unwrap();
+    for _ in 0..3 {
+        let again = controller.clone().run().unwrap();
+        assert_runs_identical(&first, &again, &outputs, "repeat");
+    }
+}
+
+/// `--shards`-style injection parity: preloaded ports and injected
+/// control tokens reach the right shard-owned module.
+#[test]
+fn injection_paths_reach_sharded_modules() {
+    let mut b = DesignBuilder::new("inject-sharded");
+    let mut outs = Vec::new();
+    for i in 0..3u64 {
+        let s = b.add_module(Arc::new(RandomInput::new(format!("IN{i}"), 4, 21 + i, 5)));
+        let o = b.add_module(Arc::new(PrimaryOutput::new(format!("OUT{i}"), 4)));
+        b.connect(s, "out", o, "in").unwrap();
+        outs.push(o);
+    }
+    let design = Arc::new(b.build().unwrap());
+    for shards in [1usize, 3] {
+        let mut engine =
+            vcad::core::SimEngine::new(Arc::clone(&design), &ShardPolicy::Auto(shards)).unwrap();
+        engine.init();
+        engine
+            .preload_port(
+                vcad::core::PortRef {
+                    module: outs[2],
+                    port: 0,
+                },
+                LogicVec::from_u64(4, 9),
+            )
+            .unwrap();
+        assert_eq!(
+            engine
+                .port_value(vcad::core::PortRef {
+                    module: outs[2],
+                    port: 0,
+                })
+                .to_word()
+                .unwrap()
+                .value(),
+            9,
+            "@{shards}: preload visible"
+        );
+        engine.run(None).unwrap();
+        assert!(engine.events_processed() > 0, "@{shards}");
+    }
+}

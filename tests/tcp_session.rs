@@ -1,12 +1,28 @@
 //! A full IP user/provider session over real TCP sockets (loopback),
 //! optionally shaped with the network models.
+//!
+//! Test hygiene: no assertion here depends on the wall clock — the one
+//! timing check reads the *virtual* network timeline, which is a pure
+//! function of the modeled RTT. Real sockets still block, though, so
+//! every connection carries a generous explicit budget: a wedged
+//! provider fails the test in seconds instead of hanging CI forever
+//! (the library default, [`TcpTimeouts::none`], blocks indefinitely).
 
+use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Duration;
 
 use vcad::faults::DetectionTableSource;
 use vcad::ip::{ClientSession, ComponentOffering, ProviderServer};
 use vcad::netsim::NetworkModel;
-use vcad::rmi::{ShapedTransport, TcpServer, TcpTransport, Transport};
+use vcad::rmi::{ShapedTransport, TcpServer, TcpTimeouts, TcpTransport, Transport};
+
+/// Far above any loopback round trip, far below a CI job timeout.
+const SOCKET_BUDGET: Duration = Duration::from_secs(10);
+
+fn connect(addr: SocketAddr) -> Arc<dyn Transport> {
+    Arc::new(TcpTransport::connect_with_timeouts(addr, TcpTimeouts::all(SOCKET_BUDGET)).unwrap())
+}
 
 fn provider() -> ProviderServer {
     let server = ProviderServer::new("tcp-provider.example.com");
@@ -18,8 +34,7 @@ fn provider() -> ProviderServer {
 fn catalog_and_component_over_tcp() {
     let server = provider();
     let tcp = TcpServer::bind("127.0.0.1:0", server.dispatcher()).unwrap();
-    let transport: Arc<dyn Transport> = Arc::new(TcpTransport::connect(tcp.addr()).unwrap());
-    let session = ClientSession::connect(transport, server.host());
+    let session = ClientSession::connect(connect(tcp.addr()), server.host());
 
     let catalog = session.catalog().unwrap();
     assert_eq!(catalog[0].name, "MultFastLowPower");
@@ -43,8 +58,7 @@ fn two_clients_share_one_tcp_server() {
         let addr = tcp.addr();
         let host = server.host().to_owned();
         handles.push(std::thread::spawn(move || {
-            let transport: Arc<dyn Transport> = Arc::new(TcpTransport::connect(addr).unwrap());
-            let session = ClientSession::connect(transport, host);
+            let session = ClientSession::connect(connect(addr), host);
             let width = 2 + i;
             let component = session.instantiate("MultFastLowPower", width).unwrap();
             assert_eq!(component.width(), width);
@@ -63,7 +77,7 @@ fn shaped_tcp_session_accumulates_virtual_network_time() {
 
     let server = provider();
     let tcp = TcpServer::bind("127.0.0.1:0", server.dispatcher()).unwrap();
-    let raw: Arc<dyn Transport> = Arc::new(TcpTransport::connect(tcp.addr()).unwrap());
+    let raw = connect(tcp.addr());
     let timeline = Arc::new(Mutex::new(VirtualTimeline::new()));
     let shaped: Arc<dyn Transport> = Arc::new(ShapedTransport::virtual_time(
         raw,
