@@ -43,4 +43,16 @@ cargo run --release -q -p vcad-lint --bin lintgate -- clean
 echo "==> lint gate: seeded defect fixtures must each trip their rule"
 cargo run --release -q -p vcad-lint --bin lintgate -- dirty
 
+echo "==> trace gate: chaos-seeded two-provider session must stitch with zero orphan spans"
+cargo run --release -q -p vcad-bench --bin tracesession -- --out target/tracesession
+cargo run --release -q -p vcad-obs --bin obs-report -- report \
+    target/tracesession/client.json \
+    target/tracesession/provider-a.json \
+    target/tracesession/provider-b.json \
+    --require-no-orphans > target/tracesession/report.txt
+grep "^consistency:" target/tracesession/report.txt
+
+echo "==> obs overhead gate: traced run must stay within budget of baseline (BENCH_obs.json)"
+cargo run --release -q -p vcad-bench --bin obsbench -- --json BENCH_obs.json
+
 echo "CI green."

@@ -38,6 +38,7 @@ fn main() {
         object: ObjectId(7),
         method: "power_toggle".into(),
         args: vec![buffer50.clone()],
+        context: None,
     });
     let bytes = frame.encode();
     group.bench("encode_call_frame", || {
@@ -45,5 +46,27 @@ fn main() {
     });
     group.bench("decode_call_frame", || {
         black_box(Frame::decode(black_box(&bytes)).expect("valid frame"));
+    });
+
+    // The traced (v2) frame pays for the trace context on every call;
+    // keep its marshalling cost visible next to the frozen v1 frame.
+    let traced = Frame::Call(CallFrame {
+        call_id: 42,
+        object: ObjectId(7),
+        method: "power_toggle".into(),
+        args: vec![buffer50],
+        context: Some(
+            vcad_obs::TraceContext::root()
+                .with_baggage("session", "s-1")
+                .with_baggage("provider", "provider.example.com")
+                .with_baggage("method", "power_toggle"),
+        ),
+    });
+    let traced_bytes = traced.encode();
+    group.bench("encode_call_frame_traced", || {
+        black_box(black_box(&traced).encode());
+    });
+    group.bench("decode_call_frame_traced", || {
+        black_box(Frame::decode(black_box(&traced_bytes)).expect("valid frame"));
     });
 }

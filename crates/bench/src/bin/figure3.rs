@@ -8,6 +8,9 @@
 //! Run with `cargo run -p vcad-bench --bin figure3 --release`.
 //! Pass `--trace <path>` to also write a Chrome trace-event JSON file
 //! covering every run, plus a plain-text metrics summary on stdout.
+//! Pass `--health <path>[:interval_ms]` to keep a live health snapshot
+//! refreshed at `path` (JSON, plus `path.txt` as text); without an
+//! interval the snapshot is written once, on exit.
 //! Pass `--lint` (or `--lint=json`) to statically analyse the ER
 //! scenario's design and exit instead of measuring.
 //! Pass `--shards <n>` to schedule each run under
@@ -29,6 +32,8 @@ fn main() {
     let trace_out = cli::trace_path();
     let shards = cli::shards();
     let obs = cli::collector_for(trace_out.as_ref());
+    // Alive for the whole run: dropping it writes the final snapshot.
+    let _health = cli::start_health(&obs);
 
     // Under --lint[=json], statically analyse the scenario's design and
     // exit instead of measuring. The buffer size only affects scheduling,

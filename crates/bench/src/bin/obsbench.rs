@@ -1,0 +1,82 @@
+//! `obsbench` — the observability overhead gate.
+//!
+//! Runs the estimator-remote scenario twice — once with a disabled
+//! collector (metrics only, the tier-1 default) and once with full
+//! tracing (a span per scheduler instant, RMI call, dispatch, estimator
+//! compute and ledger charge) — and asserts the traced run stays within
+//! an overhead budget of the baseline (default 1.10×, i.e. ≤ 10%;
+//! override with `VCAD_OBS_MAX_RATIO`).
+//!
+//! Both modes take the best of several runs, so a single scheduler
+//! hiccup doesn't fail CI; the measured times and the ratio are written
+//! to `--json <path>` (CI records them in `BENCH_obs.json`).
+
+use std::time::Duration;
+
+use vcad_bench::cli;
+use vcad_bench::scenarios::{self, Scenario};
+use vcad_obs::Collector;
+
+const RUNS: usize = 5;
+
+/// Best-of-`RUNS` wall clock of the ER scenario under `obs`.
+fn measure(obs: &Collector) -> Duration {
+    let (width, patterns, buffer) = (16, 400, 5);
+    (0..RUNS)
+        .map(|_| {
+            // A fresh rig per run: the traced mode must pay its full
+            // cost, including the session setup calls.
+            let rig = scenarios::build_with_obs(
+                Scenario::EstimatorRemote,
+                width,
+                patterns,
+                buffer,
+                obs.clone(),
+            );
+            let run = rig.run(Scenario::EstimatorRemote);
+            // Keep the ring from backing pressure into later runs.
+            let _ = obs.trace();
+            run.cpu
+        })
+        .min()
+        .expect("at least one run")
+}
+
+fn max_ratio() -> f64 {
+    std::env::var("VCAD_OBS_MAX_RATIO")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.10)
+}
+
+fn main() {
+    let baseline = measure(&Collector::disabled());
+    let traced = measure(&Collector::with_capacity(1 << 20));
+    let ratio = traced.as_secs_f64() / baseline.as_secs_f64();
+    let budget = max_ratio();
+    println!(
+        "obs overhead: baseline {:.3} ms, traced {:.3} ms, ratio {ratio:.3} (budget {budget:.2})",
+        baseline.as_secs_f64() * 1e3,
+        traced.as_secs_f64() * 1e3,
+    );
+
+    if let Some(path) = cli::json_path() {
+        let doc = format!(
+            "{{\n  \"bench\": \"obsbench\",\n  \"scenario\": \"ER\",\n  \
+             \"runs\": {RUNS},\n  \"baseline_ms\": {:.3},\n  \
+             \"traced_ms\": {:.3},\n  \"ratio\": {ratio:.4},\n  \
+             \"budget\": {budget:.4}\n}}\n",
+            baseline.as_secs_f64() * 1e3,
+            traced.as_secs_f64() * 1e3,
+        );
+        std::fs::write(&path, doc).expect("write json results");
+        println!("JSON results written to {}", path.display());
+    }
+
+    assert!(
+        ratio <= budget,
+        "tracing overhead {ratio:.3}× exceeds the {budget:.2}× budget \
+         (baseline {baseline:?}, traced {traced:?})"
+    );
+    println!("obs overhead within budget.");
+}

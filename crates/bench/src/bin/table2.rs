@@ -21,6 +21,10 @@
 //! fee-free.
 //! Pass `--json <path>` to also write the per-pass measurements (wall
 //! time, RMI calls/bytes, fees, cache hit-rate) as a JSON file.
+//! Pass `--health <path>[:interval_ms]` to keep a live health snapshot
+//! (counters, histogram percentiles, breaker states, cache hit ratio)
+//! refreshed at `path` as JSON plus `path.txt` as text; without an
+//! interval the snapshot is written once, on exit.
 //! Pass `--lint` (or `--lint=json`) to statically analyse each
 //! scenario's design and exit instead of measuring.
 //! Pass `--shards <n>` to run every scenario's scheduler under
@@ -94,6 +98,8 @@ fn main() {
     let json_out = cli::json_path();
     let shards = cli::shards();
     let obs = cli::collector_for(trace_out.as_ref());
+    // Alive for the whole run: dropping it writes the final snapshot.
+    let _health = cli::start_health(&obs);
 
     // Under --lint[=json], statically analyse each scenario's design
     // and exit instead of measuring.

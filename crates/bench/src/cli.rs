@@ -98,6 +98,46 @@ pub fn json_path() -> Option<PathBuf> {
     None
 }
 
+/// Parses `--health <path>[:interval_ms]` from the process arguments,
+/// if present: the bench periodically writes a machine-readable health
+/// snapshot (counters, gauge high-waters, histogram percentiles,
+/// breaker states, cache hit ratio) to `path` as JSON plus a text
+/// rendering to `path.txt`. Without an interval the snapshot is written
+/// once, on exit.
+///
+/// Exits with status 2 when `--health` is given without a path.
+#[must_use]
+pub fn health_spec() -> Option<(PathBuf, Option<std::time::Duration>)> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--health" {
+            let spec = args.next().unwrap_or_else(|| {
+                eprintln!("--health needs a file path (optionally `path:interval_ms`)");
+                std::process::exit(2);
+            });
+            return Some(parse_health_spec(&spec));
+        }
+    }
+    None
+}
+
+fn parse_health_spec(spec: &str) -> (PathBuf, Option<std::time::Duration>) {
+    if let Some((path, ms)) = spec.rsplit_once(':') {
+        if let Ok(ms) = ms.parse::<u64>() {
+            return (path.into(), Some(std::time::Duration::from_millis(ms)));
+        }
+    }
+    (spec.into(), None)
+}
+
+/// Starts the periodic health reporter when `--health` is present. Keep
+/// the returned handle alive for the whole run: dropping it writes the
+/// final snapshot.
+#[must_use]
+pub fn start_health(obs: &Collector) -> Option<vcad_obs::HealthReporter> {
+    health_spec().map(|(path, interval)| vcad_obs::HealthReporter::start(obs, path, interval))
+}
+
 /// True when `--cache` is present: remote sessions memoize provider
 /// calls (see `vcad_ip::IpCache`) and the bench runs each scenario
 /// twice — a cold pass filling the cache and a warm pass served from
@@ -166,4 +206,26 @@ pub fn finish_trace(obs: &Collector, path: Option<PathBuf>) {
     println!("\n{}", vcad_obs::summary::render_summary(&trace));
     vcad_obs::chrome::write_chrome_trace(&trace, &path).expect("write trace file");
     println!("Chrome trace written to {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_health_spec;
+    use std::time::Duration;
+
+    #[test]
+    fn health_spec_with_and_without_interval() {
+        let (path, interval) = parse_health_spec("out/health.json:250");
+        assert_eq!(path.to_str(), Some("out/health.json"));
+        assert_eq!(interval, Some(Duration::from_millis(250)));
+
+        let (path, interval) = parse_health_spec("out/health.json");
+        assert_eq!(path.to_str(), Some("out/health.json"));
+        assert_eq!(interval, None);
+
+        // A non-numeric suffix is part of the path, not an interval.
+        let (path, interval) = parse_health_spec("odd:name.json");
+        assert_eq!(path.to_str(), Some("odd:name.json"));
+        assert_eq!(interval, None);
+    }
 }

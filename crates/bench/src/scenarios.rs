@@ -227,6 +227,14 @@ pub fn build_full(
                 Some(c) => ClientSession::connect_cached(transport, server.host(), Arc::clone(c)),
                 None => ClientSession::connect(transport, server.host()),
             };
+            // Traced runs get a `client:{method}` span per call and the
+            // session/provider baggage on every frame; untraced runs keep
+            // the frozen context-free v1 frames.
+            let session = if obs.is_enabled() {
+                session.with_collector(obs.clone())
+            } else {
+                session
+            };
             let component = session
                 .instantiate("MultFastLowPower", width)
                 .expect("instantiate remote multiplier");

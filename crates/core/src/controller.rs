@@ -122,16 +122,21 @@ impl SimulationController {
         if let Some(limit) = self.event_limit {
             scheduler.set_event_limit(limit);
         }
+        // The run span is opened *before* the child is handed to the
+        // scheduler: per-shard collectors snapshot the default trace
+        // context at creation, so the run's context must be in place
+        // first for shard-worker spans to parent under the run.
+        let run_span = child.as_ref().map(|c| {
+            let span = c.traced_span("controller", format!("run:{}", self.design.name()));
+            c.set_default_context(span.context().cloned());
+            span
+        });
         if let Some(child) = &child {
             scheduler.set_collector(child);
         }
         if self.record_events {
             scheduler.set_event_log(true);
         }
-        let run_span = child.as_ref().and_then(|c| {
-            c.is_enabled()
-                .then(|| c.span("controller", format!("run:{}", self.design.name())))
-        });
         scheduler.init();
         let mut log = EstimateLog::default();
         let mut buffers: HashMap<usize, Vec<PortSnapshot>> = HashMap::new();

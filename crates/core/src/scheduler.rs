@@ -491,7 +491,10 @@ impl Scheduler {
         };
         let span = self.telemetry.as_ref().and_then(|t| {
             t.obs.is_enabled().then(|| {
-                let mut span = t.obs.span("scheduler", "instant");
+                // Traced, so instants parent under the controller's run
+                // span (via the collector's default context on shard
+                // workers, or the ambient stack on the driving thread).
+                let mut span = t.obs.traced_span("scheduler", "instant");
                 span.arg("t", instant.ticks());
                 span
             })

@@ -1,5 +1,6 @@
 //! The IP user side: sessions and remote component handles.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use vcad_core::{Estimator, Module};
@@ -110,6 +111,22 @@ impl ClientSession {
     pub fn connect_in_process(server: &ProviderServer) -> Result<ClientSession, RmiError> {
         let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new(server.dispatcher()));
         Ok(ClientSession::connect(transport, server.host()))
+    }
+
+    /// Routes a `client:{method}` span per call into `obs` and injects
+    /// the trace context into every outgoing frame, tagged with
+    /// `session` and `provider` baggage labels — display-only strings
+    /// that pass the wire-privacy audit (no design data).
+    #[must_use]
+    pub fn with_collector(mut self, obs: vcad_obs::Collector) -> ClientSession {
+        static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+        let session = format!("session-{}", NEXT_SESSION.fetch_add(1, Ordering::Relaxed));
+        self.client = self
+            .client
+            .with_collector(obs)
+            .with_baggage("provider", &self.host)
+            .with_baggage("session", &session);
+        self
     }
 
     /// The provider's host name.

@@ -49,15 +49,20 @@ impl ServerLedger {
             let m = self.obs.metrics();
             m.float_counter("ip.fees_cents").add(cents);
             m.counter("ip.charges").inc();
-            if self.obs.is_enabled() {
-                self.obs.event_with_args(
-                    "ip",
-                    format!("charge:{what}"),
-                    vec![("cents".into(), cents.into())],
-                );
-            }
+            // A traced *span* (not an instant event): the analyzer's
+            // per-RPC breakdown attributes `charge:*` span time to the
+            // fee-ledger bucket, parented under the ambient dispatch span.
+            let mut span = self.obs.traced_span("ip", format!("charge:{what}"));
+            span.arg("cents", cents);
             self.entries.lock().unwrap().push((what, cents));
         }
+    }
+
+    /// The collector charges are mirrored into (shared with the
+    /// provider's estimator spans).
+    #[must_use]
+    pub fn collector(&self) -> &Collector {
+        &self.obs
     }
 
     /// Total charged so far, in cents.
@@ -373,6 +378,11 @@ impl RemoteObject for ComponentObject {
                     format!("{} power_toggle", self.name),
                     self.prices.toggle_power_per_pattern * (patterns.len() - 1) as f64,
                 );
+                let mut span = self
+                    .ledger
+                    .collector()
+                    .traced_span("ip", format!("estimate:{method}"));
+                span.arg("patterns", patterns.len());
                 let total: f64 = patterns
                     .windows(2)
                     .map(|w| self.toggle.predict_transition(&w[0], &w[1]))
@@ -396,6 +406,11 @@ impl RemoteObject for ComponentObject {
                     format!("{} power_peak", self.name),
                     self.prices.toggle_power_per_pattern * (patterns.len() - 1) as f64,
                 );
+                let mut span = self
+                    .ledger
+                    .collector()
+                    .traced_span("ip", format!("estimate:{method}"));
+                span.arg("patterns", patterns.len());
                 // Reuse the estimator over a synthetic snapshot buffer: one
                 // single-port snapshot per pattern, matching the estimator's
                 // pre-concatenated input convention.
@@ -425,6 +440,10 @@ impl RemoteObject for ComponentObject {
                     format!("{} functional_eval", self.name),
                     self.prices.functional_eval,
                 );
+                let _span = self
+                    .ledger
+                    .collector()
+                    .traced_span("ip", format!("estimate:{method}"));
                 let out = vcad_netlist::Evaluator::new(&self.netlist).outputs(inputs);
                 Ok(Value::Vec(out))
             }
@@ -447,6 +466,10 @@ impl RemoteObject for ComponentObject {
                     format!("{} detection_table", self.name),
                     self.prices.detection_table,
                 );
+                let _span = self
+                    .ledger
+                    .collector()
+                    .traced_span("ip", format!("estimate:{method}"));
                 let table: DetectionTable = self
                     .detection
                     .detection_table(inputs)

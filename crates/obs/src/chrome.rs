@@ -8,11 +8,20 @@
 //! Timestamps and durations are microseconds (floats, so nanosecond
 //! resolution survives). The virtual-timeline position, when present,
 //! rides along in `args.virtual_us`.
+//!
+//! Multi-process traces: [`to_chrome_json_lanes`] renders several
+//! [`Trace`]s into one document, one `pid` lane per trace, each named by
+//! a `process_name` metadata event. [`parse_chrome_json`] reads such
+//! documents (including single-lane dumps from [`to_chrome_json`]) back
+//! into per-process event lists so `obs-report` can stitch client and
+//! provider dumps into one causal trace.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 
 use crate::collector::{ArgValue, EventKind, Trace, TraceEvent};
+use crate::json::{self, JsonValue};
 
 /// Escapes `s` into `out` as JSON string contents (no quotes).
 fn escape_into(out: &mut String, s: &str) {
@@ -96,24 +105,157 @@ fn write_event(out: &mut String, e: &TraceEvent, pid: u32) {
     out.push('}');
 }
 
+fn write_process_meta(out: &mut String, pid: u32, name: &str) {
+    out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+    let _ = write!(out, "{pid}");
+    out.push_str(",\"tid\":0,\"args\":{\"name\":\"");
+    escape_into(out, name);
+    out.push_str("\"}}");
+}
+
 /// Renders `trace` as a Chrome trace-event JSON document.
 #[must_use]
 pub fn to_chrome_json(trace: &Trace) -> String {
-    let mut out = String::with_capacity(128 + trace.events.len() * 160);
+    to_chrome_json_lanes(std::slice::from_ref(trace))
+}
+
+/// Renders several traces into one document, one `pid` lane per trace.
+/// Each lane carries a `process_name` metadata event named after the
+/// trace's [`Trace::process`].
+#[must_use]
+pub fn to_chrome_json_lanes(traces: &[Trace]) -> String {
+    let total: usize = traces.iter().map(|t| t.events.len()).sum();
+    let mut out = String::with_capacity(256 + total * 160);
     out.push_str("{\"traceEvents\":[");
-    for (i, e) in trace.events.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for (i, trace) in traces.iter().enumerate() {
+        let pid = u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1);
+        if !first {
             out.push(',');
         }
-        write_event(&mut out, e, 1);
+        first = false;
+        let name = if trace.process.is_empty() {
+            "vcad"
+        } else {
+            &trace.process
+        };
+        write_process_meta(&mut out, pid, name);
+        for e in &trace.events {
+            out.push(',');
+            write_event(&mut out, e, pid);
+        }
     }
     out.push(']');
+    let dropped: u64 = traces.iter().map(|t| t.dropped).sum();
     let _ = write!(
         out,
-        ",\"otherData\":{{\"dropped_events\":{},\"exporter\":\"vcad-obs\"}}}}",
-        trace.dropped
+        ",\"otherData\":{{\"dropped_events\":{dropped},\"exporter\":\"vcad-obs\"}}}}"
     );
     out
+}
+
+/// One process lane parsed back out of a Chrome trace document.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProcessLane {
+    /// The `pid` the events were filed under.
+    pub pid: u32,
+    /// The lane's `process_name` metadata, or `pid:N` when absent.
+    pub name: String,
+    /// Span and instant events, sorted by start time.
+    pub events: Vec<TraceEvent>,
+}
+
+fn parse_args(obj: &JsonValue) -> (Option<u64>, Vec<(std::borrow::Cow<'static, str>, ArgValue)>) {
+    let mut virtual_ns = None;
+    let mut args = Vec::new();
+    if let Some(map) = obj.get("args").and_then(JsonValue::as_object) {
+        for (k, v) in map {
+            if k == "virtual_us" {
+                virtual_ns = v.as_f64().map(|us| (us * 1_000.0).round() as u64);
+                continue;
+            }
+            let arg = match v {
+                JsonValue::Number(_) => match v.as_u64() {
+                    Some(n) => ArgValue::U64(n),
+                    None => ArgValue::F64(v.as_f64().unwrap_or(f64::NAN)),
+                },
+                JsonValue::String(s) => ArgValue::Str(s.clone()),
+                JsonValue::Bool(b) => ArgValue::U64(u64::from(*b)),
+                _ => continue,
+            };
+            args.push((std::borrow::Cow::Owned(k.clone()), arg));
+        }
+    }
+    (virtual_ns, args)
+}
+
+/// Parses a Chrome trace-event document produced by this exporter back
+/// into per-process lanes. Unknown phase types are skipped; `process_name`
+/// metadata names the lanes.
+///
+/// # Errors
+///
+/// Returns a message when the document is not valid JSON or lacks a
+/// `traceEvents` array.
+pub fn parse_chrome_json(input: &str) -> Result<Vec<ProcessLane>, String> {
+    let doc = json::parse(input).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "document has no traceEvents array".to_string())?;
+    let mut lanes: BTreeMap<u32, ProcessLane> = BTreeMap::new();
+    for ev in events {
+        let pid = ev.get("pid").and_then(JsonValue::as_u64).unwrap_or(0) as u32;
+        let lane = lanes.entry(pid).or_insert_with(|| ProcessLane {
+            pid,
+            name: format!("pid:{pid}"),
+            events: Vec::new(),
+        });
+        let ph = ev.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+        let name = ev.get("name").and_then(JsonValue::as_str).unwrap_or("");
+        if ph == "M" {
+            if name == "process_name" {
+                if let Some(n) = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(JsonValue::as_str)
+                {
+                    lane.name = n.to_string();
+                }
+            }
+            continue;
+        }
+        let kind = match ph {
+            "X" => EventKind::Span {
+                dur_ns: (ev.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0) * 1_000.0)
+                    .round()
+                    .max(0.0) as u64,
+            },
+            "i" | "I" => EventKind::Instant,
+            _ => continue,
+        };
+        let ts_us = ev.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let (virtual_ns, args) = parse_args(ev);
+        lane.events.push(TraceEvent {
+            name: std::borrow::Cow::Owned(name.to_string()),
+            category: std::borrow::Cow::Owned(
+                ev.get("cat")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            ),
+            kind,
+            wall_ns: (ts_us * 1_000.0).round().max(0.0) as u64,
+            virtual_ns,
+            thread: ev.get("tid").and_then(JsonValue::as_u64).unwrap_or(0) as u32,
+            args,
+        });
+    }
+    let mut out: Vec<ProcessLane> = lanes.into_values().collect();
+    for lane in &mut out {
+        lane.events.sort_by_key(|e| e.wall_ns);
+    }
+    Ok(out)
 }
 
 /// Writes `trace` as Chrome trace JSON to `path`.
@@ -191,7 +333,49 @@ mod tests {
         let c = Collector::enabled();
         let json = to_chrome_json(&c.trace());
         assert_structurally_valid_json(&json);
-        assert!(json.contains("\"traceEvents\":[]"));
+        // Even an empty trace names its process lane.
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"dropped_events\":0"));
+    }
+
+    #[test]
+    fn lanes_round_trip_through_the_parser() {
+        let a = Collector::enabled().with_process_name("client");
+        {
+            let mut s = a.traced_span("rmi", "client:AREA");
+            s.arg("note", "caffè \"quoted\"");
+        }
+        let b = Collector::enabled().with_process_name("provider1");
+        {
+            let _s = b.traced_span("rmi", "dispatch:AREA");
+        }
+        b.event("ip", "charge:AREA");
+        let json = to_chrome_json_lanes(&[a.trace(), b.trace()]);
+        assert_structurally_valid_json(&json);
+        let lanes = parse_chrome_json(&json).unwrap();
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].name, "client");
+        assert_eq!(lanes[1].name, "provider1");
+        assert_eq!(lanes[0].events.len(), 1);
+        assert_eq!(lanes[1].events.len(), 2);
+        let client = &lanes[0].events[0];
+        assert_eq!(client.name, "client:AREA");
+        assert!(matches!(client.kind, EventKind::Span { .. }));
+        assert!(client
+            .args
+            .iter()
+            .any(|(k, v)| k == "note" && *v == ArgValue::Str("caffè \"quoted\"".into())));
+        assert!(client
+            .args
+            .iter()
+            .any(|(k, v)| k == "span" && matches!(v, ArgValue::U64(_))));
+        assert!(matches!(lanes[1].events[1].kind, EventKind::Instant));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_chrome_json("not json").is_err());
+        assert!(parse_chrome_json("{\"other\":1}").is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use vcad_netsim::VirtualTimeline;
 
+use crate::context::{self, ContextGuard, TraceContext};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::ring::RingBuffer;
 
@@ -116,6 +117,11 @@ struct CollectorInner {
     ring: RingBuffer<TraceEvent>,
     metrics: MetricsRegistry,
     timeline: RwLock<Option<Arc<Mutex<VirtualTimeline>>>>,
+    /// Process lane name stamped onto exported traces.
+    process: RwLock<String>,
+    /// Fallback trace context used by [`Collector::traced_span`] when the
+    /// calling thread has no ambient context (e.g. shard worker threads).
+    default_context: RwLock<Option<TraceContext>>,
     /// Events already drained out of children (absorbed traces).
     absorbed_events: Mutex<Vec<TraceEvent>>,
     /// Drop counts inherited from absorbed children.
@@ -152,6 +158,8 @@ impl Collector {
                 ring: RingBuffer::with_capacity(capacity),
                 metrics: MetricsRegistry::new(),
                 timeline: RwLock::new(None),
+                process: RwLock::new(String::from("vcad")),
+                default_context: RwLock::new(None),
                 absorbed_events: Mutex::new(Vec::new()),
                 absorbed_dropped: Mutex::new(0),
             }),
@@ -194,6 +202,40 @@ impl Collector {
     #[must_use]
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.inner.metrics
+    }
+
+    /// Names the process lane exported traces belong to (e.g. `client`,
+    /// `provider1.example.com`). Children inherit the name at
+    /// [`Collector::child`] time.
+    pub fn set_process_name(&self, name: &str) {
+        name.clone_into(&mut self.inner.process.write().unwrap());
+    }
+
+    /// Builder form of [`Collector::set_process_name`].
+    #[must_use]
+    pub fn with_process_name(self, name: &str) -> Collector {
+        self.set_process_name(name);
+        self
+    }
+
+    /// The process lane name (defaults to `vcad`).
+    #[must_use]
+    pub fn process_name(&self) -> String {
+        self.inner.process.read().unwrap().clone()
+    }
+
+    /// Sets the fallback trace context used by [`Collector::traced_span`]
+    /// when the calling thread carries no ambient context. This is how a
+    /// run's root context reaches shard worker threads, whose stacks the
+    /// controller never runs on.
+    pub fn set_default_context(&self, ctx: Option<TraceContext>) {
+        *self.inner.default_context.write().unwrap() = ctx;
+    }
+
+    /// The fallback trace context, if one was set.
+    #[must_use]
+    pub fn default_context(&self) -> Option<TraceContext> {
+        self.inner.default_context.read().unwrap().clone()
     }
 
     /// Attaches the virtual timeline whose position is stamped onto
@@ -278,6 +320,69 @@ impl Collector {
         }
     }
 
+    /// Opens a span that participates in distributed tracing.
+    ///
+    /// The span allocates a fresh span id, parents under the thread's
+    /// ambient context (falling back to the collector's default context,
+    /// then to a fresh root), records `trace`/`span`/`parent` arguments,
+    /// and keeps its own context ambient for its lifetime so nested
+    /// traced spans — and RMI calls injecting the context on the wire —
+    /// chain under it. One relaxed load when disabled.
+    #[must_use = "dropping the guard immediately records a zero-length span"]
+    pub fn traced_span(
+        &self,
+        category: impl Into<Cow<'static, str>>,
+        name: impl Into<Cow<'static, str>>,
+    ) -> TracedSpan {
+        if !self.is_enabled() {
+            return TracedSpan {
+                span: SpanGuard { state: None },
+                ctx: None,
+                _guard: None,
+            };
+        }
+        let parent = context::current().or_else(|| self.default_context());
+        let ctx = parent
+            .as_ref()
+            .map_or_else(TraceContext::root, TraceContext::child);
+        let mut span = self.span(category, name);
+        span.arg(context::TRACE_ARG, ctx.trace_id);
+        span.arg(context::SPAN_ARG, ctx.span_id);
+        if let Some(p) = &parent {
+            span.arg(context::PARENT_ARG, p.span_id);
+        }
+        let guard = context::push(ctx.clone());
+        TracedSpan {
+            span,
+            ctx: Some(ctx),
+            _guard: Some(guard),
+        }
+    }
+
+    /// Records an instant event stamped with the current trace context
+    /// (ambient, else the collector default) as `trace`/`parent` args.
+    pub fn traced_event(
+        &self,
+        category: impl Into<Cow<'static, str>>,
+        name: impl Into<Cow<'static, str>>,
+        mut args: Vec<(Cow<'static, str>, ArgValue)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        if let Some(ctx) = context::current().or_else(|| self.default_context()) {
+            args.push((
+                Cow::Borrowed(context::TRACE_ARG),
+                ArgValue::U64(ctx.trace_id),
+            ));
+            args.push((
+                Cow::Borrowed(context::PARENT_ARG),
+                ArgValue::U64(ctx.span_id),
+            ));
+        }
+        self.event_with_args(category, name, args);
+    }
+
     fn push(&self, event: TraceEvent) {
         // Drop-on-full: the ring counts what it sheds.
         let _ = self.inner.ring.push(event);
@@ -290,6 +395,9 @@ impl Collector {
     pub fn child(&self) -> Collector {
         let child = Collector::with_enabled(self.is_enabled(), self.inner.capacity);
         *child.inner.timeline.write().unwrap() = self.inner.timeline.read().unwrap().clone();
+        *child.inner.process.write().unwrap() = self.inner.process.read().unwrap().clone();
+        *child.inner.default_context.write().unwrap() =
+            self.inner.default_context.read().unwrap().clone();
         child
     }
 
@@ -335,6 +443,7 @@ impl Collector {
         events.extend(self.inner.ring.drain());
         events.sort_by_key(|e| e.wall_ns);
         Trace {
+            process: self.process_name(),
             events,
             metrics: self.inner.metrics.snapshot(),
             dropped: self.inner.ring.dropped() + *self.inner.absorbed_dropped.lock().unwrap(),
@@ -385,10 +494,38 @@ impl Drop for SpanGuard {
     }
 }
 
+/// A guard pairing an open [`SpanGuard`] with the ambient trace context
+/// it pushed; see [`Collector::traced_span`]. Field order matters: the
+/// span must record (first field drops first) before its context pops.
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct TracedSpan {
+    span: SpanGuard,
+    ctx: Option<TraceContext>,
+    /// Held purely for its Drop (pops the ambient stack).
+    _guard: Option<ContextGuard>,
+}
+
+impl TracedSpan {
+    /// Attaches an argument to the span (no-op when tracing is off).
+    pub fn arg(&mut self, key: impl Into<Cow<'static, str>>, value: impl Into<ArgValue>) {
+        self.span.arg(key, value);
+    }
+
+    /// The span's own trace context (None when tracing is off) — this is
+    /// what an RMI client serializes onto the wire.
+    #[must_use]
+    pub fn context(&self) -> Option<&TraceContext> {
+        self.ctx.as_ref()
+    }
+}
+
 /// A drained, exportable trace: events, metrics, and how many events
 /// the ring had to shed.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
+    /// The process lane these events belong to (see
+    /// [`Collector::set_process_name`]).
+    pub process: String,
     /// All recorded events, sorted by wall-clock start.
     pub events: Vec<TraceEvent>,
     /// The metrics aggregate at drain time.
@@ -479,5 +616,101 @@ mod tests {
         let t = c.trace();
         assert_eq!(t.events.len(), 4);
         assert_eq!(t.dropped, 6);
+    }
+
+    fn span_arg(e: &TraceEvent, key: &str) -> Option<u64> {
+        e.args.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+            if let ArgValue::U64(n) = v {
+                Some(*n)
+            } else {
+                None
+            }
+        })
+    }
+
+    #[test]
+    fn traced_spans_nest_and_record_context_args() {
+        let c = Collector::enabled();
+        {
+            let outer = c.traced_span("test", "outer");
+            let outer_ctx = outer.context().unwrap().clone();
+            {
+                let inner = c.traced_span("test", "inner");
+                assert_eq!(inner.context().unwrap().trace_id, outer_ctx.trace_id);
+            }
+            drop(outer);
+        }
+        let t = c.trace();
+        assert_eq!(t.events.len(), 2);
+        let outer = t.events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = t.events.iter().find(|e| e.name == "inner").unwrap();
+        assert_eq!(span_arg(outer, context::PARENT_ARG), None);
+        assert_eq!(
+            span_arg(inner, context::PARENT_ARG),
+            span_arg(outer, context::SPAN_ARG)
+        );
+        assert_eq!(
+            span_arg(inner, context::TRACE_ARG),
+            span_arg(outer, context::TRACE_ARG)
+        );
+    }
+
+    #[test]
+    fn traced_span_uses_default_context_when_ambient_is_empty() {
+        let c = Collector::enabled();
+        let run = TraceContext::root();
+        c.set_default_context(Some(run.clone()));
+        // A fresh thread has no ambient stack: the default context is the
+        // parent, mirroring shard worker threads.
+        let c2 = c.clone();
+        std::thread::spawn(move || {
+            let _s = c2.traced_span("test", "worker");
+        })
+        .join()
+        .unwrap();
+        let t = c.trace();
+        assert_eq!(
+            span_arg(&t.events[0], context::PARENT_ARG),
+            Some(run.span_id)
+        );
+        assert_eq!(
+            span_arg(&t.events[0], context::TRACE_ARG),
+            Some(run.trace_id)
+        );
+    }
+
+    #[test]
+    fn traced_event_inherits_ambient_context() {
+        let c = Collector::enabled();
+        {
+            let s = c.traced_span("test", "parent");
+            let sid = s.context().unwrap().span_id;
+            c.traced_event("test", "marker", vec![("n".into(), 7u64.into())]);
+            drop(s);
+            let t = c.trace();
+            let marker = t.events.iter().find(|e| e.name == "marker").unwrap();
+            assert_eq!(span_arg(marker, context::PARENT_ARG), Some(sid));
+            assert_eq!(span_arg(marker, "n"), Some(7));
+        }
+    }
+
+    #[test]
+    fn disabled_traced_span_is_inert_and_contextless() {
+        let c = Collector::disabled();
+        let s = c.traced_span("test", "ghost");
+        assert!(s.context().is_none());
+        assert!(context::current().is_none());
+        drop(s);
+        assert!(c.trace().events.is_empty());
+    }
+
+    #[test]
+    fn children_inherit_process_name_and_default_context() {
+        let parent = Collector::enabled().with_process_name("lane-a");
+        parent.set_default_context(Some(TraceContext::root()));
+        let child = parent.child();
+        assert_eq!(child.process_name(), "lane-a");
+        assert_eq!(child.default_context(), parent.default_context());
+        assert_eq!(parent.trace().process, "lane-a");
     }
 }

@@ -1,0 +1,486 @@
+//! Live health exposition: periodic snapshots of the metrics registry.
+//!
+//! A [`HealthSnapshot`] condenses a [`MetricsSnapshot`] into the
+//! operational signals a provider operator watches: raw counters and
+//! gauges, histogram quantiles (p50/p90/p99), circuit-breaker states,
+//! cache hit ratios and shard utilization. It renders as a plain-text
+//! table or as hand-rolled JSON; [`HealthReporter`] rewrites a file with
+//! the current snapshot on a fixed cadence (and once more on shutdown),
+//! which is the `--health <path>[:interval_ms]` flag on the bench bins
+//! and examples.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::collector::Collector;
+use crate::metrics::MetricsSnapshot;
+use crate::summary::{fmt_ns, table};
+
+/// Condensed histogram view.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramHealth {
+    /// Samples.
+    pub count: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median (bucket floor).
+    pub p50: u64,
+    /// 90th percentile (bucket floor).
+    pub p90: u64,
+    /// 99th percentile (bucket floor).
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// One circuit breaker's state, decoded from its `rmi.breaker.state`
+/// gauge (0 = closed, 1 = open, 2 = half-open).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BreakerHealth {
+    /// The gauge name the state came from.
+    pub metric: String,
+    /// `closed` / `open` / `half-open` (or `unknown(n)`).
+    pub state: String,
+}
+
+/// A point-in-time health view over one metrics domain.
+#[derive(Clone, Debug, Default)]
+pub struct HealthSnapshot {
+    /// Counters, verbatim.
+    pub counters: Vec<(String, u64)>,
+    /// Float counters, verbatim.
+    pub float_counters: Vec<(String, f64)>,
+    /// Gauges: (name, value, high water).
+    pub gauges: Vec<(String, u64, u64)>,
+    /// Histogram quantiles.
+    pub histograms: Vec<(String, HistogramHealth)>,
+    /// Circuit-breaker states.
+    pub breakers: Vec<BreakerHealth>,
+    /// Remote-call cache hit ratio in [0, 1], when the cache saw traffic.
+    pub cache_hit_ratio: Option<f64>,
+    /// Shard load imbalance percentage, when sharding ran.
+    pub shard_imbalance_pct: Option<u64>,
+}
+
+fn breaker_state_name(v: u64) -> String {
+    match v {
+        0 => "closed".to_string(),
+        1 => "open".to_string(),
+        2 => "half-open".to_string(),
+        n => format!("unknown({n})"),
+    }
+}
+
+impl HealthSnapshot {
+    /// Builds a health view from a metrics snapshot.
+    #[must_use]
+    pub fn capture(metrics: &MetricsSnapshot) -> HealthSnapshot {
+        let breakers = metrics
+            .gauges
+            .iter()
+            .filter(|(k, _)| k.ends_with("breaker.state"))
+            .map(|(k, g)| BreakerHealth {
+                metric: k.clone(),
+                state: breaker_state_name(g.value),
+            })
+            .collect();
+        let hits = metrics.counter("cache.hits");
+        let misses = metrics.counter("cache.misses");
+        let cache_hit_ratio = if hits + misses > 0 {
+            Some(hits as f64 / (hits + misses) as f64)
+        } else {
+            None
+        };
+        let shard_imbalance_pct = metrics
+            .gauges
+            .get("sched.shard.load.imbalance_pct")
+            .map(|g| g.value);
+        HealthSnapshot {
+            counters: metrics
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            float_counters: metrics
+                .float_counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: metrics
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.value, g.high_water))
+                .collect(),
+            histograms: metrics
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramHealth {
+                            count: h.count,
+                            mean: h.mean(),
+                            p50: h.quantile(0.50),
+                            p90: h.quantile(0.90),
+                            p99: h.quantile(0.99),
+                            max: h.max,
+                        },
+                    )
+                })
+                .collect(),
+            breakers,
+            cache_hit_ratio,
+            shard_imbalance_pct,
+        }
+    }
+
+    /// Convenience: capture from a collector's registry.
+    #[must_use]
+    pub fn of(obs: &Collector) -> HealthSnapshot {
+        HealthSnapshot::capture(&obs.metrics().snapshot())
+    }
+
+    /// Renders the snapshot as plain text.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("== vcad health ==\n");
+        if let Some(r) = self.cache_hit_ratio {
+            let _ = writeln!(out, "cache hit ratio: {:.1}%", r * 100.0);
+        }
+        if let Some(p) = self.shard_imbalance_pct {
+            let _ = writeln!(out, "shard load imbalance: {p}%");
+        }
+        if !self.breakers.is_empty() {
+            out.push_str("breakers\n");
+            let rows: Vec<Vec<String>> = self
+                .breakers
+                .iter()
+                .map(|b| vec![b.metric.clone(), b.state.clone()])
+                .collect();
+            table(&mut out, &["breaker", "state"], &rows);
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms\n");
+            let rows: Vec<Vec<String>> = self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    vec![
+                        k.clone(),
+                        h.count.to_string(),
+                        fmt_ns(h.mean as u64),
+                        fmt_ns(h.p50),
+                        fmt_ns(h.p90),
+                        fmt_ns(h.p99),
+                        fmt_ns(h.max),
+                    ]
+                })
+                .collect();
+            table(
+                &mut out,
+                &["name", "count", "mean", "p50", "p90", "p99", "max"],
+                &rows,
+            );
+        }
+        if !self.counters.is_empty() || !self.float_counters.is_empty() {
+            out.push_str("counters\n");
+            let mut rows: Vec<Vec<String>> = self
+                .counters
+                .iter()
+                .map(|(k, v)| vec![k.clone(), v.to_string()])
+                .collect();
+            rows.extend(
+                self.float_counters
+                    .iter()
+                    .map(|(k, v)| vec![k.clone(), format!("{v:.2}")]),
+            );
+            table(&mut out, &["name", "value"], &rows);
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            let rows: Vec<Vec<String>> = self
+                .gauges
+                .iter()
+                .map(|(k, v, hw)| vec![k.clone(), v.to_string(), hw.to_string()])
+                .collect();
+            table(&mut out, &["name", "value", "high-water"], &rows);
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::new();
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn json_f64(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", esc(k));
+        }
+        out.push_str("},\"float_counters\":{");
+        for (i, (k, v)) in self.float_counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", esc(k), json_f64(*v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v, hw)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{{\"value\":{v},\"high_water\":{hw}}}", esc(k));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                esc(k),
+                h.count,
+                json_f64(h.mean),
+                h.p50,
+                h.p90,
+                h.p99,
+                h.max
+            );
+        }
+        out.push_str("},\"breakers\":{");
+        for (i, b) in self.breakers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", esc(&b.metric), esc(&b.state));
+        }
+        out.push('}');
+        match self.cache_hit_ratio {
+            Some(r) => {
+                let _ = write!(out, ",\"cache_hit_ratio\":{}", json_f64(r));
+            }
+            None => out.push_str(",\"cache_hit_ratio\":null"),
+        }
+        match self.shard_imbalance_pct {
+            Some(p) => {
+                let _ = write!(out, ",\"shard_imbalance_pct\":{p}");
+            }
+            None => out.push_str(",\"shard_imbalance_pct\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Background writer that keeps a health file fresh.
+///
+/// Writes `path` with the JSON snapshot every `interval` (when one is
+/// given), and always once more when stopped or dropped — so even a
+/// short run leaves a final snapshot behind. The companion text render
+/// goes to `path` with `.txt` appended.
+pub struct HealthReporter {
+    obs: Collector,
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HealthReporter {
+    /// Starts the reporter. `interval = None` means "final snapshot
+    /// only" — no background thread is spawned.
+    #[must_use]
+    pub fn start(obs: &Collector, path: PathBuf, interval: Option<Duration>) -> HealthReporter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = interval.map(|period| {
+            let obs = obs.clone();
+            let path = path.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("vcad-health".to_string())
+                .spawn(move || {
+                    // Tick in small slices so stop() is prompt even for
+                    // long intervals.
+                    let slice = Duration::from_millis(25).min(period);
+                    let mut elapsed = Duration::ZERO;
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(slice);
+                        elapsed += slice;
+                        if elapsed >= period {
+                            elapsed = Duration::ZERO;
+                            write_snapshot(&obs, &path);
+                        }
+                    }
+                })
+                .expect("spawn health reporter")
+        });
+        HealthReporter {
+            obs: obs.clone(),
+            path,
+            stop,
+            handle,
+        }
+    }
+
+    /// Stops the background thread (if any) and writes the final
+    /// snapshot.
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        write_snapshot(&self.obs, &self.path);
+    }
+}
+
+impl Drop for HealthReporter {
+    fn drop(&mut self) {
+        if self.handle.is_some() || !self.stop.load(Ordering::Relaxed) {
+            self.finish();
+        }
+    }
+}
+
+fn write_snapshot(obs: &Collector, path: &std::path::Path) {
+    let snap = HealthSnapshot::of(obs);
+    // Health files are advisory; an unwritable path must not kill a run.
+    let _ = std::fs::write(path, snap.to_json());
+    let mut txt = path.as_os_str().to_owned();
+    txt.push(".txt");
+    let _ = std::fs::write(txt, snap.to_text());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_collector() -> Collector {
+        let c = Collector::enabled();
+        let m = c.metrics();
+        m.counter("cache.hits").add(3);
+        m.counter("cache.misses").add(1);
+        m.gauge("rmi.breaker.state").set(1);
+        m.gauge("sched.shard.load.imbalance_pct").set(12);
+        m.float_counter("ip.fees_cents").add(12.5);
+        for v in [100u64, 200, 400, 100_000] {
+            m.histogram("rmi.method.AREA.latency_ns").record(v);
+        }
+        c
+    }
+
+    #[test]
+    fn snapshot_decodes_breakers_and_ratios() {
+        let s = HealthSnapshot::of(&sample_collector());
+        assert_eq!(s.breakers.len(), 1);
+        assert_eq!(s.breakers[0].state, "open");
+        assert!((s.cache_hit_ratio.unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(s.shard_imbalance_pct, Some(12));
+        let (_, h) = &s.histograms[0];
+        assert_eq!(h.count, 4);
+        assert!(h.p99 >= h.p50);
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let s = HealthSnapshot::of(&sample_collector());
+        let doc = json::parse(&s.to_json()).expect("health JSON parses");
+        assert_eq!(
+            doc.get("breakers")
+                .unwrap()
+                .get("rmi.breaker.state")
+                .unwrap()
+                .as_str(),
+            Some("open")
+        );
+        assert!((doc.get("cache_hit_ratio").unwrap().as_f64().unwrap() - 0.75).abs() < 1e-12);
+        let hist = doc
+            .get("histograms")
+            .unwrap()
+            .get("rmi.method.AREA.latency_ns")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(4));
+        assert!(hist.get("p99").unwrap().as_u64().unwrap() >= 1);
+        assert!(s.to_text().contains("cache hit ratio: 75.0%"));
+    }
+
+    #[test]
+    fn empty_registry_renders_null_ratios() {
+        let s = HealthSnapshot::of(&Collector::disabled());
+        let doc = json::parse(&s.to_json()).unwrap();
+        assert_eq!(doc.get("cache_hit_ratio"), Some(&json::JsonValue::Null));
+    }
+
+    #[test]
+    fn reporter_writes_final_snapshot() {
+        let dir = std::env::temp_dir().join(format!("vcad-health-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("health.json");
+        let c = sample_collector();
+        let r = HealthReporter::start(&c, path.clone(), None);
+        r.stop();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(json::parse(&body).is_ok());
+        assert!(
+            path.with_extension("json.txt").exists() || {
+                let mut t = path.clone().into_os_string();
+                t.push(".txt");
+                std::path::PathBuf::from(t).exists()
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn periodic_reporter_refreshes_the_file() {
+        let dir = std::env::temp_dir().join(format!("vcad-health-p-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("health.json");
+        let c = sample_collector();
+        let r = HealthReporter::start(&c, path.clone(), Some(Duration::from_millis(30)));
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(path.exists(), "periodic write happened");
+        c.metrics().counter("cache.hits").add(100);
+        r.stop();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("cache.hits")
+                .unwrap()
+                .as_u64(),
+            Some(103)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

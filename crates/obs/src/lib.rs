@@ -37,13 +37,19 @@
 //! assert!(json.starts_with("{\"traceEvents\":["));
 //! ```
 
+pub mod analyze;
 pub mod chrome;
 pub mod collector;
+pub mod context;
+pub mod health;
+pub mod json;
 pub mod metrics;
 pub mod ring;
 pub mod summary;
 
-pub use collector::{ArgValue, Collector, EventKind, SpanGuard, Trace, TraceEvent};
+pub use collector::{ArgValue, Collector, EventKind, SpanGuard, Trace, TraceEvent, TracedSpan};
+pub use context::TraceContext;
+pub use health::{HealthReporter, HealthSnapshot};
 pub use metrics::{
     Counter, FloatCounter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };

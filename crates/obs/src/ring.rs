@@ -8,19 +8,61 @@
 //! is full the event is **dropped** (and counted) rather than stalling
 //! the simulation — tracing must observe, not perturb.
 //!
+//! Construction is O(1) in touched memory: slots live on zeroed pages
+//! (`alloc_zeroed`) and a sequence value of `0` encodes "virgin slot"
+//! rather than being written eagerly, so a 2^20-slot ring costs an
+//! `mmap` instead of a ~160 MB walk. That matters because the
+//! controller creates a child collector (and thus a ring) per traced
+//! simulation run — eager initialisation dominated those runs.
+//!
 //! This is the only module in the workspace allowed to use `unsafe`
 //! (every other crate forbids it via `[workspace.lints]`); each block
 //! below documents the invariant that makes it sound.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+use std::alloc::Layout;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 struct Slot<T> {
+    /// Encoded sequence number: `0` means the slot is *virgin* (never
+    /// pushed to), whose logical sequence is the slot's own index;
+    /// anything else stores `logical + 1`. The encoding lets a fresh
+    /// ring live entirely on zero pages: `with_capacity` maps zeroed
+    /// memory and never walks the slots, so creating a large collector
+    /// ring costs microseconds instead of ~50 ms per 2^20 slots, and
+    /// slots that never see an event are never faulted in at all.
     seq: AtomicUsize,
     value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Decodes a raw `seq` cell into the slot's logical sequence number.
+#[inline]
+fn decode_seq(raw: usize, slot_index: usize) -> usize {
+    if raw == 0 {
+        slot_index
+    } else {
+        raw.wrapping_sub(1)
+    }
+}
+
+/// Allocates `cap` slots on zeroed pages without touching them.
+fn alloc_zeroed_slots<T>(cap: usize) -> Box<[Slot<T>]> {
+    let layout = Layout::array::<Slot<T>>(cap).expect("ring slot layout");
+    // Safety: `AtomicUsize` is valid when zeroed (atomic 0) and
+    // `UnsafeCell<MaybeUninit<T>>` is valid for any bit pattern, so a
+    // zeroed `Slot<T>` is fully initialised — with `seq == 0`, the
+    // virgin encoding above. The allocation uses exactly the layout a
+    // `Box<[Slot<T>]>` frees with, and `cap >= 2` keeps it non-empty.
+    unsafe {
+        let ptr = std::alloc::alloc_zeroed(layout).cast::<Slot<T>>();
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, cap))
+    }
 }
 
 /// Bounded lock-free ring buffer with drop-on-full semantics.
@@ -51,15 +93,8 @@ impl<T> RingBuffer<T> {
     #[must_use]
     pub fn with_capacity(capacity: usize) -> RingBuffer<T> {
         let cap = capacity.max(2).next_power_of_two();
-        let slots = (0..cap)
-            .map(|i| Slot {
-                seq: AtomicUsize::new(i),
-                value: UnsafeCell::new(MaybeUninit::uninit()),
-            })
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
         RingBuffer {
-            slots,
+            slots: alloc_zeroed_slots(cap),
             mask: cap - 1,
             enqueue_pos: AtomicUsize::new(0),
             dequeue_pos: AtomicUsize::new(0),
@@ -85,7 +120,7 @@ impl<T> RingBuffer<T> {
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
-            let seq = slot.seq.load(Ordering::Acquire);
+            let seq = decode_seq(slot.seq.load(Ordering::Acquire), pos & self.mask);
             let diff = seq as isize - pos as isize;
             if diff == 0 {
                 match self.enqueue_pos.compare_exchange_weak(
@@ -106,7 +141,8 @@ impl<T> RingBuffer<T> {
                         // guarantees the slot is vacant (its last value,
                         // if any, was moved out by `pop`).
                         unsafe { (*slot.value.get()).write(value) };
-                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        // Encoded store: logical `pos + 1`, biased by 1.
+                        slot.seq.store(pos.wrapping_add(2), Ordering::Release);
                         return true;
                     }
                     Err(actual) => pos = actual,
@@ -126,7 +162,7 @@ impl<T> RingBuffer<T> {
         let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
-            let seq = slot.seq.load(Ordering::Acquire);
+            let seq = decode_seq(slot.seq.load(Ordering::Acquire), pos & self.mask);
             let diff = seq as isize - (pos.wrapping_add(1)) as isize;
             if diff == 0 {
                 match self.dequeue_pos.compare_exchange_weak(
@@ -146,8 +182,10 @@ impl<T> RingBuffer<T> {
                         // moved out before the Release store below marks
                         // the slot vacant for the next lap.
                         let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        // Encoded store: logical `pos + mask + 1`, biased
+                        // by 1.
                         slot.seq
-                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                            .store(pos.wrapping_add(self.mask + 2), Ordering::Release);
                         return Some(value);
                     }
                     Err(actual) => pos = actual,
@@ -239,6 +277,22 @@ mod tests {
             assert!(ring.push(i));
             assert_eq!(ring.pop(), Some(i));
         }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn large_ring_works_without_eager_initialisation() {
+        // 2^20 slots: with eager slot init this takes tens of
+        // milliseconds; on zero pages it is effectively free, and the
+        // virgin-slot encoding must still give correct FIFO behaviour
+        // for the few slots actually touched.
+        let ring = RingBuffer::with_capacity(1 << 20);
+        assert_eq!(ring.capacity(), 1 << 20);
+        assert_eq!(ring.pop(), None);
+        for i in 0..100u64 {
+            assert!(ring.push(i));
+        }
+        assert_eq!(ring.drain(), (0..100).collect::<Vec<_>>());
         assert_eq!(ring.dropped(), 0);
     }
 

@@ -27,7 +27,7 @@ fn row(out: &mut String, widths: &[usize], cells: &[String]) {
     out.push_str("|\n");
 }
 
-fn table(out: &mut String, header: &[&str], rows: &[Vec<String>]) {
+pub(crate) fn table(out: &mut String, header: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for r in rows {
         for (w, cell) in widths.iter_mut().zip(r) {
@@ -47,7 +47,9 @@ fn table(out: &mut String, header: &[&str], rows: &[Vec<String>]) {
     rule(out, &widths);
 }
 
-fn fmt_ns(ns: u64) -> String {
+/// Formats a nanosecond count with an adaptive unit (`ns`/`us`/`ms`/`s`).
+#[must_use]
+pub fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3} s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {

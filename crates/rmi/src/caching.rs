@@ -37,7 +37,8 @@
 use std::sync::Arc;
 
 use vcad_cache::hash::CanonicalHasher;
-use vcad_cache::{Cache, Fill};
+use vcad_cache::{Cache, CacheOutcome, Fill};
+use vcad_obs::Collector;
 
 use crate::error::RmiError;
 use crate::frame::{CallFrame, Frame, ResponseFrame};
@@ -64,6 +65,7 @@ pub struct CachingTransport {
     cache: Arc<CallCache>,
     provider: String,
     cacheable: Arc<dyn Fn(&str) -> bool + Send + Sync>,
+    obs: Collector,
 }
 
 impl CachingTransport {
@@ -82,7 +84,18 @@ impl CachingTransport {
             cache,
             provider: provider.into(),
             cacheable: Arc::new(cacheable),
+            obs: Collector::disabled(),
         }
+    }
+
+    /// Routes a `cache:{method}` span per memoizable call into `obs`,
+    /// recording whether it was served as a hit, miss, coalesced join or
+    /// bypass — so a cache hit is visible in a trace as a short client-side
+    /// span with no wire descendant.
+    #[must_use]
+    pub fn with_collector(mut self, obs: &Collector) -> CachingTransport {
+        self.obs = obs.clone();
+        self
     }
 
     /// The cache this transport reads and writes.
@@ -98,11 +111,15 @@ impl CachingTransport {
     }
 
     fn key_for(&self, call: &CallFrame) -> u128 {
+        // Both volatile fields are normalised away: `call_id` to zero and
+        // the trace context to `None`, so traced and untraced runs (and
+        // two different traces) share cache entries.
         let canonical = Frame::Call(CallFrame {
             call_id: 0,
             object: call.object,
             method: call.method.clone(),
             args: call.args.clone(),
+            context: None,
         })
         .encode();
         let mut h = CanonicalHasher::new();
@@ -122,26 +139,40 @@ impl Transport for CachingTransport {
         }
         let key = self.key_for(&call);
         let inner = &self.inner;
-        self.cache
-            .get_or_join(key, &self.provider, || {
-                let response = inner.call(request)?;
-                // Only successful, well-formed responses are worth
-                // replaying; anything else goes back to the caller
-                // uncached.
-                match Frame::decode(&response) {
-                    Ok(Frame::Response(ResponseFrame {
-                        result: Ok(value), ..
-                    })) => Ok(Fill::Store(
-                        Frame::Response(ResponseFrame {
-                            call_id: 0,
-                            result: Ok(value),
-                        })
-                        .encode(),
-                    )),
-                    _ => Ok(Fill::Bypass(response)),
-                }
-            })
-            .map(|(bytes, _)| bytes)
+        let mut span = self
+            .obs
+            .traced_span("rmi", format!("cache:{}", call.method));
+        let result = self.cache.get_or_join(key, &self.provider, || {
+            let response = inner.call(request)?;
+            // Only successful, well-formed responses are worth
+            // replaying; anything else goes back to the caller
+            // uncached.
+            match Frame::decode(&response) {
+                Ok(Frame::Response(ResponseFrame {
+                    result: Ok(value), ..
+                })) => Ok(Fill::Store(
+                    Frame::Response(ResponseFrame {
+                        call_id: 0,
+                        result: Ok(value),
+                    })
+                    .encode(),
+                )),
+                _ => Ok(Fill::Bypass(response)),
+            }
+        });
+        match &result {
+            Ok((_, outcome)) => span.arg(
+                "outcome",
+                match outcome {
+                    CacheOutcome::Hit => "hit",
+                    CacheOutcome::Miss => "miss",
+                    CacheOutcome::Coalesced => "coalesced",
+                    CacheOutcome::Bypass => "bypass",
+                },
+            ),
+            Err(_) => span.arg("outcome", "error"),
+        }
+        result.map(|(bytes, _)| bytes)
     }
 
     fn stats(&self) -> TransportStats {
@@ -260,6 +291,63 @@ mod tests {
         cache.bump_epoch("unit.example.com");
         client.root().invoke("pure", vec![Value::I64(1)]).unwrap();
         assert_eq!(object.served.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn cache_outcomes_are_traced() {
+        use vcad_obs::ArgValue;
+        let obs = vcad_obs::Collector::enabled();
+        let object = Arc::new(Counting {
+            served: AtomicU64::new(0),
+        });
+        let registry = Arc::new(ObjectRegistry::new());
+        registry.register_root(Arc::clone(&object) as Arc<dyn RemoteObject>);
+        let dispatcher = Arc::new(Dispatcher::new(registry));
+        let cache = Arc::new(call_cache(CacheConfig::default()));
+        let transport = CachingTransport::new(
+            Arc::new(InProcTransport::new(dispatcher)),
+            Arc::clone(&cache),
+            "unit.example.com",
+            |method| method == "pure",
+        )
+        .with_collector(&obs);
+        let client = Client::new(Arc::new(transport));
+        client.root().invoke("pure", vec![Value::I64(3)]).unwrap();
+        client.root().invoke("pure", vec![Value::I64(3)]).unwrap();
+
+        let trace = obs.trace();
+        let outcomes: Vec<&str> = trace
+            .events_named("cache:pure")
+            .iter()
+            .filter_map(|e| {
+                e.args.iter().find_map(|(k, v)| match v {
+                    ArgValue::Str(s) if k == "outcome" => Some(s.as_str()),
+                    _ => None,
+                })
+            })
+            .collect();
+        assert_eq!(outcomes, ["miss", "hit"]);
+    }
+
+    #[test]
+    fn traced_and_untraced_calls_share_cache_entries() {
+        // A client with tracing enabled sends v2 frames carrying a
+        // context; the cache key must normalise that away so it hits the
+        // entry an untraced client stored.
+        let (object, untraced, cache) = rig();
+        untraced.root().invoke("pure", vec![Value::I64(4)]).unwrap();
+        assert_eq!(object.served.load(Ordering::SeqCst), 1);
+        let traced = untraced
+            .clone()
+            .with_collector(vcad_obs::Collector::enabled());
+        traced.root().invoke("pure", vec![Value::I64(4)]).unwrap();
+        assert_eq!(
+            object.served.load(Ordering::SeqCst),
+            1,
+            "traced call must be a cache hit, not a second wire call"
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use vcad_obs::{context, Collector};
+
 use crate::error::RmiError;
 use crate::frame::{CallFrame, Frame};
 use crate::security::SecurityManager;
@@ -19,6 +21,8 @@ pub struct Client {
     transport: Arc<dyn Transport>,
     security: Arc<SecurityManager>,
     next_call: Arc<AtomicU64>,
+    obs: Collector,
+    baggage: Arc<Vec<(String, String)>>,
 }
 
 impl Client {
@@ -36,7 +40,32 @@ impl Client {
             transport,
             security: Arc::new(security),
             next_call: Arc::new(AtomicU64::new(1)),
+            obs: Collector::disabled(),
+            baggage: Arc::new(Vec::new()),
         }
+    }
+
+    /// Routes a `client:{method}` span per invocation into `obs` and
+    /// injects the span's [`TraceContext`](vcad_obs::TraceContext) into
+    /// every outgoing call frame, so server-side spans parent under it.
+    #[must_use]
+    pub fn with_collector(mut self, obs: Collector) -> Client {
+        self.obs = obs;
+        self
+    }
+
+    /// Adds a baggage label (session, provider, …) carried in every
+    /// injected trace context.
+    #[must_use]
+    pub fn with_baggage(mut self, key: &str, value: &str) -> Client {
+        let mut baggage = (*self.baggage).clone();
+        if let Some(slot) = baggage.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            baggage.push((key.to_string(), value.to_string()));
+        }
+        self.baggage = Arc::new(baggage);
+        self
     }
 
     /// A reference to the server's root (bootstrap) object.
@@ -63,14 +92,35 @@ impl Client {
     fn invoke(&self, object: ObjectId, method: &str, args: Vec<Value>) -> Result<Value, RmiError> {
         self.security.check_outgoing(&args)?;
         let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
+        // The call span parents under whatever is ambient (a controller
+        // run, a scheduler instant); the frame carries its context so the
+        // provider's dispatch span parents under this call. When this
+        // client has no collector, fall back to the bare ambient context
+        // so cross-process parenting still works.
+        let mut span = self.obs.traced_span("rmi", format!("client:{method}"));
+        let context = span
+            .context()
+            .cloned()
+            .or_else(context::current)
+            .map(|mut ctx| {
+                for (k, v) in self.baggage.iter() {
+                    ctx.set_baggage(k, v);
+                }
+                ctx.set_baggage("method", method);
+                ctx
+            });
         let request = Frame::Call(CallFrame {
             call_id,
             object,
             method: method.to_owned(),
             args,
+            context,
         })
         .encode();
-        let response_bytes = self.transport.call(&request)?;
+        let response_bytes = self.transport.call(&request);
+        span.arg("ok", u64::from(response_bytes.is_ok()));
+        drop(span);
+        let response_bytes = response_bytes?;
         match Frame::decode(&response_bytes)? {
             Frame::Response(r) if r.call_id == call_id || r.call_id == 0 => r.into_result(),
             Frame::Response(r) => Err(RmiError::Transport(format!(

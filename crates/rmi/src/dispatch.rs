@@ -247,13 +247,21 @@ impl Dispatcher {
     }
 
     /// Handles one decoded call.
+    ///
+    /// When the call carries a [`TraceContext`](vcad_obs::TraceContext),
+    /// it becomes ambient for the call's duration: the dispatch span —
+    /// and every provider-side span opened beneath it (estimator
+    /// compute, fee ledger) — parents under the client's call span.
     #[must_use]
     pub fn handle(&self, call: &CallFrame) -> ResponseFrame {
         let started = std::time::Instant::now();
-        let span = self
+        let _ctx_guard = call
+            .context
+            .as_ref()
+            .map(|ctx| vcad_obs::context::push(ctx.clone()));
+        let mut span = self
             .obs
-            .is_enabled()
-            .then(|| self.obs.span("rmi", format!("dispatch:{}", call.method)));
+            .traced_span("rmi", format!("dispatch:{}", call.method));
         let result = self.dispatch(call);
         let metrics = self.obs.metrics();
         metrics.counter("rmi.dispatch.calls").inc();
@@ -266,10 +274,9 @@ impl Dispatcher {
         metrics
             .histogram(&format!("rmi.method.{}.latency_ns", call.method))
             .record_duration(started.elapsed());
-        if let Some(mut span) = span {
-            span.arg("object", call.object.0);
-            span.arg("ok", u64::from(result.is_ok()));
-        }
+        span.arg("object", call.object.0);
+        span.arg("ok", u64::from(result.is_ok()));
+        drop(span);
         ResponseFrame {
             call_id: call.call_id,
             result: result.map_err(|e| match e {
@@ -382,6 +389,7 @@ mod tests {
             object: ObjectId::ROOT,
             method: method.into(),
             args,
+            context: None,
         }
     }
 

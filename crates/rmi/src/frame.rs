@@ -1,4 +1,18 @@
 //! Call and response frames.
+//!
+//! ## Versioning
+//!
+//! The original (v1) call frame has no version byte — its tag is
+//! followed directly by the call body, and that encoding is frozen
+//! forever: a context-free call still encodes byte-identically to the
+//! seed, which keeps cache keys and golden outputs stable. Calls that
+//! carry a [`TraceContext`] use the `TAG_CALL_V2` envelope instead: tag,
+//! an explicit version byte ([`FRAME_VERSION`]), the trace context, then
+//! the unchanged v1 body. A decoder seeing a *future* version reports
+//! [`WireError::UnsupportedVersion`] rather than misparsing.
+
+use vcad_obs::context::MAX_BAGGAGE;
+use vcad_obs::TraceContext;
 
 use crate::error::{RemoteErrorKind, RmiError};
 use crate::value::{ObjectId, Value};
@@ -7,6 +21,11 @@ use crate::wire::{WireError, WireReader, WireWriter};
 const TAG_CALL: u8 = 0;
 const TAG_OK: u8 = 1;
 const TAG_ERR: u8 = 2;
+/// Versioned call envelope (call frames carrying a trace context).
+const TAG_CALL_V2: u8 = 5;
+
+/// The frame-format revision this build encodes and decodes.
+pub const FRAME_VERSION: u8 = 2;
 
 /// A method invocation request.
 ///
@@ -20,6 +39,7 @@ const TAG_ERR: u8 = 2;
 ///     object: ObjectId::ROOT,
 ///     method: "estimate".into(),
 ///     args: vec![Value::Str("power".into())],
+///     context: None,
 /// };
 /// let bytes = Frame::Call(call.clone()).encode();
 /// assert_eq!(Frame::decode(&bytes)?, Frame::Call(call));
@@ -35,6 +55,40 @@ pub struct CallFrame {
     pub method: String,
     /// Marshalled arguments.
     pub args: Vec<Value>,
+    /// Distributed trace context, when the caller is traced. `None`
+    /// encodes as the frozen v1 format.
+    pub context: Option<TraceContext>,
+}
+
+fn write_context(w: &mut WireWriter, ctx: &TraceContext) {
+    w.u64(ctx.trace_id);
+    w.u64(ctx.span_id);
+    let n = ctx.baggage.len().min(MAX_BAGGAGE);
+    w.u32(n as u32);
+    for (k, v) in ctx.baggage.iter().take(n) {
+        w.str(k);
+        w.str(v);
+    }
+}
+
+fn read_context(r: &mut WireReader<'_>) -> Result<TraceContext, WireError> {
+    let trace_id = r.u64()?;
+    let span_id = r.u64()?;
+    let n = r.u32()? as usize;
+    if n > MAX_BAGGAGE {
+        return Err(WireError::BadValue("trace baggage count"));
+    }
+    let mut baggage = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = r.str()?.to_owned();
+        let v = r.str()?.to_owned();
+        baggage.push((k, v));
+    }
+    Ok(TraceContext {
+        trace_id,
+        span_id,
+        baggage,
+    })
 }
 
 /// A method invocation response.
@@ -74,7 +128,14 @@ impl Frame {
         let mut w = WireWriter::new();
         match self {
             Frame::Call(c) => {
-                w.u8(TAG_CALL);
+                match &c.context {
+                    None => w.u8(TAG_CALL),
+                    Some(ctx) => {
+                        w.u8(TAG_CALL_V2);
+                        w.u8(FRAME_VERSION);
+                        write_context(&mut w, ctx);
+                    }
+                }
                 w.u64(c.call_id);
                 w.u64(c.object.0);
                 w.str(&c.method);
@@ -106,23 +167,36 @@ impl Frame {
     ///
     /// Returns a [`WireError`] on malformed input.
     pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+        fn call_body(
+            r: &mut WireReader<'_>,
+            context: Option<TraceContext>,
+        ) -> Result<Frame, WireError> {
+            let call_id = r.u64()?;
+            let object = ObjectId(r.u64()?);
+            let method = r.str()?.to_owned();
+            let argc = r.u32()? as usize;
+            let mut args = Vec::with_capacity(argc.min(4096));
+            for _ in 0..argc {
+                args.push(Value::read(r)?);
+            }
+            Ok(Frame::Call(CallFrame {
+                call_id,
+                object,
+                method,
+                args,
+                context,
+            }))
+        }
         let mut r = WireReader::new(bytes);
         let frame = match r.u8()? {
-            TAG_CALL => {
-                let call_id = r.u64()?;
-                let object = ObjectId(r.u64()?);
-                let method = r.str()?.to_owned();
-                let argc = r.u32()? as usize;
-                let mut args = Vec::with_capacity(argc.min(4096));
-                for _ in 0..argc {
-                    args.push(Value::read(&mut r)?);
+            TAG_CALL => call_body(&mut r, None)?,
+            TAG_CALL_V2 => {
+                let version = r.u8()?;
+                if version != FRAME_VERSION {
+                    return Err(WireError::UnsupportedVersion(version));
                 }
-                Frame::Call(CallFrame {
-                    call_id,
-                    object,
-                    method,
-                    args,
-                })
+                let ctx = read_context(&mut r)?;
+                call_body(&mut r, Some(ctx))?
             }
             TAG_OK => {
                 let call_id = r.u64()?;
@@ -164,9 +238,103 @@ mod tests {
                 Value::Word(Word::new(16, 0x1234)),
                 Value::List(vec![Value::Null]),
             ],
+            context: None,
         };
         let bytes = Frame::Call(call.clone()).encode();
         assert_eq!(Frame::decode(&bytes).unwrap(), Frame::Call(call));
+    }
+
+    #[test]
+    fn traced_call_round_trips_context_and_baggage() {
+        let call = CallFrame {
+            call_id: 11,
+            object: ObjectId(4),
+            method: "POWER_TOGGLE".into(),
+            args: vec![Value::I64(3)],
+            context: Some(TraceContext {
+                trace_id: 0xABCD,
+                span_id: 42,
+                baggage: vec![
+                    ("session".into(), "s-1".into()),
+                    ("provider".into(), "provider1.example.com".into()),
+                    ("method".into(), "POWER_TOGGLE".into()),
+                ],
+            }),
+        };
+        let bytes = Frame::Call(call.clone()).encode();
+        assert_eq!(bytes[0], TAG_CALL_V2);
+        assert_eq!(bytes[1], FRAME_VERSION);
+        assert_eq!(Frame::decode(&bytes).unwrap(), Frame::Call(call));
+    }
+
+    #[test]
+    fn context_free_frames_keep_the_frozen_v1_encoding() {
+        // Compatibility both ways: a context-free frame from this build
+        // starts with the legacy tag, and a hand-built legacy frame
+        // (what an old peer sends) decodes with `context: None`.
+        let call = CallFrame {
+            call_id: 5,
+            object: ObjectId(2),
+            method: "AREA".into(),
+            args: vec![],
+            context: None,
+        };
+        let bytes = Frame::Call(call.clone()).encode();
+        assert_eq!(bytes[0], TAG_CALL);
+
+        let mut legacy = WireWriter::new();
+        legacy.u8(TAG_CALL);
+        legacy.u64(5);
+        legacy.u64(2);
+        legacy.str("AREA");
+        legacy.u32(0);
+        assert_eq!(bytes, legacy.into_bytes());
+        assert_eq!(Frame::decode(&bytes).unwrap(), Frame::Call(call));
+    }
+
+    #[test]
+    fn future_frame_version_is_a_typed_error() {
+        let mut w = WireWriter::new();
+        w.u8(TAG_CALL_V2);
+        w.u8(FRAME_VERSION + 1);
+        w.u64(1); // would-be trace id of a format we don't know
+        let bytes = w.into_bytes();
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(WireError::UnsupportedVersion(FRAME_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn oversized_baggage_is_rejected() {
+        let call = CallFrame {
+            call_id: 1,
+            object: ObjectId::ROOT,
+            method: "m".into(),
+            args: vec![],
+            context: Some(TraceContext {
+                trace_id: 1,
+                span_id: 2,
+                baggage: (0..40).map(|i| (format!("k{i}"), "v".into())).collect(),
+            }),
+        };
+        // The encoder truncates to the cap...
+        let bytes = Frame::Call(call).encode();
+        match Frame::decode(&bytes).unwrap() {
+            Frame::Call(c) => assert_eq!(c.context.unwrap().baggage.len(), MAX_BAGGAGE),
+            Frame::Response(_) => panic!("decoded as response"),
+        }
+        // ...and the decoder rejects a count beyond it outright.
+        let mut w = WireWriter::new();
+        w.u8(TAG_CALL_V2);
+        w.u8(FRAME_VERSION);
+        w.u64(1);
+        w.u64(2);
+        w.u32(MAX_BAGGAGE as u32 + 1);
+        assert_eq!(
+            Frame::decode(&w.into_bytes()),
+            Err(WireError::BadValue("trace baggage count"))
+        );
     }
 
     #[test]
@@ -207,6 +375,7 @@ mod tests {
             object: ObjectId::ROOT,
             method: "m".into(),
             args: vec![Value::I64(1)],
+            context: None,
         };
         let mut bytes = Frame::Call(call).encode();
         bytes.truncate(bytes.len() - 2);

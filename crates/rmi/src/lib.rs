@@ -89,7 +89,7 @@ pub use chaos::{FaultConfig, FaultDecision, FaultPlan, FaultyTransport};
 pub use client::{Client, RemoteRef};
 pub use dispatch::{Dispatcher, ObjectRegistry, RemoteObject, ServerCtx};
 pub use error::{RemoteErrorKind, RmiError};
-pub use frame::{CallFrame, Frame, ResponseFrame};
+pub use frame::{CallFrame, Frame, ResponseFrame, FRAME_VERSION};
 pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, Deadline, RealClock, ResilienceClock,
     ResilientTransport, RetryPolicy, VirtualClock,

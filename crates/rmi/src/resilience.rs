@@ -494,7 +494,13 @@ struct RetryTelemetry {
     timeouts: Counter,
     corruption_detected: Counter,
     backoff_ns: Histogram,
+    attempt_latency_ns: Histogram,
 }
+
+/// Attempt indices at and above this share one histogram
+/// (`rmi.retry.attempt.8.latency_ns`), bounding the metric namespace no
+/// matter how generous the retry budget is.
+const ATTEMPT_INDEX_CAP: u32 = 8;
 
 impl RetryTelemetry {
     fn new(obs: &Collector) -> RetryTelemetry {
@@ -507,7 +513,19 @@ impl RetryTelemetry {
             timeouts: m.counter("rmi.retry.timeouts"),
             corruption_detected: m.counter("rmi.retry.corruption_detected"),
             backoff_ns: m.histogram("rmi.retry.backoff_ns"),
+            attempt_latency_ns: m.histogram("rmi.retry.attempt_latency_ns"),
         }
+    }
+
+    /// Records one attempt's latency both in the aggregate histogram and
+    /// in the per-attempt-index one, so a latency profile that only the
+    /// *third* try exhibits (a warmed breaker probe, say) stays visible.
+    fn record_attempt_latency(&self, obs: &Collector, attempt_no: u32, latency: Duration) {
+        self.attempt_latency_ns.record_duration(latency);
+        let idx = attempt_no.min(ATTEMPT_INDEX_CAP);
+        obs.metrics()
+            .histogram(&format!("rmi.retry.attempt.{idx}.latency_ns"))
+            .record_duration(latency);
     }
 }
 
@@ -649,28 +667,51 @@ impl Transport for ResilientTransport {
         let request_id = self.next_request_id();
         let tracked = encode_tracked_call(request_id, request);
         let deadline = self.clock.now() + self.policy.call_deadline;
+        // The whole retry loop is one span; every attempt is a child span,
+        // so a recovered flake reads as "resilient:call → attempt:1 (fail)
+        // → attempt:2 (ok)" in a stitched trace.
+        let mut span = self.obs.traced_span("rmi", "resilient:call");
         let mut attempt_no = 0u32;
-        loop {
+        let (outcome, result) = loop {
             attempt_no += 1;
             self.telemetry.attempts.inc();
             if attempt_no > 1 {
                 self.telemetry.retries.inc();
             }
-            self.breaker.admit()?;
-            match self.attempt(&tracked, request_id) {
+            if let Err(e) = self.breaker.admit() {
+                self.obs.traced_event(
+                    "rmi",
+                    "breaker:reject",
+                    vec![("attempt".into(), u64::from(attempt_no).into())],
+                );
+                break ("circuit_open", Err(e));
+            }
+            let started = self.clock.now();
+            let attempted = {
+                let mut attempt_span = self.obs.traced_span("rmi", format!("attempt:{attempt_no}"));
+                let r = self.attempt(&tracked, request_id);
+                attempt_span.arg("ok", u64::from(r.is_ok()));
+                r
+            };
+            self.telemetry.record_attempt_latency(
+                &self.obs,
+                attempt_no,
+                self.clock.now().saturating_sub(started),
+            );
+            match attempted {
                 Ok(payload) => {
                     self.breaker.record_success();
                     if attempt_no > 1 {
                         self.telemetry.recovered.inc();
                     }
-                    return Ok(payload);
+                    break ("ok", Ok(payload));
                 }
-                Err(e) if !e.is_retryable() => return Err(e),
+                Err(e) if !e.is_retryable() => break ("non_retryable", Err(e)),
                 Err(e) => {
                     self.breaker.record_failure();
                     if attempt_no >= self.policy.max_attempts {
                         self.telemetry.exhausted.inc();
-                        return Err(e);
+                        break ("exhausted", Err(e));
                     }
                     let backoff = {
                         let mut jitter = self.jitter.lock().unwrap();
@@ -678,17 +719,23 @@ impl Transport for ResilientTransport {
                     };
                     if self.clock.now() + backoff >= deadline {
                         self.telemetry.timeouts.inc();
-                        return Err(RmiError::Timeout(format!(
-                            "call deadline {:?} exhausted after {attempt_no} attempts; \
-                             last error: {e}",
-                            self.policy.call_deadline
-                        )));
+                        break (
+                            "timeout",
+                            Err(RmiError::Timeout(format!(
+                                "call deadline {:?} exhausted after {attempt_no} attempts; \
+                                 last error: {e}",
+                                self.policy.call_deadline
+                            ))),
+                        );
                     }
                     self.telemetry.backoff_ns.record_duration(backoff);
                     self.clock.sleep(backoff);
                 }
             }
-        }
+        };
+        span.arg("attempts", u64::from(attempt_no));
+        span.arg("outcome", outcome);
+        result
     }
 
     fn stats(&self) -> TransportStats {
@@ -995,6 +1042,7 @@ mod tests {
                 object: crate::value::ObjectId::ROOT,
                 method: "echo".into(),
                 args: vec![Value::I64(1)],
+                context: None,
             })
             .encode(),
         );
@@ -1076,5 +1124,82 @@ mod tests {
         assert_eq!(snap.counter("rmi.retry.retries"), 0);
     }
 
+    #[test]
+    fn attempts_are_traced_and_profiled_per_index() {
+        let obs = Collector::enabled();
+        let clock = Arc::new(VirtualClock::new());
+        let flaky = Arc::new(FlakyTransport::new(echo_dispatcher(), 2));
+        let t = ResilientTransport::new(
+            Arc::clone(&flaky) as Arc<dyn Transport>,
+            RetryPolicy::default().with_max_attempts(4),
+        )
+        .with_clock(Arc::clone(&clock) as Arc<dyn ResilienceClock>)
+        .with_collector(&obs);
+        let client = Client::new(Arc::new(t) as Arc<dyn Transport>);
+        client.root().invoke("echo", vec![Value::I64(1)]).unwrap();
+
+        let snap = obs.metrics().snapshot();
+        let aggregate = snap.histograms.get("rmi.retry.attempt_latency_ns").unwrap();
+        assert_eq!(aggregate.count, 3);
+        for i in 1..=3u32 {
+            let h = snap
+                .histograms
+                .get(&format!("rmi.retry.attempt.{i}.latency_ns"))
+                .unwrap_or_else(|| panic!("missing per-attempt histogram {i}"));
+            assert_eq!(h.count, 1);
+        }
+
+        let trace = obs.trace();
+        let outer = trace.events_named("resilient:call");
+        assert_eq!(outer.len(), 1);
+        assert!(outer[0]
+            .args
+            .iter()
+            .any(|(k, v)| k == "attempts" && matches!(v, ArgValue::U64(3))));
+        assert!(outer[0]
+            .args
+            .iter()
+            .any(|(k, v)| k == "outcome" && matches!(v, ArgValue::Str(s) if s == "ok")));
+        // Each delivery attempt is its own child span.
+        assert_eq!(trace.events_named("attempt:").len(), 3);
+    }
+
+    #[test]
+    fn breaker_rejection_is_a_traced_event() {
+        let obs = Collector::enabled();
+        let clock = Arc::new(VirtualClock::new());
+        let flaky = Arc::new(FlakyTransport::new(echo_dispatcher(), u32::MAX));
+        let t = ResilientTransport::new(
+            flaky as Arc<dyn Transport>,
+            RetryPolicy::default()
+                .with_max_attempts(3)
+                .with_backoff(Duration::from_millis(1), Duration::from_millis(1)),
+        )
+        .with_breaker(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(5),
+        })
+        .with_clock(clock as Arc<dyn ResilienceClock>)
+        .with_collector(&obs);
+        assert!(t.call(b"a").is_err(), "three failures trip the breaker");
+        assert!(matches!(t.call(b"b"), Err(RmiError::CircuitOpen(_))));
+
+        let trace = obs.trace();
+        assert_eq!(trace.events_named("breaker:reject").len(), 1);
+        let outer = trace.events_named("resilient:call");
+        assert_eq!(outer.len(), 2);
+        assert!(outer.iter().any(|e| {
+            e.args.iter().any(|(k, v)| {
+                k == "outcome" && matches!(v, ArgValue::Str(s) if s == "circuit_open")
+            })
+        }));
+        assert!(outer.iter().any(|e| {
+            e.args
+                .iter()
+                .any(|(k, v)| k == "outcome" && matches!(v, ArgValue::Str(s) if s == "exhausted"))
+        }));
+    }
+
     use crate::frame::Frame;
+    use vcad_obs::ArgValue;
 }

@@ -93,8 +93,11 @@ impl TransportTelemetry {
         TransportTelemetry::new(&Collector::disabled())
     }
 
-    fn span(&self) -> vcad_obs::SpanGuard {
-        self.obs.span("rmi", "call")
+    fn span(&self) -> vcad_obs::TracedSpan {
+        // Traced, so the round trip parents under whatever RPC span is
+        // ambient — this is the span the obs-report analyzer attributes
+        // wire time to.
+        self.obs.traced_span("rmi", "call")
     }
 
     fn record(&self, sent: usize, received: usize, started: Instant) {

@@ -24,6 +24,11 @@ pub enum WireError {
     /// A field held a value outside its legal domain (for example a logic
     /// byte above 3 or a word width above 128).
     BadValue(&'static str),
+    /// A versioned frame declared a format revision this decoder does not
+    /// understand. Old (unversioned) frames always decode; this fires
+    /// only for revisions from the *future*, so the caller can report
+    /// "upgrade me" instead of "corrupt data".
+    UnsupportedVersion(u8),
 }
 
 impl fmt::Display for WireError {
@@ -35,6 +40,9 @@ impl fmt::Display for WireError {
             WireError::OversizedField(n) => write!(f, "field length {n} exceeds limit"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
             WireError::BadValue(what) => write!(f, "field out of domain: {what}"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported frame version {v} (decoder too old)")
+            }
         }
     }
 }

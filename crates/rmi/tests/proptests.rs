@@ -95,11 +95,26 @@ fn call_frames_round_trip() {
     let mut rng = Rng::seed_from_u64(0x9a12);
     for _ in 0..CASES {
         let n_args = rng.gen_range(0usize..6);
+        // Half the frames carry a trace context, exercising the v2
+        // envelope alongside the frozen v1 encoding.
+        let context = if rng.gen_bool(0.5) {
+            let n_baggage = rng.gen_range(0usize..4);
+            Some(vcad_obs::TraceContext {
+                trace_id: rng.next_u64(),
+                span_id: rng.next_u64(),
+                baggage: (0..n_baggage)
+                    .map(|_| (arb_ident(&mut rng, 8), arb_ident(&mut rng, 12)))
+                    .collect(),
+            })
+        } else {
+            None
+        };
         let frame = Frame::Call(CallFrame {
             call_id: rng.next_u64(),
             object: ObjectId(rng.next_u64()),
             method: arb_ident(&mut rng, 24),
             args: (0..n_args).map(|_| arb_value(&mut rng, 2)).collect(),
+            context,
         });
         assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
     }

@@ -15,7 +15,11 @@
 //! behind the retry/dedup resilience layer: the results are identical,
 //! and a fault/retry summary is printed at the end. Pass `--lint` (or
 //! `--lint=json`) to statically analyse the composed design and exit
-//! instead of simulating. Pass `--shards <n>` to schedule the run under
+//! instead of simulating. Pass `--health <path>[:interval_ms]` to keep
+//! a live health snapshot (counters, histogram percentiles, breaker
+//! states, cache hit ratio) refreshed at `path` as JSON plus `path.txt`
+//! as text — without an interval it is written once, on exit. Pass
+//! `--shards <n>` to schedule the run under
 //! `ShardPolicy::Auto(n)` — results are bit-identical to sequential by
 //! design; this circuit is one connectivity component, so the engine
 //! reports a single shard (see the `table2` bench for a design where
@@ -65,6 +69,24 @@ fn shards() -> Option<usize> {
     None
 }
 
+/// Parses `--health <path>[:interval_ms]` from the command line, if
+/// present. A non-numeric suffix after the last `:` is part of the path.
+fn health_spec() -> Option<(std::path::PathBuf, Option<Duration>)> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--health" {
+            let spec = args.next().expect("--health needs a file path");
+            if let Some((path, ms)) = spec.rsplit_once(':') {
+                if let Ok(ms) = ms.parse::<u64>() {
+                    return Some((path.into(), Some(Duration::from_millis(ms))));
+                }
+            }
+            return Some((spec.into(), None));
+        }
+    }
+    None
+}
+
 /// Parses `--chaos-seed <u64>` from the command line, if present.
 fn chaos_seed() -> Option<u64> {
     let mut args = std::env::args().skip(1);
@@ -91,6 +113,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     } else {
         Collector::disabled()
     };
+    // Keep the reporter alive for the whole run: dropping it writes the
+    // final snapshot, so even `--health out.json` with no interval gets
+    // the end-of-run state.
+    let _health = health_spec()
+        .map(|(path, interval)| vcad::obs::HealthReporter::start(&obs, path, interval));
 
     // ── Provider side ────────────────────────────────────────────────
     // In production this process lives on the provider's host behind a
@@ -143,6 +170,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         transport
     };
     let session = ClientSession::connect(transport, provider.host());
+    // Traced runs also get a `client:{method}` span per RMI call, with
+    // the trace context injected into every call frame.
+    let session = if obs.is_enabled() {
+        session.with_collector(obs.clone())
+    } else {
+        session
+    };
     println!("catalog:");
     for offering in session.catalog()? {
         println!(
