@@ -55,4 +55,28 @@ grep "^consistency:" target/tracesession/report.txt
 echo "==> obs overhead gate: traced run must stay within budget of baseline (BENCH_obs.json)"
 cargo run --release -q -p vcad-bench --bin obsbench -- --json BENCH_obs.json
 
+echo "==> campaign gate: heavy-chaos sweep, killed mid-run, must resume with zero lost cells"
+rm -rf target/campaign-gate
+# Reference: one uninterrupted run.
+cargo run --release -q -p vcad-bench --bin campaign -- examples/specs/campaign_ci.json \
+    --checkpoint target/campaign-gate/clean.journal \
+    --json target/campaign-gate/clean-report.json > /dev/null
+# Victim: stop after 5 cells (exit 10 = interrupted, by design) ...
+cargo run --release -q -p vcad-bench --bin campaign -- examples/specs/campaign_ci.json \
+    --checkpoint target/campaign-gate/staged.journal \
+    --max-cells 5 > /dev/null && { echo "expected interrupted exit"; exit 1; } || [ $? -eq 10 ]
+# ... tear the journal tail as a kill mid-append would ...
+python3 - <<'EOF'
+import os
+p = "target/campaign-gate/staged.journal"
+os.truncate(p, os.path.getsize(p) - 3)
+EOF
+# ... and resume to completion: the report must be byte-identical.
+cargo run --release -q -p vcad-bench --bin campaign -- examples/specs/campaign_ci.json \
+    --checkpoint target/campaign-gate/staged.journal \
+    --json target/campaign-gate/staged-report.json \
+    --bench BENCH_faultsim.json > /dev/null
+cmp target/campaign-gate/clean-report.json target/campaign-gate/staged-report.json
+echo "    resumed report is byte-identical; baseline in BENCH_faultsim.json"
+
 echo "CI green."

@@ -100,7 +100,8 @@ fn bench_virtual() {
                 source: Arc::new(NetlistDetectionSource::new(Arc::clone(&ip1))),
             }],
             vec![o1, o2],
-        );
+        )
+        .expect("virtual fault sim config");
         black_box(sim.run().expect("virtual fault simulation"));
     });
 }

@@ -1,0 +1,140 @@
+//! `campaign` — the resumable fault-injection campaign driver.
+//!
+//! Run with `cargo run -p vcad-bench --bin campaign --release --
+//! <spec.json>`. The spec (see `examples/specs/`) sweeps virtual fault
+//! simulation across providers × fault models × location ranges ×
+//! pattern budgets × chaos seeds × estimator tiers; every completed cell
+//! is journalled to a CRC-framed checkpoint, so killing the process at
+//! any instant loses nothing — rerun the same command and only
+//! incomplete cells execute. The final report is byte-identical however
+//! many times the campaign was interrupted.
+//!
+//! Flags:
+//! * `--workers <n>` — worker-pool size (default 4).
+//! * `--checkpoint <path>` — journal location (default
+//!   `target/campaign/<name>.journal`).
+//! * `--max-cells <n>` — stop after executing `n` cells this run and
+//!   exit with status 10 (deterministic interruption; the CI resume gate
+//!   and kill-tolerance tests build on it).
+//! * `--json <path>` — write the deterministic JSON report.
+//! * `--bench <path>` — write a machine-readable throughput baseline
+//!   (cells/second, resume bookkeeping) for CI regression tracking.
+//! * `--health <path>[:interval_ms]`, `--trace <path>` — the usual
+//!   observability taps over the `campaign.*` metrics and spans.
+//!
+//! Exit status: 0 on a complete campaign, 10 when interrupted by
+//! `--max-cells`, 2 on a rejected spec or usage error, 1 on journal I/O
+//! failures.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use vcad_bench::cli;
+use vcad_campaign::{CampaignError, CampaignSpec, Orchestrator};
+
+/// Exit status for a run stopped by `--max-cells` before grid exhaustion.
+const EXIT_INTERRUPTED: i32 = 10;
+
+fn main() {
+    let spec_path = spec_path_arg().unwrap_or_else(|| {
+        eprintln!("usage: campaign <spec.json> [--workers N] [--checkpoint PATH] [--max-cells N] [--json PATH] [--bench PATH] [--health PATH[:ms]] [--trace PATH]");
+        std::process::exit(2);
+    });
+
+    let text = std::fs::read_to_string(&spec_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", spec_path.display());
+        std::process::exit(2);
+    });
+    let spec = CampaignSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("campaign spec rejected: {e}");
+        std::process::exit(2);
+    });
+
+    let checkpoint = cli::checkpoint_path()
+        .unwrap_or_else(|| PathBuf::from(format!("target/campaign/{}.journal", spec.name)));
+    let workers = cli::workers().unwrap_or(4);
+
+    let trace = cli::trace_path();
+    let obs = cli::collector_for(trace.as_ref());
+    let _health = cli::start_health(&obs);
+
+    let mut orchestrator = Orchestrator::new(spec.clone(), &checkpoint)
+        .with_workers(workers)
+        .with_collector(&obs);
+    if let Some(cap) = cli::max_cells() {
+        orchestrator = orchestrator.with_max_cells(cap);
+    }
+
+    let started = Instant::now();
+    let outcome = orchestrator.run().unwrap_or_else(|e| {
+        eprintln!("campaign failed: {e}");
+        let status = match e {
+            CampaignError::Spec(_) | CampaignError::ZeroWorkers => 2,
+            CampaignError::Journal(_) => 1,
+        };
+        std::process::exit(status);
+    });
+    let wall = started.elapsed();
+
+    println!(
+        "campaign `{}`: executed {} cells, resumed {} from {} ({} torn bytes dropped), {:.2}s",
+        spec.name,
+        outcome.executed,
+        outcome.resumed,
+        checkpoint.display(),
+        outcome.torn_bytes,
+        wall.as_secs_f64(),
+    );
+
+    if let Some(path) = cli::bench_path() {
+        let cells_per_sec = if wall.as_secs_f64() > 0.0 {
+            outcome.executed as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        let json = format!(
+            "{{\n  \"bench\": \"campaign\",\n  \"spec\": \"{}\",\n  \"workers\": {},\n  \
+             \"executed\": {},\n  \"resumed\": {},\n  \"torn_bytes\": {},\n  \
+             \"wall_ms\": {:.3},\n  \"cells_per_sec\": {:.3}\n}}\n",
+            spec.name,
+            workers,
+            outcome.executed,
+            outcome.resumed,
+            outcome.torn_bytes,
+            wall.as_secs_f64() * 1e3,
+            cells_per_sec,
+        );
+        std::fs::write(&path, json).expect("write bench baseline");
+        println!("bench baseline written to {}", path.display());
+    }
+
+    cli::finish_trace(&obs, trace);
+
+    match outcome.report {
+        Some(report) => {
+            print!("\n{}", report.to_text());
+            if let Some(path) = cli::json_path() {
+                std::fs::write(&path, report.to_json()).expect("write report JSON");
+                println!("\nreport written to {}", path.display());
+            }
+        }
+        None => {
+            println!("campaign interrupted before completion; rerun the same command to resume");
+            std::process::exit(EXIT_INTERRUPTED);
+        }
+    }
+}
+
+/// The first positional argument, skipping every `--flag <operand>` pair.
+fn spec_path_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg.starts_with("--") {
+            // Every campaign flag takes exactly one operand.
+            drop(args.next());
+        } else {
+            return Some(arg.into());
+        }
+    }
+    None
+}

@@ -18,7 +18,8 @@ fn main() {
     let mut rows = Vec::new();
     for (name, nl) in &circuits {
         let targets = FaultUniverse::collapsed(nl).representatives();
-        let growth = grow_random_patterns(nl, &targets, 1.0, 20_000, 0xC0FE);
+        let growth = grow_random_patterns(nl, &targets, 1.0, 20_000, 0xC0FE)
+            .expect("coverage growth request is well-formed");
         let hist = &growth.coverage_history;
         let at = |frac: f64| -> String {
             let want = frac * growth.coverage;

@@ -20,7 +20,6 @@
 //! `--chaos-seed <u64>` (default 7), and `--health <path>[:interval_ms]`
 //! for a live health snapshot of the client-side registry.
 
-use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -37,20 +36,6 @@ use vcad_rmi::{
 
 /// Far above any loopback round trip, far below a CI job timeout.
 const SOCKET_BUDGET: Duration = Duration::from_secs(10);
-
-fn out_dir() -> PathBuf {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--out" {
-            let dir = args.next().unwrap_or_else(|| {
-                eprintln!("--out needs a directory path");
-                std::process::exit(2);
-            });
-            return dir.into();
-        }
-    }
-    "target/tracesession".into()
-}
 
 /// Connects one resilient, chaos-shaped session to `server`'s TCP port.
 fn connect(
@@ -125,7 +110,7 @@ fn evaluate(session: &ClientSession, offering: &str, width: usize) -> f64 {
 
 fn main() {
     let seed = cli::chaos_seed().unwrap_or(7);
-    let out = out_dir();
+    let out = cli::out_dir("target/tracesession");
     std::fs::create_dir_all(&out).expect("create output directory");
 
     let client_obs = Collector::with_capacity(1 << 20).with_process_name("client");

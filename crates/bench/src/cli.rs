@@ -1,6 +1,12 @@
 //! Tiny shared argument handling for the bench binaries.
+//!
+//! Every flag is parsed by one of three generic scanners —
+//! [`flag_value`], [`path_flag`], [`parsed_flag`] — so each binary's
+//! surface is a list of one-line wrappers instead of a copy of the same
+//! argument-walking loop.
 
 use std::path::PathBuf;
+use std::str::FromStr;
 use std::sync::Arc;
 
 use vcad_core::Design;
@@ -9,22 +15,66 @@ use vcad_lint::graph::LintGraph;
 use vcad_lint::Linter;
 use vcad_obs::Collector;
 
+/// Scans the process arguments for `flag` and returns its operand.
+///
+/// Exits with status 2 when the flag is present but its operand is
+/// missing (`expects` finishes the error message: `"--trace needs a
+/// file path"`).
+#[must_use]
+pub fn flag_value(flag: &str, expects: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            return Some(args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs {expects}");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
+/// [`flag_value`] as a [`PathBuf`].
+#[must_use]
+pub fn path_flag(flag: &str) -> Option<PathBuf> {
+    flag_value(flag, "a file path").map(PathBuf::from)
+}
+
+/// [`flag_value`] parsed into `T`. Exits with status 2 when the operand
+/// is present but does not parse.
+#[must_use]
+pub fn parsed_flag<T: FromStr>(flag: &str, expects: &str) -> Option<T> {
+    flag_value(flag, expects).map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} needs {expects}");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// [`parsed_flag`] restricted to positive integers.
+#[must_use]
+pub fn positive_flag(flag: &str) -> Option<usize> {
+    let n = parsed_flag::<usize>(flag, "a positive integer")?;
+    if n == 0 {
+        eprintln!("{flag} needs a positive integer");
+        std::process::exit(2);
+    }
+    Some(n)
+}
+
+/// True when the bare `flag` is present.
+#[must_use]
+pub fn flag_present(flag: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == flag)
+}
+
 /// Parses `--trace <path>` from the process arguments, if present.
 ///
 /// Exits with status 2 when `--trace` is given without a path.
 #[must_use]
 pub fn trace_path() -> Option<PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--trace" {
-            let path = args.next().unwrap_or_else(|| {
-                eprintln!("--trace needs a file path");
-                std::process::exit(2);
-            });
-            return Some(path.into());
-        }
-    }
-    None
+    path_flag("--trace")
 }
 
 /// Parses `--chaos-seed <u64>` from the process arguments, if present.
@@ -37,17 +87,7 @@ pub fn trace_path() -> Option<PathBuf> {
 /// unsigned integer.
 #[must_use]
 pub fn chaos_seed() -> Option<u64> {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--chaos-seed" {
-            let seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                eprintln!("--chaos-seed needs an unsigned integer");
-                std::process::exit(2);
-            });
-            return Some(seed);
-        }
-    }
-    None
+    parsed_flag("--chaos-seed", "an unsigned integer")
 }
 
 /// Parses `--shards <n>` from the process arguments, if present: the
@@ -61,21 +101,7 @@ pub fn chaos_seed() -> Option<u64> {
 /// integer.
 #[must_use]
 pub fn shards() -> Option<usize> {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--shards" {
-            let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                eprintln!("--shards needs a positive integer");
-                std::process::exit(2);
-            });
-            if n == 0 {
-                eprintln!("--shards needs a positive integer");
-                std::process::exit(2);
-            }
-            return Some(n);
-        }
-    }
-    None
+    positive_flag("--shards")
 }
 
 /// Parses `--json <path>` from the process arguments, if present: the
@@ -85,17 +111,53 @@ pub fn shards() -> Option<usize> {
 /// Exits with status 2 when `--json` is given without a path.
 #[must_use]
 pub fn json_path() -> Option<PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--json" {
-            let path = args.next().unwrap_or_else(|| {
-                eprintln!("--json needs a file path");
-                std::process::exit(2);
-            });
-            return Some(path.into());
-        }
-    }
-    None
+    path_flag("--json")
+}
+
+/// Parses `--out <dir>` with a per-binary default — the dump directory
+/// used by `tracesession`.
+#[must_use]
+pub fn out_dir(default: &str) -> PathBuf {
+    flag_value("--out", "a directory path").map_or_else(|| default.into(), PathBuf::from)
+}
+
+/// Parses `--workers <n>` from the process arguments, if present — the
+/// campaign orchestrator's worker-pool size.
+///
+/// Exits with status 2 when `--workers` is given without a positive
+/// integer.
+#[must_use]
+pub fn workers() -> Option<usize> {
+    positive_flag("--workers")
+}
+
+/// Parses `--checkpoint <path>` from the process arguments, if present —
+/// where the campaign journal lives.
+///
+/// Exits with status 2 when `--checkpoint` is given without a path.
+#[must_use]
+pub fn checkpoint_path() -> Option<PathBuf> {
+    path_flag("--checkpoint")
+}
+
+/// Parses `--max-cells <n>` from the process arguments, if present — a
+/// deterministic mid-campaign interruption point, used by the resume
+/// tests and the CI gate.
+///
+/// Exits with status 2 when `--max-cells` is given without a positive
+/// integer.
+#[must_use]
+pub fn max_cells() -> Option<usize> {
+    positive_flag("--max-cells")
+}
+
+/// Parses `--bench <path>` from the process arguments, if present — the
+/// machine-readable benchmark baseline file a bin should write.
+///
+/// Exits with status 2 when `--bench` is given without a path.
+#[must_use]
+pub fn bench_path() -> Option<PathBuf> {
+    path_flag("--bench")
 }
 
 /// Parses `--health <path>[:interval_ms]` from the process arguments,
@@ -108,17 +170,8 @@ pub fn json_path() -> Option<PathBuf> {
 /// Exits with status 2 when `--health` is given without a path.
 #[must_use]
 pub fn health_spec() -> Option<(PathBuf, Option<std::time::Duration>)> {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--health" {
-            let spec = args.next().unwrap_or_else(|| {
-                eprintln!("--health needs a file path (optionally `path:interval_ms`)");
-                std::process::exit(2);
-            });
-            return Some(parse_health_spec(&spec));
-        }
-    }
-    None
+    flag_value("--health", "a file path (optionally `path:interval_ms`)")
+        .map(|spec| parse_health_spec(&spec))
 }
 
 fn parse_health_spec(spec: &str) -> (PathBuf, Option<std::time::Duration>) {
@@ -144,7 +197,7 @@ pub fn start_health(obs: &Collector) -> Option<vcad_obs::HealthReporter> {
 /// it.
 #[must_use]
 pub fn cache_enabled() -> bool {
-    std::env::args().skip(1).any(|a| a == "--cache")
+    flag_present("--cache")
 }
 
 /// Whether `--lint` / `--lint=json` is present on the command line.

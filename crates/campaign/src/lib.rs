@@ -1,0 +1,48 @@
+//! Resumable fault-injection campaign orchestration.
+//!
+//! A *campaign* sweeps virtual fault simulation (the paper's Figure 5
+//! protocol) across a grid of experiment dimensions — IP providers ×
+//! fault models × fault-location ranges × pattern budgets × chaos seeds ×
+//! detection-estimator tiers. Each grid cell is one self-contained
+//! [`VirtualFaultSim`](vcad_faults::VirtualFaultSim) run against an
+//! in-process provider behind a deterministically chaotic transport, and
+//! is keyed by a content address derived from the complete spec plus the
+//! cell's coordinates.
+//!
+//! The pieces:
+//!
+//! * [`CampaignSpec`] — the hand-written JSON sweep description, its
+//!   typed fail-closed validation ([`SpecError`]) and deterministic
+//!   expansion into [`CellSpec`]s.
+//! * [`checkpoint`] — the append-only, CRC-framed, fsync'd journal that
+//!   makes campaigns resumable: kill the process at any instant, rerun
+//!   the same spec, and only incomplete cells execute.
+//! * [`preflight`] — fault-list–dependent validation against live
+//!   providers (range bounds, empty cell universes, metadata lint),
+//!   run before any worker starts.
+//! * [`cell`] — executing one cell: provider standup, chaos stack,
+//!   per-tier design construction, retry with a typed terminal
+//!   [`CellOutcome::Failed`].
+//! * [`orchestrator`] — the bounded worker pool, journal replay and
+//!   `campaign.*` observability.
+//! * [`report`] — the deterministic coverage/detection report (text +
+//!   JSON), built solely from journalled records in grid order, so a
+//!   resumed campaign's report is byte-identical to an uninterrupted
+//!   run's.
+
+pub mod cell;
+pub mod checkpoint;
+pub mod orchestrator;
+pub mod preflight;
+pub mod report;
+pub mod spec;
+
+pub use cell::CellError;
+pub use checkpoint::{CellOutcome, CellRecord, Journal, JournalError, JournalReplay};
+pub use orchestrator::{CampaignError, CampaignOutcome, Orchestrator};
+pub use preflight::{validate_against_providers, ProviderAudit};
+pub use report::CampaignReport;
+pub use spec::{
+    CampaignSpec, CellSpec, ChaosProfile, ChaosSpec, EstimatorTier, FaultModel, LocationRange,
+    ProviderSpec, SpecError,
+};

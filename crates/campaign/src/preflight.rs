@@ -1,0 +1,188 @@
+//! Fault-list–dependent spec validation, run against live (in-process,
+//! chaos-free) providers *before any worker starts*.
+//!
+//! [`CampaignSpec::parse`] already rejects everything knowable from the
+//! document alone. This pass stands each provider up, fetches its
+//! symbolic fault list over a clean link, and fails the campaign closed
+//! when a location range reaches past the list, a (model × range)
+//! intersection is empty — a cell that would vacuously report 100%
+//! coverage — or the provider's fault metadata does not survive the
+//! vcad-lint fault-model audit.
+
+use vcad_faults::{DetectionTableSource, FaultUniverse, SymbolicFault};
+use vcad_ip::{ClientSession, ProviderServer};
+use vcad_lint::Severity;
+use vcad_logic::LogicVec;
+
+use crate::spec::{registered_offering, CampaignSpec, CellSpec, ProviderSpec, SpecError};
+
+/// One provider's validated fault-list view, shared by every cell that
+/// targets it.
+#[derive(Clone, Debug)]
+pub struct ProviderAudit {
+    /// The audited provider.
+    pub provider: ProviderSpec,
+    /// The provider's full symbolic fault list, sorted lexicographically —
+    /// the stable coordinate system location ranges index into.
+    pub faults: Vec<SymbolicFault>,
+}
+
+impl ProviderAudit {
+    /// The (model × range) fault subset one cell targets. Preflight has
+    /// already proven the range in bounds and the subset non-empty.
+    #[must_use]
+    pub fn subset_for(&self, cell: &CellSpec) -> Vec<SymbolicFault> {
+        self.faults[cell.range.start..cell.range.start + cell.range.len]
+            .iter()
+            .filter(|f| cell.model.matches(f.as_str()))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Validates the spec against its providers' published fault lists; on
+/// success returns one audit per provider, in spec order.
+///
+/// # Errors
+///
+/// Returns [`SpecError::ProviderUnavailable`],
+/// [`SpecError::LocationOutOfRange`], [`SpecError::EmptyCellUniverse`] or
+/// [`SpecError::FaultModelLint`] — all before any cell executes.
+pub fn validate_against_providers(spec: &CampaignSpec) -> Result<Vec<ProviderAudit>, SpecError> {
+    let mut audits = Vec::with_capacity(spec.providers.len());
+    for provider in &spec.providers {
+        let unavailable = |why: String| SpecError::ProviderUnavailable {
+            provider: provider.host.clone(),
+            why,
+        };
+        let offering = registered_offering(&provider.offering)?;
+        let netlist = offering.instantiate(provider.width);
+        let in_bits = netlist.input_count();
+        let server = ProviderServer::new(&provider.host);
+        server.offer(offering);
+        let session =
+            ClientSession::connect_in_process(&server).map_err(|e| unavailable(e.to_string()))?;
+        let component = session
+            .instantiate(&provider.offering, provider.width)
+            .map_err(|e| unavailable(e.to_string()))?;
+        let source = component.detection_source();
+
+        let mut faults = source.fault_list();
+        faults.sort();
+        if faults.is_empty() {
+            return Err(unavailable("provider published an empty fault list".into()));
+        }
+
+        // The provider's metadata must survive the fault-model audit: a
+        // denied finding (wrong table width, unknown fault names) means
+        // every coverage number downstream would be garbage. The audit
+        // baseline is the component's full collapsed fault universe —
+        // detection tables legitimately name boundary (input-pin) classes
+        // the published fault list omits, because per the paper those
+        // belong to the surrounding design, not the provider.
+        let universe: Vec<SymbolicFault> = FaultUniverse::collapsed(&netlist)
+            .classes()
+            .iter()
+            .map(|c| c.representative.name(&netlist))
+            .collect();
+        if let Some(foreign) = faults.iter().find(|f| !universe.contains(f)) {
+            return Err(SpecError::FaultModelLint {
+                provider: provider.host.clone(),
+                diagnostics: format!(
+                    "published fault `{}` is not in the component's collapsed universe",
+                    foreign.as_str()
+                ),
+            });
+        }
+        let table = source
+            .detection_table(&LogicVec::zeros(in_bits))
+            .map_err(|e| unavailable(e.to_string()))?;
+        let diagnostics = vcad_lint::lint_fault_model(&provider.offering, &universe, &table);
+        let denied: Vec<String> = diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .map(ToString::to_string)
+            .collect();
+        if !denied.is_empty() {
+            return Err(SpecError::FaultModelLint {
+                provider: provider.host.clone(),
+                diagnostics: denied.join("\n"),
+            });
+        }
+
+        for range in &spec.location_ranges {
+            if range.start + range.len > faults.len() {
+                return Err(SpecError::LocationOutOfRange {
+                    provider: provider.host.clone(),
+                    start: range.start,
+                    len: range.len,
+                    total: faults.len(),
+                });
+            }
+            for &model in &spec.fault_models {
+                let slice = &faults[range.start..range.start + range.len];
+                if !slice.iter().any(|f| model.matches(f.as_str())) {
+                    return Err(SpecError::EmptyCellUniverse {
+                        provider: provider.host.clone(),
+                        model: model.label().to_owned(),
+                        start: range.start,
+                        len: range.len,
+                    });
+                }
+            }
+        }
+
+        audits.push(ProviderAudit {
+            provider: provider.clone(),
+            faults,
+        });
+    }
+    Ok(audits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::tests_support::smoke_spec;
+    use crate::spec::LocationRange;
+
+    #[test]
+    fn audits_every_provider_with_sorted_fault_lists() {
+        let spec = smoke_spec();
+        let audits = validate_against_providers(&spec).unwrap();
+        assert_eq!(audits.len(), 1);
+        let faults = &audits[0].faults;
+        assert!(!faults.is_empty());
+        assert!(faults.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    }
+
+    #[test]
+    fn out_of_range_locations_fail_closed() {
+        let mut spec = smoke_spec();
+        spec.location_ranges = vec![LocationRange {
+            start: 0,
+            len: 100_000,
+        }];
+        assert!(matches!(
+            validate_against_providers(&spec),
+            Err(SpecError::LocationOutOfRange { total, .. }) if total > 0
+        ));
+    }
+
+    #[test]
+    fn empty_model_range_intersections_fail_closed() {
+        let mut spec = smoke_spec();
+        // Single-polarity model over a single fault location: whichever
+        // polarity the first sorted fault is, the other model's universe
+        // over this range is empty.
+        spec.location_ranges = vec![LocationRange { start: 0, len: 1 }];
+        spec.fault_models = vec![
+            crate::spec::FaultModel::StuckAt0,
+            crate::spec::FaultModel::StuckAt1,
+        ];
+        assert!(matches!(
+            validate_against_providers(&spec),
+            Err(SpecError::EmptyCellUniverse { .. })
+        ));
+    }
+}

@@ -40,7 +40,7 @@ pub use detect::DetectionTable;
 pub use eval::{FaultyEvaluator, SerialFaultSim};
 pub use fault::{Fault, FaultSite, StuckAt, SymbolicFault};
 pub use parallel::BitParallelSim;
-pub use patterns::{grow_random_patterns, PatternGrowth};
+pub use patterns::{grow_random_patterns, PatternError, PatternGrowth};
 pub use virtual_sim::{
     BlockCoverage, CoverageReport, DetectionTableSource, IpBlockBinding, NetlistDetectionSource,
     VirtualFaultSim, VirtualSimError,

@@ -6,6 +6,9 @@
 //! the simplest useful test generator a user can run against either the
 //! flat baseline or, via detection tables, an IP-protected design.
 
+use std::error::Error;
+use std::fmt;
+
 use vcad_prng::Rng;
 
 use vcad_logic::{Logic, LogicVec};
@@ -13,6 +16,32 @@ use vcad_netlist::Netlist;
 
 use crate::eval::FaultyEvaluator;
 use crate::fault::Fault;
+
+/// Typed test-growth failures — every malformed request is rejected
+/// before any simulation runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PatternError {
+    /// The coverage target is not a fraction in `[0, 1]`.
+    CoverageTargetOutOfRange(f64),
+    /// A try budget of zero patterns can never grow a test set.
+    ZeroTryBudget,
+    /// An empty target list would vacuously report full coverage.
+    EmptyTargets,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::CoverageTargetOutOfRange(t) => {
+                write!(f, "coverage target {t} is not a fraction in [0, 1]")
+            }
+            PatternError::ZeroTryBudget => write!(f, "the pattern try budget must be positive"),
+            PatternError::EmptyTargets => write!(f, "the target fault list is empty"),
+        }
+    }
+}
+
+impl Error for PatternError {}
 
 /// The result of [`grow_random_patterns`].
 #[derive(Clone, Debug)]
@@ -36,21 +65,26 @@ pub struct PatternGrowth {
 /// (classic reverse-order-free compaction), so the result is suitable as
 /// a production test sequence.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `target_coverage` is outside `[0, 1]`.
-#[must_use]
+/// Returns a typed [`PatternError`] for a coverage target outside
+/// `[0, 1]`, a zero try budget, or an empty target list.
 pub fn grow_random_patterns(
     netlist: &Netlist,
     targets: &[Fault],
     target_coverage: f64,
     max_tries: usize,
     seed: u64,
-) -> PatternGrowth {
-    assert!(
-        (0.0..=1.0).contains(&target_coverage),
-        "coverage target must be a fraction"
-    );
+) -> Result<PatternGrowth, PatternError> {
+    if !(0.0..=1.0).contains(&target_coverage) {
+        return Err(PatternError::CoverageTargetOutOfRange(target_coverage));
+    }
+    if max_tries == 0 {
+        return Err(PatternError::ZeroTryBudget);
+    }
+    if targets.is_empty() {
+        return Err(PatternError::EmptyTargets);
+    }
     let mut rng = Rng::seed_from_u64(seed);
     let good = vcad_netlist::Evaluator::new(netlist);
     let faulty = FaultyEvaluator::new(netlist);
@@ -78,16 +112,12 @@ pub fn grow_random_patterns(
         }
     }
 
-    PatternGrowth {
+    Ok(PatternGrowth {
         patterns,
-        coverage: if total == 0 {
-            1.0
-        } else {
-            (total - remaining.len()) as f64 / total as f64
-        },
+        coverage: (total - remaining.len()) as f64 / total as f64,
         coverage_history,
         patterns_tried: tried,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -101,7 +131,7 @@ mod tests {
     fn reaches_full_coverage_on_c17() {
         let nl = generators::c17();
         let targets = FaultUniverse::collapsed(&nl).representatives();
-        let growth = grow_random_patterns(&nl, &targets, 1.0, 10_000, 7);
+        let growth = grow_random_patterns(&nl, &targets, 1.0, 10_000, 7).unwrap();
         assert!((growth.coverage - 1.0).abs() < 1e-12, "{}", growth.coverage);
         // The compacted set replays to the same coverage.
         let replay = SerialFaultSim::new(&nl, targets.clone()).run(&growth.patterns);
@@ -114,7 +144,7 @@ mod tests {
     fn history_is_strictly_increasing() {
         let nl = generators::alu(3);
         let targets = FaultUniverse::collapsed(&nl).representatives();
-        let growth = grow_random_patterns(&nl, &targets, 0.95, 5_000, 11);
+        let growth = grow_random_patterns(&nl, &targets, 0.95, 5_000, 11).unwrap();
         for w in growth.coverage_history.windows(2) {
             assert!(w[1] > w[0]);
         }
@@ -125,17 +155,35 @@ mod tests {
     fn budget_is_respected() {
         let nl = generators::wallace_multiplier(4);
         let targets = FaultUniverse::collapsed(&nl).representatives();
-        let growth = grow_random_patterns(&nl, &targets, 1.0, 10, 3);
+        let growth = grow_random_patterns(&nl, &targets, 1.0, 10, 3).unwrap();
         assert!(growth.patterns_tried <= 10);
         assert!(growth.patterns.len() <= 10);
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_requests() {
+        let nl = generators::c17();
+        let targets = FaultUniverse::collapsed(&nl).representatives();
+        assert_eq!(
+            grow_random_patterns(&nl, &targets, 1.5, 100, 1).err(),
+            Some(PatternError::CoverageTargetOutOfRange(1.5))
+        );
+        assert_eq!(
+            grow_random_patterns(&nl, &targets, 1.0, 0, 1).err(),
+            Some(PatternError::ZeroTryBudget)
+        );
+        assert_eq!(
+            grow_random_patterns(&nl, &[], 1.0, 100, 1).err(),
+            Some(PatternError::EmptyTargets)
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
         let nl = generators::c17();
         let targets = FaultUniverse::collapsed(&nl).representatives();
-        let a = grow_random_patterns(&nl, &targets, 1.0, 1000, 5);
-        let b = grow_random_patterns(&nl, &targets, 1.0, 1000, 5);
+        let a = grow_random_patterns(&nl, &targets, 1.0, 1000, 5).unwrap();
+        let b = grow_random_patterns(&nl, &targets, 1.0, 1000, 5).unwrap();
         assert_eq!(a.patterns, b.patterns);
         assert_eq!(a.patterns_tried, b.patterns_tried);
     }

@@ -24,6 +24,25 @@ pub enum VirtualSimError {
     Simulation(SimulationError),
     /// A detection-table source (local or remote) failed.
     Source(String),
+    /// No IP blocks were bound — there is nothing to evaluate.
+    NoBlocks,
+    /// No primary outputs were given — nothing is observable.
+    NoOutputs,
+    /// A parallelism of zero threads can make no progress.
+    ZeroParallelism,
+    /// An injection worker thread panicked.
+    WorkerPanicked,
+    /// A detection table's fault-free row does not match the bound
+    /// block's output width — the source answered for a different
+    /// component (or corrupted data survived the transport).
+    MalformedTable {
+        /// The offending block module's name.
+        module: String,
+        /// The block's total output width.
+        expected: usize,
+        /// The table's row width.
+        got: usize,
+    },
 }
 
 impl fmt::Display for VirtualSimError {
@@ -31,6 +50,18 @@ impl fmt::Display for VirtualSimError {
         match self {
             VirtualSimError::Simulation(e) => write!(f, "simulation failed: {e}"),
             VirtualSimError::Source(m) => write!(f, "detection-table source failed: {m}"),
+            VirtualSimError::NoBlocks => write!(f, "no IP blocks bound"),
+            VirtualSimError::NoOutputs => write!(f, "no primary outputs to observe"),
+            VirtualSimError::ZeroParallelism => write!(f, "need at least one injection thread"),
+            VirtualSimError::WorkerPanicked => write!(f, "an injection worker panicked"),
+            VirtualSimError::MalformedTable {
+                module,
+                expected,
+                got,
+            } => write!(
+                f,
+                "detection table for `{module}` is {got} bits wide; the block outputs {expected}"
+            ),
         }
     }
 }
@@ -231,18 +262,22 @@ pub struct VirtualFaultSim {
 impl VirtualFaultSim {
     /// Creates a simulator observing the given primary-output modules.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no blocks or no outputs are given.
-    #[must_use]
+    /// Returns [`VirtualSimError::NoBlocks`] / [`VirtualSimError::NoOutputs`]
+    /// when there is nothing to evaluate or nothing to observe.
     pub fn new(
         design: Arc<Design>,
         blocks: Vec<IpBlockBinding>,
         outputs: Vec<ModuleId>,
-    ) -> VirtualFaultSim {
-        assert!(!blocks.is_empty(), "no IP blocks bound");
-        assert!(!outputs.is_empty(), "no primary outputs to observe");
-        VirtualFaultSim {
+    ) -> Result<VirtualFaultSim, VirtualSimError> {
+        if blocks.is_empty() {
+            return Err(VirtualSimError::NoBlocks);
+        }
+        if outputs.is_empty() {
+            return Err(VirtualSimError::NoOutputs);
+        }
+        Ok(VirtualFaultSim {
             design,
             blocks,
             outputs,
@@ -250,7 +285,7 @@ impl VirtualFaultSim {
             table_cache: true,
             obs: Collector::disabled(),
             shards: ShardPolicy::Sequential,
-        }
+        })
     }
 
     /// Runs the *good machine* (the fault-free simulation that produces
@@ -291,14 +326,15 @@ impl VirtualFaultSim {
     /// the paper's parallel-simulation capability applied to
     /// testability. Results are identical to the serial run.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `threads` is zero.
-    #[must_use]
-    pub fn with_parallelism(mut self, threads: usize) -> VirtualFaultSim {
-        assert!(threads > 0, "need at least one injection thread");
+    /// Returns [`VirtualSimError::ZeroParallelism`] if `threads` is zero.
+    pub fn with_parallelism(mut self, threads: usize) -> Result<VirtualFaultSim, VirtualSimError> {
+        if threads == 0 {
+            return Err(VirtualSimError::ZeroParallelism);
+        }
         self.parallelism = threads;
-        self
+        Ok(self)
     }
 
     /// Runs the full two-phase virtual fault simulation.
@@ -367,6 +403,24 @@ impl VirtualFaultSim {
                     _ => {
                         tables_requested += 1;
                         let t = binding.source.detection_table(&inputs)?;
+                        // Fail closed on tables answered for a different
+                        // component: the forced-output injection below
+                        // slices rows by the block's port widths.
+                        let module = self.design.module(binding.module);
+                        let expected: usize = module
+                            .ports()
+                            .iter()
+                            .filter(|p| p.direction().produces_output())
+                            .map(vcad_core::PortSpec::width)
+                            .sum();
+                        let got = t.fault_free().width();
+                        if got != expected {
+                            return Err(VirtualSimError::MalformedTable {
+                                module: module.name().to_owned(),
+                                expected,
+                                got,
+                            });
+                        }
                         if self.table_cache {
                             table_cache.insert(key, t.clone());
                         }
@@ -387,7 +441,7 @@ impl VirtualFaultSim {
                         let snapshots = &snapshots;
                         let good_outputs = &good_outputs;
                         let worker_injections = &worker_injections;
-                        pending
+                        let handles: Vec<_> = pending
                             .chunks(pending.len().div_ceil(self.parallelism))
                             .enumerate()
                             .map(|(worker, chunk)| {
@@ -406,10 +460,15 @@ impl VirtualFaultSim {
                                         .collect::<Vec<_>>()
                                 })
                             })
-                            .collect::<Vec<_>>()
-                            .into_iter()
-                            .flat_map(|h| h.join().expect("injection thread"))
-                            .collect()
+                            .collect();
+                        let mut all = Vec::with_capacity(pending.len());
+                        for h in handles {
+                            match h.join() {
+                                Ok(vs) => all.extend(vs),
+                                Err(_) => all.push(Err(VirtualSimError::WorkerPanicked)),
+                            }
+                        }
+                        all
                     })
                 } else {
                     worker_injections[0].add(pending.len() as u64);
@@ -671,7 +730,8 @@ mod tests {
                 source: Arc::new(NetlistDetectionSource::new(Arc::clone(&ip1))),
             }],
             outputs,
-        );
+        )
+        .unwrap();
         let report = sim.run().unwrap();
         for f in &sum_flip_faults {
             assert!(
@@ -689,7 +749,8 @@ mod tests {
                 source: Arc::new(NetlistDetectionSource::new(ip1)),
             }],
             outputs,
-        );
+        )
+        .unwrap();
         let report = sim.run().unwrap();
         let cov = &report.blocks[0];
         for f in &sum_flip_faults {
@@ -710,7 +771,8 @@ mod tests {
                 source: source.clone(),
             }],
             outputs,
-        );
+        )
+        .unwrap();
         let report = sim.run().unwrap();
         let virtual_detected: HashSet<String> = report.blocks[0]
             .detected
@@ -786,7 +848,8 @@ mod tests {
                 source: Arc::new(NetlistDetectionSource::new(ip1)),
             }],
             outputs,
-        );
+        )
+        .unwrap();
         let report = sim.run().unwrap();
         assert_eq!(report.patterns, 3);
         assert!(report.cache_hits >= 2, "{report:?}");
@@ -805,7 +868,9 @@ mod tests {
             }],
             outputs,
         )
+        .unwrap()
         .with_parallelism(3)
+        .unwrap()
         .with_collector(obs.clone());
         let report = sim.run().unwrap();
         let snap = obs.metrics().snapshot();
@@ -825,6 +890,69 @@ mod tests {
     }
 
     #[test]
+    fn typed_errors_for_malformed_configuration() {
+        let (design, ip, outputs, ip1) = figure4_design(&[(1, 1, 0, 0)]);
+        let source: Arc<dyn DetectionTableSource> =
+            Arc::new(NetlistDetectionSource::new(Arc::clone(&ip1)));
+        assert_eq!(
+            VirtualFaultSim::new(Arc::clone(&design), vec![], outputs.clone()).err(),
+            Some(VirtualSimError::NoBlocks)
+        );
+        assert_eq!(
+            VirtualFaultSim::new(
+                Arc::clone(&design),
+                vec![IpBlockBinding {
+                    module: ip,
+                    source: Arc::clone(&source),
+                }],
+                vec![],
+            )
+            .err(),
+            Some(VirtualSimError::NoOutputs)
+        );
+        let sim = VirtualFaultSim::new(
+            Arc::clone(&design),
+            vec![IpBlockBinding {
+                module: ip,
+                source: Arc::clone(&source),
+            }],
+            outputs.clone(),
+        )
+        .unwrap();
+        assert_eq!(
+            sim.with_parallelism(0).err(),
+            Some(VirtualSimError::ZeroParallelism)
+        );
+
+        // A source answering for a different component: its tables are one
+        // bit wide while the bound block outputs two. The run must fail
+        // closed instead of slicing garbage.
+        let mut nb = NetlistBuilder::new("and2_wrong");
+        let x = nb.input("x");
+        let y = nb.input("y");
+        let o = nb.gate(GateKind::And, &[x, y]);
+        nb.output("o", o);
+        let wrong = Arc::new(nb.build().unwrap());
+        let sim = VirtualFaultSim::new(
+            design,
+            vec![IpBlockBinding {
+                module: ip,
+                source: Arc::new(NetlistDetectionSource::new(wrong)),
+            }],
+            outputs,
+        )
+        .unwrap();
+        assert!(matches!(
+            sim.run(),
+            Err(VirtualSimError::MalformedTable {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
     fn coverage_monotone_and_bounded() {
         let (design, ip, outputs, ip1) = figure4_design(&all_16_patterns());
         let sim = VirtualFaultSim::new(
@@ -834,7 +962,8 @@ mod tests {
                 source: Arc::new(NetlistDetectionSource::new(ip1)),
             }],
             outputs,
-        );
+        )
+        .unwrap();
         let report = sim.run().unwrap();
         let cov = &report.blocks[0];
         assert!(cov.coverage() > 0.0 && cov.coverage() <= 1.0);

@@ -149,6 +149,7 @@ fn check_equality(s: &Scenario) {
         }],
         s.outputs.clone(),
     )
+    .expect("virtual fault sim config")
     .run()
     .expect("virtual fault simulation");
     let virtual_detected: HashSet<String> = report.blocks[0]
@@ -315,6 +316,7 @@ fn parallel_injection_equals_serial() {
             }],
             s.outputs.clone(),
         )
+        .expect("virtual fault sim config")
         .run()
         .expect("serial virtual fault simulation");
         let parallel = VirtualFaultSim::new(
@@ -325,7 +327,9 @@ fn parallel_injection_equals_serial() {
             }],
             s.outputs.clone(),
         )
+        .expect("virtual fault sim config")
         .with_parallelism(threads)
+        .expect("parallelism")
         .run()
         .expect("parallel virtual fault simulation");
         let as_set = |v: &[vcad_faults::SymbolicFault]| {
@@ -396,6 +400,7 @@ fn cache_ablation_changes_traffic_not_results() {
             }],
             s.outputs.clone(),
         )
+        .unwrap()
         .run()
         .unwrap();
         let uncached = VirtualFaultSim::new(
@@ -406,6 +411,7 @@ fn cache_ablation_changes_traffic_not_results() {
             }],
             s.outputs.clone(),
         )
+        .unwrap()
         .without_table_cache()
         .run()
         .unwrap();

@@ -130,7 +130,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             source: detection_source,
         }],
         vec![o1, o2],
-    )
+    )?
     .with_collector(obs.clone());
     let report = sim.run()?;
     let cov = &report.blocks[0];

@@ -27,7 +27,12 @@
 //!   timestamps, counters/gauges/histograms, Chrome trace export);
 //! * [`lint`] — static design analysis: connectivity, combinational
 //!   loops, metadata sanity and the wire-privacy audit, gated into
-//!   elaboration via [`lint::Elaborate`].
+//!   elaboration via [`lint::Elaborate`];
+//! * [`campaign`] — resumable fault-injection campaigns: a JSON spec
+//!   expands into content-addressed cells, a bounded worker pool executes
+//!   them against chaos-shaped provider links, and an append-only
+//!   CRC-framed journal makes the sweep kill-tolerant — the final report
+//!   is byte-identical however often the process died.
 //!
 //! # Quickstart
 //!
@@ -36,6 +41,7 @@
 //! 16-bit inputs feeding registers and a remote IP multiplier.
 
 pub use vcad_cache as cache;
+pub use vcad_campaign as campaign;
 pub use vcad_core as core;
 pub use vcad_faults as faults;
 pub use vcad_ip as ip;

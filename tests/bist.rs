@@ -42,6 +42,7 @@ fn coverage_with(source_module: Arc<dyn vcad::core::Module>) -> (usize, usize) {
         }],
         outputs,
     )
+    .unwrap()
     .run()
     .unwrap();
     (report.blocks[0].detected.len(), report.blocks[0].total)

@@ -1,0 +1,180 @@
+//! Property tests for campaign cell content addressing.
+//!
+//! Two invariants carry the whole resumability story:
+//!
+//! 1. **Stability** — cell keys are a pure function of the spec: the same
+//!    spec yields the same keys whatever the worker count, execution
+//!    order or resume history, so journalled results always match up.
+//! 2. **Sensitivity** — changing *any* spec field yields a completely
+//!    disjoint key set, so an edited campaign can never silently inherit
+//!    stale journalled results.
+
+use std::collections::BTreeSet;
+
+use vcad::campaign::{
+    CampaignSpec, ChaosProfile, EstimatorTier, FaultModel, LocationRange, Orchestrator,
+};
+
+const SPEC: &str = r#"{
+    "name": "property-test",
+    "seed": 5,
+    "providers": [
+        {"host": "alpha.example.com", "offering": "MultFastLowPower", "width": 2},
+        {"host": "beta.example.com", "offering": "AdderRipple", "width": 3}
+    ],
+    "fault_models": ["both", "sa1"],
+    "location_ranges": [{"start": 0, "len": 6}, {"start": 2, "len": 5}],
+    "pattern_budgets": [3, 5],
+    "chaos": {"profile": "off", "seeds": [4, 9], "attempt_budget": 2},
+    "estimator_tiers": ["exact", "optimistic"]
+}"#;
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::parse(SPEC).expect("property spec parses")
+}
+
+fn keys(spec: &CampaignSpec) -> BTreeSet<u128> {
+    spec.expand().iter().map(|c| c.key).collect()
+}
+
+#[test]
+fn keys_are_stable_across_expansions() {
+    let a = spec().expand();
+    let b = spec().expand();
+    assert_eq!(a, b, "expansion is deterministic");
+    assert_eq!(a.len(), 2 * 2 * 2 * 2 * 2 * 2);
+    assert_eq!(
+        keys(&spec()).len(),
+        a.len(),
+        "every cell key must be unique"
+    );
+    // Keys are position-independent content addresses: recomputing the
+    // grid never reassigns a key to a different coordinate tuple.
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.key, y.key);
+        assert_eq!(x.index, y.index);
+    }
+}
+
+#[test]
+fn every_spec_field_change_yields_a_disjoint_key_set() {
+    let base = spec();
+    let base_keys = keys(&base);
+
+    let mut mutants: Vec<(&'static str, CampaignSpec)> = Vec::new();
+
+    let mut m = base.clone();
+    m.name = "property-test-2".into();
+    mutants.push(("name", m));
+
+    let mut m = base.clone();
+    m.seed = 6;
+    mutants.push(("seed", m));
+
+    let mut m = base.clone();
+    m.providers[1].host = "gamma.example.com".into();
+    mutants.push(("provider host", m));
+
+    let mut m = base.clone();
+    m.providers[0].width = 3;
+    mutants.push(("provider width", m));
+
+    let mut m = base.clone();
+    m.providers.pop();
+    mutants.push(("provider set", m));
+
+    let mut m = base.clone();
+    m.fault_models = vec![FaultModel::Both, FaultModel::StuckAt0];
+    mutants.push(("fault models", m));
+
+    let mut m = base.clone();
+    m.location_ranges[0] = LocationRange { start: 1, len: 6 };
+    mutants.push(("location range", m));
+
+    let mut m = base.clone();
+    m.pattern_budgets[1] = 6;
+    mutants.push(("pattern budget", m));
+
+    let mut m = base.clone();
+    m.chaos.profile = ChaosProfile::Mild;
+    mutants.push(("chaos profile", m));
+
+    let mut m = base.clone();
+    m.chaos.seeds[0] = 5;
+    mutants.push(("chaos seeds", m));
+
+    let mut m = base.clone();
+    m.chaos.attempt_budget = 3;
+    mutants.push(("attempt budget", m));
+
+    let mut m = base.clone();
+    m.estimator_tiers = vec![EstimatorTier::Exact];
+    mutants.push(("estimator tiers", m));
+
+    for (field, mutant) in mutants {
+        let mutant_keys = keys(&mutant);
+        assert!(
+            base_keys.is_disjoint(&mutant_keys),
+            "changing `{field}` must produce a fully disjoint key set"
+        );
+    }
+}
+
+#[test]
+fn journalled_keys_match_across_worker_counts_and_resume() {
+    // A smaller grid for the execution-level check: the journal written
+    // by any worker count, with or without interruption, contains exactly
+    // the expanded key set.
+    let small = CampaignSpec::parse(
+        r#"{
+            "name": "property-exec",
+            "seed": 5,
+            "providers": [
+                {"host": "alpha.example.com", "offering": "MultFastLowPower", "width": 2}
+            ],
+            "fault_models": ["both"],
+            "location_ranges": [{"start": 0, "len": 6}],
+            "pattern_budgets": [3],
+            "chaos": {"profile": "off", "seeds": [4, 9], "attempt_budget": 2},
+            "estimator_tiers": ["exact", "optimistic"]
+        }"#,
+    )
+    .expect("small spec parses");
+    let expected: BTreeSet<u128> = small.expand().iter().map(|c| c.key).collect();
+
+    let mut reports = Vec::new();
+    for (tag, workers, interrupt) in [("w1", 1usize, false), ("w4", 4, false), ("w2i", 2, true)] {
+        let mut path = std::env::temp_dir();
+        path.push(format!("vcad-campaign-prop-{}-{tag}", std::process::id()));
+        path.push("journal.vcampjnl");
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+
+        if interrupt {
+            let first = Orchestrator::new(small.clone(), &path)
+                .with_workers(workers)
+                .with_max_cells(1)
+                .run()
+                .expect("interrupted run");
+            assert!(first.interrupted);
+        }
+        let outcome = Orchestrator::new(small.clone(), &path)
+            .with_workers(workers)
+            .run()
+            .expect("campaign run");
+        let report = outcome.report.expect("complete");
+        let journalled: BTreeSet<u128> = report.rows.iter().map(|r| r.record.key).collect();
+        assert_eq!(
+            journalled, expected,
+            "journalled keys must equal the expanded key set ({tag})"
+        );
+        reports.push(report.to_json());
+        let _ = std::fs::remove_dir_all(path.parent().expect("has parent"));
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "worker count must not affect the report"
+    );
+    assert_eq!(reports[0], reports[2], "resume must not affect the report");
+}

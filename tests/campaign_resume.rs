@@ -1,0 +1,126 @@
+//! Kill-tolerance of the campaign orchestrator: a campaign interrupted
+//! mid-run — including with a torn (partially written) checkpoint frame —
+//! resumes to a final JSON report *byte-identical* to an uninterrupted
+//! run's.
+
+use std::path::{Path, PathBuf};
+
+use vcad::campaign::{CampaignSpec, Orchestrator};
+
+/// A six-cell sweep over three chaos seeds with a mildly hostile link:
+/// enough chaos for retries to appear in the records, small enough to
+/// stay fast in debug builds.
+const SPEC: &str = r#"{
+    "name": "resume-test",
+    "seed": 99,
+    "providers": [
+        {"host": "alpha.example.com", "offering": "MultFastLowPower", "width": 2}
+    ],
+    "fault_models": ["both"],
+    "location_ranges": [{"start": 0, "len": 8}],
+    "pattern_budgets": [4],
+    "chaos": {"profile": "mild", "seeds": [1, 2, 3], "attempt_budget": 3},
+    "estimator_tiers": ["exact", "optimistic"]
+}"#;
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::parse(SPEC).expect("resume spec parses")
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("vcad-campaign-resume-{}-{tag}", std::process::id()));
+    p.push("journal.vcampjnl");
+    if let Some(dir) = p.parent() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    p
+}
+
+fn cleanup(path: &Path) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn killed_and_resumed_campaign_reports_byte_identically() {
+    // Reference: one uninterrupted run.
+    let clean_path = temp_journal("clean");
+    let clean = Orchestrator::new(spec(), &clean_path)
+        .with_workers(2)
+        .run()
+        .expect("clean run")
+        .report
+        .expect("complete");
+    let reference_json = clean.to_json();
+    let reference_text = clean.to_text();
+
+    // Victim: stop after two cells, then tear the journal mid-frame as a
+    // kill during an append would, then resume twice more with different
+    // worker counts.
+    let staged_path = temp_journal("staged");
+    let first = Orchestrator::new(spec(), &staged_path)
+        .with_max_cells(2)
+        .with_workers(1)
+        .run()
+        .expect("interrupted run");
+    assert!(first.interrupted);
+    assert_eq!(first.executed, 2);
+    assert!(first.report.is_none());
+
+    // Tear the last frame: drop 3 bytes from the file tail.
+    let len = std::fs::metadata(&staged_path)
+        .expect("journal exists")
+        .len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&staged_path)
+        .expect("open journal");
+    file.set_len(len - 3).expect("truncate");
+    drop(file);
+
+    let second = Orchestrator::new(spec(), &staged_path)
+        .with_max_cells(2)
+        .with_workers(4)
+        .run()
+        .expect("resume after tear");
+    assert!(second.torn_bytes > 0, "the torn frame must be detected");
+    assert_eq!(
+        second.resumed, 1,
+        "only the intact record survives the tear"
+    );
+    assert!(second.report.is_none());
+
+    let final_run = Orchestrator::new(spec(), &staged_path)
+        .with_workers(3)
+        .run()
+        .expect("final resume");
+    assert!(!final_run.interrupted);
+    let report = final_run.report.expect("complete after resume");
+
+    assert_eq!(
+        report.to_json(),
+        reference_json,
+        "resumed JSON report must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(report.to_text(), reference_text);
+
+    cleanup(&clean_path);
+    cleanup(&staged_path);
+}
+
+#[test]
+fn completed_campaign_reruns_execute_nothing() {
+    let path = temp_journal("rerun");
+    let first = Orchestrator::new(spec(), &path).run().expect("first run");
+    assert_eq!(first.executed, 6);
+    let again = Orchestrator::new(spec(), &path).run().expect("rerun");
+    assert_eq!(again.executed, 0, "a complete journal leaves no work");
+    assert_eq!(again.resumed, 6);
+    assert_eq!(
+        again.report.expect("complete").to_json(),
+        first.report.expect("complete").to_json()
+    );
+    cleanup(&path);
+}

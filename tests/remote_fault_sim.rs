@@ -79,6 +79,7 @@ fn remote_source_equals_local_source() {
         }],
         outputs.clone(),
     )
+    .unwrap()
     .run()
     .unwrap();
     let run_local = VirtualFaultSim::new(
@@ -89,6 +90,7 @@ fn remote_source_equals_local_source() {
         }],
         outputs,
     )
+    .unwrap()
     .run()
     .unwrap();
 
@@ -123,6 +125,7 @@ fn unobservable_outputs_bound_coverage() {
         }],
         outputs.clone(),
     )
+    .unwrap()
     .run()
     .unwrap();
 
@@ -131,6 +134,7 @@ fn unobservable_outputs_bound_coverage() {
         vec![IpBlockBinding { module: ip, source }],
         vec![outputs[0]],
     )
+    .unwrap()
     .run()
     .unwrap();
 

@@ -251,10 +251,12 @@ fn fault_coverage_is_shard_invariant() {
     };
 
     let reference = VirtualFaultSim::new(Arc::clone(&design), bindings(), outputs.clone())
+        .expect("fault sim config")
         .run()
         .expect("sequential fault sim");
     for shards in shard_counts() {
         let sharded = VirtualFaultSim::new(Arc::clone(&design), bindings(), outputs.clone())
+            .expect("fault sim config")
             .with_shards(ShardPolicy::Auto(shards))
             .run()
             .unwrap_or_else(|e| panic!("sharded fault sim ({shards}) failed: {e}"));
