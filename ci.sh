@@ -34,6 +34,12 @@ VCAD_SHARDS=1,2,8 cargo test --release -q --test shard_differential
 echo "==> shard properties: fixed-seed random designs/partitions (rerun one with VCAD_PROP_SEED=<seed>)"
 cargo test --release -q --test shard_property
 
+echo "==> engine differential: compiled levelized engine must match the scalar evaluator bit for bit"
+cargo test --release -q -p vcad-engine --test differential
+
+echo "==> engine matrix: coverage, tables and fees invariant across engine × source × shard count"
+cargo test --release -q -p vcad-faults --test engine_differential
+
 echo "==> golden drift gate: canonical bench outputs must match tests/golden/ (update: VCAD_UPDATE_GOLDEN=1)"
 cargo test --release -q --test golden_outputs
 
@@ -78,5 +84,8 @@ cargo run --release -q -p vcad-bench --bin campaign -- examples/specs/campaign_c
     --bench BENCH_faultsim.json > /dev/null
 cmp target/campaign-gate/clean-report.json target/campaign-gate/staged-report.json
 echo "    resumed report is byte-identical; baseline in BENCH_faultsim.json"
+
+echo "==> engine bench gate: compiled PPSFP must hold a ≥4× margin over the serial event-driven baseline"
+cargo run --release -q -p vcad-bench --bin faultscale -- --bench BENCH_faultsim.json
 
 echo "CI green."

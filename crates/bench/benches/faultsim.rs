@@ -1,6 +1,7 @@
 //! Fault-simulation substrates: serial vs bit-parallel flat simulation,
-//! detection-table construction, and the full virtual fault simulation of
-//! the Figure 4 circuit.
+//! detection-table construction on both gate-evaluation backends, and
+//! the full virtual fault simulation of the Figure 4 circuit on both
+//! engines.
 
 use std::hint::black_box;
 use std::sync::Arc;
@@ -8,6 +9,7 @@ use std::time::Duration;
 
 use vcad_bench::microbench::Group;
 use vcad_bench::workload::random_patterns;
+use vcad_core::EngineKind;
 use vcad_faults::{
     BitParallelSim, DetectionTable, FaultUniverse, NetlistDetectionSource, SerialFaultSim,
 };
@@ -48,6 +50,14 @@ fn bench_detection_tables() {
         let inputs = LogicVec::from_u64(2 * width, 0xA5A5 & ((1 << (2 * width)) - 1));
         group.bench(format!("build/{width}"), || {
             black_box(DetectionTable::build(&nl, &universe, &inputs));
+        });
+        group.bench(format!("build_compiled/{width}"), || {
+            black_box(DetectionTable::build_with(
+                &nl,
+                &universe,
+                &inputs,
+                EngineKind::Compiled,
+            ));
         });
         let table = DetectionTable::build(&nl, &universe, &inputs);
         group.bench(format!("marshal/{width}"), || {
@@ -92,18 +102,25 @@ fn bench_virtual() {
     let mut group = Group::new("virtual_fault_sim")
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_millis(500));
-    group.bench("half_adder_16_patterns", || {
-        let sim = VirtualFaultSim::new(
-            Arc::clone(&design),
-            vec![IpBlockBinding {
-                module: ip,
-                source: Arc::new(NetlistDetectionSource::new(Arc::clone(&ip1))),
-            }],
-            vec![o1, o2],
-        )
-        .expect("virtual fault sim config");
-        black_box(sim.run().expect("virtual fault simulation"));
-    });
+    for engine in EngineKind::ALL {
+        let design = Arc::clone(&design);
+        let ip1 = Arc::clone(&ip1);
+        group.bench(format!("half_adder_16_patterns/{engine}"), move || {
+            let sim = VirtualFaultSim::new(
+                Arc::clone(&design),
+                vec![IpBlockBinding {
+                    module: ip,
+                    source: Arc::new(
+                        NetlistDetectionSource::new(Arc::clone(&ip1)).with_engine(engine),
+                    ),
+                }],
+                vec![o1, o2],
+            )
+            .expect("virtual fault sim config")
+            .with_engine(engine);
+            black_box(sim.run().expect("virtual fault simulation"));
+        });
+    }
 }
 
 fn main() {

@@ -19,6 +19,12 @@
 //! * `--json <path>` — write the deterministic JSON report.
 //! * `--bench <path>` — write a machine-readable throughput baseline
 //!   (cells/second, resume bookkeeping) for CI regression tracking.
+//!   Existing foreign sections of the file (e.g. `faultscale --bench`'s
+//!   `engine` section) are preserved.
+//! * `--engine <event|compiled>` — override the spec's gate-evaluation
+//!   backend. The override feeds the spec digest exactly like an edit
+//!   to the file, so each backend keeps its own journal key space
+//!   (records are bit-identical either way; throughput is not).
 //! * `--health <path>[:interval_ms]`, `--trace <path>` — the usual
 //!   observability taps over the `campaign.*` metrics and spans.
 //!
@@ -37,7 +43,7 @@ const EXIT_INTERRUPTED: i32 = 10;
 
 fn main() {
     let spec_path = spec_path_arg().unwrap_or_else(|| {
-        eprintln!("usage: campaign <spec.json> [--workers N] [--checkpoint PATH] [--max-cells N] [--json PATH] [--bench PATH] [--health PATH[:ms]] [--trace PATH]");
+        eprintln!("usage: campaign <spec.json> [--workers N] [--checkpoint PATH] [--max-cells N] [--engine event|compiled] [--json PATH] [--bench PATH] [--health PATH[:ms]] [--trace PATH]");
         std::process::exit(2);
     });
 
@@ -45,10 +51,13 @@ fn main() {
         eprintln!("cannot read {}: {e}", spec_path.display());
         std::process::exit(2);
     });
-    let spec = CampaignSpec::parse(&text).unwrap_or_else(|e| {
+    let mut spec = CampaignSpec::parse(&text).unwrap_or_else(|e| {
         eprintln!("campaign spec rejected: {e}");
         std::process::exit(2);
     });
+    if let Some(engine) = cli::engine() {
+        spec.engine = engine;
+    }
 
     let checkpoint = cli::checkpoint_path()
         .unwrap_or_else(|| PathBuf::from(format!("target/campaign/{}.journal", spec.name)));
@@ -93,10 +102,11 @@ fn main() {
             0.0
         };
         let json = format!(
-            "{{\n  \"bench\": \"campaign\",\n  \"spec\": \"{}\",\n  \"workers\": {},\n  \
-             \"executed\": {},\n  \"resumed\": {},\n  \"torn_bytes\": {},\n  \
-             \"wall_ms\": {:.3},\n  \"cells_per_sec\": {:.3}\n}}\n",
+            "{{\n  \"bench\": \"campaign\",\n  \"spec\": \"{}\",\n  \"engine\": \"{}\",\n  \
+             \"workers\": {},\n  \"executed\": {},\n  \"resumed\": {},\n  \
+             \"torn_bytes\": {},\n  \"wall_ms\": {:.3},\n  \"cells_per_sec\": {:.3}\n}}\n",
             spec.name,
+            spec.engine,
             workers,
             outcome.executed,
             outcome.resumed,
@@ -104,7 +114,9 @@ fn main() {
             wall.as_secs_f64() * 1e3,
             cells_per_sec,
         );
-        std::fs::write(&path, json).expect("write bench baseline");
+        // Merge, don't overwrite: `faultscale --bench` owns this file's
+        // `engine_bench` section and must survive a campaign rerun.
+        vcad_bench::report::merge_bench_sections(&path, &json);
         println!("bench baseline written to {}", path.display());
     }
 

@@ -1,71 +1,160 @@
-//! Ablation: fault-simulation substrate scaling — serial vs 64-way
-//! bit-parallel flat simulation on generated circuits, plus the collapse
-//! ratio of the fault universe.
+//! Ablation: fault-simulation substrate scaling — serial event-driven
+//! evaluation (one fault at a time through the scalar evaluator) versus
+//! the compiled 64-way PPSFP engine on generated circuits, plus the
+//! collapse ratio of the fault universe.
 //!
 //! Run with `cargo run -p vcad-bench --bin faultscale --release`.
+//! Pass `--bench <path>` to additionally write an `engine_bench`
+//! section (per-size wall clocks and speed-ups) into the shared
+//! fault-sim baseline file — existing sections, like the campaign
+//! gate's throughput keys, are preserved — and to enforce the CI
+//! floor: the compiled PPSFP path must be at least 4× faster than the
+//! serial event-driven baseline at the same pattern budget on the
+//! largest circuit, with identical detected-fault sets.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use vcad_bench::report::print_table;
+use vcad_bench::cli;
+use vcad_bench::report::{merge_bench_sections, print_table};
 use vcad_bench::workload::random_patterns;
 use vcad_faults::{BitParallelSim, FaultUniverse, SerialFaultSim};
 use vcad_netlist::generators::{self, RandomCircuitSpec};
 
-fn main() {
-    let sizes = [100usize, 300, 1000, 3000];
-    let mut rows = Vec::new();
-    for &gates in &sizes {
-        let nl = generators::random_circuit(RandomCircuitSpec {
-            inputs: 32,
-            gates,
-            outputs: 16,
-            seed: 0xFA_u64 + gates as u64,
-        });
-        let universe = FaultUniverse::collapsed(&nl);
-        let targets = universe.representatives();
-        let patterns = random_patterns(32, 256, 9);
+/// The compiled engine must beat the serial baseline by at least this
+/// factor on the largest measured circuit when `--bench` gates the run.
+const MIN_SPEEDUP: f64 = 4.0;
 
-        let serial = SerialFaultSim::new(&nl, targets.clone());
-        let t0 = Instant::now();
-        let detected_serial = serial.run(&patterns);
-        let t_serial = t0.elapsed();
+struct SizeResult {
+    gates: usize,
+    total_faults: usize,
+    collapsed: usize,
+    detected: usize,
+    serial: Duration,
+    parallel: Duration,
+}
 
-        let parallel = BitParallelSim::new(&nl, targets.clone());
-        let t0 = Instant::now();
-        let detected_parallel = parallel.run(&patterns);
-        let t_parallel = t0.elapsed();
-
-        assert_eq!(detected_serial, detected_parallel, "sims must agree");
-        let speedup = t_serial.as_secs_f64() / t_parallel.as_secs_f64().max(1e-9);
-        rows.push(vec![
-            gates.to_string(),
-            universe.total_faults().to_string(),
-            targets.len().to_string(),
-            format!(
-                "{:.1}%",
-                100.0 * detected_serial.len() as f64 / targets.len() as f64
-            ),
-            format!("{:.1} ms", t_serial.as_secs_f64() * 1e3),
-            format!("{:.1} ms", t_parallel.as_secs_f64() * 1e3),
-            format!("{speedup:.1}×"),
-        ]);
+impl SizeResult {
+    fn speedup(&self) -> f64 {
+        self.serial.as_secs_f64() / self.parallel.as_secs_f64().max(1e-9)
     }
+}
+
+fn measure(gates: usize, inputs: usize, outputs: usize, patterns: usize) -> SizeResult {
+    let nl = generators::random_circuit(RandomCircuitSpec {
+        inputs,
+        gates,
+        outputs,
+        seed: 0xFA_u64 + gates as u64,
+    });
+    let universe = FaultUniverse::collapsed(&nl);
+    let targets = universe.representatives();
+    let patterns = random_patterns(inputs, patterns, 9);
+
+    let serial = SerialFaultSim::new(&nl, targets.clone());
+    let t0 = Instant::now();
+    let detected_serial = serial.run(&patterns);
+    let t_serial = t0.elapsed();
+
+    let parallel = BitParallelSim::new(&nl, targets.clone());
+    let t0 = Instant::now();
+    let detected_parallel = parallel.run(&patterns);
+    let t_parallel = t0.elapsed();
+
+    assert_eq!(detected_serial, detected_parallel, "sims must agree");
+    SizeResult {
+        gates,
+        total_faults: universe.total_faults(),
+        collapsed: targets.len(),
+        detected: detected_serial.len(),
+        serial: t_serial,
+        parallel: t_parallel,
+    }
+}
+
+fn main() {
+    let bench_out = cli::bench_path();
+    // The CI gate trims the largest size so the whole bin stays cheap;
+    // the interactive sweep keeps the full scaling picture.
+    let (sizes, patterns) = if bench_out.is_some() {
+        (vec![100usize, 300, 1000], 128)
+    } else {
+        (vec![100usize, 300, 1000, 3000], 256)
+    };
+
+    let results: Vec<SizeResult> = sizes
+        .iter()
+        .map(|&gates| measure(gates, 32, 16, patterns))
+        .collect();
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.gates.to_string(),
+                r.total_faults.to_string(),
+                r.collapsed.to_string(),
+                format!("{:.1}%", 100.0 * r.detected as f64 / r.collapsed as f64),
+                format!("{:.1} ms", r.serial.as_secs_f64() * 1e3),
+                format!("{:.1} ms", r.parallel.as_secs_f64() * 1e3),
+                format!("{:.1}×", r.speedup()),
+            ]
+        })
+        .collect();
     print_table(
-        "Fault-simulation substrate scaling (256 random patterns, 32 PIs)",
+        &format!("Fault-simulation substrate scaling ({patterns} random patterns, 32 PIs)"),
         &[
             "Gates",
             "Faults",
             "Collapsed",
             "Coverage",
-            "Serial",
-            "Bit-parallel",
+            "Serial (event)",
+            "Compiled PPSFP",
             "Speed-up",
         ],
         &rows,
     );
     println!(
-        "\nBoth simulators agree exactly on every circuit; the bit-parallel \
-         variant demonstrates the substrate headroom available to the \
+        "\nBoth simulators agree exactly on every circuit; the compiled \
+         PPSFP engine demonstrates the substrate headroom available to the \
          provider-side detection-table computation."
     );
+
+    if let Some(path) = bench_out {
+        let largest = results.last().expect("at least one size measured");
+        let entries: Vec<String> = results
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"gates\": {}, \"collapsed_faults\": {}, \
+                     \"wall_ms_event\": {:.3}, \"wall_ms_compiled\": {:.3}, \
+                     \"speedup\": {:.3}}}",
+                    r.gates,
+                    r.collapsed,
+                    r.serial.as_secs_f64() * 1e3,
+                    r.parallel.as_secs_f64() * 1e3,
+                    r.speedup(),
+                )
+            })
+            .collect();
+        let section = format!(
+            "{{\"engine_bench\": {{\n  \"bench\": \"faultscale\",\n  \
+             \"patterns\": {patterns},\n  \"min_speedup_required\": {MIN_SPEEDUP},\n  \
+             \"gate_speedup\": {:.3},\n  \"entries\": [\n{}\n  ]\n}}}}",
+            largest.speedup(),
+            entries.join(",\n"),
+        );
+        merge_bench_sections(&path, &section);
+        println!("engine bench baseline merged into {}", path.display());
+        assert!(
+            largest.speedup() >= MIN_SPEEDUP,
+            "compiled PPSFP speedup {:.2}× at {} gates is below the {MIN_SPEEDUP}× floor",
+            largest.speedup(),
+            largest.gates,
+        );
+        println!(
+            "engine gate passed: {:.1}× ≥ {MIN_SPEEDUP}× at {} gates",
+            largest.speedup(),
+            largest.gates
+        );
+    }
 }

@@ -18,6 +18,10 @@
 //! component, so this degenerates to the sequential scheduler — the
 //! flag exists for interface parity with `table2`, where the
 //! multi-component benchmark gives it teeth.
+//! Pass `--engine <event|compiled>` to pick the gate-evaluation
+//! backend. The ER multiplier is behavioural (its gate level lives on
+//! the provider), so this too is interface parity with `table2` — the
+//! figure's shape is engine-invariant by construction.
 
 use vcad_bench::cli;
 use vcad_bench::report::{modeled_real_time, print_table, secs};
@@ -31,6 +35,7 @@ fn main() {
     let wan = NetworkModel::wan_1999();
     let trace_out = cli::trace_path();
     let shards = cli::shards();
+    let engine = cli::engine();
     let obs = cli::collector_for(trace_out.as_ref());
     // Alive for the whole run: dropping it writes the final snapshot.
     let _health = cli::start_health(&obs);
@@ -58,6 +63,9 @@ fn main() {
         );
         if let Some(n) = shards {
             rig.set_shards(ShardPolicy::Auto(n));
+        }
+        if let Some(e) = engine {
+            rig.set_engine(e);
         }
         let run = rig.run(Scenario::EstimatorRemote);
         let real = modeled_real_time(run.cpu, &run.stats, &wan);

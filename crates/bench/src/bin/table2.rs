@@ -33,6 +33,11 @@
 //! `n > 1` — to additionally time the multi-component shard benchmark
 //! at 1 versus `n` shards, asserting the outputs bit-identical and
 //! recording both wall clocks in the `--json` report.
+//! Pass `--engine <event|compiled>` to pick the gate-evaluation
+//! backend (no-op for the behavioural/remote Figure 2 multiplier) and
+//! to additionally time the gate-level multi-component benchmark on
+//! both backends, asserting the outputs bit-identical and recording
+//! both wall clocks in the `--json` report's `engine_bench` section.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -41,7 +46,7 @@ use vcad_bench::cli;
 use vcad_bench::report::{modeled_real_time, print_table, secs};
 use vcad_bench::scenarios::{self, Scenario, ScenarioRun};
 use vcad_cache::CacheConfig;
-use vcad_core::ShardPolicy;
+use vcad_core::{EngineKind, ShardPolicy};
 use vcad_ip::IpCache;
 use vcad_netsim::NetworkModel;
 
@@ -88,6 +93,48 @@ fn run_shard_bench(shards: usize) -> ShardBench {
     }
 }
 
+/// Wall clocks of the gate-level multi-component benchmark on the
+/// event-driven versus the compiled levelized engine (best of three runs
+/// each), with the outputs asserted bit-identical.
+struct EngineBench {
+    components: usize,
+    width: usize,
+    patterns: u64,
+    events: u64,
+    event: Duration,
+    compiled: Duration,
+}
+
+fn run_engine_bench() -> EngineBench {
+    let (components, width, patterns) = (4, 12, 200);
+    let best = |engine: EngineKind| -> (Duration, vcad_bench::scenarios::MultiRun) {
+        let mut rig =
+            scenarios::build_multi_component(components, width, patterns, ShardPolicy::Sequential);
+        rig.set_engine(engine);
+        let mut runs: Vec<vcad_bench::scenarios::MultiRun> = (0..3).map(|_| rig.run()).collect();
+        runs.sort_by_key(|r| r.cpu);
+        (runs[0].cpu, runs.swap_remove(0))
+    };
+    let (event, event_run) = best(EngineKind::Event);
+    let (compiled, compiled_run) = best(EngineKind::Compiled);
+    assert_eq!(
+        compiled_run.events, event_run.events,
+        "compiled run processed a different event count"
+    );
+    assert_eq!(
+        compiled_run.words, event_run.words,
+        "compiled engine diverged from event-driven"
+    );
+    EngineBench {
+        components,
+        width,
+        patterns,
+        events: event_run.events,
+        event,
+        compiled,
+    }
+}
+
 fn main() {
     let width = 16;
     let patterns = 100;
@@ -97,6 +144,7 @@ fn main() {
     let cached = cli::cache_enabled();
     let json_out = cli::json_path();
     let shards = cli::shards();
+    let engine = cli::engine();
     let obs = cli::collector_for(trace_out.as_ref());
     // Alive for the whole run: dropping it writes the final snapshot.
     let _health = cli::start_health(&obs);
@@ -136,6 +184,9 @@ fn main() {
         );
         if let Some(n) = shards {
             rig.set_shards(ShardPolicy::Auto(n));
+        }
+        if let Some(e) = engine {
+            rig.set_engine(e);
         }
         let cold = rig.run(scenario);
         cold_runs.push(cold.clone());
@@ -307,6 +358,26 @@ fn main() {
         );
     }
 
+    // The Figure 2 multiplier is behavioural or remote, so the table
+    // above is engine-invariant by construction; the engine story needs
+    // the gate-level multi-component rig, where `Compiled` swaps every
+    // NetlistBusBlock for its levelized twin.
+    let engine_bench = engine.is_some().then(run_engine_bench);
+    if let Some(bench) = &engine_bench {
+        println!(
+            "\nengine bench ({} components × {}-bit gate-level wallace \
+             multipliers, {} patterns, {} events): event-driven {:.1} ms, \
+             compiled {:.1} ms ({:.2}× speedup), outputs bit-identical",
+            bench.components,
+            bench.width,
+            bench.patterns,
+            bench.events,
+            bench.event.as_secs_f64() * 1e3,
+            bench.compiled.as_secs_f64() * 1e3,
+            bench.event.as_secs_f64() / bench.compiled.as_secs_f64(),
+        );
+    }
+
     // The Figure 2 circuit is a single connectivity component, so the
     // table above is shard-invariant by construction; the scaling story
     // needs a design with independent components to spread.
@@ -364,12 +435,31 @@ fn main() {
                 )
             },
         );
+        let engine_doc = engine_bench.as_ref().map_or_else(
+            || "null".to_owned(),
+            |b| {
+                format!(
+                    "{{\"components\": {}, \"width\": {}, \"patterns\": {}, \
+                     \"events\": {}, \"wall_ms_event\": {:.3}, \
+                     \"wall_ms_compiled\": {:.3}, \"speedup\": {:.3}}}",
+                    b.components,
+                    b.width,
+                    b.patterns,
+                    b.events,
+                    b.event.as_secs_f64() * 1e3,
+                    b.compiled.as_secs_f64() * 1e3,
+                    b.event.as_secs_f64() / b.compiled.as_secs_f64(),
+                )
+            },
+        );
         let doc = format!(
             "{{\n  \"bench\": \"table2\",\n  \"width\": {width},\n  \
              \"patterns\": {patterns},\n  \"buffer\": {buffer},\n  \
-             \"cached\": {cached},\n  \"chaos_seed\": {},\n  \
+             \"cached\": {cached},\n  \"chaos_seed\": {},\n  \"engine\": {},\n  \
+             \"engine_bench\": {engine_doc},\n  \
              \"shard_bench\": {shard_doc},\n  \"runs\": [\n{}\n  ]\n}}\n",
             chaos_seed.map_or_else(|| "null".to_owned(), |s| s.to_string()),
+            engine.map_or_else(|| "null".to_owned(), |e| format!("\"{e}\"")),
             entries.join(",\n"),
         );
         std::fs::write(&path, doc).expect("write json results");

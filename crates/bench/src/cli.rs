@@ -160,6 +160,26 @@ pub fn bench_path() -> Option<PathBuf> {
     path_flag("--bench")
 }
 
+/// Parses `--engine <event|compiled>` (also accepted as
+/// `--engine=<...>`) from the process arguments, if present: which
+/// gate-evaluation backend the bench runs on. Both backends are
+/// bit-identical by construction — the flag only moves the wall clock.
+///
+/// Exits with status 2 when the label is missing or unknown.
+#[must_use]
+pub fn engine() -> Option<vcad_core::EngineKind> {
+    std::env::args()
+        .skip(1)
+        .find_map(|arg| arg.strip_prefix("--engine=").map(str::to_owned))
+        .or_else(|| flag_value("--engine", "`event` or `compiled`"))
+        .map(|label| {
+            label.parse().unwrap_or_else(|e: String| {
+                eprintln!("--engine: {e}");
+                std::process::exit(2);
+            })
+        })
+}
+
 /// Parses `--health <path>[:interval_ms]` from the process arguments,
 /// if present: the bench periodically writes a machine-readable health
 /// snapshot (counters, gauge high-waters, histogram percentiles,

@@ -15,8 +15,8 @@ use std::time::{Duration, Instant};
 
 use vcad_core::stdlib::{NetlistBusBlock, PrimaryOutput, RandomInput, Register, WordMultiplier};
 use vcad_core::{
-    Design, DesignBuilder, Estimator, Module, ModuleId, Parameter, SetupController, SetupCriterion,
-    ShardPolicy, SimulationController,
+    Design, DesignBuilder, EngineKind, Estimator, Module, ModuleId, Parameter, SetupController,
+    SetupCriterion, ShardPolicy, SimulationController,
 };
 use vcad_ip::{ClientSession, ComponentOffering, IpCache, IpComponentModule, ProviderServer};
 use vcad_netlist::generators;
@@ -332,6 +332,15 @@ impl ScenarioRig {
         self.controller = self.controller.clone().with_shards(policy);
     }
 
+    /// Reruns this rig's controller on a gate-evaluation backend. The
+    /// Figure 2 scenarios evaluate their multiplier behaviourally or
+    /// remotely — no local `NetlistBlock` — so `Compiled` degenerates to
+    /// the event-driven run here; the hook exists for `--engine` parity
+    /// with the gate-level rigs, where the flag moves the wall clock.
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.controller = self.controller.clone().with_engine(engine);
+    }
+
     /// Runs the simulation once, measuring client time and RMI traffic.
     ///
     /// Traffic is the delta of the rig collector's `rmi.transport.*`
@@ -490,6 +499,15 @@ impl MultiRig {
         &self.controller
     }
 
+    /// Reruns this rig's controller on a gate-evaluation backend. The
+    /// multipliers here are gate-level [`NetlistBusBlock`]s, so
+    /// `Compiled` swaps every one for its compiled levelized twin —
+    /// this rig is where `--engine` has teeth, and runs must stay
+    /// bit-identical across backends.
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.controller = self.controller.clone().with_engine(engine);
+    }
+
     /// Runs the benchmark once, measuring wall time and capturing every
     /// component's output history.
     ///
@@ -570,6 +588,16 @@ mod tests {
             assert_eq!(par.events, seq.events, "{shards} shards");
             assert_eq!(par.words, seq.words, "{shards} shards diverged");
         }
+    }
+
+    #[test]
+    fn multi_component_rig_is_engine_invariant() {
+        let event = build_multi_component(3, 6, 8, ShardPolicy::Sequential).run();
+        let mut rig = build_multi_component(3, 6, 8, ShardPolicy::Sequential);
+        rig.set_engine(EngineKind::Compiled);
+        let compiled = rig.run();
+        assert_eq!(compiled.events, event.events);
+        assert_eq!(compiled.words, event.words, "compiled engine diverged");
     }
 
     #[test]

@@ -296,6 +296,7 @@ fn run_attempt(
     let (design, ip, outputs) = build_design(ip_module, cell, spec.seed)?;
     let report =
         VirtualFaultSim::new(design, vec![IpBlockBinding { module: ip, source }], outputs)?
+            .with_engine(cell.engine)
             .run()?;
 
     let snap = obs.metrics().snapshot();
@@ -386,6 +387,55 @@ mod tests {
         let a = run_cell(&spec, &cells[0], &subset);
         let b = run_cell(&spec, &cells[0], &subset);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cell_records_are_engine_invariant() {
+        let event_spec = smoke_spec();
+        let mut compiled_spec = smoke_spec();
+        compiled_spec.engine = vcad_core::EngineKind::Compiled;
+        let event_audits = validate_against_providers(&event_spec).unwrap();
+        let compiled_audits = validate_against_providers(&compiled_spec).unwrap();
+        let event_cells = event_spec.expand();
+        let compiled_cells = compiled_spec.expand();
+        for (ec, cc) in event_cells.iter().zip(&compiled_cells) {
+            assert_ne!(ec.key, cc.key, "engine change must re-key the grid");
+            let e = run_cell(&event_spec, ec, &event_audits[0].subset_for(ec));
+            let c = run_cell(&compiled_spec, cc, &compiled_audits[0].subset_for(cc));
+            // Everything but the content address — fees included — must
+            // be bit-identical: the engine is a pure throughput knob.
+            assert_eq!(
+                (
+                    e.outcome,
+                    e.attempts,
+                    e.patterns,
+                    e.total_faults,
+                    e.detected
+                ),
+                (
+                    c.outcome,
+                    c.attempts,
+                    c.patterns,
+                    c.total_faults,
+                    c.detected
+                )
+            );
+            assert_eq!(
+                (
+                    e.injections,
+                    e.tables_requested,
+                    e.retries,
+                    e.chaos_injected
+                ),
+                (
+                    c.injections,
+                    c.tables_requested,
+                    c.retries,
+                    c.chaos_injected
+                )
+            );
+            assert_eq!(e.fee_cents, c.fee_cents);
+        }
     }
 
     #[test]

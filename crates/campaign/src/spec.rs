@@ -15,12 +15,16 @@ use std::error::Error;
 use std::fmt;
 
 use vcad_cache::hash::CanonicalHasher;
+use vcad_core::EngineKind;
 use vcad_ip::{ComponentOffering, ModelAvailability, PriceList};
 use vcad_obs::json::{self, JsonValue};
 
 /// Version tag mixed into every cell key; bump when cell semantics (not
 /// just the spec grammar) change incompatibly.
-pub const KEY_FORMAT_VERSION: u64 = 1;
+///
+/// v2: the gate-evaluation `engine` knob joined the digest, so journals
+/// written before the compiled engine existed are never silently reused.
+pub const KEY_FORMAT_VERSION: u64 = 2;
 
 /// A typed campaign-spec failure. Every variant is raised *before* any
 /// worker starts: a malformed spec fails the campaign closed.
@@ -293,6 +297,11 @@ pub struct CampaignSpec {
     pub chaos: ChaosSpec,
     /// Estimator-tier dimension.
     pub estimator_tiers: Vec<EstimatorTier>,
+    /// Gate-evaluation backend every cell runs on. Optional in the spec
+    /// file (`"engine": "event" | "compiled"`, default `event`); both
+    /// backends produce bit-identical records, so this is a throughput
+    /// knob — but it still feeds the digest, keeping journals honest.
+    pub engine: EngineKind,
 }
 
 /// One cell of the expanded grid: a single self-contained
@@ -313,6 +322,8 @@ pub struct CellSpec {
     pub chaos_seed: u64,
     /// Detection estimator tier.
     pub tier: EstimatorTier,
+    /// Gate-evaluation backend, copied from the campaign level.
+    pub engine: EngineKind,
     /// Content address: a pure function of the whole spec plus this
     /// cell's coordinates. See [`CampaignSpec::expand`].
     pub key: u128,
@@ -522,6 +533,20 @@ impl CampaignSpec {
             })?);
         }
 
+        let engine = match obj.get("engine") {
+            None => EngineKind::default(),
+            Some(v) => {
+                let label = v.as_str().ok_or(SpecError::InvalidField {
+                    field: "engine",
+                    why: "expected a string".into(),
+                })?;
+                EngineKind::parse(label).ok_or(SpecError::InvalidField {
+                    field: "engine",
+                    why: format!("unknown engine `{label}` (expected event | compiled)"),
+                })?
+            }
+        };
+
         let spec = CampaignSpec {
             name,
             seed,
@@ -535,6 +560,7 @@ impl CampaignSpec {
                 attempt_budget,
             },
             estimator_tiers,
+            engine,
         };
         spec.check_dimensions()?;
         for p in &spec.providers {
@@ -597,6 +623,7 @@ impl CampaignSpec {
         for t in &self.estimator_tiers {
             h.write_str(t.label());
         }
+        h.write_str(self.engine.label());
         h.finish()
     }
 
@@ -637,6 +664,7 @@ impl CampaignSpec {
                                     budget,
                                     chaos_seed,
                                     tier,
+                                    engine: self.engine,
                                     key: h.finish(),
                                 });
                             }
@@ -730,6 +758,53 @@ mod tests {
         assert_eq!(
             CampaignSpec::parse(&zero_attempts),
             Err(SpecError::ZeroAttemptBudget)
+        );
+    }
+
+    #[test]
+    fn engine_defaults_to_event_and_parses_labels() {
+        let spec = CampaignSpec::parse(SMOKE).unwrap();
+        assert_eq!(spec.engine, EngineKind::Event);
+        assert!(spec.expand().iter().all(|c| c.engine == EngineKind::Event));
+
+        let compiled = SMOKE.replace("\"seed\": 7,", "\"seed\": 7, \"engine\": \"compiled\",");
+        let spec = CampaignSpec::parse(&compiled).unwrap();
+        assert_eq!(spec.engine, EngineKind::Compiled);
+        assert!(spec
+            .expand()
+            .iter()
+            .all(|c| c.engine == EngineKind::Compiled));
+
+        let unknown = SMOKE.replace("\"seed\": 7,", "\"seed\": 7, \"engine\": \"warp\",");
+        assert_eq!(
+            CampaignSpec::parse(&unknown),
+            Err(SpecError::InvalidField {
+                field: "engine",
+                why: "unknown engine `warp` (expected event | compiled)".into(),
+            })
+        );
+        let not_a_string = SMOKE.replace("\"seed\": 7,", "\"seed\": 7, \"engine\": 3,");
+        assert!(matches!(
+            CampaignSpec::parse(&not_a_string),
+            Err(SpecError::InvalidField {
+                field: "engine",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn engine_change_yields_a_disjoint_key_set() {
+        let base = CampaignSpec::parse(SMOKE).unwrap();
+        let mut edited = base.clone();
+        edited.engine = EngineKind::Compiled;
+        let base_keys: std::collections::HashSet<u128> =
+            base.expand().iter().map(|c| c.key).collect();
+        let edited_keys: std::collections::HashSet<u128> =
+            edited.expand().iter().map(|c| c.key).collect();
+        assert!(
+            base_keys.is_disjoint(&edited_keys),
+            "journals from one engine must never satisfy the other"
         );
     }
 

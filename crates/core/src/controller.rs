@@ -31,6 +31,7 @@ pub struct SimulationController {
     obs: Option<Collector>,
     shards: ShardPolicy,
     record_events: bool,
+    engine: vcad_engine::EngineKind,
 }
 
 impl SimulationController {
@@ -45,7 +46,26 @@ impl SimulationController {
             obs: None,
             shards: ShardPolicy::Sequential,
             record_events: false,
+            engine: vcad_engine::EngineKind::default(),
         }
+    }
+
+    /// Selects the gate-evaluation backend for every run this controller
+    /// launches. `Compiled` replaces each module offering a
+    /// [`Module::compiled_twin`](crate::Module::compiled_twin) (the
+    /// stdlib netlist blocks do) with its bit-parallel twin; all other
+    /// modules, and the event-driven scheduling itself, are unchanged,
+    /// so results are bit-identical and only the wall clock moves.
+    #[must_use]
+    pub fn with_engine(mut self, engine: vcad_engine::EngineKind) -> SimulationController {
+        self.engine = engine;
+        self
+    }
+
+    /// The selected gate-evaluation backend.
+    #[must_use]
+    pub fn engine(&self) -> vcad_engine::EngineKind {
+        self.engine
     }
 
     /// Selects how each run is distributed across threads — see
@@ -119,6 +139,11 @@ impl SimulationController {
         let child = self.obs.as_ref().map(Collector::child);
         let mut scheduler = SimEngine::new(Arc::clone(&self.design), &self.shards)?;
         let shard_count = scheduler.shard_count();
+        if self.engine == vcad_engine::EngineKind::Compiled {
+            for (id, twin) in self.design.compiled_overrides() {
+                scheduler.override_module(id, twin);
+            }
+        }
         if let Some(limit) = self.event_limit {
             scheduler.set_event_limit(limit);
         }

@@ -190,6 +190,19 @@ impl Design {
             .map(|(i, m)| (ModuleId(i as u32), m))
     }
 
+    /// The compiled-engine module overrides for this design: every
+    /// module that offers a [`Module::compiled_twin`], paired with it.
+    /// Apply them via `SimEngine::override_module` (or let
+    /// [`SimulationController::with_engine`](crate::SimulationController::with_engine)
+    /// do it) to run the design on the bit-parallel engine; coverage and
+    /// outputs are bit-identical to the event-driven evaluation.
+    #[must_use]
+    pub fn compiled_overrides(&self) -> Vec<(ModuleId, Arc<dyn Module>)> {
+        self.modules()
+            .filter_map(|(id, m)| m.compiled_twin().map(|t| (id, t)))
+            .collect()
+    }
+
     /// Finds a module instance by hierarchical name.
     #[must_use]
     pub fn find_module(&self, name: &str) -> Option<ModuleId> {

@@ -73,6 +73,10 @@ pub use shard::{connectivity_components, ShardPlan, ShardPolicy, ShardedSchedule
 pub use time::SimTime;
 pub use token::TokenPayload;
 
+/// The gate-evaluation backend selector, re-exported so controller users
+/// need not depend on `vcad-engine` directly.
+pub use vcad_engine::EngineKind;
+
 /// Marshallable values reused from the RMI layer for estimator results and
 /// control tokens.
 pub use vcad_rmi::Value;

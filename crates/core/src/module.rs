@@ -175,6 +175,16 @@ pub trait Module: Send + Sync {
     fn port_index(&self, name: &str) -> Option<usize> {
         self.ports().iter().position(|p| p.name() == name)
     }
+
+    /// A behaviourally identical replacement for this module that
+    /// evaluates on the compiled bit-parallel engine, or `None` (the
+    /// default) when the module has nothing to compile — or is already
+    /// compiled. Schedulers apply these as module overrides when a run
+    /// selects [`EngineKind::Compiled`](vcad_engine::EngineKind); the
+    /// twin must be observably indistinguishable from the original.
+    fn compiled_twin(&self) -> Option<Arc<dyn Module>> {
+        None
+    }
 }
 
 /// One pending action produced by a module handler.

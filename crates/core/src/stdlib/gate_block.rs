@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use vcad_engine::{CompiledNetlist, EngineKind};
 use vcad_logic::LogicVec;
 use vcad_netlist::{Evaluator, Netlist};
 
@@ -13,12 +14,15 @@ use crate::module::{Module, ModuleCtx, PortSpec};
 /// Ports are ordered netlist inputs first (named after their nets), then
 /// netlist outputs. Whenever an input changes, the whole netlist is
 /// re-evaluated and any changed outputs are emitted — a functional
-/// zero-delay gate-level model.
+/// zero-delay gate-level model. [`NetlistBlock::with_engine`] swaps the
+/// per-evaluation scalar walk for the compiled levelized plan; results
+/// are bit-identical either way.
 #[derive(Debug)]
 pub struct NetlistBlock {
     name: String,
     netlist: Arc<Netlist>,
     ports: Vec<PortSpec>,
+    compiled: Option<CompiledNetlist>,
 }
 
 impl NetlistBlock {
@@ -36,6 +40,28 @@ impl NetlistBlock {
             name: name.into(),
             netlist,
             ports,
+            compiled: None,
+        }
+    }
+
+    /// Selects the gate-evaluation backend; `Compiled` compiles the
+    /// netlist once, up front.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> NetlistBlock {
+        self.compiled = match engine {
+            EngineKind::Event => None,
+            EngineKind::Compiled => Some(CompiledNetlist::compile(&self.netlist)),
+        };
+        self
+    }
+
+    /// The backend this block evaluates on.
+    #[must_use]
+    pub fn engine(&self) -> EngineKind {
+        if self.compiled.is_some() {
+            EngineKind::Compiled
+        } else {
+            EngineKind::Event
         }
     }
 
@@ -47,6 +73,13 @@ impl NetlistBlock {
 
     fn input_count(&self) -> usize {
         self.netlist.input_count()
+    }
+
+    fn eval(&self, inputs: &LogicVec) -> LogicVec {
+        match &self.compiled {
+            Some(c) => c.outputs(inputs),
+            None => Evaluator::new(&self.netlist).outputs(inputs),
+        }
     }
 }
 
@@ -62,7 +95,7 @@ impl Module for NetlistBlock {
     fn on_signal(&self, ctx: &mut ModuleCtx<'_>, _port: usize, _value: &LogicVec) {
         let n_in = self.input_count();
         let inputs = LogicVec::from_bits((0..n_in).map(|i| ctx.port_value(i).get(0)));
-        let outputs = Evaluator::new(&self.netlist).outputs(&inputs);
+        let outputs = self.eval(&inputs);
         for (i, bit) in outputs.iter().enumerate() {
             let port = n_in + i;
             let current = ctx.port_value(port).get(0);
@@ -70,6 +103,16 @@ impl Module for NetlistBlock {
                 ctx.emit(port, LogicVec::from_bits([bit]));
             }
         }
+    }
+
+    fn compiled_twin(&self) -> Option<Arc<dyn Module>> {
+        if self.compiled.is_some() {
+            return None;
+        }
+        Some(Arc::new(
+            NetlistBlock::new(self.name.clone(), Arc::clone(&self.netlist))
+                .with_engine(EngineKind::Compiled),
+        ))
     }
 }
 
@@ -85,6 +128,7 @@ pub struct NetlistBusBlock {
     netlist: Arc<Netlist>,
     ports: Vec<PortSpec>,
     input_buses: usize,
+    compiled: Option<CompiledNetlist>,
 }
 
 impl NetlistBusBlock {
@@ -126,6 +170,28 @@ impl NetlistBusBlock {
             netlist,
             ports,
             input_buses: input_buses.len(),
+            compiled: None,
+        }
+    }
+
+    /// Selects the gate-evaluation backend; `Compiled` compiles the
+    /// netlist once, up front.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> NetlistBusBlock {
+        self.compiled = match engine {
+            EngineKind::Event => None,
+            EngineKind::Compiled => Some(CompiledNetlist::compile(&self.netlist)),
+        };
+        self
+    }
+
+    /// The backend this block evaluates on.
+    #[must_use]
+    pub fn engine(&self) -> EngineKind {
+        if self.compiled.is_some() {
+            EngineKind::Compiled
+        } else {
+            EngineKind::Event
         }
     }
 
@@ -150,7 +216,10 @@ impl Module for NetlistBusBlock {
         for i in 0..self.input_buses {
             inputs = inputs.concat(ctx.port_value(i));
         }
-        let outputs = Evaluator::new(&self.netlist).outputs(&inputs);
+        let outputs = match &self.compiled {
+            Some(c) => c.outputs(&inputs),
+            None => Evaluator::new(&self.netlist).outputs(&inputs),
+        };
         let mut offset = 0;
         for (i, spec) in self.ports.iter().enumerate().skip(self.input_buses) {
             let slice = outputs.slice(offset, spec.width());
@@ -159,6 +228,19 @@ impl Module for NetlistBusBlock {
                 ctx.emit(i, slice);
             }
         }
+    }
+
+    fn compiled_twin(&self) -> Option<Arc<dyn Module>> {
+        if self.compiled.is_some() {
+            return None;
+        }
+        Some(Arc::new(NetlistBusBlock {
+            name: self.name.clone(),
+            netlist: Arc::clone(&self.netlist),
+            ports: self.ports.clone(),
+            input_buses: self.input_buses,
+            compiled: Some(CompiledNetlist::compile(&self.netlist)),
+        }))
     }
 }
 
@@ -238,5 +320,53 @@ mod tests {
     fn bus_block_validates_widths() {
         let mul = Arc::new(generators::wallace_multiplier(4));
         let _ = NetlistBusBlock::new("MUL", mul, &[("a", 4)], &[("p", 8)]);
+    }
+
+    #[test]
+    fn compiled_engine_runs_are_bit_identical() {
+        use vcad_engine::EngineKind;
+
+        let mul = Arc::new(generators::wallace_multiplier(4));
+        let block = NetlistBusBlock::new("MUL", mul, &[("a", 4), ("b", 4)], &[("p", 8)]);
+        assert_eq!(block.engine(), EngineKind::Event);
+        assert!(block.compiled_twin().is_some());
+        assert!(block
+            .compiled_twin()
+            .and_then(|t| t.compiled_twin())
+            .is_none());
+
+        let mut b = DesignBuilder::new("t");
+        let ia = b.add_module(Arc::new(VectorInput::new(
+            "A",
+            (0..8).map(|i| LogicVec::from_u64(4, i * 2 % 16)).collect(),
+        )));
+        let ib = b.add_module(Arc::new(VectorInput::new(
+            "B",
+            (0..8)
+                .map(|i| LogicVec::from_u64(4, (i * 7 + 3) % 16))
+                .collect(),
+        )));
+        let m = b.add_module(Arc::new(block));
+        let o = b.add_module(Arc::new(PrimaryOutput::new("P", 8)));
+        b.connect(ia, "out", m, "a").unwrap();
+        b.connect(ib, "out", m, "b").unwrap();
+        b.connect(m, "p", o, "in").unwrap();
+        let d = Arc::new(b.build().unwrap());
+
+        let event = SimulationController::new(Arc::clone(&d))
+            .record_events()
+            .run()
+            .unwrap();
+        let compiled = SimulationController::new(d)
+            .with_engine(EngineKind::Compiled)
+            .record_events()
+            .run()
+            .unwrap();
+        assert_eq!(
+            event.module_state::<CaptureState>(o).unwrap().history(),
+            compiled.module_state::<CaptureState>(o).unwrap().history()
+        );
+        assert_eq!(event.event_log(), compiled.event_log());
+        assert_eq!(event.events_processed(), compiled.events_processed());
     }
 }

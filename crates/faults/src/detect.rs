@@ -1,5 +1,6 @@
 //! Detection tables: the paper's per-pattern testability exchange format.
 
+use vcad_engine::{CompiledNetlist, EngineKind, Force};
 use vcad_logic::LogicVec;
 use vcad_netlist::{Evaluator, Netlist};
 use vcad_rmi::Value;
@@ -7,6 +8,7 @@ use vcad_rmi::Value;
 use crate::collapse::FaultUniverse;
 use crate::eval::FaultyEvaluator;
 use crate::fault::SymbolicFault;
+use crate::parallel::fault_force;
 
 /// The detection table of one component for one input configuration.
 ///
@@ -58,6 +60,79 @@ impl DetectionTable {
             match rows.iter_mut().find(|(o, _)| *o == out) {
                 Some((_, faults)) => faults.push(name),
                 None => rows.push((out, vec![name])),
+            }
+        }
+        DetectionTable {
+            inputs: inputs.clone(),
+            fault_free,
+            rows,
+        }
+    }
+
+    /// [`DetectionTable::build`] with an explicit gate-evaluation
+    /// backend. Both backends produce identical tables (same rows, same
+    /// order); `Compiled` simulates up to 64 fault classes per pass by
+    /// replicating the pattern across lanes and injecting one lane-masked
+    /// fault per class — the transposed parallel-fault layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.width()` differs from the netlist's input count.
+    #[must_use]
+    pub fn build_with(
+        netlist: &Netlist,
+        universe: &FaultUniverse,
+        inputs: &LogicVec,
+        engine: EngineKind,
+    ) -> DetectionTable {
+        match engine {
+            EngineKind::Event => DetectionTable::build(netlist, universe, inputs),
+            EngineKind::Compiled => DetectionTable::build_compiled(
+                &CompiledNetlist::compile(netlist),
+                netlist,
+                universe,
+                inputs,
+            ),
+        }
+    }
+
+    /// The compiled fast path behind [`DetectionTable::build_with`],
+    /// reusing an already-compiled plan (a provider answering many
+    /// per-pattern requests compiles once and calls this per table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compiled` was not compiled from `netlist`, or if
+    /// `inputs.width()` differs from the netlist's input count.
+    #[must_use]
+    pub fn build_compiled(
+        compiled: &CompiledNetlist,
+        netlist: &Netlist,
+        universe: &FaultUniverse,
+        inputs: &LogicVec,
+    ) -> DetectionTable {
+        let fault_free = compiled.outputs(inputs);
+        let mut eval = compiled.evaluator();
+        let mut rows: Vec<(LogicVec, Vec<SymbolicFault>)> = Vec::new();
+        for chunk in universe.classes().chunks(64) {
+            let patterns = vec![inputs.clone(); chunk.len()];
+            let packed = compiled.pack(&patterns);
+            let forces: Vec<Force> = chunk
+                .iter()
+                .enumerate()
+                .map(|(lane, class)| fault_force(&class.representative, 1u64 << lane))
+                .collect();
+            let out = eval.run(&packed, &forces);
+            for (lane, class) in chunk.iter().enumerate() {
+                let faulty = out.lane(lane);
+                if faulty == fault_free {
+                    continue;
+                }
+                let name = class.representative.name(netlist);
+                match rows.iter_mut().find(|(o, _)| *o == faulty) {
+                    Some((_, faults)) => faults.push(name),
+                    None => rows.push((faulty, vec![name])),
+                }
             }
         }
         DetectionTable {
@@ -231,5 +306,32 @@ mod tests {
         let table = figure4_table();
         let n: usize = table.rows().iter().map(|(_, f)| f.len()).sum();
         assert_eq!(table.exposable_faults().len(), n);
+    }
+
+    #[test]
+    fn compiled_tables_are_identical_to_event_tables() {
+        use vcad_logic::Logic;
+        // More than 64 collapsed classes on the multiplier, so the
+        // parallel-fault transpose spans several passes.
+        for nl in [
+            generators::half_adder_nand(),
+            generators::array_multiplier(3),
+        ] {
+            let universe = FaultUniverse::collapsed(&nl);
+            let w = nl.input_count();
+            let mut patterns: Vec<LogicVec> = (0..1u64 << w.min(4))
+                .map(|p| LogicVec::from_u64(w, p))
+                .collect();
+            patterns.push(LogicVec::filled(w, Logic::X));
+            let mut with_z = LogicVec::zeros(w);
+            with_z.set(0, Logic::Z);
+            patterns.push(with_z);
+            for inputs in &patterns {
+                let event = DetectionTable::build(&nl, &universe, inputs);
+                let compiled =
+                    DetectionTable::build_with(&nl, &universe, inputs, EngineKind::Compiled);
+                assert_eq!(event, compiled, "{} under {inputs}", nl.name());
+            }
+        }
     }
 }

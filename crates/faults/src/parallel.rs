@@ -1,29 +1,50 @@
-//! Bit-parallel (64-pattern) fault simulation.
+//! Bit-parallel (64-pattern) fault simulation over the compiled engine.
 //!
-//! A substrate-level optimisation of the flat baseline: two-valued
-//! patterns are packed 64 to a machine word, so one pass of bitwise gate
-//! evaluations simulates 64 patterns at once. Used by the `faultsim`
-//! benchmark to quantify the design choice.
+//! This used to carry its own binary-only packed evaluator; it is now a
+//! thin PPSFP adapter over [`vcad_engine::CompiledNetlist`], so the repo
+//! has exactly one word-parallel gate evaluator. Patterns are packed 64
+//! per [`RailWord`](vcad_logic::RailWord) lane set, the good machine
+//! runs once per chunk, and each remaining fault becomes a lane-masked
+//! [`Force`] at its site — detection is a nonzero diff mask against the
+//! good outputs, with fault dropping across chunks.
+//!
+//! Unlike the old evaluator, four-valued patterns are accepted: `X`/`Z`
+//! propagate dual-rail exactly as on the event-driven path, and a lane
+//! only counts as a detection when good and faulty outputs differ as
+//! logic values.
 
 use std::collections::HashSet;
 
+use vcad_engine::{CompiledNetlist, Force};
 use vcad_logic::LogicVec;
-use vcad_netlist::{GateKind, Netlist};
+use vcad_netlist::Netlist;
 
-use crate::fault::{Fault, FaultSite};
+use crate::fault::{Fault, FaultSite, StuckAt};
 
-/// A 64-way bit-parallel good/faulty simulator over binary patterns.
+/// Converts a stuck-at fault into an engine force pinning `lanes`.
+pub(crate) fn fault_force(fault: &Fault, lanes: u64) -> Force {
+    let stuck_one = fault.stuck == StuckAt::One;
+    match fault.site {
+        FaultSite::Net(net) => Force::net(net, stuck_one, lanes),
+        FaultSite::Pin { gate, pin } => Force::pin(gate, pin, stuck_one, lanes),
+    }
+}
+
+/// A 64-way bit-parallel good/faulty simulator (PPSFP).
 #[derive(Debug)]
-pub struct BitParallelSim<'a> {
-    netlist: &'a Netlist,
+pub struct BitParallelSim {
+    compiled: CompiledNetlist,
     targets: Vec<Fault>,
 }
 
-impl<'a> BitParallelSim<'a> {
-    /// Creates a simulator targeting `targets`.
+impl BitParallelSim {
+    /// Compiles `netlist` and targets `targets`.
     #[must_use]
-    pub fn new(netlist: &'a Netlist, targets: Vec<Fault>) -> BitParallelSim<'a> {
-        BitParallelSim { netlist, targets }
+    pub fn new(netlist: &Netlist, targets: Vec<Fault>) -> BitParallelSim {
+        BitParallelSim {
+            compiled: CompiledNetlist::compile(netlist),
+            targets,
+        }
     }
 
     /// The fault targets.
@@ -32,71 +53,10 @@ impl<'a> BitParallelSim<'a> {
         &self.targets
     }
 
-    /// Packs up to 64 patterns into per-input words (bit `j` of input `i`'s
-    /// word is pattern `j`'s value of input `i`).
-    ///
-    /// # Panics
-    ///
-    /// Panics on more than 64 patterns, non-binary patterns, or width
-    /// mismatches.
+    /// The compiled plan this simulator evaluates.
     #[must_use]
-    pub fn pack(&self, patterns: &[LogicVec]) -> Vec<u64> {
-        assert!(patterns.len() <= 64, "at most 64 patterns per packed word");
-        let n_in = self.netlist.input_count();
-        let mut packed = vec![0u64; n_in];
-        for (j, p) in patterns.iter().enumerate() {
-            assert_eq!(p.width(), n_in, "pattern width mismatch");
-            assert!(
-                p.is_binary(),
-                "bit-parallel simulation needs binary patterns"
-            );
-            for (i, word) in packed.iter_mut().enumerate() {
-                if p.get(i) == vcad_logic::Logic::One {
-                    *word |= 1 << j;
-                }
-            }
-        }
-        packed
-    }
-
-    fn eval(&self, inputs: &[u64], fault: Option<&Fault>, mask: u64) -> Vec<u64> {
-        let nl = self.netlist;
-        let mut values = vec![0u64; nl.net_count()];
-        for (i, &net) in nl.inputs().iter().enumerate() {
-            values[net.index()] = inputs[i];
-        }
-        if let Some(f) = fault {
-            if let FaultSite::Net(n) = f.site {
-                if nl.net(n).is_input() {
-                    values[n.index()] = f.word(mask);
-                }
-            }
-        }
-        let mut operands: Vec<u64> = Vec::new();
-        for &gid in nl.topo_order() {
-            let gate = nl.gate(gid);
-            operands.clear();
-            for (pin, &net) in gate.inputs().iter().enumerate() {
-                let mut v = values[net.index()];
-                if let Some(f) = fault {
-                    if f.site == (FaultSite::Pin { gate: gid, pin }) {
-                        v = f.word(mask);
-                    }
-                }
-                operands.push(v);
-            }
-            let mut out = eval_word(gate.kind(), &operands, mask);
-            if let Some(f) = fault {
-                if f.site == FaultSite::Net(gate.output()) {
-                    out = f.word(mask);
-                }
-            }
-            values[gate.output().index()] = out;
-        }
-        nl.outputs()
-            .iter()
-            .map(|(_, n)| values[n.index()])
-            .collect()
+    pub fn compiled(&self) -> &CompiledNetlist {
+        &self.compiled
     }
 
     /// Runs all patterns with fault dropping, 64 at a time, and returns
@@ -104,30 +64,21 @@ impl<'a> BitParallelSim<'a> {
     ///
     /// # Panics
     ///
-    /// Panics on non-binary patterns.
+    /// Panics on pattern width mismatches.
     #[must_use]
     pub fn run(&self, patterns: &[LogicVec]) -> Vec<Fault> {
+        let mut eval = self.compiled.evaluator();
         let mut remaining: Vec<Fault> = self.targets.clone();
         let mut detected: HashSet<Fault> = HashSet::new();
         for chunk in patterns.chunks(64) {
             if remaining.is_empty() {
                 break;
             }
-            let mask = if chunk.len() == 64 {
-                u64::MAX
-            } else {
-                (1u64 << chunk.len()) - 1
-            };
-            let packed = self.pack(chunk);
-            let good = self.eval(&packed, None, mask);
+            let packed = self.compiled.pack(chunk);
+            let good = eval.run(&packed, &[]);
             remaining.retain(|f| {
-                let faulty = self.eval(&packed, Some(f), mask);
-                let diff = good
-                    .iter()
-                    .zip(&faulty)
-                    .fold(0u64, |acc, (g, b)| acc | (g ^ b))
-                    & mask;
-                if diff != 0 {
+                let faulty = eval.run(&packed, &[fault_force(f, u64::MAX)]);
+                if good.detect_mask(&faulty) != 0 {
                     detected.insert(*f);
                     false
                 } else {
@@ -143,38 +94,12 @@ impl<'a> BitParallelSim<'a> {
     }
 }
 
-impl Fault {
-    /// The packed word a stuck value expands to under `mask`.
-    fn word(&self, mask: u64) -> u64 {
-        match self.stuck {
-            crate::fault::StuckAt::Zero => 0,
-            crate::fault::StuckAt::One => mask,
-        }
-    }
-}
-
-fn eval_word(kind: GateKind, operands: &[u64], mask: u64) -> u64 {
-    let out = match kind {
-        GateKind::Buf => operands[0],
-        GateKind::Not => !operands[0],
-        GateKind::And => operands.iter().fold(mask, |a, &b| a & b),
-        GateKind::Nand => !operands.iter().fold(mask, |a, &b| a & b),
-        GateKind::Or => operands.iter().fold(0, |a, &b| a | b),
-        GateKind::Nor => !operands.iter().fold(0, |a, &b| a | b),
-        GateKind::Xor => operands.iter().fold(0, |a, &b| a ^ b),
-        GateKind::Xnor => !operands.iter().fold(0, |a, &b| a ^ b),
-        GateKind::Mux2 => (!operands[0] & operands[1]) | (operands[0] & operands[2]),
-        GateKind::Const0 => 0,
-        GateKind::Const1 => mask,
-    };
-    out & mask
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::collapse::FaultUniverse;
     use crate::eval::SerialFaultSim;
+    use vcad_logic::Logic;
     use vcad_netlist::generators;
 
     fn patterns(n: u64, width: usize, seed: u64) -> Vec<LogicVec> {
@@ -225,12 +150,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "binary")]
-    fn rejects_unknown_inputs() {
+    fn four_valued_patterns_are_accepted_and_conservative() {
+        // All-X patterns make good and faulty outputs identical (both
+        // unknown), so nothing may be reported detected on them; a
+        // binary pattern mixed in still detects normally.
         let nl = generators::half_adder();
-        let sim = BitParallelSim::new(&nl, vec![]);
-        let mut p = LogicVec::zeros(2);
-        p.set(0, vcad_logic::Logic::X);
-        let _ = sim.pack(&[p]);
+        let targets = FaultUniverse::collapsed(&nl).representatives();
+        let all_x = vec![LogicVec::filled(2, Logic::X); 3];
+        assert!(BitParallelSim::new(&nl, targets.clone())
+            .run(&all_x)
+            .is_empty());
+
+        let mut mixed = all_x;
+        mixed.push(LogicVec::from_u64(2, 0b01));
+        let with_binary = BitParallelSim::new(&nl, targets.clone()).run(&mixed);
+        let binary_only = BitParallelSim::new(&nl, targets).run(&[LogicVec::from_u64(2, 0b01)]);
+        assert_eq!(with_binary, binary_only);
+        assert!(!with_binary.is_empty());
     }
 }

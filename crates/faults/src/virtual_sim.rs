@@ -100,6 +100,7 @@ pub trait DetectionTableSource: Send + Sync {
 pub struct NetlistDetectionSource {
     netlist: Arc<Netlist>,
     universe: FaultUniverse,
+    compiled: Option<vcad_engine::CompiledNetlist>,
 }
 
 impl NetlistDetectionSource {
@@ -107,7 +108,26 @@ impl NetlistDetectionSource {
     #[must_use]
     pub fn new(netlist: Arc<Netlist>) -> NetlistDetectionSource {
         let universe = FaultUniverse::collapsed(&netlist);
-        NetlistDetectionSource { netlist, universe }
+        NetlistDetectionSource {
+            netlist,
+            universe,
+            compiled: None,
+        }
+    }
+
+    /// Selects the backend tables are computed on. `Compiled` compiles
+    /// the netlist once and then answers each request via the
+    /// parallel-fault transpose (64 fault classes per pass); tables are
+    /// bit-identical to the event path.
+    #[must_use]
+    pub fn with_engine(mut self, engine: vcad_engine::EngineKind) -> NetlistDetectionSource {
+        self.compiled = match engine {
+            vcad_engine::EngineKind::Event => None,
+            vcad_engine::EngineKind::Compiled => {
+                Some(vcad_engine::CompiledNetlist::compile(&self.netlist))
+            }
+        };
+        self
     }
 
     /// The collapsed fault universe of the component.
@@ -144,7 +164,10 @@ impl DetectionTableSource for NetlistDetectionSource {
     }
 
     fn detection_table(&self, inputs: &LogicVec) -> Result<DetectionTable, VirtualSimError> {
-        Ok(DetectionTable::build(&self.netlist, &self.universe, inputs))
+        Ok(match &self.compiled {
+            Some(c) => DetectionTable::build_compiled(c, &self.netlist, &self.universe, inputs),
+            None => DetectionTable::build(&self.netlist, &self.universe, inputs),
+        })
     }
 }
 
@@ -257,6 +280,7 @@ pub struct VirtualFaultSim {
     table_cache: bool,
     obs: Collector,
     shards: ShardPolicy,
+    engine: vcad_engine::EngineKind,
 }
 
 impl VirtualFaultSim {
@@ -285,7 +309,20 @@ impl VirtualFaultSim {
             table_cache: true,
             obs: Collector::disabled(),
             shards: ShardPolicy::Sequential,
+            engine: vcad_engine::EngineKind::default(),
         })
+    }
+
+    /// Selects the gate-evaluation backend for the good machine and
+    /// every single-instant injection scheduler: `Compiled` replaces
+    /// each module offering a compiled twin (the stdlib netlist blocks)
+    /// with its bit-parallel equivalent. Coverage reports, detection
+    /// order and fees are bit-identical across backends; only the wall
+    /// clock moves.
+    #[must_use]
+    pub fn with_engine(mut self, engine: vcad_engine::EngineKind) -> VirtualFaultSim {
+        self.engine = engine;
+        self
     }
 
     /// Runs the *good machine* (the fault-free simulation that produces
@@ -375,7 +412,16 @@ impl VirtualFaultSim {
         let mut injections = 0;
 
         // Phase 2: fault-free simulation, one pattern per instant.
+        // Compiled-engine twins are computed once and shared (cheap Arc
+        // clones) by the good machine and every injection scheduler.
+        let overrides: Vec<(ModuleId, Arc<dyn Module>)> = match self.engine {
+            vcad_engine::EngineKind::Event => Vec::new(),
+            vcad_engine::EngineKind::Compiled => self.design.compiled_overrides(),
+        };
         let mut good = SimEngine::new(Arc::clone(&self.design), &self.shards)?;
+        for (id, twin) in &overrides {
+            good.override_module(*id, Arc::clone(twin));
+        }
         good.init();
         let mut pattern_index = 0usize;
         while good.step_instant()?.is_some() {
@@ -434,51 +480,58 @@ impl VirtualFaultSim {
                     .filter(|(_, faults)| faults.iter().any(|f| remaining[bi].contains(f)))
                     .collect();
                 injections += pending.len();
-                let verdicts: Vec<Result<bool, VirtualSimError>> = if self.parallelism > 1
-                    && pending.len() > 1
-                {
-                    std::thread::scope(|scope| {
-                        let snapshots = &snapshots;
-                        let good_outputs = &good_outputs;
-                        let worker_injections = &worker_injections;
-                        let handles: Vec<_> = pending
-                            .chunks(pending.len().div_ceil(self.parallelism))
-                            .enumerate()
-                            .map(|(worker, chunk)| {
-                                scope.spawn(move || {
-                                    worker_injections[worker].add(chunk.len() as u64);
-                                    chunk
-                                        .iter()
-                                        .map(|(out, _)| {
-                                            self.inject_and_observe(
-                                                binding.module,
-                                                out,
-                                                snapshots,
-                                                good_outputs,
-                                            )
-                                        })
-                                        .collect::<Vec<_>>()
+                let verdicts: Vec<Result<bool, VirtualSimError>> =
+                    if self.parallelism > 1 && pending.len() > 1 {
+                        std::thread::scope(|scope| {
+                            let snapshots = &snapshots;
+                            let good_outputs = &good_outputs;
+                            let worker_injections = &worker_injections;
+                            let overrides = &overrides;
+                            let handles: Vec<_> = pending
+                                .chunks(pending.len().div_ceil(self.parallelism))
+                                .enumerate()
+                                .map(|(worker, chunk)| {
+                                    scope.spawn(move || {
+                                        worker_injections[worker].add(chunk.len() as u64);
+                                        chunk
+                                            .iter()
+                                            .map(|(out, _)| {
+                                                self.inject_and_observe(
+                                                    binding.module,
+                                                    out,
+                                                    snapshots,
+                                                    good_outputs,
+                                                    overrides,
+                                                )
+                                            })
+                                            .collect::<Vec<_>>()
+                                    })
                                 })
-                            })
-                            .collect();
-                        let mut all = Vec::with_capacity(pending.len());
-                        for h in handles {
-                            match h.join() {
-                                Ok(vs) => all.extend(vs),
-                                Err(_) => all.push(Err(VirtualSimError::WorkerPanicked)),
+                                .collect();
+                            let mut all = Vec::with_capacity(pending.len());
+                            for h in handles {
+                                match h.join() {
+                                    Ok(vs) => all.extend(vs),
+                                    Err(_) => all.push(Err(VirtualSimError::WorkerPanicked)),
+                                }
                             }
-                        }
-                        all
-                    })
-                } else {
-                    worker_injections[0].add(pending.len() as u64);
-                    pending
-                        .iter()
-                        .map(|(out, _)| {
-                            self.inject_and_observe(binding.module, out, &snapshots, &good_outputs)
+                            all
                         })
-                        .collect()
-                };
+                    } else {
+                        worker_injections[0].add(pending.len() as u64);
+                        pending
+                            .iter()
+                            .map(|(out, _)| {
+                                self.inject_and_observe(
+                                    binding.module,
+                                    out,
+                                    &snapshots,
+                                    &good_outputs,
+                                    &overrides,
+                                )
+                            })
+                            .collect()
+                    };
                 for ((_, faults), verdict) in pending.iter().zip(verdicts) {
                     if verdict? {
                         for f in faults {
@@ -545,8 +598,14 @@ impl VirtualFaultSim {
         faulty_out: &LogicVec,
         snapshots: &[(ModuleId, vcad_core::PortSnapshot)],
         good_outputs: &[LogicVec],
+        overrides: &[(ModuleId, Arc<dyn Module>)],
     ) -> Result<bool, VirtualSimError> {
         let mut sched = SimEngine::new(Arc::clone(&self.design), &ShardPolicy::Sequential)?;
+        // Compiled twins first; the injected block's ForcedOutputs
+        // override below replaces its twin, so order matters.
+        for (id, twin) in overrides {
+            sched.override_module(*id, Arc::clone(twin));
+        }
         // Reproduce the fault-free signal configuration everywhere.
         for (id, snap) in snapshots {
             for (port, value) in snap.ports.iter().enumerate() {

@@ -7,7 +7,9 @@
 //! * [`LogicVec`] — a width-aware, bit-packed vector of [`Logic`] values used
 //!   on buses and at netlist ports;
 //! * [`Word`] — a two-valued (binary) RT-level word with wrapping arithmetic,
-//!   used by behavioural register-transfer models.
+//!   used by behavioural register-transfer models;
+//! * [`RailWord`] — 64 four-valued signals packed on two rails, the lane
+//!   substrate of the compiled bit-parallel engine (`vcad-engine`).
 //!
 //! # Examples
 //!
@@ -24,9 +26,11 @@
 //! ```
 
 mod logic;
+mod rail;
 mod vec;
 mod word;
 
 pub use logic::{Logic, ParseLogicError};
+pub use rail::RailWord;
 pub use vec::{LogicVec, ParseLogicVecError};
 pub use word::Word;

@@ -1,0 +1,368 @@
+//! Packed dual-rail words: 64 four-valued signals evaluated at once.
+//!
+//! A [`RailWord`] carries one signal for each of up to 64 independent
+//! *lanes* (test patterns, or fault experiments in a parallel-fault
+//! setup). Each lane is encoded on two rails:
+//!
+//! | value | `one` rail | `zero` rail |
+//! |-------|------------|-------------|
+//! | `1`   | 1          | 0           |
+//! | `0`   | 0          | 1           |
+//! | `X`   | 1          | 1           |
+//! | `Z`   | 0          | 0           |
+//!
+//! The rails read as "could this lane be 1?" / "could this lane be 0?":
+//! `X` claims both, `Z` claims neither. Under this encoding the whole
+//! four-valued gate algebra of [`Logic`] becomes a handful of bitwise
+//! operations over two machine words — the substrate of the compiled
+//! levelized engine (`vcad-engine`), which evaluates 64 patterns per
+//! gate visit instead of one.
+//!
+//! The combinational operators ([`RailWord::and`], [`RailWord::or`],
+//! [`RailWord::xor`], [`RailWord::invert`], [`RailWord::mux`]) expect
+//! *driven* operands (no `Z` lanes) and then agree with the [`Logic`]
+//! operators on every lane; normalize external values once with
+//! [`RailWord::driven`] — exactly where the scalar operators call
+//! [`Logic::driven`] internally — instead of paying the normalization
+//! per gate input.
+//!
+//! # Examples
+//!
+//! ```
+//! use vcad_logic::{Logic, RailWord};
+//!
+//! let mut a = RailWord::splat(Logic::One);
+//! a.set_lane(3, Logic::X);
+//! let b = RailWord::splat(Logic::Zero);
+//! let y = RailWord::and(a, b); // 0 dominates AND even against X
+//! assert_eq!(y.lane(3), Logic::Zero);
+//! assert_eq!(RailWord::or(a, b).lane(3), Logic::X);
+//! ```
+
+use std::fmt;
+
+use crate::Logic;
+
+/// 64 four-valued signals packed on two rails; see the module docs for
+/// the encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct RailWord {
+    /// "Could be 1" plane: bit `i` set when lane `i` is `1` or `X`.
+    pub one: u64,
+    /// "Could be 0" plane: bit `i` set when lane `i` is `0` or `X`.
+    pub zero: u64,
+}
+
+impl RailWord {
+    /// All 64 lanes set to `value`.
+    #[must_use]
+    pub fn splat(value: Logic) -> RailWord {
+        match value {
+            Logic::Zero => RailWord {
+                one: 0,
+                zero: u64::MAX,
+            },
+            Logic::One => RailWord {
+                one: u64::MAX,
+                zero: 0,
+            },
+            Logic::X => RailWord {
+                one: u64::MAX,
+                zero: u64::MAX,
+            },
+            Logic::Z => RailWord { one: 0, zero: 0 },
+        }
+    }
+
+    /// The value carried by lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    #[must_use]
+    pub fn lane(self, lane: usize) -> Logic {
+        assert!(lane < 64, "lane {lane} out of range");
+        let one = self.one >> lane & 1 == 1;
+        let zero = self.zero >> lane & 1 == 1;
+        match (one, zero) {
+            (true, false) => Logic::One,
+            (false, true) => Logic::Zero,
+            (true, true) => Logic::X,
+            (false, false) => Logic::Z,
+        }
+    }
+
+    /// Sets lane `lane` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn set_lane(&mut self, lane: usize, value: Logic) {
+        assert!(lane < 64, "lane {lane} out of range");
+        let bit = 1u64 << lane;
+        let (one, zero) = match value {
+            Logic::Zero => (false, true),
+            Logic::One => (true, false),
+            Logic::X => (true, true),
+            Logic::Z => (false, false),
+        };
+        self.one = if one { self.one | bit } else { self.one & !bit };
+        self.zero = if zero {
+            self.zero | bit
+        } else {
+            self.zero & !bit
+        };
+    }
+
+    /// Replaces `Z` lanes with `X`, lane-parallel [`Logic::driven`].
+    #[must_use]
+    pub fn driven(self) -> RailWord {
+        let z = !(self.one | self.zero);
+        RailWord {
+            one: self.one | z,
+            zero: self.zero | z,
+        }
+    }
+
+    /// Lane-parallel AND over driven operands: `0` dominates, otherwise
+    /// any `X` wins.
+    #[must_use]
+    pub fn and(a: RailWord, b: RailWord) -> RailWord {
+        RailWord {
+            one: a.one & b.one,
+            zero: a.zero | b.zero,
+        }
+    }
+
+    /// Lane-parallel OR over driven operands: `1` dominates, otherwise
+    /// any `X` wins.
+    #[must_use]
+    pub fn or(a: RailWord, b: RailWord) -> RailWord {
+        RailWord {
+            one: a.one | b.one,
+            zero: a.zero & b.zero,
+        }
+    }
+
+    /// Lane-parallel XOR over driven operands: binary on binary lanes,
+    /// `X` as soon as either operand is `X`.
+    #[must_use]
+    pub fn xor(a: RailWord, b: RailWord) -> RailWord {
+        RailWord {
+            one: (a.one & b.zero) | (a.zero & b.one),
+            zero: (a.one & b.one) | (a.zero & b.zero),
+        }
+    }
+
+    /// Lane-parallel NOT over a driven operand: swaps the rails.
+    #[must_use]
+    pub fn invert(a: RailWord) -> RailWord {
+        RailWord {
+            one: a.zero,
+            zero: a.one,
+        }
+    }
+
+    /// Lane-parallel 2-way multiplexer over driven operands, matching
+    /// the scalar `MUX2` rule: output `a` when `select` is `0`, `b`
+    /// when it is `1`; with an unknown select the output is defined
+    /// only on lanes where both data inputs agree on a binary value.
+    #[must_use]
+    pub fn mux(select: RailWord, a: RailWord, b: RailWord) -> RailWord {
+        RailWord {
+            one: (select.zero & a.one) | (select.one & b.one),
+            zero: (select.zero & a.zero) | (select.one & b.zero),
+        }
+    }
+
+    /// Lanes (restricted to `mask`) whose four-valued value differs
+    /// between `self` and `other`. The encoding is bijective, so a rail
+    /// mismatch is exactly a value mismatch.
+    #[must_use]
+    pub fn diff(self, other: RailWord, mask: u64) -> u64 {
+        ((self.one ^ other.one) | (self.zero ^ other.zero)) & mask
+    }
+
+    /// Overrides the lanes in `mask` with the binary constant chosen by
+    /// `stuck_one`, leaving other lanes untouched — the PPSFP
+    /// fault-injection primitive.
+    #[must_use]
+    pub fn force(self, mask: u64, stuck_one: bool) -> RailWord {
+        if stuck_one {
+            RailWord {
+                one: self.one | mask,
+                zero: self.zero & !mask,
+            }
+        } else {
+            RailWord {
+                one: self.one & !mask,
+                zero: self.zero | mask,
+            }
+        }
+    }
+
+    /// Whether every lane in `mask` carries a binary (`0`/`1`) value.
+    #[must_use]
+    pub fn is_binary(self, mask: u64) -> bool {
+        (self.one ^ self.zero) & mask == mask
+    }
+
+    /// The lanes carrying a binary (`0`/`1`) value — exactly one rail
+    /// set, so `X` (both rails) and `Z` (neither) drop out.
+    #[must_use]
+    pub fn binary_lanes(self) -> u64 {
+        self.one ^ self.zero
+    }
+
+    /// Lanes (restricted to `mask`) where `self` and `other` are both
+    /// binary **and** carry opposite values — a *definite* logic
+    /// difference, the detection criterion for fault simulation. Unlike
+    /// [`RailWord::diff`], a binary-vs-`X` disagreement does not count.
+    #[must_use]
+    pub fn detect(self, other: RailWord, mask: u64) -> u64 {
+        self.binary_lanes() & other.binary_lanes() & (self.one ^ other.one) & mask
+    }
+}
+
+impl fmt::Display for RailWord {
+    /// Lane 63 first, matching `LogicVec`'s MSB-first rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for lane in (0..64).rev() {
+            write!(f, "{}", self.lane(lane))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Spreads one scalar case over several lanes so plane mixing shows
+    /// up: lane 0, lane 31 and lane 63 carry the operands, the rest
+    /// carry unrelated noise values.
+    fn spread(a: Logic, b: Logic) -> (RailWord, RailWord) {
+        let mut wa = RailWord::splat(Logic::X);
+        let mut wb = RailWord::splat(Logic::Zero);
+        for lane in [0usize, 31, 63] {
+            wa.set_lane(lane, a);
+            wb.set_lane(lane, b);
+        }
+        wa.set_lane(17, Logic::One);
+        wb.set_lane(17, Logic::Z);
+        (wa, wb)
+    }
+
+    #[test]
+    fn round_trip_all_values() {
+        for v in Logic::ALL {
+            let w = RailWord::splat(v);
+            for lane in [0, 1, 13, 63] {
+                assert_eq!(w.lane(lane), v);
+            }
+            let mut w = RailWord::default();
+            w.set_lane(42, v);
+            assert_eq!(w.lane(42), v);
+            assert_eq!(w.lane(41), Logic::Z, "neighbour untouched");
+        }
+    }
+
+    #[test]
+    fn driven_matches_scalar() {
+        for v in Logic::ALL {
+            assert_eq!(RailWord::splat(v).driven().lane(7), v.driven());
+        }
+    }
+
+    #[test]
+    fn binary_ops_match_logic_algebra_exhaustively() {
+        // The scalar operators normalize Z internally; the rail
+        // operators expect that normalization up front.
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                let (wa, wb) = spread(a, b);
+                let (da, db) = (wa.driven(), wb.driven());
+                for lane in [0usize, 31, 63] {
+                    assert_eq!(RailWord::and(da, db).lane(lane), a & b, "{a} & {b}");
+                    assert_eq!(RailWord::or(da, db).lane(lane), a | b, "{a} | {b}");
+                    assert_eq!(RailWord::xor(da, db).lane(lane), a ^ b, "{a} ^ {b}");
+                }
+                assert_eq!(RailWord::invert(da).lane(0), !a, "!{a}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_matches_scalar_rule_exhaustively() {
+        // The reference rule, verbatim from `GateKind::Mux2`.
+        fn scalar_mux(s: Logic, a: Logic, b: Logic) -> Logic {
+            match s.driven().to_bool() {
+                Some(false) => a.driven(),
+                Some(true) => b.driven(),
+                None => match (a.to_bool(), b.to_bool()) {
+                    (Some(a), Some(b)) if a == b => Logic::from(a),
+                    _ => Logic::X,
+                },
+            }
+        }
+        for s in Logic::ALL {
+            for a in Logic::ALL {
+                for b in Logic::ALL {
+                    let ws = RailWord::splat(s).driven();
+                    let wa = RailWord::splat(a).driven();
+                    let wb = RailWord::splat(b).driven();
+                    assert_eq!(
+                        RailWord::mux(ws, wa, wb).lane(9),
+                        scalar_mux(s, a, b),
+                        "mux({s}, {a}, {b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diff_and_force_and_is_binary() {
+        let mut a = RailWord::splat(Logic::One);
+        let b = RailWord::splat(Logic::One);
+        assert_eq!(a.diff(b, u64::MAX), 0);
+        a.set_lane(5, Logic::X);
+        a.set_lane(9, Logic::Zero);
+        assert_eq!(a.diff(b, u64::MAX), 1 << 5 | 1 << 9);
+        assert_eq!(a.diff(b, 1 << 9), 1 << 9, "mask restricts the report");
+
+        assert!(!a.is_binary(u64::MAX));
+        assert!(a.is_binary(1 << 9 | 1 << 0));
+        assert_eq!(a.binary_lanes(), !(1 << 5), "only the X lane drops out");
+
+        // Definite detection: the X lane disagrees with `b` but is not
+        // a detection; the flipped binary lane is.
+        assert_eq!(a.detect(b, u64::MAX), 1 << 9);
+        assert_eq!(b.detect(a, u64::MAX), 1 << 9, "symmetric");
+        assert_eq!(a.detect(b, !(1 << 9)), 0, "mask restricts the report");
+
+        let forced = a.force(1 << 5 | 1 << 0, false);
+        assert_eq!(forced.lane(5), Logic::Zero);
+        assert_eq!(forced.lane(0), Logic::Zero);
+        assert_eq!(forced.lane(1), Logic::One, "unforced lane untouched");
+        let forced = a.force(1 << 9, true);
+        assert_eq!(forced.lane(9), Logic::One);
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        let mut w = RailWord::splat(Logic::Zero);
+        w.set_lane(0, Logic::One);
+        w.set_lane(63, Logic::X);
+        let s = w.to_string();
+        assert_eq!(s.len(), 64);
+        assert!(s.starts_with('X'));
+        assert!(s.ends_with('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lane_out_of_range_panics() {
+        let _ = RailWord::default().lane(64);
+    }
+}

@@ -31,6 +31,7 @@ mod gate;
 pub mod generators;
 #[allow(clippy::module_inception)]
 mod netlist;
+mod plan;
 
 pub use builder::NetlistBuilder;
 pub use cone::FaninCone;
@@ -38,3 +39,4 @@ pub use error::NetlistError;
 pub use eval::{Evaluator, NetValues};
 pub use gate::GateKind;
 pub use netlist::{Gate, GateId, Net, NetId, Netlist, NetlistStats};
+pub use plan::{ExecPlan, OutputSource, PlanOp};

@@ -1,0 +1,309 @@
+//! Levelized execution plans — the compile step of the bit-parallel
+//! engine.
+//!
+//! [`ExecPlan::compile`] flattens a validated [`Netlist`] into a dense,
+//! allocation-free instruction stream: one [`PlanOp`] per gate, sorted
+//! by the logic levels the builder's Kahn pass already computed, with
+//! every operand net spelled out in one flat `u32` array. An evaluator
+//! (see `vcad-engine`) walks the stream front to back — a whole level
+//! per pass — touching nothing but flat arrays indexed by
+//! [`NetId::index`]: no per-gate `Vec`s, no hash lookups, no pointer
+//! chasing through [`Gate`](crate::Gate) structs.
+//!
+//! The plan also precomputes the two lookups fault injection needs:
+//! the flat *operand slot* of every `(gate, pin)` pair (so a pin fault
+//! is one masked override at a known index) and, for every primary
+//! output, whether it aliases a primary input net (those outputs must
+//! reproduce the raw, possibly-`Z` input value exactly as the
+//! event-driven path does).
+
+use std::ops::Range;
+
+use crate::{GateId, GateKind, NetId, Netlist};
+
+/// One compiled gate: its function, output net and operand range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanOp {
+    kind: GateKind,
+    output: u32,
+    first_operand: u32,
+    operand_count: u32,
+}
+
+impl PlanOp {
+    /// The gate's logic function.
+    #[must_use]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Dense index of the net this op drives.
+    #[must_use]
+    pub fn output(&self) -> usize {
+        self.output as usize
+    }
+
+    /// The op's slots in [`ExecPlan::operands`], in pin order.
+    #[must_use]
+    pub fn operand_range(&self) -> Range<usize> {
+        let start = self.first_operand as usize;
+        start..start + self.operand_count as usize
+    }
+}
+
+/// Where a primary output reads its value from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputSource {
+    /// The output taps a gate-driven net (dense net index).
+    Net(usize),
+    /// The output aliases the `n`-th declared primary input and must
+    /// reproduce its raw (possibly `Z`) value.
+    Input(usize),
+}
+
+/// A [`Netlist`] compiled to a levelized, flat instruction stream.
+///
+/// The plan is self-contained: it captures everything an evaluator
+/// needs (ops, operands, level boundaries, input nets, output sources,
+/// net count), so it can outlive the netlist it was compiled from.
+///
+/// # Examples
+///
+/// ```
+/// use vcad_netlist::{generators, ExecPlan};
+///
+/// let plan = ExecPlan::compile(&generators::c17());
+/// assert_eq!(plan.op_count(), generators::c17().gate_count());
+/// assert_eq!(plan.level_count(), generators::c17().stats().depth as usize);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExecPlan {
+    name: String,
+    ops: Vec<PlanOp>,
+    operands: Vec<u32>,
+    /// `level_bounds[l]..level_bounds[l + 1]` is the op range of level
+    /// `l + 1` (builder levels are 1-based).
+    level_bounds: Vec<u32>,
+    /// Dense indices of the primary-input nets, declaration order.
+    input_nets: Vec<u32>,
+    outputs: Vec<OutputSource>,
+    net_count: usize,
+    /// Op index of every gate, indexed by [`GateId::index`].
+    op_of_gate: Vec<u32>,
+}
+
+impl ExecPlan {
+    /// Compiles `netlist` into a levelized plan.
+    ///
+    /// Gates are ordered by `(level, GateId)` — a valid topological
+    /// order, since a gate's level strictly exceeds every driver's —
+    /// so the stream is deterministic for a given netlist regardless
+    /// of the builder's Kahn tie-breaking.
+    #[must_use]
+    pub fn compile(netlist: &Netlist) -> ExecPlan {
+        let gate_count = netlist.gate_count();
+        let mut order: Vec<GateId> = netlist.topo_order().to_vec();
+        order.sort_by_key(|&g| (netlist.gate_level(g), g.index()));
+
+        let mut ops = Vec::with_capacity(gate_count);
+        let mut operands = Vec::new();
+        let mut level_bounds = vec![0u32];
+        let mut open_level = 1u32;
+        let mut op_of_gate = vec![0u32; gate_count];
+        for &gid in &order {
+            let level = netlist.gate_level(gid);
+            // Close levels up to this gate's (empty levels cannot occur:
+            // every level is defined by some gate carrying it).
+            while open_level < level {
+                level_bounds.push(ops.len() as u32);
+                open_level += 1;
+            }
+            let gate = netlist.gate(gid);
+            op_of_gate[gid.index()] = ops.len() as u32;
+            let first_operand = operands.len() as u32;
+            operands.extend(gate.inputs().iter().map(|n| n.index() as u32));
+            ops.push(PlanOp {
+                kind: gate.kind(),
+                output: gate.output().index() as u32,
+                first_operand,
+                operand_count: gate.inputs().len() as u32,
+            });
+        }
+        level_bounds.push(ops.len() as u32);
+
+        let input_nets: Vec<u32> = netlist.inputs().iter().map(|n| n.index() as u32).collect();
+        let outputs = netlist
+            .outputs()
+            .iter()
+            .map(|(_, net)| {
+                netlist
+                    .inputs()
+                    .iter()
+                    .position(|i| i == net)
+                    .map_or(OutputSource::Net(net.index()), OutputSource::Input)
+            })
+            .collect();
+
+        ExecPlan {
+            name: netlist.name().to_string(),
+            ops,
+            operands,
+            level_bounds,
+            input_nets,
+            outputs,
+            net_count: netlist.net_count(),
+            op_of_gate,
+        }
+    }
+
+    /// The source netlist's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of compiled ops (= source gate count).
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of logic levels (= netlist depth).
+    #[must_use]
+    pub fn level_count(&self) -> usize {
+        self.level_bounds.len() - 1
+    }
+
+    /// The compiled instruction stream, level-major.
+    #[must_use]
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// The flat operand array: dense net indices, shared by all ops.
+    #[must_use]
+    pub fn operands(&self) -> &[u32] {
+        &self.operands
+    }
+
+    /// The op range of level `level` (0-based here; builder level
+    /// `level + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.level_count()`.
+    #[must_use]
+    pub fn level(&self, level: usize) -> Range<usize> {
+        self.level_bounds[level] as usize..self.level_bounds[level + 1] as usize
+    }
+
+    /// Dense indices of the primary-input nets, declaration order.
+    #[must_use]
+    pub fn input_nets(&self) -> &[u32] {
+        &self.input_nets
+    }
+
+    /// Where each primary output reads from, declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[OutputSource] {
+        &self.outputs
+    }
+
+    /// Number of nets in the source netlist (sizes evaluator arrays).
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// The flat operand slot of `(gate, pin)`, or `None` when the pin
+    /// does not exist — the address a pin fault masks.
+    #[must_use]
+    pub fn operand_slot(&self, gate: GateId, pin: usize) -> Option<usize> {
+        let op = &self.ops[*self.op_of_gate.get(gate.index())? as usize];
+        let range = op.operand_range();
+        (pin < range.len()).then(|| range.start + pin)
+    }
+
+    /// The net feeding operand slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn operand_net(&self, slot: usize) -> NetId {
+        NetId(self.operands[slot])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, GateKind, NetlistBuilder};
+
+    #[test]
+    fn levels_partition_ops_in_dependency_order() {
+        let nl = generators::c17();
+        let plan = ExecPlan::compile(&nl);
+        assert_eq!(plan.op_count(), nl.gate_count());
+        assert_eq!(plan.level_count(), nl.stats().depth as usize);
+
+        // Level ranges tile 0..op_count without gaps.
+        let mut cursor = 0;
+        for l in 0..plan.level_count() {
+            let range = plan.level(l);
+            assert_eq!(range.start, cursor);
+            assert!(!range.is_empty(), "level {l} empty");
+            cursor = range.end;
+        }
+        assert_eq!(cursor, plan.op_count());
+
+        // Every operand of an op is either a primary input or driven
+        // by an earlier op.
+        let mut ready = vec![false; plan.net_count()];
+        for &n in plan.input_nets() {
+            ready[n as usize] = true;
+        }
+        for op in plan.ops() {
+            for &slot in &plan.operands()[op.operand_range()] {
+                assert!(ready[slot as usize], "operand net {slot} not yet driven");
+            }
+            ready[op.output()] = true;
+        }
+    }
+
+    #[test]
+    fn operand_slots_address_pins() {
+        let nl = generators::half_adder_nand();
+        let plan = ExecPlan::compile(&nl);
+        for (gid, gate) in nl.gates() {
+            for pin in 0..gate.inputs().len() {
+                let slot = plan.operand_slot(gid, pin).expect("pin exists");
+                assert_eq!(plan.operand_net(slot), gate.inputs()[pin]);
+            }
+            assert_eq!(plan.operand_slot(gid, gate.inputs().len()), None);
+        }
+    }
+
+    #[test]
+    fn outputs_distinguish_input_aliases() {
+        let mut b = NetlistBuilder::new("alias");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.gate(GateKind::And, &[a, c]);
+        b.output("pass", c);
+        b.output("y", y);
+        let nl = b.build().unwrap();
+        let plan = ExecPlan::compile(&nl);
+        assert_eq!(plan.outputs()[0], OutputSource::Input(1));
+        assert_eq!(plan.outputs()[1], OutputSource::Net(y.index()));
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let nl = generators::wallace_multiplier(4);
+        let a = ExecPlan::compile(&nl);
+        let b = ExecPlan::compile(&nl);
+        assert_eq!(a.ops(), b.ops());
+        assert_eq!(a.operands(), b.operands());
+    }
+}
