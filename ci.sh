@@ -88,4 +88,36 @@ echo "    resumed report is byte-identical; baseline in BENCH_faultsim.json"
 echo "==> engine bench gate: compiled PPSFP must hold a ≥4× margin over the serial event-driven baseline"
 cargo run --release -q -p vcad-bench --bin faultscale -- --bench BENCH_faultsim.json
 
+echo "==> testability gate: lintgate reports must match the committed golden file"
+mkdir -p target/testability-gate
+cargo run --release -q -p vcad-lint --bin lintgate -- testability > target/testability-gate/report.txt
+cmp target/testability-gate/report.txt tests/golden/testability_report.golden
+
+echo "==> testability gate: campaign --lint must print per-provider reports without running"
+cargo run --release -q -p vcad-bench --bin campaign -- examples/specs/campaign_testability.json --lint \
+    | grep -q "untestable" || { echo "campaign --lint produced no testability findings"; exit 1; }
+
+echo "==> testability gate: pruned campaign must reproduce unpruned coverage on detectable faults"
+rm -f target/testability-gate/*.journal target/testability-gate/*.json
+cargo run --release -q -p vcad-bench --bin campaign -- examples/specs/campaign_testability_off.json \
+    --checkpoint target/testability-gate/off.journal \
+    --json target/testability-gate/off.json > /dev/null
+cargo run --release -q -p vcad-bench --bin campaign -- examples/specs/campaign_testability.json \
+    --checkpoint target/testability-gate/pruned.journal \
+    --json target/testability-gate/pruned.json > /dev/null
+python3 - <<'EOF'
+import json
+off = json.load(open("target/testability-gate/off.json"))["rows"]
+pruned = json.load(open("target/testability-gate/pruned.json"))["rows"]
+assert len(off) == len(pruned), (len(off), len(pruned))
+for a, b in zip(off, pruned):
+    assert a["outcome"] == b["outcome"] == "completed", (a, b)
+    assert a["detected"] == b["detected"], (a, b)
+    assert b["total_faults"] < a["total_faults"], (a, b)
+print(f"    {len(off)} cells: detected sets identical, pruned universes strictly smaller")
+EOF
+
+echo "==> testability bench gate: pruning must keep coverage bit-identical with a wall-clock win"
+cargo run --release -q -p vcad-bench --bin testability -- --bench BENCH_faultsim.json
+
 echo "CI green."

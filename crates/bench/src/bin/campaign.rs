@@ -25,17 +25,23 @@
 //!   backend. The override feeds the spec digest exactly like an edit
 //!   to the file, so each backend keeps its own journal key space
 //!   (records are bit-identical either way; throughput is not).
+//! * `--lint[=json]` — instead of running, print one static
+//!   testability lint report per provider (SCOAP-proven untestable
+//!   fault sites as stable-ID Warn diagnostics) and exit. Pairs with
+//!   the spec's `"testability"` knob: the report names exactly the
+//!   faults `prune` would drop.
 //! * `--health <path>[:interval_ms]`, `--trace <path>` — the usual
 //!   observability taps over the `campaign.*` metrics and spans.
 //!
 //! Exit status: 0 on a complete campaign, 10 when interrupted by
 //! `--max-cells`, 2 on a rejected spec or usage error, 1 on journal I/O
-//! failures.
+//! failures or Deny-level lint findings.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use vcad_bench::cli;
+use vcad_bench::cli::LintMode;
 use vcad_campaign::{CampaignError, CampaignSpec, Orchestrator};
 
 /// Exit status for a run stopped by `--max-cells` before grid exhaustion.
@@ -43,7 +49,7 @@ const EXIT_INTERRUPTED: i32 = 10;
 
 fn main() {
     let spec_path = spec_path_arg().unwrap_or_else(|| {
-        eprintln!("usage: campaign <spec.json> [--workers N] [--checkpoint PATH] [--max-cells N] [--engine event|compiled] [--json PATH] [--bench PATH] [--health PATH[:ms]] [--trace PATH]");
+        eprintln!("usage: campaign <spec.json> [--workers N] [--checkpoint PATH] [--max-cells N] [--engine event|compiled] [--lint[=json]] [--json PATH] [--bench PATH] [--health PATH[:ms]] [--trace PATH]");
         std::process::exit(2);
     });
 
@@ -57,6 +63,26 @@ fn main() {
     });
     if let Some(engine) = cli::engine() {
         spec.engine = engine;
+    }
+
+    let lint_mode = cli::lint_mode();
+    if lint_mode != LintMode::Off {
+        let reports = vcad_campaign::lint_reports(&spec).unwrap_or_else(|e| {
+            eprintln!("campaign spec rejected: {e}");
+            std::process::exit(2);
+        });
+        let mut any_deny = false;
+        for (provider, report) in spec.providers.iter().zip(&reports) {
+            match lint_mode {
+                LintMode::Json => println!("{}", report.to_json()),
+                _ => {
+                    println!("— {} ({})", provider.host, provider.offering);
+                    print!("{}", report.render());
+                }
+            }
+            any_deny |= report.has_deny();
+        }
+        std::process::exit(i32::from(any_deny));
     }
 
     let checkpoint = cli::checkpoint_path()
@@ -137,13 +163,15 @@ fn main() {
     }
 }
 
-/// The first positional argument, skipping every `--flag <operand>` pair.
+/// The first positional argument, skipping every `--flag <operand>`
+/// pair. `--lint` and `--flag=value` forms carry no separate operand.
 fn spec_path_arg() -> Option<PathBuf> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg.starts_with("--") {
-            // Every campaign flag takes exactly one operand.
-            drop(args.next());
+            if arg != "--lint" && !arg.contains('=') {
+                drop(args.next());
+            }
         } else {
             return Some(arg.into());
         }

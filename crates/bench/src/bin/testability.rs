@@ -1,0 +1,208 @@
+//! Ablation: static untestable-fault pruning — the compiled PPSFP
+//! engine over the full collapsed fault universe versus the universe
+//! with statically-proven untestable classes removed
+//! (`vcad_faults::TestabilityAnalysis`), on the faultscale generated
+//! circuits.
+//!
+//! Run with `cargo run -p vcad-bench --bin testability --release`.
+//! Pass `--bench <path>` to additionally write a `testability_bench`
+//! section (pruned fractions, wall clocks, speed-ups, analysis cost)
+//! into the shared fault-sim baseline file — existing sections, like
+//! `faultscale`'s `engine_bench`, are preserved — and to enforce the CI
+//! floor: pruning must find untestable faults on the largest circuit
+//! and must not slow simulation down, with identical detected-fault
+//! sets (the static proofs are sound, so dropping the dead sites can
+//! never change coverage).
+
+use std::time::{Duration, Instant};
+
+use vcad_bench::cli;
+use vcad_bench::report::{merge_bench_sections, print_table};
+use vcad_bench::workload::random_patterns;
+use vcad_faults::{BitParallelSim, Fault, FaultUniverse, TestabilityAnalysis};
+use vcad_netlist::generators::{self, RandomCircuitSpec};
+
+/// With `--bench`, the pruned run must be at least this much faster on
+/// the largest circuit. The floor is deliberately mild — the pruned
+/// fraction of a random circuit is what it is — but it proves the
+/// pruning is a genuine speedup, not a wash.
+const MIN_SPEEDUP: f64 = 1.05;
+
+struct SizeResult {
+    gates: usize,
+    collapsed: usize,
+    untestable: usize,
+    detected: usize,
+    analysis: Duration,
+    full: Duration,
+    pruned: Duration,
+}
+
+impl SizeResult {
+    fn speedup(&self) -> f64 {
+        self.full.as_secs_f64() / self.pruned.as_secs_f64().max(1e-9)
+    }
+}
+
+fn sorted_names(netlist: &vcad_netlist::Netlist, detected: &[Fault]) -> Vec<String> {
+    let mut names: Vec<String> = detected
+        .iter()
+        .map(|f| f.name(netlist).as_str().to_owned())
+        .collect();
+    names.sort();
+    names
+}
+
+fn measure(gates: usize, inputs: usize, outputs: usize, patterns: usize) -> SizeResult {
+    let nl = generators::random_circuit(RandomCircuitSpec {
+        inputs,
+        gates,
+        outputs,
+        seed: 0xFA_u64 + gates as u64,
+    });
+
+    let t0 = Instant::now();
+    let analysis = TestabilityAnalysis::analyze(&nl);
+    let mut universe = FaultUniverse::collapsed(&nl);
+    let marked = universe.apply_testability(&nl, &analysis);
+    let t_analysis = t0.elapsed();
+
+    let full_targets = universe.representatives();
+    let pruned_targets: Vec<Fault> = universe
+        .classes()
+        .iter()
+        .filter(|c| c.is_testable())
+        .map(|c| c.representative)
+        .collect();
+    let patterns = random_patterns(inputs, patterns, 9);
+
+    let full_sim = BitParallelSim::new(&nl, full_targets);
+    let t0 = Instant::now();
+    let detected_full = full_sim.run(&patterns);
+    let t_full = t0.elapsed();
+
+    let pruned_sim = BitParallelSim::new(&nl, pruned_targets);
+    let t0 = Instant::now();
+    let detected_pruned = pruned_sim.run(&patterns);
+    let t_pruned = t0.elapsed();
+
+    assert_eq!(
+        sorted_names(&nl, &detected_full),
+        sorted_names(&nl, &detected_pruned),
+        "pruning must not change the detected set"
+    );
+    SizeResult {
+        gates,
+        collapsed: universe.class_count(),
+        untestable: marked,
+        detected: detected_full.len(),
+        analysis: t_analysis,
+        full: t_full,
+        pruned: t_pruned,
+    }
+}
+
+fn main() {
+    let bench_out = cli::bench_path();
+    // Mirror the faultscale sizing: the CI gate trims the largest size
+    // so the bin stays cheap, the interactive sweep keeps the picture.
+    let (sizes, patterns) = if bench_out.is_some() {
+        (vec![100usize, 300, 1000], 128)
+    } else {
+        (vec![100usize, 300, 1000, 3000], 256)
+    };
+
+    let results: Vec<SizeResult> = sizes
+        .iter()
+        .map(|&gates| measure(gates, 32, 16, patterns))
+        .collect();
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.gates.to_string(),
+                r.collapsed.to_string(),
+                format!(
+                    "{} ({:.1}%)",
+                    r.untestable,
+                    100.0 * r.untestable as f64 / r.collapsed as f64
+                ),
+                format!("{:.1}%", 100.0 * r.detected as f64 / r.collapsed as f64),
+                format!("{:.1} ms", r.analysis.as_secs_f64() * 1e3),
+                format!("{:.1} ms", r.full.as_secs_f64() * 1e3),
+                format!("{:.1} ms", r.pruned.as_secs_f64() * 1e3),
+                format!("{:.1}×", r.speedup()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Static untestable-fault pruning ({patterns} random patterns, 32 PIs)"),
+        &[
+            "Gates",
+            "Classes",
+            "Untestable",
+            "Coverage",
+            "Analysis",
+            "Full PPSFP",
+            "Pruned PPSFP",
+            "Speed-up",
+        ],
+        &rows,
+    );
+    println!(
+        "\nDetected sets agree exactly on every circuit: statically-proven \
+         untestable faults simulate to the fault-free response under every \
+         pattern, so pruning them buys wall clock without touching coverage."
+    );
+
+    if let Some(path) = bench_out {
+        let largest = results.last().expect("at least one size measured");
+        let entries: Vec<String> = results
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"gates\": {}, \"collapsed_faults\": {}, \
+                     \"untestable_faults\": {}, \"analysis_ms\": {:.3}, \
+                     \"wall_ms_full\": {:.3}, \"wall_ms_pruned\": {:.3}, \
+                     \"speedup\": {:.3}}}",
+                    r.gates,
+                    r.collapsed,
+                    r.untestable,
+                    r.analysis.as_secs_f64() * 1e3,
+                    r.full.as_secs_f64() * 1e3,
+                    r.pruned.as_secs_f64() * 1e3,
+                    r.speedup(),
+                )
+            })
+            .collect();
+        let section = format!(
+            "{{\"testability_bench\": {{\n  \"bench\": \"testability\",\n  \
+             \"patterns\": {patterns},\n  \"min_speedup_required\": {MIN_SPEEDUP},\n  \
+             \"gate_speedup\": {:.3},\n  \"entries\": [\n{}\n  ]\n}}}}",
+            largest.speedup(),
+            entries.join(",\n"),
+        );
+        merge_bench_sections(&path, &section);
+        println!("testability bench baseline merged into {}", path.display());
+        assert!(
+            largest.untestable > 0,
+            "the {}-gate circuit should carry statically untestable faults",
+            largest.gates,
+        );
+        assert!(
+            largest.speedup() >= MIN_SPEEDUP,
+            "pruned-universe speedup {:.2}× at {} gates is below the {MIN_SPEEDUP}× floor",
+            largest.speedup(),
+            largest.gates,
+        );
+        println!(
+            "testability gate passed: {:.2}× ≥ {MIN_SPEEDUP}× at {} gates \
+             ({} of {} classes pruned)",
+            largest.speedup(),
+            largest.gates,
+            largest.untestable,
+            largest.collapsed,
+        );
+    }
+}

@@ -40,9 +40,9 @@ pub mod spec;
 pub use cell::CellError;
 pub use checkpoint::{CellOutcome, CellRecord, Journal, JournalError, JournalReplay};
 pub use orchestrator::{CampaignError, CampaignOutcome, Orchestrator};
-pub use preflight::{validate_against_providers, ProviderAudit};
+pub use preflight::{lint_reports, validate_against_providers, ProviderAudit};
 pub use report::CampaignReport;
 pub use spec::{
     CampaignSpec, CellSpec, ChaosProfile, ChaosSpec, EstimatorTier, FaultModel, LocationRange,
-    ProviderSpec, SpecError,
+    ProviderSpec, SpecError, TestabilityMode,
 };

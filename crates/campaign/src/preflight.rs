@@ -8,13 +8,24 @@
 //! intersection is empty — a cell that would vacuously report 100%
 //! coverage — or the provider's fault metadata does not survive the
 //! vcad-lint fault-model audit.
+//!
+//! Preflight also runs the static testability analysis
+//! ([`vcad_faults::TestabilityAnalysis`]) once per provider. The audit
+//! carries the statically untestable fault names and a per-fault SCOAP
+//! difficulty score, which [`ProviderAudit::subset_for`] uses to prune
+//! and order cell subsets when the spec's [`TestabilityMode`] asks for
+//! it.
 
-use vcad_faults::{DetectionTableSource, FaultUniverse, SymbolicFault};
+use std::collections::{BTreeMap, BTreeSet};
+
+use vcad_faults::{DetectionTableSource, FaultUniverse, SymbolicFault, TestabilityAnalysis};
 use vcad_ip::{ClientSession, ProviderServer};
 use vcad_lint::Severity;
 use vcad_logic::LogicVec;
 
-use crate::spec::{registered_offering, CampaignSpec, CellSpec, ProviderSpec, SpecError};
+use crate::spec::{
+    registered_offering, CampaignSpec, CellSpec, ProviderSpec, SpecError, TestabilityMode,
+};
 
 /// One provider's validated fault-list view, shared by every cell that
 /// targets it.
@@ -25,18 +36,38 @@ pub struct ProviderAudit {
     /// The provider's full symbolic fault list, sorted lexicographically —
     /// the stable coordinate system location ranges index into.
     pub faults: Vec<SymbolicFault>,
+    /// Statically untestable fault names (collapsed-class
+    /// representatives whose whole class is proven untestable).
+    pub untestable: BTreeSet<SymbolicFault>,
+    /// Per-fault SCOAP difficulty estimate, by representative name.
+    pub scores: BTreeMap<SymbolicFault, u32>,
 }
 
 impl ProviderAudit {
     /// The (model × range) fault subset one cell targets. Preflight has
     /// already proven the range in bounds and the subset non-empty.
+    ///
+    /// Pruning and ordering are applied *after* the range slice: the
+    /// full sorted fault list stays the coordinate system location
+    /// ranges index into, so turning testability on never shifts which
+    /// sites a range refers to — it only drops the provably dead ones.
     #[must_use]
     pub fn subset_for(&self, cell: &CellSpec) -> Vec<SymbolicFault> {
-        self.faults[cell.range.start..cell.range.start + cell.range.len]
+        let mut subset: Vec<SymbolicFault> = self.faults
+            [cell.range.start..cell.range.start + cell.range.len]
             .iter()
             .filter(|f| cell.model.matches(f.as_str()))
+            .filter(|f| !cell.testability.prunes() || !self.untestable.contains(*f))
             .cloned()
-            .collect()
+            .collect();
+        if cell.testability == TestabilityMode::HardestFirst {
+            subset.sort_by(|a, b| {
+                let sa = self.scores.get(a).copied().unwrap_or(0);
+                let sb = self.scores.get(b).copied().unwrap_or(0);
+                sb.cmp(&sa).then_with(|| a.cmp(b))
+            });
+        }
+        subset
     }
 }
 
@@ -80,11 +111,23 @@ pub fn validate_against_providers(spec: &CampaignSpec) -> Result<Vec<ProviderAud
         // detection tables legitimately name boundary (input-pin) classes
         // the published fault list omits, because per the paper those
         // belong to the surrounding design, not the provider.
-        let universe: Vec<SymbolicFault> = FaultUniverse::collapsed(&netlist)
-            .classes()
-            .iter()
-            .map(|c| c.representative.name(&netlist))
-            .collect();
+        let analysis = TestabilityAnalysis::analyze(&netlist);
+        let mut collapsed = FaultUniverse::collapsed(&netlist);
+        collapsed.apply_testability(&netlist, &analysis);
+        let mut untestable = BTreeSet::new();
+        let mut scores = BTreeMap::new();
+        let mut universe: Vec<SymbolicFault> = Vec::with_capacity(collapsed.class_count());
+        for class in collapsed.classes() {
+            let name = class.representative.name(&netlist);
+            scores.insert(
+                name.clone(),
+                analysis.fault_score(&netlist, &class.representative),
+            );
+            if !class.is_testable() {
+                untestable.insert(name.clone());
+            }
+            universe.push(name);
+        }
         if let Some(foreign) = faults.iter().find(|f| !universe.contains(f)) {
             return Err(SpecError::FaultModelLint {
                 provider: provider.host.clone(),
@@ -120,8 +163,14 @@ pub fn validate_against_providers(spec: &CampaignSpec) -> Result<Vec<ProviderAud
                 });
             }
             for &model in &spec.fault_models {
+                // A subset emptied by pruning fails closed too: such a
+                // cell would vacuously report 100% coverage.
                 let slice = &faults[range.start..range.start + range.len];
-                if !slice.iter().any(|f| model.matches(f.as_str())) {
+                let alive = |f: &SymbolicFault| {
+                    model.matches(f.as_str())
+                        && (!spec.testability.prunes() || !untestable.contains(f))
+                };
+                if !slice.iter().any(alive) {
                     return Err(SpecError::EmptyCellUniverse {
                         provider: provider.host.clone(),
                         model: model.label().to_owned(),
@@ -135,9 +184,30 @@ pub fn validate_against_providers(spec: &CampaignSpec) -> Result<Vec<ProviderAud
         audits.push(ProviderAudit {
             provider: provider.clone(),
             faults,
+            untestable,
+            scores,
         });
     }
     Ok(audits)
+}
+
+/// One testability lint report per provider, in spec order: the
+/// component netlists scored by [`vcad_lint::TestabilityReport`] and
+/// wrapped as stable-ID Warn diagnostics. This is what the campaign
+/// binary's `--lint` flag prints before a run.
+///
+/// # Errors
+///
+/// Returns [`SpecError::UnknownOffering`] when a provider names an
+/// unregistered offering.
+pub fn lint_reports(spec: &CampaignSpec) -> Result<Vec<vcad_lint::LintReport>, SpecError> {
+    let mut out = Vec::with_capacity(spec.providers.len());
+    for provider in &spec.providers {
+        let offering = registered_offering(&provider.offering)?;
+        let netlist = offering.instantiate(provider.width);
+        out.push(vcad_lint::TestabilityReport::analyze(&netlist, 10).to_lint_report());
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -167,6 +237,93 @@ mod tests {
             validate_against_providers(&spec),
             Err(SpecError::LocationOutOfRange { total, .. }) if total > 0
         ));
+    }
+
+    /// The planted-untestable demo spec, validated with the full fault
+    /// list in range under `mode`.
+    fn demo_spec(mode: TestabilityMode) -> (CampaignSpec, Vec<ProviderAudit>) {
+        let mut spec = smoke_spec();
+        spec.providers[0].offering = "UntestableDemo".into();
+        spec.location_ranges = vec![LocationRange { start: 0, len: 1 }];
+        let probe = validate_against_providers(&spec).unwrap();
+        spec.location_ranges = vec![LocationRange {
+            start: 0,
+            len: probe[0].faults.len(),
+        }];
+        spec.testability = mode;
+        let audits = validate_against_providers(&spec).unwrap();
+        (spec, audits)
+    }
+
+    #[test]
+    fn pruned_subsets_drop_exactly_the_untestable_faults() {
+        let (off_spec, off_audits) = demo_spec(TestabilityMode::Off);
+        let (prune_spec, prune_audits) = demo_spec(TestabilityMode::Prune);
+        assert!(!prune_audits[0].untestable.is_empty(), "demo plants some");
+
+        let off_cell = &off_spec.expand()[0];
+        let prune_cell = &prune_spec.expand()[0];
+        let full = off_audits[0].subset_for(off_cell);
+        let pruned = prune_audits[0].subset_for(prune_cell);
+
+        let expected: Vec<SymbolicFault> = full
+            .iter()
+            .filter(|f| !prune_audits[0].untestable.contains(*f))
+            .cloned()
+            .collect();
+        assert_eq!(pruned, expected);
+        assert!(pruned.len() < full.len());
+    }
+
+    #[test]
+    fn hardest_first_orders_by_descending_score() {
+        let (spec, audits) = demo_spec(TestabilityMode::HardestFirst);
+        let cell = &spec.expand()[0];
+        let subset = audits[0].subset_for(cell);
+        assert!(!subset.is_empty());
+        assert!(subset.iter().all(|f| !audits[0].untestable.contains(f)));
+        let scores: Vec<u32> = subset
+            .iter()
+            .map(|f| audits[0].scores.get(f).copied().unwrap_or(0))
+            .collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]), "{scores:?}");
+
+        // Same set as plain pruning, different order.
+        let (pspec, paudits) = demo_spec(TestabilityMode::Prune);
+        let mut pruned = paudits[0].subset_for(&pspec.expand()[0]);
+        let mut sorted_subset = subset;
+        pruned.sort();
+        sorted_subset.sort();
+        assert_eq!(sorted_subset, pruned);
+    }
+
+    #[test]
+    fn ranges_holding_only_untestable_faults_fail_closed_when_pruning() {
+        let (mut spec, audits) = demo_spec(TestabilityMode::Prune);
+        let dead = audits[0]
+            .untestable
+            .iter()
+            .next()
+            .expect("demo plants some")
+            .clone();
+        let idx = audits[0].faults.iter().position(|f| *f == dead).unwrap();
+        spec.location_ranges = vec![LocationRange { start: idx, len: 1 }];
+        assert!(matches!(
+            validate_against_providers(&spec),
+            Err(SpecError::EmptyCellUniverse { .. })
+        ));
+        // The same range is a valid (if pointless) cell without pruning.
+        spec.testability = TestabilityMode::Off;
+        assert!(validate_against_providers(&spec).is_ok());
+    }
+
+    #[test]
+    fn lint_reports_cover_every_provider() {
+        let (spec, _) = demo_spec(TestabilityMode::Off);
+        let reports = lint_reports(&spec).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].warn_count() > 0, "demo plants untestable sites");
+        assert!(!reports[0].has_deny());
     }
 
     #[test]

@@ -24,7 +24,11 @@ use vcad_obs::json::{self, JsonValue};
 ///
 /// v2: the gate-evaluation `engine` knob joined the digest, so journals
 /// written before the compiled engine existed are never silently reused.
-pub const KEY_FORMAT_VERSION: u64 = 2;
+///
+/// v3: the `testability` knob joined the digest — a pruned campaign
+/// visits different fault subsets, so its journals must never satisfy
+/// an unpruned spec (or vice versa).
+pub const KEY_FORMAT_VERSION: u64 = 3;
 
 /// A typed campaign-spec failure. Every variant is raised *before* any
 /// worker starts: a malformed spec fails the campaign closed.
@@ -245,6 +249,50 @@ impl ChaosProfile {
     }
 }
 
+/// How the campaign uses static testability analysis
+/// (`vcad_faults::TestabilityAnalysis`) when carving per-cell fault
+/// subsets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TestabilityMode {
+    /// No analysis: cells target every fault in their range slice.
+    #[default]
+    Off,
+    /// Statically-proven untestable faults are pruned from every cell's
+    /// subset. Sound: an untestable fault simulates to the fault-free
+    /// output under every pattern, so detected sets are unchanged.
+    Prune,
+    /// Prune, then order each cell's subset hardest-first by SCOAP
+    /// fault score so scarce pattern budgets hit the difficult sites.
+    HardestFirst,
+}
+
+impl TestabilityMode {
+    /// The spec-file label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TestabilityMode::Off => "off",
+            TestabilityMode::Prune => "prune",
+            TestabilityMode::HardestFirst => "prune-hardest-first",
+        }
+    }
+
+    fn parse(s: &str) -> Option<TestabilityMode> {
+        match s {
+            "off" => Some(TestabilityMode::Off),
+            "prune" => Some(TestabilityMode::Prune),
+            "prune-hardest-first" => Some(TestabilityMode::HardestFirst),
+            _ => None,
+        }
+    }
+
+    /// True when untestable faults are excluded from cell subsets.
+    #[must_use]
+    pub fn prunes(self) -> bool {
+        !matches!(self, TestabilityMode::Off)
+    }
+}
+
 /// One IP provider in the sweep.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ProviderSpec {
@@ -302,6 +350,11 @@ pub struct CampaignSpec {
     /// backends produce bit-identical records, so this is a throughput
     /// knob — but it still feeds the digest, keeping journals honest.
     pub engine: EngineKind,
+    /// Static-testability handling. Optional in the spec file
+    /// (`"testability": "off" | "prune" | "prune-hardest-first"`,
+    /// default `off`). Pruning changes which faults a cell visits, so
+    /// the mode feeds the digest.
+    pub testability: TestabilityMode,
 }
 
 /// One cell of the expanded grid: a single self-contained
@@ -324,6 +377,8 @@ pub struct CellSpec {
     pub tier: EstimatorTier,
     /// Gate-evaluation backend, copied from the campaign level.
     pub engine: EngineKind,
+    /// Static-testability handling, copied from the campaign level.
+    pub testability: TestabilityMode,
     /// Content address: a pure function of the whole spec plus this
     /// cell's coordinates. See [`CampaignSpec::expand`].
     pub key: u128,
@@ -368,6 +423,13 @@ pub fn registered_offering(name: &str) -> Result<ComponentOffering, SpecError> {
             PriceList::default(),
         )
         .with_public_behavior("word-adder")),
+        "UntestableDemo" => Ok(ComponentOffering::new(
+            "UntestableDemo",
+            |w| std::sync::Arc::new(vcad_netlist::generators::untestable_demo(w)),
+            ModelAvailability::full(),
+            PriceList::default(),
+        )
+        .with_public_behavior("untestable-demo")),
         other => Err(SpecError::UnknownOffering(other.to_owned())),
     }
 }
@@ -547,6 +609,23 @@ impl CampaignSpec {
             }
         };
 
+        let testability = match obj.get("testability") {
+            None => TestabilityMode::default(),
+            Some(v) => {
+                let label = v.as_str().ok_or(SpecError::InvalidField {
+                    field: "testability",
+                    why: "expected a string".into(),
+                })?;
+                TestabilityMode::parse(label).ok_or(SpecError::InvalidField {
+                    field: "testability",
+                    why: format!(
+                        "unknown testability mode `{label}` \
+                         (expected off | prune | prune-hardest-first)"
+                    ),
+                })?
+            }
+        };
+
         let spec = CampaignSpec {
             name,
             seed,
@@ -561,6 +640,7 @@ impl CampaignSpec {
             },
             estimator_tiers,
             engine,
+            testability,
         };
         spec.check_dimensions()?;
         for p in &spec.providers {
@@ -624,6 +704,7 @@ impl CampaignSpec {
             h.write_str(t.label());
         }
         h.write_str(self.engine.label());
+        h.write_str(self.testability.label());
         h.finish()
     }
 
@@ -665,6 +746,7 @@ impl CampaignSpec {
                                     chaos_seed,
                                     tier,
                                     engine: self.engine,
+                                    testability: self.testability,
                                     key: h.finish(),
                                 });
                             }
@@ -805,6 +887,62 @@ mod tests {
         assert!(
             base_keys.is_disjoint(&edited_keys),
             "journals from one engine must never satisfy the other"
+        );
+    }
+
+    #[test]
+    fn testability_defaults_to_off_and_parses_labels() {
+        let spec = CampaignSpec::parse(SMOKE).unwrap();
+        assert_eq!(spec.testability, TestabilityMode::Off);
+        assert!(!spec.testability.prunes());
+
+        for (label, mode) in [
+            ("prune", TestabilityMode::Prune),
+            ("prune-hardest-first", TestabilityMode::HardestFirst),
+        ] {
+            let doc = SMOKE.replace(
+                "\"seed\": 7,",
+                &format!("\"seed\": 7, \"testability\": \"{label}\","),
+            );
+            let spec = CampaignSpec::parse(&doc).unwrap();
+            assert_eq!(spec.testability, mode);
+            assert!(spec.testability.prunes());
+            assert!(spec.expand().iter().all(|c| c.testability == mode));
+        }
+
+        let unknown = SMOKE.replace("\"seed\": 7,", "\"seed\": 7, \"testability\": \"maybe\",");
+        assert_eq!(
+            CampaignSpec::parse(&unknown),
+            Err(SpecError::InvalidField {
+                field: "testability",
+                why: "unknown testability mode `maybe` \
+                      (expected off | prune | prune-hardest-first)"
+                    .into(),
+            })
+        );
+        let not_a_string = SMOKE.replace("\"seed\": 7,", "\"seed\": 7, \"testability\": 1,");
+        assert!(matches!(
+            CampaignSpec::parse(&not_a_string),
+            Err(SpecError::InvalidField {
+                field: "testability",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn testability_change_yields_a_disjoint_key_set() {
+        let base = CampaignSpec::parse(SMOKE).unwrap();
+        let mut edited = base.clone();
+        edited.testability = TestabilityMode::Prune;
+        let base_keys: std::collections::HashSet<u128> =
+            base.expand().iter().map(|c| c.key).collect();
+        let edited_keys: std::collections::HashSet<u128> =
+            edited.expand().iter().map(|c| c.key).collect();
+        assert!(
+            base_keys.is_disjoint(&edited_keys),
+            "a pruned campaign visits different fault subsets — its \
+             journals must never satisfy an unpruned spec"
         );
     }
 

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use vcad_netlist::{GateId, GateKind, Netlist};
 
 use crate::fault::{Fault, FaultSite, StuckAt};
+use crate::testability::{FaultStatus, TestabilityAnalysis};
 
 /// One equivalence class of faults: any test detecting one member detects
 /// them all, so only the representative needs simulating.
@@ -14,6 +15,17 @@ pub struct FaultClass {
     pub representative: Fault,
     /// All members, including the representative.
     pub members: Vec<Fault>,
+    /// The static testability verdict ([`FaultStatus::Testable`] until
+    /// [`FaultUniverse::apply_testability`] proves otherwise).
+    pub status: FaultStatus,
+}
+
+impl FaultClass {
+    /// `true` unless the whole class is statically proven untestable.
+    #[must_use]
+    pub fn is_testable(&self) -> bool {
+        self.status.is_testable()
+    }
 }
 
 /// The stuck-at fault universe of a netlist, with equivalence collapsing.
@@ -176,6 +188,7 @@ impl FaultUniverse {
                 FaultClass {
                     representative: members[0],
                     members,
+                    status: FaultStatus::Testable,
                 }
             })
             .collect();
@@ -208,6 +221,50 @@ impl FaultUniverse {
     #[must_use]
     pub fn representatives(&self) -> Vec<Fault> {
         self.classes.iter().map(|c| c.representative).collect()
+    }
+
+    /// Marks every class whose members are *all* statically proven
+    /// untestable by `analysis`, so detection-table construction and
+    /// fault simulation skip them.
+    ///
+    /// Conservative on purpose: a class stays
+    /// [`FaultStatus::Testable`] unless every member carries a proof —
+    /// equivalence theory says one proof would suffice, but the
+    /// structural prover is incomplete and the all-members rule keeps
+    /// the accounting self-evidently sound. Returns the number of
+    /// classes marked.
+    pub fn apply_testability(
+        &mut self,
+        netlist: &Netlist,
+        analysis: &TestabilityAnalysis,
+    ) -> usize {
+        let mut marked = 0;
+        for class in &mut self.classes {
+            let verdicts: Vec<FaultStatus> = class
+                .members
+                .iter()
+                .map(|m| analysis.classify(netlist, m))
+                .collect();
+            if verdicts.iter().all(|v| !v.is_testable()) {
+                // members[0] is the representative, so verdicts[0] is
+                // the verdict the skipped simulation would have acted on.
+                class.status = verdicts[0];
+                marked += 1;
+            }
+        }
+        marked
+    }
+
+    /// The classes an untestability proof removed from simulation.
+    #[must_use]
+    pub fn untestable_classes(&self) -> Vec<&FaultClass> {
+        self.classes.iter().filter(|c| !c.is_testable()).collect()
+    }
+
+    /// Number of classes still requiring simulation.
+    #[must_use]
+    pub fn testable_class_count(&self) -> usize {
+        self.classes.iter().filter(|c| c.is_testable()).count()
     }
 }
 

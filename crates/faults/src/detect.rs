@@ -51,7 +51,10 @@ impl DetectionTable {
         let fault_free = Evaluator::new(netlist).outputs(inputs);
         let faulty = FaultyEvaluator::new(netlist);
         let mut rows: Vec<(LogicVec, Vec<SymbolicFault>)> = Vec::new();
-        for class in universe.classes() {
+        // Statically untestable classes simulate to the fault-free output
+        // under every pattern, so skipping them leaves the table
+        // bit-identical while saving their simulation passes.
+        for class in universe.classes().iter().filter(|c| c.is_testable()) {
             let out = faulty.outputs(&class.representative, inputs);
             if out == fault_free {
                 continue;
@@ -114,7 +117,14 @@ impl DetectionTable {
         let fault_free = compiled.outputs(inputs);
         let mut eval = compiled.evaluator();
         let mut rows: Vec<(LogicVec, Vec<SymbolicFault>)> = Vec::new();
-        for chunk in universe.classes().chunks(64) {
+        // Same untestable-class skip as the event path, applied before
+        // lane packing so both engines chunk the same class sequence.
+        let testable: Vec<&crate::collapse::FaultClass> = universe
+            .classes()
+            .iter()
+            .filter(|c| c.is_testable())
+            .collect();
+        for chunk in testable.chunks(64) {
             let patterns = vec![inputs.clone(); chunk.len()];
             let packed = compiled.pack(&patterns);
             let forces: Vec<Force> = chunk
@@ -306,6 +316,31 @@ mod tests {
         let table = figure4_table();
         let n: usize = table.rows().iter().map(|(_, f)| f.len()).sum();
         assert_eq!(table.exposable_faults().len(), n);
+    }
+
+    #[test]
+    fn untestable_marking_leaves_tables_bit_identical() {
+        use crate::testability::TestabilityAnalysis;
+        use vcad_logic::Logic;
+        let nl = generators::untestable_demo(3);
+        let full = FaultUniverse::collapsed(&nl);
+        let mut pruned = full.clone();
+        let marked = pruned.apply_testability(&nl, &TestabilityAnalysis::analyze(&nl));
+        assert!(marked > 0, "demo circuit must yield untestable classes");
+        let w = nl.input_count();
+        let mut patterns: Vec<LogicVec> =
+            (0..1u64 << w).map(|p| LogicVec::from_u64(w, p)).collect();
+        patterns.push(LogicVec::filled(w, Logic::X));
+        let mut with_z = LogicVec::zeros(w);
+        with_z.set(0, Logic::Z);
+        patterns.push(with_z);
+        for inputs in &patterns {
+            for engine in [EngineKind::Event, EngineKind::Compiled] {
+                let unpruned = DetectionTable::build_with(&nl, &full, inputs, engine);
+                let skipped = DetectionTable::build_with(&nl, &pruned, inputs, engine);
+                assert_eq!(unpruned, skipped, "{engine:?} under {inputs}");
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`FaultUniverse`] — fault-list extraction with equivalence collapsing
 //!   (union-find over the classic per-gate rules) and optional dominance
 //!   reduction.
+//! * [`TestabilityAnalysis`] — static SCOAP controllability/observability
+//!   scores plus sound untestability proofs; [`FaultUniverse`] classes a
+//!   proof covers are skipped by simulation and accounted separately.
 //! * [`FaultyEvaluator`] — evaluation of a netlist with one fault injected.
 //! * [`DetectionTable`] — the paper's key data structure: for one input
 //!   pattern, every erroneous output configuration with the symbolic
@@ -33,6 +36,7 @@ mod eval;
 mod fault;
 mod parallel;
 mod patterns;
+mod testability;
 mod virtual_sim;
 
 pub use collapse::{dominance_reduce, FaultClass, FaultUniverse};
@@ -41,6 +45,7 @@ pub use eval::{FaultyEvaluator, SerialFaultSim};
 pub use fault::{Fault, FaultSite, StuckAt, SymbolicFault};
 pub use parallel::BitParallelSim;
 pub use patterns::{grow_random_patterns, PatternError, PatternGrowth};
+pub use testability::{FaultStatus, NetScores, TestabilityAnalysis, UNREACHABLE};
 pub use virtual_sim::{
     BlockCoverage, CoverageReport, DetectionTableSource, IpBlockBinding, NetlistDetectionSource,
     VirtualFaultSim, VirtualSimError,

@@ -93,6 +93,15 @@ pub trait DetectionTableSource: Send + Sync {
     /// Returns [`VirtualSimError::Source`] when the provider cannot be
     /// reached or answers malformed data.
     fn detection_table(&self, inputs: &LogicVec) -> Result<DetectionTable, VirtualSimError>;
+
+    /// Number of internal fault classes a static testability analysis
+    /// proved untestable and removed from
+    /// [`fault_list`](DetectionTableSource::fault_list). Defaults to 0 for sources
+    /// without such an analysis (remote providers report it only
+    /// implicitly, through the shorter list).
+    fn untestable_count(&self) -> usize {
+        0
+    }
 }
 
 /// The provider-side (or fully local) detection-table source: owns the
@@ -130,6 +139,18 @@ impl NetlistDetectionSource {
         self
     }
 
+    /// Runs the static testability analysis over the netlist and marks
+    /// provably untestable classes in the universe: they drop out of
+    /// the advertised fault list and detection tables skip their
+    /// simulation, while [`DetectionTableSource::untestable_count`]
+    /// keeps the raw denominator reconstructible.
+    #[must_use]
+    pub fn with_testability(mut self) -> NetlistDetectionSource {
+        let analysis = crate::testability::TestabilityAnalysis::analyze(&self.netlist);
+        self.universe.apply_testability(&self.netlist, &analysis);
+        self
+    }
+
     /// The collapsed fault universe of the component.
     #[must_use]
     pub fn universe(&self) -> &FaultUniverse {
@@ -159,8 +180,13 @@ impl NetlistDetectionSource {
 impl DetectionTableSource for NetlistDetectionSource {
     fn fault_list(&self) -> Vec<SymbolicFault> {
         self.internal_classes()
+            .filter(|c| c.is_testable())
             .map(|c| c.representative.name(&self.netlist))
             .collect()
+    }
+
+    fn untestable_count(&self) -> usize {
+        self.internal_classes().filter(|c| !c.is_testable()).count()
     }
 
     fn detection_table(&self, inputs: &LogicVec) -> Result<DetectionTable, VirtualSimError> {
@@ -219,6 +245,9 @@ pub struct BlockCoverage {
     pub module: ModuleId,
     /// Size of the symbolic fault list.
     pub total: usize,
+    /// Internal fault classes the source's static testability analysis
+    /// excluded from the list (0 when no analysis ran).
+    pub untestable: usize,
     /// Detected faults, in detection order.
     pub detected: Vec<SymbolicFault>,
     /// `(pattern index, cumulative detected)` per simulated pattern.
@@ -226,13 +255,29 @@ pub struct BlockCoverage {
 }
 
 impl BlockCoverage {
-    /// Fault coverage in `[0, 1]`.
+    /// Fault coverage over the *detectable* universe in `[0, 1]` — the
+    /// denominator excludes statically untestable classes, mirroring
+    /// how boundary classes are already excluded.
     #[must_use]
     pub fn coverage(&self) -> f64 {
         if self.total == 0 {
             1.0
         } else {
             self.detected.len() as f64 / self.total as f64
+        }
+    }
+
+    /// Fault coverage over the *raw* universe: untestable classes
+    /// return to the denominator (and can never be detected), so this
+    /// is the pessimistic figure a flow without static pruning would
+    /// report.
+    #[must_use]
+    pub fn raw_coverage(&self) -> f64 {
+        let raw = self.total + self.untestable;
+        if raw == 0 {
+            1.0
+        } else {
+            self.detected.len() as f64 / raw as f64
         }
     }
 }
@@ -400,6 +445,7 @@ impl VirtualFaultSim {
             block_cov.push(BlockCoverage {
                 module: b.module,
                 total: list.len(),
+                untestable: b.source.untestable_count(),
                 detected: Vec::new(),
                 history: Vec::new(),
             });
@@ -644,6 +690,34 @@ mod tests {
     use vcad_core::stdlib::{NetlistBlock, PrimaryOutput, VectorInput};
     use vcad_core::DesignBuilder;
     use vcad_netlist::{generators, GateKind, NetlistBuilder};
+
+    #[test]
+    fn testability_pruning_shrinks_the_fault_list_not_the_tables() {
+        let nl = Arc::new(generators::untestable_demo(2));
+        let plain = NetlistDetectionSource::new(nl.clone());
+        let pruned = NetlistDetectionSource::new(nl.clone()).with_testability();
+        assert_eq!(plain.untestable_count(), 0);
+        assert!(pruned.untestable_count() > 0);
+        let full_list = plain.fault_list();
+        let pruned_list = pruned.fault_list();
+        // The pruned list plus the untestable count reconstructs the raw
+        // denominator, and pruning only ever removes names.
+        assert_eq!(
+            pruned_list.len() + pruned.untestable_count(),
+            full_list.len()
+        );
+        assert!(pruned_list.iter().all(|f| full_list.contains(f)));
+        // Tables stay bit-identical: untestable classes never produce a
+        // row anyway.
+        for p in 0..16u64 {
+            let inputs = LogicVec::from_u64(4, p);
+            assert_eq!(
+                plain.detection_table(&inputs).unwrap(),
+                pruned.detection_table(&inputs).unwrap(),
+                "under {inputs}"
+            );
+        }
+    }
 
     /// Builds the paper's Figure 4 circuit around IP1 (a NAND-style half
     /// adder): E = AND(A, B); (OIP1, OIP2) = IP1(E, C); F = AND(C, D);

@@ -1,0 +1,90 @@
+//! Property test: equivalence collapsing preserves coverage.
+//!
+//! Simulating only the collapsed representatives must yield exactly the
+//! same coverage over the *full* uncollapsed universe as simulating
+//! every fault — each class is detected all-or-none, and a detected
+//! class accounts for every member. Rerun one failing seed with
+//! `VCAD_PROP_SEED=<n> cargo test -p vcad-faults --test collapse_property`.
+
+use std::collections::HashSet;
+
+use vcad_faults::{Fault, FaultUniverse, SerialFaultSim};
+use vcad_logic::LogicVec;
+use vcad_netlist::generators::{random_circuit, RandomCircuitSpec};
+use vcad_prng::Rng;
+
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 1999, 2002];
+
+fn seeds_under_test() -> Vec<u64> {
+    match std::env::var("VCAD_PROP_SEED") {
+        Ok(s) => vec![s.parse().expect("VCAD_PROP_SEED: bad seed")],
+        Err(_) => SEEDS.to_vec(),
+    }
+}
+
+fn random_patterns(width: usize, count: usize, seed: u64) -> Vec<LogicVec> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| LogicVec::from_u64(width, rng.gen_range(0..1u64 << width)))
+        .collect()
+}
+
+#[test]
+fn collapsed_and_full_universe_simulation_agree() {
+    for seed in seeds_under_test() {
+        let nl = random_circuit(RandomCircuitSpec {
+            inputs: 6,
+            gates: 40,
+            outputs: 5,
+            seed,
+        });
+        let patterns = random_patterns(nl.input_count(), 24, seed ^ 0x9E37);
+
+        let full = FaultUniverse::all_faults(&nl);
+        let full_detected: HashSet<Fault> = SerialFaultSim::new(&nl, full.clone())
+            .run(&patterns)
+            .into_iter()
+            .collect();
+
+        let universe = FaultUniverse::collapsed(&nl);
+        let reps_detected: HashSet<Fault> = SerialFaultSim::new(&nl, universe.representatives())
+            .run(&patterns)
+            .into_iter()
+            .collect();
+
+        let mut members_of_detected_classes = 0usize;
+        for class in universe.classes() {
+            // Equivalent faults are detected all-or-none by any test set.
+            let hits = class
+                .members
+                .iter()
+                .filter(|m| full_detected.contains(m))
+                .count();
+            assert!(
+                hits == 0 || hits == class.members.len(),
+                "seed {seed}: class {:?} partially detected ({hits}/{})",
+                class.representative.name(&nl),
+                class.members.len()
+            );
+            // The representative's verdict stands in for every member.
+            assert_eq!(
+                reps_detected.contains(&class.representative),
+                hits > 0,
+                "seed {seed}: representative {:?} disagrees with members",
+                class.representative.name(&nl)
+            );
+            if hits > 0 {
+                members_of_detected_classes += class.members.len();
+            }
+        }
+
+        // Identical coverage over the raw universe, whichever way it is
+        // computed.
+        assert_eq!(
+            members_of_detected_classes,
+            full_detected.len(),
+            "seed {seed}: collapsed coverage diverges from full simulation"
+        );
+        assert_eq!(universe.total_faults(), full.len(), "seed {seed}");
+    }
+}

@@ -116,13 +116,38 @@ fn run_sim(
     source_engine: EngineKind,
     shards: usize,
 ) -> CoverageReport {
+    run_sim_pruned(
+        design,
+        ip_mod,
+        outputs,
+        ip,
+        sim_engine,
+        source_engine,
+        shards,
+        false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sim_pruned(
+    design: &Arc<Design>,
+    ip_mod: ModuleId,
+    outputs: &[ModuleId],
+    ip: &Arc<Netlist>,
+    sim_engine: EngineKind,
+    source_engine: EngineKind,
+    shards: usize,
+    pruned: bool,
+) -> CoverageReport {
+    let mut source = NetlistDetectionSource::new(Arc::clone(ip)).with_engine(source_engine);
+    if pruned {
+        source = source.with_testability();
+    }
     VirtualFaultSim::new(
         Arc::clone(design),
         vec![IpBlockBinding {
             module: ip_mod,
-            source: Arc::new(
-                NetlistDetectionSource::new(Arc::clone(ip)).with_engine(source_engine),
-            ),
+            source: Arc::new(source),
         }],
         outputs.to_vec(),
     )
@@ -167,6 +192,77 @@ fn virtual_sim_coverage_is_engine_invariant_across_shards() {
                         got, baseline,
                         "seed {seed}: engine={sim_engine} source={source_engine} \
                          shards={shards} diverges from the event-driven baseline \
+                         (rerun with VCAD_PROP_SEED={seed})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Static-testability pruning must be invisible to coverage: the
+/// pruned run detects the same faults with the same per-pattern
+/// history as the unpruned run (statically untestable faults are never
+/// detected), its denominators account for the exclusion exactly, and
+/// the pruned run itself is bit-identical across engine × source ×
+/// shard-count combinations.
+#[test]
+fn pruned_coverage_matches_unpruned_across_engines_and_shards() {
+    for seed in seeds_under_test() {
+        let (design, ip_mod, outputs, ip) = scenario(seed);
+        let unpruned = run_sim(
+            &design,
+            ip_mod,
+            &outputs,
+            &ip,
+            EngineKind::Event,
+            EngineKind::Event,
+            1,
+        );
+        let baseline = run_sim_pruned(
+            &design,
+            ip_mod,
+            &outputs,
+            &ip,
+            EngineKind::Event,
+            EngineKind::Event,
+            1,
+            true,
+        );
+        assert_eq!(
+            fingerprint(&unpruned).0,
+            fingerprint(&baseline).0,
+            "seed {seed}: pruning changed the detected set \
+             (rerun with VCAD_PROP_SEED={seed})"
+        );
+        assert_eq!(
+            unpruned.blocks[0].history, baseline.blocks[0].history,
+            "seed {seed}: pruning changed the detection history"
+        );
+        assert_eq!(
+            baseline.blocks[0].total + baseline.blocks[0].untestable,
+            unpruned.blocks[0].total,
+            "seed {seed}: raw denominator must be reconstructible"
+        );
+        assert!(baseline.blocks[0].coverage() >= unpruned.blocks[0].coverage());
+        let fp = fingerprint(&baseline);
+        for sim_engine in EngineKind::ALL {
+            for source_engine in EngineKind::ALL {
+                for shards in [1usize, 2, 8] {
+                    let got = fingerprint(&run_sim_pruned(
+                        &design,
+                        ip_mod,
+                        &outputs,
+                        &ip,
+                        sim_engine,
+                        source_engine,
+                        shards,
+                        true,
+                    ));
+                    assert_eq!(
+                        got, fp,
+                        "seed {seed}: pruned run engine={sim_engine} \
+                         source={source_engine} shards={shards} diverges \
                          (rerun with VCAD_PROP_SEED={seed})"
                     );
                 }

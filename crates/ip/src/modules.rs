@@ -56,6 +56,10 @@ impl PublicPart {
         match self.behavior.as_str() {
             "word-multiplier" => Ok(Arc::new(WordMultiplier::new(instance, self.width))),
             "word-adder" => Ok(Arc::new(WordAdder::new(instance, self.width))),
+            "untestable-demo" => Ok(Arc::new(vcad_core::stdlib::NetlistBlock::new(
+                instance,
+                Arc::new(vcad_netlist::generators::untestable_demo(self.width)),
+            ))),
             other => Err(RmiError::application(format!(
                 "unknown public behaviour `{other}`"
             ))),

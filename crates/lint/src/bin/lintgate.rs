@@ -47,11 +47,26 @@ fn main() -> ExitCode {
     match positional.first().map(|s| s.as_str()) {
         Some("clean") => clean(json),
         Some("dirty") => dirty(positional.get(1).map(|s| s.as_str()), json),
+        Some("testability") => testability(json),
         _ => {
-            eprintln!("usage: lintgate <clean|dirty [fixture-dir]> [--json]");
+            eprintln!("usage: lintgate <clean|dirty [fixture-dir]|testability> [--json]");
             ExitCode::from(2)
         }
     }
+}
+
+/// Prints the shared reference testability reports, blank-line
+/// separated — byte-identical to the golden file pinned by the
+/// `testability_reports_match_golden` test in `tests/golden_outputs.rs`.
+fn testability(json: bool) -> ExitCode {
+    for report in vcad_lint::testability::reference_reports() {
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{}", report.render());
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn emit(report: &LintReport, json: bool) {

@@ -102,6 +102,44 @@ pub mod rules {
     pub const UNCACHED_PURE: &str = "privacy/uncached-pure";
     /// A marshalled value carries a structural-looking payload.
     pub const STRUCTURAL_PAYLOAD: &str = "privacy/structural-payload";
+    /// A fault site is statically proven untestable (unexcitable or
+    /// unobservable) and will never be covered by any test set.
+    pub const UNTESTABLE_FAULT: &str = "testability/untestable-fault";
+    /// A net has no sensitizable path to any primary output: logic
+    /// feeding it is dead weight for testing purposes.
+    pub const UNOBSERVABLE_NET: &str = "testability/unobservable-net";
+
+    /// Every rule ID any pass can emit, in declaration order.
+    ///
+    /// Downstream JSON consumers key on these strings; the registry
+    /// test in `tests/rule_registry.rs` pins the exact list so a rename
+    /// fails CI instead of silently breaking them.
+    pub const ALL: &[&str] = &[
+        WIDTH_MISMATCH,
+        DOUBLE_DRIVER,
+        NO_DRIVER,
+        BIDI_CONTENTION,
+        UNDRIVEN_INPUT,
+        DANGLING_OUTPUT,
+        BAD_DEP,
+        COMBINATIONAL_LOOP,
+        ESTIMATOR_NAME,
+        ESTIMATOR_COST,
+        ESTIMATOR_ACCURACY,
+        ESTIMATOR_DUPLICATE,
+        UNKNOWN_FAULT,
+        DETECTION_WIDTH,
+        DUPLICATE_FAULT,
+        EMPTY_FAULT_LIST,
+        MALFORMED_TABLE,
+        STRUCTURAL_REQUEST,
+        STRUCTURAL_RESPONSE,
+        CACHEABLE_IMPURE,
+        UNCACHED_PURE,
+        STRUCTURAL_PAYLOAD,
+        UNTESTABLE_FAULT,
+        UNOBSERVABLE_NET,
+    ];
 }
 
 /// Where a finding points: a module instance and optionally one of its

@@ -7,7 +7,7 @@
 //! with a named rule instead of burning a remote provider's fees or an
 //! event budget discovering the problem dynamically.
 //!
-//! Four pass families:
+//! Five pass families:
 //!
 //! * **connectivity** — undriven and multiply-driven nets, dangling
 //!   unbound ports, width mismatches across connectors;
@@ -20,7 +20,11 @@
 //! * **privacy** — a static wire-privacy audit over every marshallable
 //!   frame declared by `vcad-ip`'s protocol manifest and the cache
 //!   allowlist, asserting only port-local data is ever serialized — the
-//!   paper's zero-disclosure property as a machine-checked invariant.
+//!   paper's zero-disclosure property as a machine-checked invariant;
+//! * **testability** — quantitative netlist analysis
+//!   ([`TestabilityReport`]): SCOAP controllability/observability
+//!   scoring, hardest-fault ranking and statically-proven untestable
+//!   fault sites, surfaced as Warn diagnostics.
 //!
 //! Findings are [`Diagnostic`]s with a severity ([`Severity::Deny`]
 //! blocks simulation, `Warn` and `Allow` inform), a stable rule id
@@ -59,9 +63,11 @@ pub mod graph;
 mod loops;
 mod meta;
 mod privacy;
+pub mod testability;
 
 pub use diag::{Diagnostic, JsonError, LintReport, Location, Severity};
 pub use elaborate::{cli, Elaborate, ElaborateError, Linter};
 pub use graph::{FrameSpec, LintGraph, LintModule, LintPort};
 pub use meta::{lint_detection_frame, lint_fault_model};
 pub use privacy::audit_value;
+pub use testability::TestabilityReport;

@@ -363,6 +363,37 @@ pub fn random_circuit(spec: RandomCircuitSpec) -> Netlist {
     b.build().expect("random circuit is structurally valid")
 }
 
+/// A `width`-bit XOR core with *planted* statically untestable fault
+/// sites, for exercising testability analysis end to end.
+///
+/// On top of `S[i] = A[i] ^ B[i]`, the design plants:
+///
+/// * `TIED = AND(A[0], const0)`, exported as an output — the net is tied
+///   to 0, so `TIED/sa0` is unexcitable and the `A[0]` branch into the
+///   AND is unobservable (its side input blocks every propagation path);
+/// * `GHOST = OR(A[0], B[0])`, driving nothing — both polarities are
+///   unobservable (empty observation cone).
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn untestable_demo(width: usize) -> Netlist {
+    assert!(width > 0, "untestable_demo needs width >= 1");
+    let mut b = NetlistBuilder::new(format!("untestable_demo_{width}"));
+    let a = b.input_bus("A", width);
+    let bb = b.input_bus("B", width);
+    let sums: Vec<NetId> = (0..width)
+        .map(|i| b.named_gate(format!("S{i}"), GateKind::Xor, &[a[i], bb[i]]))
+        .collect();
+    b.output_bus("S", &sums);
+    let zero = b.constant(vcad_logic::Logic::Zero);
+    let tied = b.named_gate("TIED", GateKind::And, &[a[0], zero]);
+    b.output("TIED", tied);
+    let _ghost = b.named_gate("GHOST", GateKind::Or, &[a[0], bb[0]]);
+    b.build().expect("untestable demo is structurally valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
