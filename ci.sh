@@ -120,4 +120,15 @@ EOF
 echo "==> testability bench gate: pruning must keep coverage bit-identical with a wall-clock win"
 cargo run --release -q -p vcad-bench --bin testability -- --bench BENCH_faultsim.json
 
+echo "==> loadgen gate: 200 concurrent tenant sessions — zero lost, fees exact, shed within budget"
+rm -rf target/loadgen-gate
+cargo run --release -q -p vcad-bench --bin loadgen -- \
+    --out target/loadgen-gate \
+    --bench BENCH_loadgen.json
+cargo run --release -q -p vcad-obs --bin obs-report -- report \
+    target/loadgen-gate/client.json \
+    target/loadgen-gate/provider.json \
+    --require-no-orphans > target/loadgen-gate/report.txt
+grep "^consistency:" target/loadgen-gate/report.txt
+
 echo "CI green."

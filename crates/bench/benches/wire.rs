@@ -39,6 +39,7 @@ fn main() {
         method: "power_toggle".into(),
         args: vec![buffer50.clone()],
         context: None,
+        tenant: None,
     });
     let bytes = frame.encode();
     group.bench("encode_call_frame", || {
@@ -61,6 +62,7 @@ fn main() {
                 .with_baggage("provider", "provider.example.com")
                 .with_baggage("method", "power_toggle"),
         ),
+        tenant: None,
     });
     let traced_bytes = traced.encode();
     group.bench("encode_call_frame_traced", || {

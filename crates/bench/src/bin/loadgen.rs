@@ -1,0 +1,362 @@
+//! `loadgen` — the multi-tenant soak/bench harness.
+//!
+//! Drives hundreds of concurrent client sessions, spread across several
+//! tenant identities, against ONE provider served through the
+//! connection-multiplexing [`vcad_rmi::MuxServer`]. Every session
+//! connects over a real TCP socket, stamps its tenant id into the v3
+//! call frame, and runs the same small workload: catalog, instantiate,
+//! then a burst of chargeable `functional_eval` calls. All sessions
+//! rendezvous on a barrier after connecting, so the configured session
+//! count is genuinely *concurrent* — the server's connection high-water
+//! mark proves it.
+//!
+//! The provider runs under admission control: per-tenant token buckets
+//! shed excess load as retryable `Overloaded` errors, which the
+//! client-side [`vcad_rmi::ResilientTransport`] absorbs with backoff.
+//! The bin asserts the invariants the multi-tenant design promises:
+//!
+//! * **zero lost sessions** — every session completes its full workload
+//!   despite shedding;
+//! * **exact per-tenant fees** — each tenant's ledger equals its session
+//!   count × calls × the published fee, to the cent, because retries
+//!   are deduplicated and shed calls never reach the fee path;
+//! * **bounded shed rate** — sheds may happen, but not dominate.
+//!
+//! A separate, fully deterministic fairness simulation (virtual clock,
+//! fixed schedule, no wall times) pins the admission controller's
+//! behaviour when a greedy tenant saturates its bucket next to a polite
+//! one: the counts land in the `fairness` section of the bench baseline
+//! and never change run to run.
+//!
+//! Flags: `--sessions <n>` (default 200), `--tenants <n>` (default 4),
+//! `--calls <n>` (default 3), `--workers <n>` (mux pool, default 8),
+//! `--out <dir>` (write Chrome trace dumps for `obs-report` stitching),
+//! `--json <path>` (full machine-readable results), `--bench <path>`
+//! (merge the `loadgen` + `fairness` sections into a bench baseline),
+//! `--health <path>[:interval_ms]` (live server-side health snapshots).
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use vcad_bench::{cli, report};
+use vcad_ip::{ClientSession, ComponentOffering, ProviderServer};
+use vcad_logic::LogicVec;
+use vcad_obs::{chrome, Collector};
+use vcad_rmi::{
+    AdmissionControl, MuxServerConfig, ResilientTransport, RetryPolicy, TcpTimeouts, TcpTransport,
+    TenantQuota, Transport, Value, VirtualClock,
+};
+
+/// Far above any loopback round trip, far below a CI job timeout.
+const SOCKET_BUDGET: Duration = Duration::from_secs(10);
+
+/// The offering every session instantiates.
+const OFFERING: &str = "MultFastLowPower";
+
+/// Component bit width (inputs are `2 * WIDTH` bits wide).
+const WIDTH: usize = 4;
+
+/// Published fee per `functional_eval` call, cents (see
+/// `vcad_ip::PriceList::default`).
+const FUNCTIONAL_EVAL_FEE_CENTS: f64 = 0.001;
+
+/// Sheds are tolerated, but must not dominate admitted traffic.
+const MAX_SHED_RATE: f64 = 0.5;
+
+struct Config {
+    sessions: usize,
+    tenants: usize,
+    calls: usize,
+    workers: usize,
+    trace: bool,
+}
+
+/// One session's workload. Returns an error description instead of
+/// panicking so the main thread can count losses across the whole run.
+fn run_session(
+    addr: std::net::SocketAddr,
+    tenant: &str,
+    calls: usize,
+    obs: &Collector,
+    trace: bool,
+    ready: &Barrier,
+) -> Result<(), String> {
+    let raw: Arc<dyn Transport> = Arc::new(
+        TcpTransport::connect_with_timeouts_and_collector(
+            addr,
+            TcpTimeouts::all(SOCKET_BUDGET),
+            obs,
+        )
+        .map_err(|e| format!("connect: {e}"))?,
+    );
+    let policy = RetryPolicy::default()
+        .with_max_attempts(10)
+        .with_deadline(Duration::from_secs(20))
+        .with_backoff(Duration::from_millis(1), Duration::from_millis(16));
+    let resilient: Arc<dyn Transport> =
+        Arc::new(ResilientTransport::new(raw, policy).with_collector(obs));
+    let mut session = ClientSession::connect(resilient, "loadgen-provider").with_tenant(tenant);
+    if trace {
+        session = session.with_collector(obs.clone());
+    }
+
+    let catalog = session.catalog().map_err(|e| format!("catalog: {e}"))?;
+    if !catalog.iter().any(|o| o.name == OFFERING) {
+        return Err(format!("offering {OFFERING} missing from catalog"));
+    }
+    let component = session
+        .instantiate(OFFERING, WIDTH)
+        .map_err(|e| format!("instantiate: {e}"))?;
+
+    // Everyone holds here until the whole fleet is connected and
+    // instantiated: the chargeable burst below is issued by all
+    // sessions at once.
+    ready.wait();
+
+    let latency = obs.metrics().histogram("loadgen.call_ns");
+    for k in 0..calls {
+        let inputs = LogicVec::from_u64(2 * WIDTH, (k as u64 * 37) & 0xff);
+        let started = Instant::now();
+        let out = component
+            .stub()
+            .invoke("functional_eval", vec![Value::Vec(inputs)])
+            .map_err(|e| format!("functional_eval {k}: {e}"))?;
+        latency.record_duration(started.elapsed());
+        if !matches!(out, Value::Vec(_)) {
+            return Err(format!("functional_eval {k}: non-vector reply"));
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic admission-fairness simulation on a virtual clock.
+///
+/// Both tenants run under the same quota (100 calls/s, burst 10). The
+/// greedy tenant fires 5 calls every virtual millisecond (5000/s); the
+/// polite tenant fires 1 call every 20 ms (50/s, inside its budget).
+/// Because buckets are per tenant, the greedy tenant's saturation
+/// cannot starve the polite one: its shed count stays zero while the
+/// greedy tenant is clamped to its configured rate. Every count is a
+/// pure function of this fixed schedule — no wall clock anywhere.
+fn fairness_sim() -> (u64, u64, u64, u64) {
+    let clock = Arc::new(VirtualClock::new());
+    let admission = AdmissionControl::with_clock(clock.clone())
+        .with_default_quota(TenantQuota::rate_limited(100.0, 10.0));
+    let (mut greedy_ok, mut greedy_shed, mut polite_ok, mut polite_shed) = (0u64, 0u64, 0u64, 0u64);
+    for step in 0..1000u64 {
+        clock.advance(Duration::from_millis(1));
+        for _ in 0..5 {
+            match admission.admit(Some("greedy")) {
+                Ok(()) => greedy_ok += 1,
+                Err(_) => greedy_shed += 1,
+            }
+        }
+        if step % 20 == 0 {
+            match admission.admit(Some("polite")) {
+                Ok(()) => polite_ok += 1,
+                Err(_) => polite_shed += 1,
+            }
+        }
+    }
+    (greedy_ok, greedy_shed, polite_ok, polite_shed)
+}
+
+fn main() {
+    let config = Config {
+        sessions: cli::sessions().unwrap_or(200),
+        tenants: cli::tenants().unwrap_or(4),
+        calls: cli::calls().unwrap_or(3),
+        workers: cli::workers().unwrap_or(8),
+        trace: cli::flag_present("--out"),
+    };
+    let out = cli::out_dir("target/loadgen");
+    if config.trace {
+        std::fs::create_dir_all(&out).expect("create output directory");
+    }
+
+    let (server_obs, client_obs) = if config.trace {
+        (
+            Collector::with_capacity(1 << 20).with_process_name("loadgen-provider"),
+            Collector::with_capacity(1 << 20).with_process_name("loadgen-client"),
+        )
+    } else {
+        (Collector::enabled(), Collector::enabled())
+    };
+    let _health = cli::start_health(&server_obs);
+
+    // A generous default quota: admission is exercised (bursts above
+    // the bucket shed and retry), but a healthy fleet mostly passes.
+    let admission = Arc::new(
+        AdmissionControl::new()
+            .with_collector(&server_obs)
+            .with_default_quota(TenantQuota::rate_limited(20_000.0, 256.0)),
+    );
+    let server = ProviderServer::with_admission("loadgen-provider", server_obs.clone(), admission);
+    server.offer(ComponentOffering::fast_low_power_multiplier());
+    let mux = server
+        .serve_mux(
+            "127.0.0.1:0",
+            MuxServerConfig {
+                workers: config.workers,
+                queue_capacity: 256,
+                max_connections: config.sessions + 8,
+            },
+        )
+        .expect("bind mux server");
+    let addr = mux.addr();
+
+    let ready = Arc::new(Barrier::new(config.sessions));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..config.sessions)
+        .map(|i| {
+            let tenant = format!("tenant-{}", i % config.tenants);
+            let obs = client_obs.clone();
+            let ready = Arc::clone(&ready);
+            let calls = config.calls;
+            let trace = config.trace;
+            std::thread::Builder::new()
+                .name(format!("loadgen-session-{i}"))
+                .spawn(move || run_session(addr, &tenant, calls, &obs, trace, &ready))
+                .expect("spawn session thread")
+        })
+        .collect();
+    let mut lost = 0usize;
+    for (i, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                eprintln!("session {i} lost: {e}");
+                lost += 1;
+            }
+            Err(_) => {
+                eprintln!("session {i} lost: panicked");
+                lost += 1;
+            }
+        }
+    }
+    let wall = started.elapsed();
+
+    let server_snap = server_obs.metrics().snapshot();
+    let client_snap = client_obs.metrics().snapshot();
+    let admitted = server_snap.counter("server.admitted");
+    let shed = server_snap.counter("server.shed") + server_snap.counter("server.queue_shed");
+    let shed_rate = if admitted + shed > 0 {
+        shed as f64 / (admitted + shed) as f64
+    } else {
+        0.0
+    };
+    let peak_conns = server_snap
+        .gauges
+        .get("server.connections")
+        .map_or(0, |g| g.high_water);
+    let latency = client_snap.histograms.get("loadgen.call_ns");
+    let (p50, p90, p99) = latency.map_or((0, 0, 0), |h| {
+        (h.quantile(0.50), h.quantile(0.90), h.quantile(0.99))
+    });
+
+    println!(
+        "loadgen: {} sessions ({} tenants, {} calls each) in {:.2}s — \
+         peak {} connections, {} admitted, {} shed ({:.2}% shed rate), {} lost",
+        config.sessions,
+        config.tenants,
+        config.calls,
+        wall.as_secs_f64(),
+        peak_conns,
+        admitted,
+        shed,
+        shed_rate * 100.0,
+        lost,
+    );
+    println!(
+        "latency (client-observed, µs): p50 {} p90 {} p99 {}",
+        p50 / 1000,
+        p90 / 1000,
+        p99 / 1000,
+    );
+
+    // Exact per-tenant fee accounting: sessions are dealt round-robin,
+    // every session charges `calls` functional evaluations, and neither
+    // retries (deduplicated) nor sheds (rejected pre-fee) can move the
+    // total.
+    let mut fee_lines = Vec::new();
+    for t in 0..config.tenants {
+        let tenant = format!("tenant-{t}");
+        let tenant_sessions =
+            config.sessions / config.tenants + usize::from(t < config.sessions % config.tenants);
+        let expected = tenant_sessions as f64 * config.calls as f64 * FUNCTIONAL_EVAL_FEE_CENTS;
+        let actual = server.ledger().tenant_total_cents(&tenant);
+        println!("  {tenant}: {tenant_sessions} sessions, fees {actual:.3}¢");
+        assert!(
+            (actual - expected).abs() < 1e-9,
+            "{tenant}: fees {actual} != expected {expected}"
+        );
+        fee_lines.push((tenant, actual));
+    }
+
+    let (greedy_ok, greedy_shed, polite_ok, polite_shed) = fairness_sim();
+    println!(
+        "fairness (virtual clock): greedy {greedy_ok} admitted / {greedy_shed} shed, \
+         polite {polite_ok} admitted / {polite_shed} shed"
+    );
+
+    if config.trace {
+        for (path, obs) in [
+            (out.join("client.json"), &client_obs),
+            (out.join("provider.json"), &server_obs),
+        ] {
+            let trace = obs.trace();
+            println!("{}: {} events", path.display(), trace.events.len());
+            chrome::write_chrome_trace(&trace, &path).expect("write trace dump");
+        }
+        println!(
+            "stitch with: obs-report report {}/client.json {}/provider.json --require-no-orphans",
+            out.display(),
+            out.display()
+        );
+    }
+
+    let fees_json = fee_lines
+        .iter()
+        .map(|(t, c)| format!("\"{t}\": {c:.3}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let loadgen_section = format!(
+        "{{\"sessions\": {}, \"tenants\": {}, \"calls_per_session\": {}, \
+         \"peak_connections\": {peak_conns}, \"lost_sessions\": {lost}, \
+         \"admitted\": {admitted}, \"shed\": {shed}, \"shed_rate\": {shed_rate:.4}, \
+         \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \
+         \"fees_cents\": {{{fees_json}}}}}",
+        config.sessions,
+        config.tenants,
+        config.calls,
+        p50 / 1000,
+        p90 / 1000,
+        p99 / 1000,
+    );
+    let fairness_section = format!(
+        "{{\"greedy_admitted\": {greedy_ok}, \"greedy_shed\": {greedy_shed}, \
+         \"polite_admitted\": {polite_ok}, \"polite_shed\": {polite_shed}}}"
+    );
+    let doc = format!("{{\"loadgen\": {loadgen_section}, \"fairness\": {fairness_section}}}");
+    if let Some(path) = cli::json_path() {
+        std::fs::write(&path, &doc).expect("write json results");
+        println!("JSON results written to {}", path.display());
+    }
+    if let Some(path) = cli::bench_path() {
+        report::merge_bench_sections(&path, &doc);
+        println!("bench baseline updated in {}", path.display());
+    }
+
+    // The gate's teeth, after results are on disk for post-mortems.
+    assert_eq!(lost, 0, "{lost} sessions lost");
+    assert_eq!(
+        peak_conns as usize, config.sessions,
+        "not all sessions were concurrent"
+    );
+    assert!(
+        shed_rate <= MAX_SHED_RATE,
+        "shed rate {shed_rate:.3} above budget {MAX_SHED_RATE}"
+    );
+    assert_eq!(polite_shed, 0, "polite tenant was shed under greedy load");
+    println!("loadgen: zero lost sessions, fees exact, shed rate within budget.");
+}

@@ -131,6 +131,37 @@ pub fn workers() -> Option<usize> {
     positive_flag("--workers")
 }
 
+/// Parses `--sessions <n>` from the process arguments, if present — how
+/// many concurrent client sessions the load generator drives.
+///
+/// Exits with status 2 when `--sessions` is given without a positive
+/// integer.
+#[must_use]
+pub fn sessions() -> Option<usize> {
+    positive_flag("--sessions")
+}
+
+/// Parses `--tenants <n>` from the process arguments, if present — how
+/// many distinct tenant identities the load generator spreads its
+/// sessions across.
+///
+/// Exits with status 2 when `--tenants` is given without a positive
+/// integer.
+#[must_use]
+pub fn tenants() -> Option<usize> {
+    positive_flag("--tenants")
+}
+
+/// Parses `--calls <n>` from the process arguments, if present — how
+/// many chargeable calls each load-generator session issues.
+///
+/// Exits with status 2 when `--calls` is given without a positive
+/// integer.
+#[must_use]
+pub fn calls() -> Option<usize> {
+    positive_flag("--calls")
+}
+
 /// Parses `--checkpoint <path>` from the process arguments, if present —
 /// where the campaign journal lives.
 ///

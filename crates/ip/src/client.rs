@@ -129,6 +129,17 @@ impl ClientSession {
         self
     }
 
+    /// Stamps every outgoing call with `tenant`, upgrading frames to the
+    /// v3 tenant-carrying encoding. The provider's admission control and
+    /// fee ledger key on this id; sessions without a tenant stay on the
+    /// older context-free encodings and are admitted under the default
+    /// quota.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: &str) -> ClientSession {
+        self.client = self.client.with_tenant(tenant);
+        self
+    }
+
     /// The provider's host name.
     #[must_use]
     pub fn host(&self) -> &str {

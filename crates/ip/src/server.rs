@@ -13,15 +13,25 @@ use vcad_power::{
     ConstantPowerEstimator, LinearRegressionPowerEstimator, PeakPowerEstimator, PowerModel,
     SiliconReference, TogglePowerEstimator,
 };
-use vcad_rmi::{Dispatcher, ObjectRegistry, RemoteObject, RmiError, ServerCtx, Value};
+use vcad_rmi::{
+    AdmissionControl, Dispatcher, MuxServer, MuxServerConfig, ObjectRegistry, RemoteObject,
+    RmiError, ServerCtx, Value,
+};
 
 use crate::offering::ComponentOffering;
 use crate::protocol::{catalog, component, decode_patterns};
 
 /// The provider's fee ledger: every chargeable call appends an entry.
+///
+/// When a call arrives through a tenant-stamped frame (see
+/// [`vcad_rmi::CallFrame`]), the dispatcher publishes the tenant id for
+/// the duration of the call and the ledger attributes the fee to that
+/// tenant as well as to the global totals. Anonymous (v1) calls land in
+/// the global totals only.
 #[derive(Debug, Default)]
 pub struct ServerLedger {
     entries: Mutex<Vec<(String, f64)>>,
+    tenant_totals: Mutex<std::collections::BTreeMap<String, (u64, f64)>>,
     obs: Collector,
 }
 
@@ -38,17 +48,31 @@ impl ServerLedger {
     pub fn with_collector(obs: Collector) -> ServerLedger {
         ServerLedger {
             entries: Mutex::new(Vec::new()),
+            tenant_totals: Mutex::new(std::collections::BTreeMap::new()),
             obs,
         }
     }
 
     /// Records a fee, in cents.
+    ///
+    /// If the call carries a tenant id (published by the dispatcher via
+    /// [`vcad_rmi::current_tenant`]), the fee is additionally attributed
+    /// to that tenant's ledger and mirrored as
+    /// `tenant.<id>.fees_cents`.
     pub fn charge(&self, what: impl Into<String>, cents: f64) {
         if cents > 0.0 {
             let what = what.into();
             let m = self.obs.metrics();
             m.float_counter("ip.fees_cents").add(cents);
             m.counter("ip.charges").inc();
+            if let Some(tenant) = vcad_rmi::current_tenant() {
+                m.float_counter(&format!("tenant.{tenant}.fees_cents"))
+                    .add(cents);
+                let mut totals = self.tenant_totals.lock().unwrap();
+                let slot = totals.entry(tenant).or_insert((0, 0.0));
+                slot.0 += 1;
+                slot.1 += cents;
+            }
             // A traced *span* (not an instant event): the analyzer's
             // per-RPC breakdown attributes `charge:*` span time to the
             // fee-ledger bucket, parented under the ambient dispatch span.
@@ -75,6 +99,28 @@ impl ServerLedger {
     #[must_use]
     pub fn entry_count(&self) -> usize {
         self.entries.lock().unwrap().len()
+    }
+
+    /// Total charged to one tenant, in cents (0.0 if unknown).
+    #[must_use]
+    pub fn tenant_total_cents(&self, tenant: &str) -> f64 {
+        self.tenant_totals
+            .lock()
+            .unwrap()
+            .get(tenant)
+            .map_or(0.0, |(_, c)| *c)
+    }
+
+    /// Per-tenant `(charge count, total cents)` in deterministic
+    /// (lexicographic tenant id) order.
+    #[must_use]
+    pub fn tenant_totals(&self) -> Vec<(String, u64, f64)> {
+        self.tenant_totals
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(t, (n, c))| (t.clone(), *n, *c))
+            .collect()
     }
 }
 
@@ -105,6 +151,27 @@ impl ProviderServer {
     /// `ip.instantiations` and negotiation outcome counters.
     #[must_use]
     pub fn with_collector(host: impl Into<String>, obs: Collector) -> ProviderServer {
+        ProviderServer::build(host, obs, None)
+    }
+
+    /// Creates a provider whose dispatcher runs every call through
+    /// `admission` first: rate-limited tenants are shed with a retryable
+    /// `Overloaded` error, exhausted hard quotas with a permanent
+    /// `QuotaExceeded` error, before any object code (or fee) runs.
+    #[must_use]
+    pub fn with_admission(
+        host: impl Into<String>,
+        obs: Collector,
+        admission: Arc<AdmissionControl>,
+    ) -> ProviderServer {
+        ProviderServer::build(host, obs, Some(admission))
+    }
+
+    fn build(
+        host: impl Into<String>,
+        obs: Collector,
+        admission: Option<Arc<AdmissionControl>>,
+    ) -> ProviderServer {
         let offerings = Arc::new(Mutex::new(Vec::new()));
         let ledger = Arc::new(ServerLedger::with_collector(obs.clone()));
         let registry = Arc::new(ObjectRegistry::new());
@@ -113,12 +180,15 @@ impl ProviderServer {
             ledger: Arc::clone(&ledger),
             obs: obs.clone(),
         }));
-        let dispatcher = Arc::new(Dispatcher::new(Arc::clone(&registry)).with_collector(obs));
+        let mut dispatcher = Dispatcher::new(Arc::clone(&registry)).with_collector(obs);
+        if let Some(admission) = admission {
+            dispatcher = dispatcher.with_admission(admission);
+        }
         ProviderServer {
             host: host.into(),
             offerings,
             registry,
-            dispatcher,
+            dispatcher: Arc::new(dispatcher),
             ledger,
         }
     }
@@ -157,6 +227,23 @@ impl ProviderServer {
     #[must_use]
     pub fn ledger(&self) -> &Arc<ServerLedger> {
         &self.ledger
+    }
+
+    /// The admission controller, if this provider was built with one.
+    #[must_use]
+    pub fn admission(&self) -> Option<&Arc<AdmissionControl>> {
+        self.dispatcher.admission()
+    }
+
+    /// Serves this provider over TCP through a connection-multiplexing
+    /// [`MuxServer`]: one poll thread, a bounded worker pool, and typed
+    /// shedding when the frame queue saturates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmiError::Transport`] if `addr` is unavailable.
+    pub fn serve_mux(&self, addr: &str, config: MuxServerConfig) -> Result<MuxServer, RmiError> {
+        MuxServer::bind_with_collector(addr, self.dispatcher(), config, self.ledger.collector())
     }
 }
 

@@ -46,6 +46,51 @@ pub struct BreakerHealth {
     pub state: String,
 }
 
+/// One tenant's admission/fee picture, aggregated from the
+/// `tenant.<id>.*` metrics a multi-tenant provider emits.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantHealth {
+    /// The tenant id.
+    pub tenant: String,
+    /// Calls admitted past admission control.
+    pub admitted: u64,
+    /// Calls shed by rate limiting (retryable).
+    pub shed: u64,
+    /// Calls denied by an exhausted hard quota (permanent).
+    pub quota_denied: u64,
+    /// Currently open sessions.
+    pub sessions: u64,
+    /// High-water mark of concurrent sessions.
+    pub sessions_high_water: u64,
+    /// Fees charged to this tenant, cents.
+    pub fees_cents: f64,
+}
+
+/// The provider-side serving picture, aggregated from `server.*`
+/// metrics (admission totals plus the mux server's connection and
+/// queue signals).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerHealth {
+    /// Calls admitted across all tenants.
+    pub admitted: u64,
+    /// Calls shed by rate limiting across all tenants.
+    pub shed: u64,
+    /// Calls denied on hard quota across all tenants.
+    pub quota_denied: u64,
+    /// Connections accepted by the mux server.
+    pub accepted: u64,
+    /// Connections rejected at the connection cap.
+    pub conn_rejected: u64,
+    /// Frames shed because the dispatch queue was full.
+    pub queue_shed: u64,
+    /// Currently open connections.
+    pub connections: u64,
+    /// High-water mark of concurrent connections.
+    pub connections_high_water: u64,
+    /// High-water mark of dispatch queue depth.
+    pub queue_depth_high_water: u64,
+}
+
 /// A point-in-time health view over one metrics domain.
 #[derive(Clone, Debug, Default)]
 pub struct HealthSnapshot {
@@ -63,6 +108,76 @@ pub struct HealthSnapshot {
     pub cache_hit_ratio: Option<f64>,
     /// Shard load imbalance percentage, when sharding ran.
     pub shard_imbalance_pct: Option<u64>,
+    /// Per-tenant admission and fee signals, in tenant-id order.
+    pub tenants: Vec<TenantHealth>,
+    /// Aggregate serving signals, when a multi-tenant server ran.
+    pub server: Option<ServerHealth>,
+}
+
+/// Splits a `tenant.<id>.<suffix>` metric name into its tenant id, for
+/// a fixed suffix. Tenant ids may themselves contain dots; the known
+/// suffix anchors the parse.
+fn tenant_of<'a>(key: &'a str, suffix: &str) -> Option<&'a str> {
+    key.strip_prefix("tenant.")?.strip_suffix(suffix)
+}
+
+fn collect_tenants(metrics: &MetricsSnapshot) -> Vec<TenantHealth> {
+    type TenantMap = std::collections::BTreeMap<String, TenantHealth>;
+    fn slot<'a>(by_id: &'a mut TenantMap, id: &str) -> &'a mut TenantHealth {
+        by_id.entry(id.to_owned()).or_default()
+    }
+    let mut by_id = TenantMap::new();
+    for (k, v) in &metrics.counters {
+        if let Some(t) = tenant_of(k, ".admitted") {
+            slot(&mut by_id, t).admitted = *v;
+        } else if let Some(t) = tenant_of(k, ".shed") {
+            slot(&mut by_id, t).shed = *v;
+        } else if let Some(t) = tenant_of(k, ".quota_denied") {
+            slot(&mut by_id, t).quota_denied = *v;
+        }
+    }
+    for (k, v) in &metrics.float_counters {
+        if let Some(t) = tenant_of(k, ".fees_cents") {
+            slot(&mut by_id, t).fees_cents = *v;
+        }
+    }
+    for (k, g) in &metrics.gauges {
+        if let Some(t) = tenant_of(k, ".sessions") {
+            let s = slot(&mut by_id, t);
+            s.sessions = g.value;
+            s.sessions_high_water = g.high_water;
+        }
+    }
+    by_id
+        .into_iter()
+        .map(|(tenant, mut h)| {
+            h.tenant = tenant;
+            h
+        })
+        .collect()
+}
+
+fn collect_server(metrics: &MetricsSnapshot) -> Option<ServerHealth> {
+    let saw = metrics.counters.keys().any(|k| k.starts_with("server."))
+        || metrics.gauges.keys().any(|k| k.starts_with("server."));
+    if !saw {
+        return None;
+    }
+    let conns = metrics.gauges.get("server.connections");
+    Some(ServerHealth {
+        admitted: metrics.counter("server.admitted"),
+        shed: metrics.counter("server.shed"),
+        quota_denied: metrics.counter("server.quota_denied"),
+        accepted: metrics.counter("server.accepted"),
+        conn_rejected: metrics.counter("server.conn_rejected"),
+        queue_shed: metrics.counter("server.queue_shed"),
+        connections: conns.map_or(0, |g| g.value),
+        connections_high_water: conns.map_or(0, |g| g.high_water),
+        queue_depth_high_water: metrics
+            .gauges
+            .get("server.queue_depth")
+            .map_or(0, |g| g.high_water),
+    })
 }
 
 fn breaker_state_name(v: u64) -> String {
@@ -98,6 +213,8 @@ impl HealthSnapshot {
             .gauges
             .get("sched.shard.load.imbalance_pct")
             .map(|g| g.value);
+        let tenants = collect_tenants(metrics);
+        let server = collect_server(metrics);
         HealthSnapshot {
             counters: metrics
                 .counters
@@ -134,6 +251,8 @@ impl HealthSnapshot {
             breakers,
             cache_hit_ratio,
             shard_imbalance_pct,
+            tenants,
+            server,
         }
     }
 
@@ -152,6 +271,51 @@ impl HealthSnapshot {
         }
         if let Some(p) = self.shard_imbalance_pct {
             let _ = writeln!(out, "shard load imbalance: {p}%");
+        }
+        if let Some(s) = &self.server {
+            let _ = writeln!(
+                out,
+                "server: admitted {} shed {} quota-denied {} accepted {} \
+                 conn-rejected {} queue-shed {} conns {}/{} queue-hw {}",
+                s.admitted,
+                s.shed,
+                s.quota_denied,
+                s.accepted,
+                s.conn_rejected,
+                s.queue_shed,
+                s.connections,
+                s.connections_high_water,
+                s.queue_depth_high_water
+            );
+        }
+        if !self.tenants.is_empty() {
+            out.push_str("tenants\n");
+            let rows: Vec<Vec<String>> = self
+                .tenants
+                .iter()
+                .map(|t| {
+                    vec![
+                        t.tenant.clone(),
+                        t.admitted.to_string(),
+                        t.shed.to_string(),
+                        t.quota_denied.to_string(),
+                        format!("{}/{}", t.sessions, t.sessions_high_water),
+                        format!("{:.2}", t.fees_cents),
+                    ]
+                })
+                .collect();
+            table(
+                &mut out,
+                &[
+                    "tenant",
+                    "admitted",
+                    "shed",
+                    "quota-denied",
+                    "sessions",
+                    "fees",
+                ],
+                &rows,
+            );
         }
         if !self.breakers.is_empty() {
             out.push_str("breakers\n");
@@ -293,6 +457,46 @@ impl HealthSnapshot {
             }
             None => out.push_str(",\"shard_imbalance_pct\":null"),
         }
+        out.push_str(",\"tenants\":{");
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"admitted\":{},\"shed\":{},\"quota_denied\":{},\
+                 \"sessions\":{},\"sessions_high_water\":{},\"fees_cents\":{}}}",
+                esc(&t.tenant),
+                t.admitted,
+                t.shed,
+                t.quota_denied,
+                t.sessions,
+                t.sessions_high_water,
+                json_f64(t.fees_cents)
+            );
+        }
+        out.push('}');
+        match &self.server {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{{\"admitted\":{},\"shed\":{},\"quota_denied\":{},\
+                     \"accepted\":{},\"conn_rejected\":{},\"queue_shed\":{},\
+                     \"connections\":{},\"connections_high_water\":{},\
+                     \"queue_depth_high_water\":{}}}",
+                    s.admitted,
+                    s.shed,
+                    s.quota_denied,
+                    s.accepted,
+                    s.conn_rejected,
+                    s.queue_shed,
+                    s.connections,
+                    s.connections_high_water,
+                    s.queue_depth_high_water
+                );
+            }
+            None => out.push_str(",\"server\":null"),
+        }
         out.push('}');
         out
     }
@@ -431,6 +635,59 @@ mod tests {
         assert_eq!(hist.get("count").unwrap().as_u64(), Some(4));
         assert!(hist.get("p99").unwrap().as_u64().unwrap() >= 1);
         assert!(s.to_text().contains("cache hit ratio: 75.0%"));
+    }
+
+    #[test]
+    fn tenant_and_server_sections_aggregate_prefixed_metrics() {
+        let c = Collector::enabled();
+        let m = c.metrics();
+        m.counter("tenant.acme.admitted").add(40);
+        m.counter("tenant.acme.shed").add(2);
+        m.float_counter("tenant.acme.fees_cents").add(17.5);
+        m.gauge("tenant.acme.sessions").set(3);
+        m.counter("tenant.zeta.co.admitted").add(5);
+        m.counter("tenant.zeta.co.quota_denied").add(1);
+        m.counter("server.admitted").add(45);
+        m.counter("server.shed").add(2);
+        m.counter("server.accepted").add(4);
+        m.gauge("server.connections").set(4);
+        m.gauge("server.queue_depth").set(9);
+        m.gauge("server.queue_depth").set(1);
+        let s = HealthSnapshot::of(&c);
+
+        assert_eq!(s.tenants.len(), 2);
+        assert_eq!(s.tenants[0].tenant, "acme");
+        assert_eq!(s.tenants[0].admitted, 40);
+        assert_eq!(s.tenants[0].shed, 2);
+        assert!((s.tenants[0].fees_cents - 17.5).abs() < 1e-12);
+        assert_eq!(s.tenants[0].sessions, 3);
+        // A dotted tenant id parses because the suffix anchors the split.
+        assert_eq!(s.tenants[1].tenant, "zeta.co");
+        assert_eq!(s.tenants[1].quota_denied, 1);
+
+        let srv = s.server.as_ref().expect("server section present");
+        assert_eq!(srv.admitted, 45);
+        assert_eq!(srv.shed, 2);
+        assert_eq!(srv.accepted, 4);
+        assert_eq!(srv.connections, 4);
+        assert_eq!(srv.queue_depth_high_water, 9);
+
+        let doc = json::parse(&s.to_json()).expect("health JSON parses");
+        let acme = doc.get("tenants").unwrap().get("acme").unwrap();
+        assert_eq!(acme.get("admitted").unwrap().as_u64(), Some(40));
+        assert!((acme.get("fees_cents").unwrap().as_f64().unwrap() - 17.5).abs() < 1e-12);
+        assert_eq!(
+            doc.get("server")
+                .unwrap()
+                .get("queue_shed")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+        let text = s.to_text();
+        assert!(text.contains("tenants"));
+        assert!(text.contains("zeta.co"));
+        assert!(text.contains("server: admitted 45"));
     }
 
     #[test]

@@ -111,15 +111,17 @@ impl CachingTransport {
     }
 
     fn key_for(&self, call: &CallFrame) -> u128 {
-        // Both volatile fields are normalised away: `call_id` to zero and
-        // the trace context to `None`, so traced and untraced runs (and
-        // two different traces) share cache entries.
+        // All volatile fields are normalised away: `call_id` to zero,
+        // the trace context and the tenant id to `None`, so traced and
+        // untraced runs (and two different tenants — cacheable calls are
+        // pure and fee-free by the allowlist contract) share entries.
         let canonical = Frame::Call(CallFrame {
             call_id: 0,
             object: call.object,
             method: call.method.clone(),
             args: call.args.clone(),
             context: None,
+            tenant: None,
         })
         .encode();
         let mut h = CanonicalHasher::new();

@@ -23,6 +23,7 @@ pub struct Client {
     next_call: Arc<AtomicU64>,
     obs: Collector,
     baggage: Arc<Vec<(String, String)>>,
+    tenant: Option<Arc<str>>,
 }
 
 impl Client {
@@ -42,6 +43,7 @@ impl Client {
             next_call: Arc::new(AtomicU64::new(1)),
             obs: Collector::disabled(),
             baggage: Arc::new(Vec::new()),
+            tenant: None,
         }
     }
 
@@ -66,6 +68,21 @@ impl Client {
         }
         self.baggage = Arc::new(baggage);
         self
+    }
+
+    /// Stamps every outgoing call frame with `tenant` — the id the
+    /// provider's admission control and fee ledger account the call to.
+    /// Tenant-free clients keep the frozen v1/v2 encodings.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: &str) -> Client {
+        self.tenant = Some(Arc::from(tenant));
+        self
+    }
+
+    /// The tenant id this client stamps on calls, if any.
+    #[must_use]
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
     }
 
     /// A reference to the server's root (bootstrap) object.
@@ -115,6 +132,7 @@ impl Client {
             method: method.to_owned(),
             args,
             context,
+            tenant: self.tenant.as_deref().map(str::to_owned),
         })
         .encode();
         let response_bytes = self.transport.call(&request);

@@ -8,8 +8,9 @@ use std::sync::{Mutex, RwLock};
 
 use vcad_obs::Collector;
 
+use crate::admission::AdmissionControl;
 use crate::error::{RemoteErrorKind, RmiError};
-use crate::frame::{CallFrame, Frame, ResponseFrame};
+use crate::frame::{response_is_shed, CallFrame, Frame, ResponseFrame};
 use crate::resilience::{
     decode_tracked_call, encode_tracked_resp_corrupt, encode_tracked_resp_ok, TAG_TRACKED_CALL,
 };
@@ -194,6 +195,7 @@ pub struct Dispatcher {
     security: SecurityManager,
     obs: Collector,
     replies: Mutex<ReplyCache>,
+    admission: Option<Arc<AdmissionControl>>,
 }
 
 impl Dispatcher {
@@ -206,6 +208,7 @@ impl Dispatcher {
             security: SecurityManager::permissive(),
             obs: Collector::disabled(),
             replies: Mutex::new(ReplyCache::new(DEFAULT_REPLY_CACHE_CAPACITY)),
+            admission: None,
         }
     }
 
@@ -217,6 +220,7 @@ impl Dispatcher {
             security,
             obs: Collector::disabled(),
             replies: Mutex::new(ReplyCache::new(DEFAULT_REPLY_CACHE_CAPACITY)),
+            admission: None,
         }
     }
 
@@ -226,6 +230,23 @@ impl Dispatcher {
     pub fn with_collector(mut self, obs: Collector) -> Dispatcher {
         self.obs = obs;
         self
+    }
+
+    /// Gates every tenant-stamped call through `admission` before it
+    /// dispatches: rate-shed calls get the retryable
+    /// [`RemoteErrorKind::Overloaded`] response, quota-exhausted tenants
+    /// the permanent `QuotaExceeded`. Unstamped (v1/v2) frames bypass
+    /// tenant policy.
+    #[must_use]
+    pub fn with_admission(mut self, admission: Arc<AdmissionControl>) -> Dispatcher {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// The admission gate, when one is installed.
+    #[must_use]
+    pub fn admission(&self) -> Option<&Arc<AdmissionControl>> {
+        self.admission.as_ref()
     }
 
     /// The registry this dispatcher serves.
@@ -254,7 +275,25 @@ impl Dispatcher {
     /// compute, fee ledger) — parents under the client's call span.
     #[must_use]
     pub fn handle(&self, call: &CallFrame) -> ResponseFrame {
+        if let Some(admission) = &self.admission {
+            if let Err(e) = admission.admit(call.tenant.as_deref()) {
+                // Shed fast: no span, no object lookup — the whole point
+                // is to cost almost nothing under overload.
+                let metrics = self.obs.metrics();
+                metrics.counter("rmi.dispatch.calls").inc();
+                metrics.counter("rmi.dispatch.shed").inc();
+                let (kind, message) = match e {
+                    RmiError::Remote { kind, message } => (kind, message),
+                    other => (RemoteErrorKind::Internal, other.to_string()),
+                };
+                return ResponseFrame {
+                    call_id: call.call_id,
+                    result: Err((kind, message)),
+                };
+            }
+        }
         let started = std::time::Instant::now();
+        let _tenant_guard = call.tenant.as_deref().map(crate::admission::push_tenant);
         let _ctx_guard = call
             .context
             .as_ref()
@@ -344,10 +383,15 @@ impl Dispatcher {
         }
         let inner_response = self.handle_bytes(&payload);
         let response = encode_tracked_resp_ok(&inner_response);
-        self.replies
-            .lock()
-            .unwrap()
-            .insert(request_id, response.clone());
+        // A load-shed response is transient by contract: memoizing it
+        // would replay the shed to every retry of this request id. Let
+        // the retry re-enter admission instead.
+        if !response_is_shed(&inner_response) {
+            self.replies
+                .lock()
+                .unwrap()
+                .insert(request_id, response.clone());
+        }
         response
     }
 
@@ -390,6 +434,7 @@ mod tests {
             method: method.into(),
             args,
             context: None,
+            tenant: None,
         }
     }
 

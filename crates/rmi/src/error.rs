@@ -20,6 +20,12 @@ pub enum RemoteErrorKind {
     Security,
     /// The server failed internally.
     Internal,
+    /// The server shed the call under load (queue full or rate limit) —
+    /// transient by construction, so clients should retry with backoff.
+    Overloaded,
+    /// The tenant's admission budget is spent — retrying cannot succeed
+    /// until the operator raises the quota.
+    QuotaExceeded,
 }
 
 impl fmt::Display for RemoteErrorKind {
@@ -30,6 +36,8 @@ impl fmt::Display for RemoteErrorKind {
             RemoteErrorKind::Application => "application error",
             RemoteErrorKind::Security => "security violation",
             RemoteErrorKind::Internal => "internal server error",
+            RemoteErrorKind::Overloaded => "server overloaded",
+            RemoteErrorKind::QuotaExceeded => "tenant quota exceeded",
         };
         f.write_str(s)
     }
@@ -45,6 +53,8 @@ impl RemoteErrorKind {
             RemoteErrorKind::Application => 2,
             RemoteErrorKind::Security => 3,
             RemoteErrorKind::Internal => 4,
+            RemoteErrorKind::Overloaded => 5,
+            RemoteErrorKind::QuotaExceeded => 6,
         }
     }
 
@@ -57,6 +67,8 @@ impl RemoteErrorKind {
             2 => RemoteErrorKind::Application,
             3 => RemoteErrorKind::Security,
             4 => RemoteErrorKind::Internal,
+            5 => RemoteErrorKind::Overloaded,
+            6 => RemoteErrorKind::QuotaExceeded,
             _ => return None,
         })
     }
@@ -127,6 +139,27 @@ impl RmiError {
         }
     }
 
+    /// Convenience constructor for a transient load-shed rejection
+    /// ([`RemoteErrorKind::Overloaded`]) — the one remote kind retries
+    /// can fix.
+    #[must_use]
+    pub fn overloaded(message: impl Into<String>) -> RmiError {
+        RmiError::Remote {
+            kind: RemoteErrorKind::Overloaded,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for a hard admission denial
+    /// ([`RemoteErrorKind::QuotaExceeded`]).
+    #[must_use]
+    pub fn quota_exceeded(message: impl Into<String>) -> RmiError {
+        RmiError::Remote {
+            kind: RemoteErrorKind::QuotaExceeded,
+            message: message.into(),
+        }
+    }
+
     /// The remote error kind, if this error came from the peer.
     #[must_use]
     pub fn remote_kind(&self) -> Option<RemoteErrorKind> {
@@ -138,13 +171,23 @@ impl RmiError {
 
     /// Whether retrying the same call can plausibly succeed.
     ///
-    /// Only delivery failures qualify: a transport fault or a timeout may
-    /// be transient, while a remote application fault, a security denial,
-    /// a marshalling error, or an open circuit breaker will fail the same
+    /// Delivery failures qualify — a transport fault or a timeout may be
+    /// transient — and so does a remote [`RemoteErrorKind::Overloaded`]
+    /// shed, which clears as soon as the server drains its backlog. A
+    /// remote application fault, a security denial, a quota denial, a
+    /// marshalling error, or an open circuit breaker will fail the same
     /// way again (the breaker exists precisely to stop retries).
     #[must_use]
     pub fn is_retryable(&self) -> bool {
-        matches!(self, RmiError::Transport(_) | RmiError::Timeout(_))
+        matches!(
+            self,
+            RmiError::Transport(_)
+                | RmiError::Timeout(_)
+                | RmiError::Remote {
+                    kind: RemoteErrorKind::Overloaded,
+                    ..
+                }
+        )
     }
 
     /// Whether this error means the peer is (currently) unreachable —
@@ -201,6 +244,8 @@ mod tests {
             RemoteErrorKind::Application,
             RemoteErrorKind::Security,
             RemoteErrorKind::Internal,
+            RemoteErrorKind::Overloaded,
+            RemoteErrorKind::QuotaExceeded,
         ] {
             assert_eq!(RemoteErrorKind::from_code(kind.code()), Some(kind));
         }
@@ -223,8 +268,11 @@ mod tests {
         // Delivery failures are worth retrying…
         assert!(RmiError::Transport("connection reset".into()).is_retryable());
         assert!(RmiError::Timeout("deadline exceeded".into()).is_retryable());
+        // …and so is a transient load shed…
+        assert!(RmiError::overloaded("queue full").is_retryable());
         // …while deterministic failures are not.
         assert!(!RmiError::bad_args("estimate").is_retryable());
+        assert!(!RmiError::quota_exceeded("budget spent").is_retryable());
         assert!(!RmiError::Remote {
             kind: RemoteErrorKind::Security,
             message: "denied".into()

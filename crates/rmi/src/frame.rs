@@ -6,10 +6,14 @@
 //! followed directly by the call body, and that encoding is frozen
 //! forever: a context-free call still encodes byte-identically to the
 //! seed, which keeps cache keys and golden outputs stable. Calls that
-//! carry a [`TraceContext`] use the `TAG_CALL_V2` envelope instead: tag,
-//! an explicit version byte ([`FRAME_VERSION`]), the trace context, then
-//! the unchanged v1 body. A decoder seeing a *future* version reports
-//! [`WireError::UnsupportedVersion`] rather than misparsing.
+//! carry a [`TraceContext`] (but no tenant) use the `TAG_CALL_V2`
+//! envelope: tag, an explicit version byte (`2`, frozen), the trace
+//! context, then the unchanged v1 body. Calls that carry a tenant id use
+//! the `TAG_CALL_V3` envelope: tag, version byte ([`FRAME_VERSION`]),
+//! the tenant string, a presence byte plus the optional trace context,
+//! then the unchanged v1 body. A decoder seeing a *future* version on
+//! either envelope reports [`WireError::UnsupportedVersion`] rather than
+//! misparsing.
 
 use vcad_obs::context::MAX_BAGGAGE;
 use vcad_obs::TraceContext;
@@ -23,9 +27,15 @@ const TAG_OK: u8 = 1;
 const TAG_ERR: u8 = 2;
 /// Versioned call envelope (call frames carrying a trace context).
 const TAG_CALL_V2: u8 = 5;
+/// Versioned call envelope (call frames carrying a tenant id and,
+/// optionally, a trace context).
+const TAG_CALL_V3: u8 = 6;
+
+/// The version byte the frozen v2 envelope carries, forever.
+const V2_VERSION: u8 = 2;
 
 /// The frame-format revision this build encodes and decodes.
-pub const FRAME_VERSION: u8 = 2;
+pub const FRAME_VERSION: u8 = 3;
 
 /// A method invocation request.
 ///
@@ -40,6 +50,7 @@ pub const FRAME_VERSION: u8 = 2;
 ///     method: "estimate".into(),
 ///     args: vec![Value::Str("power".into())],
 ///     context: None,
+///     tenant: None,
 /// };
 /// let bytes = Frame::Call(call.clone()).encode();
 /// assert_eq!(Frame::decode(&bytes)?, Frame::Call(call));
@@ -56,8 +67,11 @@ pub struct CallFrame {
     /// Marshalled arguments.
     pub args: Vec<Value>,
     /// Distributed trace context, when the caller is traced. `None`
-    /// encodes as the frozen v1 format.
+    /// (with no tenant) encodes as the frozen v1 format.
     pub context: Option<TraceContext>,
+    /// The paying tenant the call is accounted to, when the caller
+    /// identifies one. Selects the v3 envelope on the wire.
+    pub tenant: Option<String>,
 }
 
 fn write_context(w: &mut WireWriter, ctx: &TraceContext) {
@@ -89,6 +103,15 @@ fn read_context(r: &mut WireReader<'_>) -> Result<TraceContext, WireError> {
         span_id,
         baggage,
     })
+}
+
+/// Whether `bytes` encode an error response of the transient
+/// [`RemoteErrorKind::Overloaded`] kind. The dispatcher's reply cache
+/// must not memoize these: a retried request id would replay the shed
+/// forever instead of being re-admitted once the backlog drains.
+pub(crate) fn response_is_shed(bytes: &[u8]) -> bool {
+    // TAG_ERR layout: tag, u64 call id, kind code, message.
+    bytes.first() == Some(&TAG_ERR) && bytes.get(9) == Some(&RemoteErrorKind::Overloaded.code())
 }
 
 /// A method invocation response.
@@ -128,12 +151,24 @@ impl Frame {
         let mut w = WireWriter::new();
         match self {
             Frame::Call(c) => {
-                match &c.context {
-                    None => w.u8(TAG_CALL),
-                    Some(ctx) => {
+                match (&c.tenant, &c.context) {
+                    (None, None) => w.u8(TAG_CALL),
+                    (None, Some(ctx)) => {
                         w.u8(TAG_CALL_V2);
-                        w.u8(FRAME_VERSION);
+                        w.u8(V2_VERSION);
                         write_context(&mut w, ctx);
+                    }
+                    (Some(tenant), ctx) => {
+                        w.u8(TAG_CALL_V3);
+                        w.u8(FRAME_VERSION);
+                        w.str(tenant);
+                        match ctx {
+                            None => w.u8(0),
+                            Some(ctx) => {
+                                w.u8(1);
+                                write_context(&mut w, ctx);
+                            }
+                        }
                     }
                 }
                 w.u64(c.call_id);
@@ -170,6 +205,7 @@ impl Frame {
         fn call_body(
             r: &mut WireReader<'_>,
             context: Option<TraceContext>,
+            tenant: Option<String>,
         ) -> Result<Frame, WireError> {
             let call_id = r.u64()?;
             let object = ObjectId(r.u64()?);
@@ -185,18 +221,32 @@ impl Frame {
                 method,
                 args,
                 context,
+                tenant,
             }))
         }
         let mut r = WireReader::new(bytes);
         let frame = match r.u8()? {
-            TAG_CALL => call_body(&mut r, None)?,
+            TAG_CALL => call_body(&mut r, None, None)?,
             TAG_CALL_V2 => {
+                let version = r.u8()?;
+                if version != V2_VERSION {
+                    return Err(WireError::UnsupportedVersion(version));
+                }
+                let ctx = read_context(&mut r)?;
+                call_body(&mut r, Some(ctx), None)?
+            }
+            TAG_CALL_V3 => {
                 let version = r.u8()?;
                 if version != FRAME_VERSION {
                     return Err(WireError::UnsupportedVersion(version));
                 }
-                let ctx = read_context(&mut r)?;
-                call_body(&mut r, Some(ctx))?
+                let tenant = r.str()?.to_owned();
+                let ctx = match r.u8()? {
+                    0 => None,
+                    1 => Some(read_context(&mut r)?),
+                    _ => return Err(WireError::BadValue("trace context presence byte")),
+                };
+                call_body(&mut r, ctx, Some(tenant))?
             }
             TAG_OK => {
                 let call_id = r.u64()?;
@@ -239,6 +289,7 @@ mod tests {
                 Value::List(vec![Value::Null]),
             ],
             context: None,
+            tenant: None,
         };
         let bytes = Frame::Call(call.clone()).encode();
         assert_eq!(Frame::decode(&bytes).unwrap(), Frame::Call(call));
@@ -260,10 +311,11 @@ mod tests {
                     ("method".into(), "POWER_TOGGLE".into()),
                 ],
             }),
+            tenant: None,
         };
         let bytes = Frame::Call(call.clone()).encode();
         assert_eq!(bytes[0], TAG_CALL_V2);
-        assert_eq!(bytes[1], FRAME_VERSION);
+        assert_eq!(bytes[1], V2_VERSION);
         assert_eq!(Frame::decode(&bytes).unwrap(), Frame::Call(call));
     }
 
@@ -278,6 +330,7 @@ mod tests {
             method: "AREA".into(),
             args: vec![],
             context: None,
+            tenant: None,
         };
         let bytes = Frame::Call(call.clone()).encode();
         assert_eq!(bytes[0], TAG_CALL);
@@ -294,14 +347,66 @@ mod tests {
 
     #[test]
     fn future_frame_version_is_a_typed_error() {
+        // Either envelope carrying a version it does not understand is a
+        // typed error, not a misparse.
+        for (tag, version) in [
+            (TAG_CALL_V2, FRAME_VERSION),
+            (TAG_CALL_V3, FRAME_VERSION + 1),
+        ] {
+            let mut w = WireWriter::new();
+            w.u8(tag);
+            w.u8(version);
+            w.u64(1); // would-be body of a format we don't know
+            let bytes = w.into_bytes();
+            assert_eq!(
+                Frame::decode(&bytes),
+                Err(WireError::UnsupportedVersion(version))
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_call_round_trips_with_and_without_context() {
+        let bare = CallFrame {
+            call_id: 21,
+            object: ObjectId(3),
+            method: "AREA".into(),
+            args: vec![],
+            context: None,
+            tenant: Some("acme".into()),
+        };
+        let bytes = Frame::Call(bare.clone()).encode();
+        assert_eq!(bytes[0], TAG_CALL_V3);
+        assert_eq!(bytes[1], FRAME_VERSION);
+        assert_eq!(Frame::decode(&bytes).unwrap(), Frame::Call(bare));
+
+        let traced = CallFrame {
+            call_id: 22,
+            object: ObjectId(3),
+            method: "POWER_TOGGLE".into(),
+            args: vec![Value::I64(9)],
+            context: Some(TraceContext {
+                trace_id: 0xFEED,
+                span_id: 8,
+                baggage: vec![("tenant".into(), "acme".into())],
+            }),
+            tenant: Some("acme".into()),
+        };
+        let bytes = Frame::Call(traced.clone()).encode();
+        assert_eq!(bytes[0], TAG_CALL_V3);
+        assert_eq!(Frame::decode(&bytes).unwrap(), Frame::Call(traced));
+    }
+
+    #[test]
+    fn tenant_call_with_bad_context_presence_byte_is_rejected() {
         let mut w = WireWriter::new();
-        w.u8(TAG_CALL_V2);
-        w.u8(FRAME_VERSION + 1);
-        w.u64(1); // would-be trace id of a format we don't know
-        let bytes = w.into_bytes();
+        w.u8(TAG_CALL_V3);
+        w.u8(FRAME_VERSION);
+        w.str("acme");
+        w.u8(7); // neither "absent" nor "present"
         assert_eq!(
-            Frame::decode(&bytes),
-            Err(WireError::UnsupportedVersion(FRAME_VERSION + 1))
+            Frame::decode(&w.into_bytes()),
+            Err(WireError::BadValue("trace context presence byte"))
         );
     }
 
@@ -317,6 +422,7 @@ mod tests {
                 span_id: 2,
                 baggage: (0..40).map(|i| (format!("k{i}"), "v".into())).collect(),
             }),
+            tenant: None,
         };
         // The encoder truncates to the cap...
         let bytes = Frame::Call(call).encode();
@@ -327,7 +433,7 @@ mod tests {
         // ...and the decoder rejects a count beyond it outright.
         let mut w = WireWriter::new();
         w.u8(TAG_CALL_V2);
-        w.u8(FRAME_VERSION);
+        w.u8(V2_VERSION);
         w.u64(1);
         w.u64(2);
         w.u32(MAX_BAGGAGE as u32 + 1);
@@ -376,6 +482,7 @@ mod tests {
             method: "m".into(),
             args: vec![Value::I64(1)],
             context: None,
+            tenant: None,
         };
         let mut bytes = Frame::Call(call).encode();
         bytes.truncate(bytes.len() - 2);

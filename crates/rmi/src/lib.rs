@@ -72,24 +72,31 @@
 //! # Ok::<(), vcad_rmi::RmiError>(())
 //! ```
 
+mod admission;
 mod caching;
 mod chaos;
 mod client;
 mod dispatch;
 mod error;
 mod frame;
+mod mux;
 mod resilience;
 mod security;
 mod transport;
 mod value;
 mod wire;
 
+pub use admission::{
+    current_tenant, push_tenant, AdmissionControl, ShedReason, TenantGuard, TenantQuota,
+    TenantStats, TokenBucket,
+};
 pub use caching::{call_cache, CachingTransport, CallCache};
 pub use chaos::{FaultConfig, FaultDecision, FaultPlan, FaultyTransport};
 pub use client::{Client, RemoteRef};
 pub use dispatch::{Dispatcher, ObjectRegistry, RemoteObject, ServerCtx};
 pub use error::{RemoteErrorKind, RmiError};
 pub use frame::{CallFrame, Frame, ResponseFrame, FRAME_VERSION};
+pub use mux::{MuxServer, MuxServerConfig, MuxServerStats};
 pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, Deadline, RealClock, ResilienceClock,
     ResilientTransport, RetryPolicy, VirtualClock,

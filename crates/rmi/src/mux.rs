@@ -1,0 +1,436 @@
+//! The connection-multiplexing server: one non-blocking poll loop, a
+//! bounded frame queue, and a fixed worker pool.
+//!
+//! [`TcpServer`](crate::TcpServer) spawns a thread per connection — fine
+//! for a handful of sessions, unbounded for the paper's "many
+//! simultaneous fee-paying users". [`MuxServer`] serves hundreds of
+//! connections from a constant number of threads instead:
+//!
+//! * one poll thread owns the listener and every connection socket (all
+//!   non-blocking), accumulates bytes into per-connection buffers, and
+//!   cuts complete length-prefixed frames out of them;
+//! * complete frames enter a *bounded* queue. When the queue is full the
+//!   poll thread sheds the frame right there with a typed, retryable
+//!   [`RemoteErrorKind::Overloaded`](crate::RemoteErrorKind) response —
+//!   backpressure costs one small write, never a blocked accept loop;
+//! * `workers` threads drain the queue through the shared
+//!   [`Dispatcher`] (which applies per-tenant admission when configured)
+//!   and write responses back through per-connection write halves.
+//!
+//! Everything is `std::net` — no `mio`, no epoll binding — so the loop
+//! is a plain poll-and-sleep: perfectly deterministic to test against
+//! and fast enough for the few hundred sockets the load generator
+//! drives.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use vcad_obs::Collector;
+
+use crate::dispatch::Dispatcher;
+use crate::error::{RemoteErrorKind, RmiError};
+use crate::frame::{Frame, ResponseFrame};
+use crate::resilience::{decode_tracked_call, encode_tracked_resp_ok, TAG_TRACKED_CALL};
+use crate::transport::write_frame;
+
+/// Tuning knobs for a [`MuxServer`].
+#[derive(Clone, Debug)]
+pub struct MuxServerConfig {
+    /// Worker threads draining the frame queue.
+    pub workers: usize,
+    /// Bounded queue depth; frames arriving beyond it are shed with a
+    /// retryable `Overloaded` response.
+    pub queue_capacity: usize,
+    /// Concurrent connection cap; sockets beyond it are closed at
+    /// accept (clients see a retryable transport error).
+    pub max_connections: usize,
+}
+
+impl Default for MuxServerConfig {
+    fn default() -> MuxServerConfig {
+        MuxServerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            max_connections: 1024,
+        }
+    }
+}
+
+/// One queued request: the raw frame plus the write half to answer on.
+struct Job {
+    bytes: Vec<u8>,
+    write: Arc<Mutex<TcpStream>>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    write: Arc<Mutex<TcpStream>>,
+    buf: Vec<u8>,
+    /// The tenant this connection's session is registered under, once a
+    /// tenant-stamped frame has been seen.
+    tenant: Option<String>,
+}
+
+/// Aggregate counters the load generator reads after a run.
+#[derive(Clone, Debug, Default)]
+pub struct MuxServerStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused at the cap.
+    pub rejected_connections: u64,
+    /// Frames shed because the queue was full.
+    pub queue_shed: u64,
+    /// Frames handed to the worker pool.
+    pub enqueued: u64,
+}
+
+struct Shared {
+    dispatcher: Arc<Dispatcher>,
+    obs: Collector,
+    shutdown: AtomicBool,
+    queue_depth: AtomicUsize,
+    stats: Mutex<MuxServerStats>,
+}
+
+/// The multiplexing TCP server. Stops — joining the poll thread and
+/// every worker — when dropped.
+pub struct MuxServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    poll_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl MuxServer {
+    /// Binds to `addr` (port `0` for ephemeral) and starts the poll
+    /// loop plus worker pool, all serving `dispatcher`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmiError::Transport`] when binding fails.
+    pub fn bind(
+        addr: &str,
+        dispatcher: Arc<Dispatcher>,
+        config: MuxServerConfig,
+    ) -> Result<MuxServer, RmiError> {
+        MuxServer::bind_with_collector(addr, dispatcher, config, &Collector::disabled())
+    }
+
+    /// [`MuxServer::bind`], routing `server.*` metrics (connection and
+    /// queue-depth gauges, accept/shed counters) into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmiError::Transport`] when binding fails.
+    pub fn bind_with_collector(
+        addr: &str,
+        dispatcher: Arc<Dispatcher>,
+        config: MuxServerConfig,
+        obs: &Collector,
+    ) -> Result<MuxServer, RmiError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| RmiError::Transport(format!("bind {addr}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| RmiError::Transport(format!("set_nonblocking: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| RmiError::Transport(format!("local_addr: {e}")))?;
+
+        let obs = obs.clone();
+        let shared = Arc::new(Shared {
+            dispatcher,
+            obs,
+            shutdown: AtomicBool::new(false),
+            queue_depth: AtomicUsize::new(0),
+            stats: Mutex::new(MuxServerStats::default()),
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut worker_handles = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("vcad-rmi-mux-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn mux worker"),
+            );
+        }
+
+        let poll_shared = Arc::clone(&shared);
+        let poll_handle = std::thread::Builder::new()
+            .name("vcad-rmi-mux-poll".into())
+            .spawn(move || poll_loop(&listener, &tx, &poll_shared, &config))
+            .expect("spawn mux poll thread");
+
+        Ok(MuxServer {
+            addr: local,
+            shared,
+            poll_handle: Some(poll_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address, including the actual ephemeral port.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counters accumulated since bind.
+    #[must_use]
+    pub fn stats(&self) -> MuxServerStats {
+        self.shared.stats.lock().unwrap().clone()
+    }
+}
+
+impl Drop for MuxServer {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.poll_handle.take() {
+            let _ = h.join();
+        }
+        // The poll loop dropped its sender on exit; workers drain what
+        // is left and exit on the closed channel.
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let rx = rx.lock().unwrap();
+            rx.recv()
+        };
+        let Ok(job) = job else { break };
+        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let response = shared.dispatcher.handle_bytes(&job.bytes);
+        let mut stream = job.write.lock().unwrap();
+        let _ = write_frame(&mut stream, &response);
+    }
+}
+
+fn poll_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<Job>,
+    shared: &Arc<Shared>,
+    config: &MuxServerConfig,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_conn_id: u64 = 0;
+    let mut scratch = [0u8; 64 * 1024];
+    let metrics = shared.obs.metrics();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let mut progressed = false;
+
+        // Accept everything pending, up to the connection cap.
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    progressed = true;
+                    if conns.len() >= config.max_connections {
+                        // Refuse by closing: the client surfaces a
+                        // retryable transport error.
+                        shared.stats.lock().unwrap().rejected_connections += 1;
+                        metrics.counter("server.conn_rejected").inc();
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Responses are small frames written one at a time;
+                    // without nodelay, Nagle against the client's
+                    // delayed ACK costs tens of milliseconds per call.
+                    let _ = stream.set_nodelay(true);
+                    let Ok(write) = stream.try_clone() else {
+                        continue;
+                    };
+                    shared.stats.lock().unwrap().accepted += 1;
+                    metrics.counter("server.accepted").inc();
+                    conns.insert(
+                        next_conn_id,
+                        Conn {
+                            stream,
+                            write: Arc::new(Mutex::new(write)),
+                            buf: Vec::new(),
+                            tenant: None,
+                        },
+                    );
+                    next_conn_id += 1;
+                    metrics.gauge("server.connections").set(conns.len() as u64);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Pump every connection.
+        let mut dead: Vec<u64> = Vec::new();
+        for (&id, conn) in &mut conns {
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        dead.push(id);
+                        break;
+                    }
+                    Ok(n) => {
+                        progressed = true;
+                        conn.buf.extend_from_slice(&scratch[..n]);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead.push(id);
+                        break;
+                    }
+                }
+            }
+            // Cut complete frames out of the buffer.
+            while let Some(frame) = take_frame(&mut conn.buf) {
+                progressed = true;
+                register_session(shared, conn, &frame);
+                let job = Job {
+                    bytes: frame,
+                    write: Arc::clone(&conn.write),
+                };
+                match tx.try_send(job) {
+                    Ok(()) => {
+                        shared.queue_depth.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.lock().unwrap().enqueued += 1;
+                        let depth = shared.queue_depth.load(Ordering::Relaxed) as u64;
+                        metrics.gauge("server.queue_depth").set(depth);
+                    }
+                    Err(TrySendError::Full(job)) => {
+                        shared.stats.lock().unwrap().queue_shed += 1;
+                        metrics.counter("server.queue_shed").inc();
+                        shed_job(&job);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+        }
+        for id in dead {
+            if let Some(conn) = conns.remove(&id) {
+                if let (Some(tenant), Some(admission)) =
+                    (&conn.tenant, shared.dispatcher.admission())
+                {
+                    admission.close_session(tenant);
+                }
+            }
+            metrics.gauge("server.connections").set(conns.len() as u64);
+        }
+
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+    // Shutdown: close every socket so blocked clients fail fast.
+    for (_, conn) in conns.drain() {
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        if let (Some(tenant), Some(admission)) = (&conn.tenant, shared.dispatcher.admission()) {
+            admission.close_session(tenant);
+        }
+    }
+    // Dropping `tx` (by returning) closes the queue; workers drain what
+    // is left and exit.
+}
+
+/// Removes and returns the first complete length-prefixed frame from
+/// `buf`, if one has fully arrived.
+fn take_frame(buf: &mut Vec<u8>) -> Option<Vec<u8>> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if buf.len() < 4 + len {
+        return None;
+    }
+    let frame = buf[4..4 + len].to_vec();
+    buf.drain(..4 + len);
+    Some(frame)
+}
+
+/// Binds the connection to its tenant's session on the first stamped
+/// frame seen, registering it with the dispatcher's admission gate.
+fn register_session(shared: &Arc<Shared>, conn: &mut Conn, frame: &[u8]) {
+    if conn.tenant.is_some() {
+        return;
+    }
+    let Some(admission) = shared.dispatcher.admission() else {
+        return;
+    };
+    let Some(tenant) = peek_tenant(frame) else {
+        return;
+    };
+    // Session-cap overflow is not fatal: the connection stays usable,
+    // only unregistered — per-call admission still applies.
+    let _ = admission.open_session(&tenant);
+    conn.tenant = Some(tenant);
+}
+
+/// Decodes just far enough to find the tenant stamp, unwrapping a
+/// tracked envelope first. Returns `None` for v1/v2 (tenant-free)
+/// frames and undecodable bytes.
+fn peek_tenant(frame: &[u8]) -> Option<String> {
+    let unwrapped;
+    let payload: &[u8] = if frame.first() == Some(&TAG_TRACKED_CALL) {
+        unwrapped = decode_tracked_call(frame).ok()?.1;
+        &unwrapped
+    } else {
+        frame
+    };
+    match Frame::decode(payload) {
+        Ok(Frame::Call(call)) => call.tenant,
+        _ => None,
+    }
+}
+
+/// Answers a frame the queue had no room for: a typed, retryable
+/// `Overloaded` response, tracked-wrapped when the request was tracked
+/// (and deliberately not entered into the reply cache, so the retry is
+/// re-admitted).
+fn shed_job(job: &Job) {
+    let unwrapped;
+    let (tracked, payload): (bool, &[u8]) = if job.bytes.first() == Some(&TAG_TRACKED_CALL) {
+        match decode_tracked_call(&job.bytes) {
+            Ok((_, payload)) => {
+                unwrapped = payload;
+                (true, &unwrapped)
+            }
+            Err(_) => return, // corrupt: let the client's checksum retry handle it
+        }
+    } else {
+        (false, &job.bytes[..])
+    };
+    let call_id = match Frame::decode(payload) {
+        Ok(Frame::Call(call)) => call.call_id,
+        _ => 0,
+    };
+    let response = Frame::Response(ResponseFrame {
+        call_id,
+        result: Err((
+            RemoteErrorKind::Overloaded,
+            "server queue full: retry after backoff".into(),
+        )),
+    })
+    .encode();
+    let response = if tracked {
+        encode_tracked_resp_ok(&response)
+    } else {
+        response
+    };
+    let mut stream = job.write.lock().unwrap();
+    let _ = write_frame(&mut stream, &response);
+}

@@ -645,7 +645,19 @@ impl ResilientTransport {
     fn attempt(&self, tracked: &[u8], request_id: u128) -> Result<Vec<u8>, RmiError> {
         let raw = self.inner.call(tracked)?;
         match decode_tracked_resp(&raw) {
-            Ok(TrackedResponse::Ok(payload)) => Ok(payload),
+            Ok(TrackedResponse::Ok(payload)) => {
+                // A load-shed response is a delivery failure in disguise:
+                // convert it back into the retryable error so this retry
+                // loop absorbs the shed (with backoff) instead of
+                // surfacing it to the caller on the first bounce.
+                if crate::frame::response_is_shed(&payload) {
+                    self.obs.metrics().counter("rmi.resilient.shed").inc();
+                    return Err(RmiError::overloaded(format!(
+                        "request {request_id:#034x} shed by server admission control"
+                    )));
+                }
+                Ok(payload)
+            }
             Ok(TrackedResponse::CorruptRequest) => {
                 self.telemetry.corruption_detected.inc();
                 Err(RmiError::Transport(format!(
@@ -1043,6 +1055,7 @@ mod tests {
                 method: "echo".into(),
                 args: vec![Value::I64(1)],
                 context: None,
+                tenant: None,
             })
             .encode(),
         );

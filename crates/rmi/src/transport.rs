@@ -261,13 +261,13 @@ impl Drop for ChannelTransport {
     }
 }
 
-fn write_frame(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_frame(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
     stream.write_all(&(bytes.len() as u32).to_le_bytes())?;
     stream.write_all(bytes)?;
     stream.flush()
 }
 
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+pub(crate) fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     let mut len = [0u8; 4];
     stream.read_exact(&mut len)?;
     let len = u32::from_le_bytes(len) as usize;
@@ -276,14 +276,21 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     Ok(buf)
 }
 
+/// Live connections: the tracked socket (for shutdown) and the thread
+/// serving it (for join).
+type ConnRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
 /// A TCP server accepting length-prefixed frame connections.
 ///
 /// Each connection is served by its own thread; the server stops when
-/// dropped.
+/// dropped: every open connection socket is shut down (unblocking its
+/// reader) and every connection thread is joined, so no thread or socket
+/// outlives the server.
 pub struct TcpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
+    conns: ConnRegistry,
 }
 
 impl TcpServer {
@@ -301,6 +308,8 @@ impl TcpServer {
             .map_err(|e| RmiError::Transport(format!("local_addr: {e}")))?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_shutdown = Arc::clone(&shutdown);
+        let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+        let accept_conns = Arc::clone(&conns);
         let accept_handle = std::thread::Builder::new()
             .name("vcad-rmi-accept".into())
             .spawn(move || {
@@ -309,8 +318,9 @@ impl TcpServer {
                         break;
                     }
                     let Ok(mut stream) = conn else { continue };
+                    let tracked = stream.try_clone().ok();
                     let dispatcher = Arc::clone(&dispatcher);
-                    let _ = std::thread::Builder::new()
+                    let handle = std::thread::Builder::new()
                         .name("vcad-rmi-conn".into())
                         .spawn(move || {
                             while let Ok(request) = read_frame(&mut stream) {
@@ -320,6 +330,9 @@ impl TcpServer {
                                 }
                             }
                         });
+                    if let (Some(tracked), Ok(handle)) = (tracked, handle) {
+                        accept_conns.lock().unwrap().push((tracked, handle));
+                    }
                 }
             })
             .expect("spawn accept thread");
@@ -327,6 +340,7 @@ impl TcpServer {
             addr: local,
             shutdown,
             accept_handle: Some(accept_handle),
+            conns,
         })
     }
 
@@ -344,6 +358,16 @@ impl Drop for TcpServer {
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
+        }
+        // Shut every connection socket down — `read_frame` in each
+        // connection thread returns immediately — then join the threads,
+        // so no socket stays readable past this drop.
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for (stream, _) in &conns {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for (_, handle) in conns {
+            let _ = handle.join();
         }
     }
 }

@@ -1,0 +1,129 @@
+//! Property tests for the admission token bucket, seeded by
+//! `vcad-prng`.
+//!
+//! Each seed draws a random `(rate, burst)` configuration and replays a
+//! random schedule of clock advances and take attempts against it. Two
+//! invariants must hold for every schedule:
+//!
+//! * **rate bound over any window** — between any two admitted calls,
+//!   the number admitted never exceeds `burst + rate × window`;
+//! * **full refill after idle** — a drained bucket left alone for
+//!   `burst / rate` seconds is full again, and never above `burst`.
+//!
+//! Failures print the seed that produced them; rerun just that seed
+//! with `VCAD_PROP_SEED=<seed> cargo test --test admission_property`.
+
+use std::time::Duration;
+
+use vcad_prng::Rng;
+use vcad_rmi::TokenBucket;
+
+/// The fixed seed batch CI runs.
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 1999, 2002];
+
+fn seeds_under_test() -> Vec<u64> {
+    match std::env::var("VCAD_PROP_SEED") {
+        Ok(s) => vec![s.parse().expect("VCAD_PROP_SEED: bad seed")],
+        Err(_) => SEEDS.to_vec(),
+    }
+}
+
+fn arb_config(rng: &mut Rng) -> (f64, f64) {
+    let rate = rng.gen_range(1.0f64..200.0);
+    // An integral burst so "take burst times" is exact below.
+    let burst = rng.gen_range(1usize..33) as f64;
+    (rate, burst)
+}
+
+#[test]
+fn admitted_calls_never_exceed_rate_over_any_window() {
+    for seed in seeds_under_test() {
+        let mut rng = Rng::seed_from_u64(seed);
+        let (rate, burst) = arb_config(&mut rng);
+        let mut now = Duration::ZERO;
+        let mut bucket = TokenBucket::new(rate, burst, now);
+        let mut admits: Vec<Duration> = Vec::new();
+        for _ in 0..250 {
+            // Advance 0–50 ms; zero-length steps model concurrent
+            // arrivals at one instant.
+            now += Duration::from_micros(rng.gen_range(0u64..50_000));
+            for _ in 0..rng.gen_range(1usize..6) {
+                if bucket.try_take(now) {
+                    admits.push(now);
+                }
+            }
+        }
+        assert!(!admits.is_empty(), "seed {seed}: schedule admitted nothing");
+        for i in 0..admits.len() {
+            for j in i..admits.len() {
+                let window = (admits[j] - admits[i]).as_secs_f64();
+                let count = (j - i + 1) as f64;
+                assert!(
+                    count <= burst + rate * window + 1e-6,
+                    "seed {seed}: {count} calls admitted in {window:.6}s \
+                     exceeds burst {burst} + rate {rate:.3}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn drained_bucket_refills_to_full_after_idle_and_never_above_burst() {
+    for seed in seeds_under_test() {
+        let mut rng = Rng::seed_from_u64(seed ^ 0xb0c4e7);
+        let (rate, burst) = arb_config(&mut rng);
+        let mut now = Duration::from_millis(rng.gen_range(0u64..10_000));
+        let mut bucket = TokenBucket::new(rate, burst, now);
+
+        // Starts full: exactly `burst` takes succeed, then it is dry.
+        for k in 0..burst as usize {
+            assert!(bucket.try_take(now), "seed {seed}: take {k} of {burst}");
+        }
+        assert!(!bucket.try_take(now), "seed {seed}: bucket not drained");
+
+        // Idle for exactly the full-refill interval (plus float slack).
+        now += Duration::from_secs_f64(burst / rate + 1e-6);
+        let available = bucket.available(now);
+        assert!(
+            (available - burst).abs() < 1e-6,
+            "seed {seed}: idle refill gave {available}, want {burst}"
+        );
+
+        // A much longer idle must clamp at burst, never overshoot.
+        now += Duration::from_secs(rng.gen_range(1u64..3600));
+        let available = bucket.available(now);
+        assert!(
+            available <= burst,
+            "seed {seed}: {available} tokens exceeds burst {burst}"
+        );
+        for _ in 0..burst as usize {
+            assert!(bucket.try_take(now), "seed {seed}: refilled take");
+        }
+        assert!(!bucket.try_take(now), "seed {seed}: overshoot past burst");
+    }
+}
+
+#[test]
+fn backwards_time_neither_panics_nor_mints_tokens() {
+    for seed in seeds_under_test() {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x7e4d);
+        let (rate, burst) = arb_config(&mut rng);
+        let start = Duration::from_secs(100);
+        let mut bucket = TokenBucket::new(rate, burst, start);
+        for _ in 0..burst as usize {
+            assert!(bucket.try_take(start));
+        }
+        // A clock that jumps backwards must be treated as "no time
+        // passed": the drained bucket stays dry.
+        let earlier = start - Duration::from_secs(rng.gen_range(1u64..100));
+        assert!(
+            !bucket.try_take(earlier),
+            "seed {seed}: backwards time minted a token"
+        );
+        assert!(
+            bucket.available(earlier) < 1.0,
+            "seed {seed}: backwards time refilled the bucket"
+        );
+    }
+}

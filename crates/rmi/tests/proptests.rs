@@ -115,6 +115,11 @@ fn call_frames_round_trip() {
             method: arb_ident(&mut rng, 24),
             args: (0..n_args).map(|_| arb_value(&mut rng, 2)).collect(),
             context,
+            tenant: if rng.gen_bool(0.33) {
+                Some(arb_ident(&mut rng, 10))
+            } else {
+                None
+            },
         });
         assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
     }
